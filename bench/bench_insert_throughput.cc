@@ -1,0 +1,117 @@
+// Experiment C9 (paper §1/§2): ingestion cost of the universal storage —
+// every triple becomes 3 index entries (plus optional q-gram postings), so
+// inserting a tuple with a attributes costs ~3a routed inserts.
+//
+// Reported: messages and bytes per tuple, the 3x index amplification, the
+// q-gram indexing overhead, and host-side throughput (tuples/s of the
+// whole simulated pipeline).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/cluster.h"
+#include "core/datagen.h"
+
+using namespace unistore;
+
+namespace {
+
+void PrintInsertCosts() {
+  bench::Banner(
+      "C9 / insert cost & index amplification",
+      "Messages/bytes per inserted tuple across network sizes, with and "
+      "without the q-gram index (tuples have ~5 attributes).");
+  bench::Table table({"peers", "qgram", "tuples", "msgs/tuple",
+                      "KB/tuple", "entries stored", "amplification"});
+  for (size_t peers : {16, 64, 256}) {
+    for (bool qgram : {false, true}) {
+      core::ClusterOptions options;
+      options.peers = peers;
+      options.seed = 1;
+      options.node.qgram_index = qgram;
+      core::Cluster cluster(options);
+
+      core::BibliographyOptions data;
+      data.authors = 40;
+      data.publications_per_author = 2;
+      data.seed = 5;
+      auto bib = core::GenerateBibliography(data);
+      auto tuples = bib.AllTuples();
+
+      auto before = cluster.overlay().transport().stats();
+      for (size_t i = 0; i < tuples.size(); ++i) {
+        auto via = static_cast<net::PeerId>(i % cluster.size());
+        if (!cluster.InsertTupleSync(via, tuples[i]).ok()) return;
+      }
+      cluster.simulation().RunUntilIdle();
+      auto traffic = cluster.overlay().transport().stats().Since(before);
+
+      size_t stored = 0;
+      for (size_t i = 0; i < peers; ++i) {
+        stored += cluster.overlay()
+                      .peer(static_cast<net::PeerId>(i))
+                      ->store()
+                      .live_size();
+      }
+      const double n = static_cast<double>(tuples.size());
+      table.AddRow(
+          {std::to_string(peers), qgram ? "on" : "off",
+           std::to_string(tuples.size()),
+           bench::Fmt("%.1f", static_cast<double>(traffic.messages_sent) / n),
+           bench::Fmt("%.1f",
+                      static_cast<double>(traffic.bytes_sent) / n / 1024.0),
+           std::to_string(stored),
+           bench::Fmt("%.1fx", static_cast<double>(stored) /
+                                   static_cast<double>(bib.TripleCount()))});
+    }
+  }
+  table.Print();
+  std::printf("expected: amplification ~3x without q-grams (the paper's "
+              "three indexes), higher with postings; msgs/tuple grows "
+              "logarithmically with N.\n");
+}
+
+void BM_InsertTuple(benchmark::State& state) {
+  const bool qgram = state.range(0) != 0;
+  core::ClusterOptions options;
+  options.peers = 64;
+  options.seed = 2;
+  options.node.qgram_index = qgram;
+  core::Cluster cluster(options);
+  Rng rng(3);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    triple::Tuple t;
+    t.oid = "bench-" + std::to_string(i++);
+    t.attributes["name"] = triple::Value::String(
+        std::string(1, static_cast<char>('a' + i % 26)) + "-name-" +
+        std::to_string(i));
+    t.attributes["age"] =
+        triple::Value::Int(static_cast<int64_t>(rng.NextBounded(60)));
+    benchmark::DoNotOptimize(cluster.InsertTupleSync(
+        static_cast<net::PeerId>(i % cluster.size()), t));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InsertTuple)->Arg(0)->Arg(1);
+
+void BM_TripleDecompose(benchmark::State& state) {
+  core::BibliographyOptions data;
+  data.authors = 100;
+  auto bib = core::GenerateBibliography(data);
+  auto tuples = bib.AllTuples();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        triple::Decompose(tuples[i++ % tuples.size()]));
+  }
+}
+BENCHMARK(BM_TripleDecompose);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintInsertCosts();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared helpers for the experiment benchmarks.
+//
+// Every bench binary regenerates one experiment row of DESIGN.md §4: it
+// prints the paper-style series as a fixed-width table on stdout (the
+// deterministic simulation measurements: virtual latency, messages, hops)
+// and then runs its google-benchmark micro kernels (host wall time).
+#ifndef UNISTORE_BENCH_BENCH_UTIL_H_
+#define UNISTORE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace unistore {
+namespace bench {
+
+/// Fixed-width table printer for experiment series.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    auto print_row = [&widths](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : "";
+        std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    auto rule = [&widths]() {
+      std::printf("+");
+      for (size_t w : widths) {
+        for (size_t i = 0; i < w + 2; ++i) std::printf("-");
+        std::printf("+");
+      }
+      std::printf("\n");
+    };
+    rule();
+    print_row(headers_);
+    rule();
+    for (const auto& row : rows_) print_row(row);
+    rule();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+inline std::string FmtInt(uint64_t value) {
+  return std::to_string(value);
+}
+
+/// Prints the experiment banner (id + claim being reproduced).
+inline void Banner(const char* experiment_id, const char* claim) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment_id, claim);
+}
+
+}  // namespace bench
+}  // namespace unistore
+
+#endif  // UNISTORE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,124 @@
+// Experiment F3/F4 (paper Figures 3 & 4): the full VQL pipeline on the
+// example schema — parse, optimize, execute the §2 skyline query and a set
+// of simpler queries, reporting per-stage costs. This is the "example
+// query and results" of Figure 4 as a reproducible measurement instead of
+// a GUI screenshot.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/cluster.h"
+#include "core/datagen.h"
+#include "vql/parser.h"
+
+using namespace unistore;
+
+namespace {
+
+const char* kPaperQuery = R"(
+    SELECT ?name,?age,?cnt
+    WHERE {(?a,'name',?name) (?a,'age',?age)
+           (?a,'num_of_pubs',?cnt)
+           (?a,'has_published',?title) (?p,'title',?title)
+           (?p,'published_in',?conf) (?c,'confname',?conf)
+           (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3
+    }
+    ORDER BY SKYLINE OF ?age MIN, ?cnt MAX)";
+
+std::unique_ptr<core::Cluster> BuildCluster(size_t authors) {
+  core::ClusterOptions options;
+  options.peers = 32;
+  options.seed = 2006;
+  auto cluster = std::make_unique<core::Cluster>(options);
+  core::BibliographyOptions data;
+  data.authors = authors;
+  data.publications_per_author = 2;
+  data.typo_probability = 0.2;
+  data.seed = 7;
+  auto tuples = core::GenerateBibliography(data).AllTuples();
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    auto via = static_cast<net::PeerId>(i % cluster->size());
+    if (!cluster->InsertTupleSync(via, tuples[i]).ok()) break;
+  }
+  cluster->simulation().RunUntilIdle();
+  cluster->RefreshStats();
+  return cluster;
+}
+
+void PrintPipeline() {
+  bench::Banner(
+      "F3/F4 / the example query end to end",
+      "The paper's skyline-of-authors query on Figure-3 data (32 peers), "
+      "plus the simpler query classes of the demo UI.");
+  auto cluster = BuildCluster(30);
+
+  struct Case {
+    const char* label;
+    std::string vql;
+  };
+  std::vector<Case> cases = {
+      {"fig4 skyline query", kPaperQuery},
+      {"point (oid)", "SELECT ?p,?v WHERE { ('person-1',?p,?v) }"},
+      {"exact (A#v)", "SELECT ?c WHERE { (?c,'year',2005) }"},
+      {"range", "SELECT ?a,?g WHERE { (?a,'age',?g) FILTER ?g < 40 }"},
+      {"substring",
+       "SELECT ?t WHERE { (?p,'title',?t) FILTER ?t CONTAINS 'ranking' }"},
+      {"top-5", "SELECT ?g WHERE { (?a,'age',?g) } ORDER BY ?g LIMIT 5"},
+  };
+
+  bench::Table table({"query", "rows", "msgs", "KB", "latency"});
+  for (const auto& c : cases) {
+    auto measured = cluster->QueryMeasured(4, c.vql);
+    if (!measured.ok()) {
+      table.AddRow({c.label, "ERR", measured.status().ToString(), "", ""});
+      continue;
+    }
+    table.AddRow(
+        {c.label, std::to_string(measured->result.rows.size()),
+         bench::FmtInt(measured->traffic.messages_sent),
+         bench::Fmt("%.1f",
+                    static_cast<double>(measured->traffic.bytes_sent) /
+                        1024.0),
+         bench::Fmt("%.0f ms",
+                    static_cast<double>(measured->virtual_latency_us) /
+                        1000.0)});
+  }
+  table.Print();
+
+  auto figure4 = cluster->QuerySync(4, kPaperQuery);
+  if (figure4.ok()) {
+    std::printf("\nFigure 4 'results tab' reproduction:\n%s\n",
+                figure4->ToTable().c_str());
+  }
+}
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vql::Parse(kPaperQuery));
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_Plan(benchmark::State& state) {
+  auto cluster = BuildCluster(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster->node(0).PlanOnly(kPaperQuery));
+  }
+}
+BENCHMARK(BM_Plan);
+
+void BM_ExecutePaperQuery(benchmark::State& state) {
+  auto cluster = BuildCluster(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster->QuerySync(0, kPaperQuery));
+  }
+}
+BENCHMARK(BM_ExecutePaperQuery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintPipeline();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

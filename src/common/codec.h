@@ -1,0 +1,159 @@
+// Binary serialization for network payloads.
+//
+// Every protocol message in UniStore is encoded to bytes before it enters
+// the (simulated) network. This keeps the wire discipline of a real
+// deployment: payload sizes are measurable (the benchmarks report bytes on
+// the wire) and decoding failures surface as Status::Corruption rather than
+// undefined behaviour.
+#ifndef UNISTORE_COMMON_CODEC_H_
+#define UNISTORE_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace unistore {
+
+/// Appends primitive values to a byte buffer. All integers are
+/// little-endian fixed width except PutVarint, which is LEB128.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void PutU16(uint16_t v) { PutFixed(v); }
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+
+  void PutI64(int64_t v) { PutFixed(static_cast<uint64_t>(v)); }
+
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  /// Unsigned LEB128.
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      PutU8(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    PutU8(static_cast<uint8_t>(v));
+  }
+
+  /// Length-prefixed byte string.
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  /// Raw bytes, no length prefix (caller must know the size).
+  void PutRaw(std::string_view s) { buf_.append(s.data(), s.size()); }
+
+  const std::string& buffer() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    char bytes[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      bytes[i] = static_cast<char>(v >> (8 * i));
+    }
+    buf_.append(bytes, sizeof(T));
+  }
+
+  std::string buf_;
+};
+
+/// Reads primitives back out of a byte buffer; every getter checks bounds
+/// and reports Corruption on underflow.
+class BufferReader {
+ public:
+  explicit BufferReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8() {
+    if (pos_ + 1 > data_.size()) return Underflow("u8");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint16_t> GetU16() { return GetFixed<uint16_t>("u16"); }
+  Result<uint32_t> GetU32() { return GetFixed<uint32_t>("u32"); }
+  Result<uint64_t> GetU64() { return GetFixed<uint64_t>("u64"); }
+
+  Result<int64_t> GetI64() {
+    UNISTORE_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+    return static_cast<int64_t>(bits);
+  }
+
+  Result<double> GetDouble() {
+    UNISTORE_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<bool> GetBool() {
+    UNISTORE_ASSIGN_OR_RETURN(uint8_t b, GetU8());
+    return b != 0;
+  }
+
+  Result<uint64_t> GetVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (shift > 63) return Status::Corruption("varint too long");
+      UNISTORE_ASSIGN_OR_RETURN(uint8_t byte, GetU8());
+      v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  Result<std::string> GetString() {
+    UNISTORE_ASSIGN_OR_RETURN(uint64_t len, GetVarint());
+    if (pos_ + len > data_.size()) return Underflow("string body");
+    std::string out(data_.substr(pos_, len));
+    pos_ += len;
+    return out;
+  }
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  Result<T> GetFixed(const char* what) {
+    if (pos_ + sizeof(T) > data_.size()) return Underflow(what);
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  Status Underflow(const char* what) {
+    return Status::Corruption("buffer underflow reading ", what, " at offset ",
+                              pos_, " of ", data_.size());
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace unistore
+
+#endif  // UNISTORE_COMMON_CODEC_H_

@@ -1,0 +1,108 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace unistore {
+
+void SampleStats::Add(double value) {
+  samples_.push_back(value);
+  sum_ += value;
+  sorted_ = false;
+}
+
+void SampleStats::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleStats::mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double SampleStats::min() const {
+  EnsureSorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double SampleStats::max() const {
+  EnsureSorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double SampleStats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  double m = mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleStats::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  p = std::clamp(p, 0.0, 100.0);
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+std::string SampleStats::Summary() const {
+  std::ostringstream os;
+  os << "n=" << count() << " mean=" << mean() << " p50=" << Percentile(50)
+     << " p99=" << Percentile(99) << " max=" << max();
+  return os.str();
+}
+
+double SampleStats::Gini() const {
+  if (samples_.size() < 2 || sum_ <= 0) return 0.0;
+  EnsureSorted();
+  const double n = static_cast<double>(samples_.size());
+  double weighted = 0;
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * samples_[i];
+  }
+  return (2.0 * weighted) / (n * sum_) - (n + 1.0) / n;
+}
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<double> values,
+                                             size_t buckets) {
+  EquiDepthHistogram h;
+  h.total_count_ = values.size();
+  if (values.empty() || buckets == 0) return h;
+  std::sort(values.begin(), values.end());
+  buckets = std::min(buckets, values.size());
+
+  h.bounds_.push_back(values.front());
+  size_t start = 0;
+  for (size_t b = 0; b < buckets; ++b) {
+    size_t end = (b + 1) * values.size() / buckets;  // exclusive
+    if (end <= start) continue;
+    h.counts_.push_back(end - start);
+    h.bounds_.push_back(values[end - 1]);
+    start = end;
+  }
+  return h;
+}
+
+double EquiDepthHistogram::EstimateRangeFraction(double lo, double hi) const {
+  if (total_count_ == 0 || bounds_.size() < 2 || lo > hi) return 0.0;
+  double covered = 0;
+  for (size_t b = 0; b + 1 < bounds_.size(); ++b) {
+    double blo = bounds_[b];
+    double bhi = bounds_[b + 1];
+    double olo = std::max(lo, blo);
+    double ohi = std::min(hi, bhi);
+    if (ohi < olo) continue;
+    double width = bhi - blo;
+    double frac = (width <= 0) ? 1.0 : (ohi - olo) / width;
+    covered += frac * static_cast<double>(counts_[b]);
+  }
+  return covered / static_cast<double>(total_count_);
+}
+
+}  // namespace unistore

@@ -1,0 +1,85 @@
+// Minimal leveled logging used across UniStore.
+//
+// The paper highlights "logging capabilities [that make] results traceable,
+// analyzable and (in limits) repeatable"; this logger serves that role for
+// the reproduction: deterministic simulations plus TRACE-level protocol logs
+// make every run replayable.
+#ifndef UNISTORE_COMMON_LOGGING_H_
+#define UNISTORE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace unistore {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kFatal = 5,
+};
+
+/// Process-wide minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with level prefix) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it; used for disabled levels.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define UNISTORE_LOG_LEVEL_ENABLED(level) \
+  (static_cast<int>(level) >= static_cast<int>(::unistore::GetLogLevel()))
+
+/// Usage: UNISTORE_LOG(kInfo) << "peer " << id << " joined";
+#define UNISTORE_LOG(level_name)                                     \
+  if (!UNISTORE_LOG_LEVEL_ENABLED(::unistore::LogLevel::level_name)) \
+    ;                                                                \
+  else                                                               \
+    ::unistore::internal::LogMessage(::unistore::LogLevel::level_name, \
+                                     __FILE__, __LINE__)
+
+/// Fatal invariant check, enabled in all build types.
+#define UNISTORE_CHECK(condition)                                       \
+  if (condition)                                                        \
+    ;                                                                   \
+  else                                                                  \
+    ::unistore::internal::LogMessage(::unistore::LogLevel::kFatal,      \
+                                     __FILE__, __LINE__)                \
+        << "Check failed: " #condition " "
+
+}  // namespace unistore
+
+#endif  // UNISTORE_COMMON_LOGGING_H_

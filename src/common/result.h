@@ -1,0 +1,84 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+#ifndef UNISTORE_COMMON_RESULT_H_
+#define UNISTORE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace unistore {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// \code
+///   Result<int> ParseCount(std::string_view s);
+///
+///   UNISTORE_ASSIGN_OR_RETURN(int n, ParseCount(text));
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a success value (implicit by design, mirroring
+  /// arrow::Result).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a failure. `status` must not be OK.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The failure Status, or OK if this holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// The contained value. Must hold a value.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` on failure.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Internal helpers for UNISTORE_ASSIGN_OR_RETURN.
+#define UNISTORE_RESULT_CONCAT_INNER_(x, y) x##y
+#define UNISTORE_RESULT_CONCAT_(x, y) UNISTORE_RESULT_CONCAT_INNER_(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on failure returns the Status from the
+/// current function, otherwise move-assigns the value into `lhs`.
+#define UNISTORE_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  UNISTORE_ASSIGN_OR_RETURN_IMPL_(                                    \
+      UNISTORE_RESULT_CONCAT_(_result_tmp_, __LINE__), lhs, rexpr)
+
+#define UNISTORE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace unistore
+
+#endif  // UNISTORE_COMMON_RESULT_H_

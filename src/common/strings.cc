@@ -1,0 +1,129 @@
+#include "common/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+
+namespace unistore {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string.
+  if (b.empty()) return a.size();
+
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];  // row[i-1][0]
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t up = row[j];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j] + 1,        // deletion
+                         row[j - 1] + 1,    // insertion
+                         diag + cost});     // substitution / match
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t max_distance) {
+  if (a.size() < b.size()) std::swap(a, b);
+  const size_t len_diff = a.size() - b.size();
+  if (len_diff > max_distance) return max_distance + 1;
+  if (b.empty()) return a.size();
+
+  // Ukkonen banded DP: only cells within `max_distance` of the diagonal can
+  // hold a value <= max_distance.
+  constexpr size_t kInf = std::numeric_limits<size_t>::max() / 2;
+  const size_t band = max_distance;
+  std::vector<size_t> row(b.size() + 1, kInf);
+  for (size_t j = 0; j <= std::min(b.size(), band); ++j) row[j] = j;
+
+  for (size_t i = 1; i <= a.size(); ++i) {
+    const size_t j_lo = (i > band) ? i - band : 1;
+    const size_t j_hi = std::min(b.size(), i + band);
+    if (j_lo > j_hi) return max_distance + 1;
+
+    size_t diag = (j_lo == 1) ? row[0] : row[j_lo - 1];
+    size_t left = kInf;
+    if (i <= band) {
+      row[0] = i;
+      left = row[0];
+    } else {
+      // Column j_lo-1 is outside the band on this row.
+      row[j_lo - 1] = kInf;
+    }
+
+    size_t row_min = kInf;
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      size_t up = row[j];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      size_t val = std::min({up + 1, left + 1, diag + cost});
+      row[j] = val;
+      left = val;
+      diag = up;
+      row_min = std::min(row_min, val);
+    }
+    if (j_hi < b.size()) row[j_hi + 1] = kInf;
+    if (row_min > max_distance) return max_distance + 1;
+  }
+  return std::min(row[b.size()], max_distance + 1);
+}
+
+std::vector<std::string> SplitString(std::string_view input, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || input[i] == sep) {
+      out.emplace_back(input.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool ContainsSubstring(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
+}
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool LooksLikeInteger(std::string_view s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace unistore

@@ -1,0 +1,46 @@
+// String utilities: edit distance (the paper's `edist` filter function),
+// splitting/joining, and predicates used by VQL operators.
+#ifndef UNISTORE_COMMON_STRINGS_H_
+#define UNISTORE_COMMON_STRINGS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace unistore {
+
+/// Levenshtein edit distance (unit costs), O(|a|·|b|) time, O(min) space.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// \brief Banded edit distance with early exit.
+///
+/// Returns the exact distance if it is <= max_distance, otherwise any value
+/// > max_distance. Runs in O(max_distance · min(|a|,|b|)). This is the
+/// verification step of the q-gram similarity operators: candidates from the
+/// count filter are verified with a threshold, so computing distances beyond
+/// the threshold would be wasted work.
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t max_distance);
+
+/// Splits on a single character; keeps empty pieces.
+std::vector<std::string> SplitString(std::string_view input, char sep);
+
+/// Joins with a separator.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool ContainsSubstring(std::string_view s, std::string_view needle);
+
+/// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view s);
+
+/// True if `s` consists only of ASCII digits (optionally signed) — used by
+/// the VQL lexer.
+bool LooksLikeInteger(std::string_view s);
+
+}  // namespace unistore
+
+#endif  // UNISTORE_COMMON_STRINGS_H_

@@ -1,0 +1,102 @@
+// Cluster: a whole simulated UniStore deployment in one object.
+//
+// Owns the overlay (simulation + transport + peers) and one UniStore node
+// per peer; provides synchronous wrappers that drive the virtual clock, a
+// measured-query API for the benchmarks, and statistics maintenance.
+#ifndef UNISTORE_CORE_CLUSTER_H_
+#define UNISTORE_CORE_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/unistore.h"
+#include "pgrid/overlay.h"
+#include "sim/latency.h"
+
+namespace unistore {
+namespace core {
+
+/// Cluster-wide configuration.
+struct ClusterOptions {
+  size_t peers = 16;
+  size_t replication = 1;
+  /// true: instant balanced trie (default). false: peers start with empty
+  /// paths — load data through node 0, then run
+  /// overlay().RunExchangeRounds() to let the trie form data-driven
+  /// (deep in dense key regions, the paper's adaptive construction).
+  bool balanced_construction = true;
+  uint64_t seed = 42;
+  double loss_probability = 0;
+  /// Latency model: constant LAN-ish delay or PlanetLab-like WAN.
+  enum class Latency { kLan, kWan } latency = Latency::kLan;
+  sim::SimTime lan_delay_us = 1000;
+  sim::WanLatency::Options wan;
+  pgrid::PeerOptions peer;
+  NodeOptions node;
+};
+
+/// \brief A simulated N-node UniStore network.
+class Cluster {
+ public:
+  /// Builds the overlay (balanced trie + replication) and attaches one
+  /// UniStore node per peer.
+  explicit Cluster(ClusterOptions options);
+
+  size_t size() const { return nodes_.size(); }
+  UniStore& node(net::PeerId id) { return *nodes_[id]; }
+  pgrid::Overlay& overlay() { return *overlay_; }
+  sim::Simulation& simulation() { return overlay_->simulation(); }
+
+  // --- Synchronous operations (drive the virtual clock) -------------------
+
+  Status InsertTupleSync(net::PeerId via, const triple::Tuple& tuple);
+  Status InsertTripleSync(net::PeerId via, const triple::Triple& triple);
+  Status RemoveTripleSync(net::PeerId via, const triple::Triple& triple);
+  Status InsertMappingSync(net::PeerId via, const std::string& from,
+                           const std::string& to);
+  Status LoadMappingsSync(net::PeerId via);
+
+  Result<exec::QueryResult> QuerySync(net::PeerId via,
+                                      const std::string& vql_text);
+  Result<exec::QueryResult> QueryPlanSync(net::PeerId via,
+                                          const plan::PhysicalPlan& plan);
+
+  /// A query with its resource consumption, as the benchmarks report it.
+  struct Measured {
+    exec::QueryResult result;
+    net::TrafficStats traffic;       ///< Messages/bytes of this query only.
+    sim::SimTime virtual_latency_us; ///< Virtual time start to finish.
+  };
+  Result<Measured> QueryMeasured(net::PeerId via,
+                                 const std::string& vql_text);
+  Result<Measured> QueryPlanMeasured(net::PeerId via,
+                                     const plan::PhysicalPlan& plan);
+
+  // --- Maintenance ---------------------------------------------------------
+
+  /// Rebuilds every node's local statistics and runs `gossip_rounds`
+  /// rounds of statistics gossip.
+  void RefreshStats(size_t gossip_rounds = 2);
+
+  /// Applies planner options on every node.
+  void SetPlannerOptions(const plan::PlannerOptions& options);
+
+  /// The expected one-way hop latency of the configured model (feeds the
+  /// cost model).
+  double ExpectedHopLatencyUs() const;
+
+ private:
+  template <typename R>
+  Result<R> RunSync(std::function<void(std::function<void(Result<R>)>)> op);
+  Status RunSyncStatus(std::function<void(std::function<void(Status)>)> op);
+
+  ClusterOptions options_;
+  std::unique_ptr<pgrid::Overlay> overlay_;
+  std::vector<std::unique_ptr<UniStore>> nodes_;
+};
+
+}  // namespace core
+}  // namespace unistore
+
+#endif  // UNISTORE_CORE_CLUSTER_H_

@@ -1,0 +1,155 @@
+#include "core/datagen.h"
+
+namespace unistore {
+namespace core {
+namespace {
+
+using triple::Tuple;
+using triple::Value;
+
+const char* kFirstNames[] = {
+    "alice", "bob",   "carol", "dave",  "erin",  "frank", "grace",
+    "heidi", "ivan",  "judy",  "karl",  "laura", "mike",  "nina",
+    "oscar", "peggy", "quinn", "rita",  "steve", "tina",  "ulrich",
+    "vera",  "walter", "xenia", "yusuf", "zoe"};
+
+const char* kLastNames[] = {
+    "mueller",  "schmidt", "fischer", "weber",   "meyer",  "wagner",
+    "becker",   "koch",    "richter", "klein",   "wolf",   "neumann",
+    "schwarz",  "zimmer",  "braun",   "krueger", "hofmann", "hartmann",
+    "lange",    "schmitt"};
+
+const char* kSeries[] = {"ICDE", "VLDB", "SIGMOD", "EDBT", "CIDR"};
+
+const char* kTitleWords[] = {
+    "similarity", "progressive", "adaptive",   "distributed", "scalable",
+    "efficient",  "robust",      "queries",    "processing",  "storage",
+    "indexing",   "overlays",    "skylines",   "ranking",     "triples",
+    "schemas",    "mappings",    "gossip",     "routing",     "caching"};
+
+}  // namespace
+
+std::string InjectTypo(const std::string& s, Rng* rng) {
+  if (s.empty()) return s;
+  std::string out = s;
+  size_t pos = rng->NextBounded(out.size());
+  switch (rng->NextBounded(4)) {
+    case 0:  // Substitution.
+      out[pos] = static_cast<char>('a' + rng->NextBounded(26));
+      break;
+    case 1:  // Deletion.
+      out.erase(pos, 1);
+      break;
+    case 2:  // Insertion.
+      out.insert(pos, 1, static_cast<char>('a' + rng->NextBounded(26)));
+      break;
+    default:  // Transposition.
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+std::vector<Tuple> Bibliography::AllTuples() const {
+  std::vector<Tuple> all;
+  all.reserve(persons.size() + publications.size() + conferences.size());
+  all.insert(all.end(), conferences.begin(), conferences.end());
+  all.insert(all.end(), publications.begin(), publications.end());
+  all.insert(all.end(), persons.begin(), persons.end());
+  return all;
+}
+
+size_t Bibliography::TripleCount() const {
+  size_t count = 0;
+  for (const auto& t : AllTuples()) count += t.attributes.size();
+  return count;
+}
+
+Bibliography GenerateBibliography(const BibliographyOptions& options) {
+  Rng rng(options.seed);
+  Bibliography bib;
+
+  // Conferences: every series x a few years.
+  struct Conf {
+    std::string oid;
+    std::string name;
+  };
+  std::vector<Conf> confs;
+  size_t conf_counter = 0;
+  for (const char* series : kSeries) {
+    for (int year = 2001; year <= 2006; ++year) {
+      Tuple c;
+      c.oid = "conf-" + std::to_string(conf_counter++);
+      std::string series_str = series;
+      if (rng.NextBernoulli(options.typo_probability)) {
+        series_str = InjectTypo(series_str, &rng);
+      }
+      std::string confname =
+          std::string(series) + " " + std::to_string(year);
+      c.attributes["confname"] = Value::String(confname);
+      c.attributes["series"] = Value::String(series_str);
+      c.attributes["year"] = Value::Int(year);
+      bib.conferences.push_back(c);
+      confs.push_back(Conf{c.oid, confname});
+    }
+  }
+
+  size_t pub_counter = 0;
+  for (size_t a = 0; a < options.authors; ++a) {
+    Tuple person;
+    person.oid = "person-" + std::to_string(a);
+    std::string name =
+        std::string(kFirstNames[a % std::size(kFirstNames)]) + " " +
+        kLastNames[(a / std::size(kFirstNames) + a) % std::size(kLastNames)] +
+        "-" + std::to_string(a);
+    person.attributes["name"] = Value::String(name);
+    person.attributes["age"] =
+        Value::Int(static_cast<int64_t>(25 + rng.NextBounded(50)));
+    person.attributes["num_of_pubs"] = Value::Int(
+        static_cast<int64_t>(options.publications_per_author +
+                             rng.NextBounded(20)));
+    person.attributes["phone"] = Value::Int(
+        static_cast<int64_t>(1000000 + rng.NextBounded(9000000)));
+
+    for (size_t p = 0; p < options.publications_per_author; ++p) {
+      Tuple pub;
+      pub.oid = "pub-" + std::to_string(pub_counter++);
+      std::string title =
+          std::string(kTitleWords[rng.NextBounded(std::size(kTitleWords))]) +
+          " " + kTitleWords[rng.NextBounded(std::size(kTitleWords))] + " " +
+          std::to_string(pub_counter);
+      const Conf& conf = confs[rng.NextBounded(confs.size())];
+      pub.attributes["title"] = Value::String(title);
+      pub.attributes["published_in"] = Value::String(conf.name);
+      bib.publications.push_back(pub);
+      // The person's has_published edge carries the title (paper Fig. 3).
+      if (p == 0) {
+        person.attributes["has_published"] = Value::String(title);
+      } else {
+        person.attributes["has_published_" + std::to_string(p)] =
+            Value::String(title);
+      }
+    }
+    bib.persons.push_back(std::move(person));
+  }
+  return bib;
+}
+
+std::vector<Tuple> Fig2Tuples() {
+  Tuple a12;
+  a12.oid = "a12";
+  a12.attributes["title"] = Value::String("Similarity...");
+  a12.attributes["confname"] = Value::String("ICDE 2006 - Workshops");
+  a12.attributes["year"] = Value::Int(2006);
+
+  Tuple v34;
+  v34.oid = "v34";
+  v34.attributes["title"] = Value::String("Progressive...");
+  v34.attributes["confname"] = Value::String("ICDE 2005");
+  v34.attributes["year"] = Value::Int(2005);
+
+  return {a12, v34};
+}
+
+}  // namespace core
+}  // namespace unistore

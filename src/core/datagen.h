@@ -1,0 +1,62 @@
+// Synthetic datasets for examples, tests and benchmarks.
+//
+// The paper's running example (Figure 3) is a contacts & publications
+// schema: Person(name, age, phone, num_of_pubs, has_published),
+// Publication(title, published_in), Conference(confname, series, year).
+// GenerateBibliography builds such data with injected typos (exercising
+// the edist similarity operators, §2's FILTER edist(?sr,'ICDE')<3).
+// Fig2Tuples returns the exact two tuples of Figure 2 for the placement
+// experiment.
+#ifndef UNISTORE_CORE_DATAGEN_H_
+#define UNISTORE_CORE_DATAGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "triple/schema.h"
+
+namespace unistore {
+namespace core {
+
+struct BibliographyOptions {
+  size_t authors = 50;
+  size_t publications_per_author = 3;
+  /// Probability that a conference-series string carries a typo.
+  double typo_probability = 0.15;
+  uint64_t seed = 7;
+};
+
+/// A generated bibliography dataset (already decomposed into tuples).
+struct Bibliography {
+  std::vector<triple::Tuple> persons;
+  std::vector<triple::Tuple> publications;
+  std::vector<triple::Tuple> conferences;
+
+  /// All tuples concatenated (insertion order: conferences, publications,
+  /// persons).
+  std::vector<triple::Tuple> AllTuples() const;
+
+  size_t TripleCount() const;
+};
+
+/// Generates a Figure-3-style dataset. Attribute names follow the paper:
+/// name, age, num_of_pubs, has_published, title, published_in, confname,
+/// series, year.
+Bibliography GenerateBibliography(const BibliographyOptions& options);
+
+/// The two example tuples of paper Figure 2:
+///   (a12, 'Similarity...', 'ICDE 2006 - Workshops', 2006)
+///   (v34, 'Progressive...', 'ICDE 2005', 2005)
+/// with schema (OID, 'title', 'confname', 'year') — 18 triples total
+/// across the three indexes.
+std::vector<triple::Tuple> Fig2Tuples();
+
+/// Applies a random edit (substitution/deletion/insertion/transposition)
+/// to `s` (utility for typo injection).
+std::string InjectTypo(const std::string& s, Rng* rng);
+
+}  // namespace core
+}  // namespace unistore
+
+#endif  // UNISTORE_CORE_DATAGEN_H_

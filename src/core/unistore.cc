@@ -1,0 +1,145 @@
+#include "core/unistore.h"
+
+#include "qgram/qgram.h"
+#include "triple/index.h"
+
+namespace unistore {
+namespace core {
+
+UniStore::UniStore(pgrid::Peer* peer, NodeOptions options)
+    : peer_(peer),
+      options_(std::move(options)),
+      store_(peer),
+      service_(peer),
+      oid_generator_("oid-" + std::to_string(peer->id()) + "-") {
+  SetPlannerOptions(options_.planner);
+}
+
+void UniStore::SetPlannerOptions(plan::PlannerOptions options) {
+  options_.planner = options;
+  if (options_.planner.apply_mappings &&
+      options_.planner.mappings == nullptr) {
+    options_.planner.mappings = &mappings_;
+  }
+  optimizer_ = std::make_unique<plan::Optimizer>(&service_.catalog(),
+                                                 options_.planner);
+  executor_ =
+      std::make_unique<exec::Executor>(&store_, &service_, optimizer_.get());
+}
+
+std::string UniStore::NewOid() { return oid_generator_.Next(); }
+
+uint64_t UniStore::NextVersion() {
+  // Versions must be comparable across nodes for last-writer-wins: virtual
+  // time in the high bits, peer id in the low bits breaks ties
+  // deterministically; the sequence keeps same-instant local writes
+  // ordered.
+  uint64_t now = static_cast<uint64_t>(
+      peer_->transport()->simulation()->Now());
+  return (now << 20) | ((++version_sequence_ & 0x3FF) << 10) |
+         (peer_->id() & 0x3FF);
+}
+
+void UniStore::InsertTriple(const triple::Triple& triple,
+                            StatusCallback callback) {
+  const uint64_t version = NextVersion();
+  std::vector<pgrid::Entry> entries =
+      triple::EntriesForTriple(triple, version, /*deleted=*/false);
+  if (options_.qgram_index) {
+    auto postings = qgram::EntriesForTripleQGrams(triple, options_.qgram_q,
+                                                  version,
+                                                  /*deleted=*/false);
+    entries.insert(entries.end(),
+                   std::make_move_iterator(postings.begin()),
+                   std::make_move_iterator(postings.end()));
+  }
+  store_.InsertEntries(std::move(entries), std::move(callback));
+}
+
+void UniStore::InsertTuple(const triple::Tuple& tuple,
+                           StatusCallback callback) {
+  const uint64_t version = NextVersion();
+  std::vector<pgrid::Entry> entries;
+  for (const triple::Triple& t : triple::Decompose(tuple)) {
+    auto triple_entries =
+        triple::EntriesForTriple(t, version, /*deleted=*/false);
+    entries.insert(entries.end(),
+                   std::make_move_iterator(triple_entries.begin()),
+                   std::make_move_iterator(triple_entries.end()));
+    if (options_.qgram_index) {
+      auto postings = qgram::EntriesForTripleQGrams(t, options_.qgram_q,
+                                                    version,
+                                                    /*deleted=*/false);
+      entries.insert(entries.end(),
+                     std::make_move_iterator(postings.begin()),
+                     std::make_move_iterator(postings.end()));
+    }
+  }
+  store_.InsertEntries(std::move(entries), std::move(callback));
+}
+
+void UniStore::RemoveTriple(const triple::Triple& triple,
+                            StatusCallback callback) {
+  const uint64_t version = NextVersion();
+  std::vector<pgrid::Entry> entries =
+      triple::EntriesForTriple(triple, version, /*deleted=*/true);
+  if (options_.qgram_index) {
+    auto postings = qgram::EntriesForTripleQGrams(triple, options_.qgram_q,
+                                                  version,
+                                                  /*deleted=*/true);
+    entries.insert(entries.end(),
+                   std::make_move_iterator(postings.begin()),
+                   std::make_move_iterator(postings.end()));
+  }
+  store_.InsertEntries(std::move(entries), std::move(callback));
+}
+
+void UniStore::InsertMapping(const std::string& from, const std::string& to,
+                             StatusCallback callback) {
+  mappings_.Add(from, to);
+  InsertTriple(triple::MakeMappingTriple(from, to), std::move(callback));
+}
+
+void UniStore::LoadMappings(StatusCallback callback) {
+  store_.ScanAttribute(
+      triple::kMappingAttribute, triple::RangeStrategy::kShower,
+      [this, callback](Result<std::vector<triple::Triple>> triples) {
+        if (!triples.ok()) {
+          callback(triples.status());
+          return;
+        }
+        mappings_.AddFromTriples(*triples);
+        callback(Status::OK());
+      });
+}
+
+void UniStore::Query(const std::string& vql_text, ResultCallback callback) {
+  auto parsed = vql::Parse(vql_text);
+  if (!parsed.ok()) {
+    callback(parsed.status());
+    return;
+  }
+  QueryParsed(*parsed, std::move(callback));
+}
+
+void UniStore::QueryParsed(const vql::Query& query, ResultCallback callback) {
+  executor_->Execute(query, std::move(callback));
+}
+
+void UniStore::QueryPlan(const plan::PhysicalPlan& plan,
+                         ResultCallback callback) {
+  executor_->ExecutePlan(plan, std::move(callback));
+}
+
+Result<plan::PhysicalPlan> UniStore::PlanOnly(
+    const std::string& vql_text) const {
+  UNISTORE_ASSIGN_OR_RETURN(vql::Query query, vql::Parse(vql_text));
+  return optimizer_->Plan(query);
+}
+
+void UniStore::RefreshStats(double hop_latency_us) {
+  service_.BuildLocalStats(hop_latency_us);
+}
+
+}  // namespace core
+}  // namespace unistore

@@ -1,0 +1,49 @@
+// Variable bindings: the tuples flowing through query plans.
+#ifndef UNISTORE_EXEC_BINDING_H_
+#define UNISTORE_EXEC_BINDING_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/result.h"
+#include "triple/value.h"
+#include "vql/ast.h"
+
+namespace unistore {
+namespace exec {
+
+/// One row: variable name -> value.
+using Binding = std::map<std::string, triple::Value>;
+
+/// Renders "{?a=v34, ?name=Alice}".
+std::string BindingToString(const Binding& binding);
+
+/// True iff `a` and `b` agree on every variable they share.
+bool Compatible(const Binding& a, const Binding& b);
+
+/// Union of two compatible bindings.
+Binding Merge(const Binding& a, const Binding& b);
+
+/// \brief Matches a triple against a pattern under an existing (possibly
+/// empty) binding. Returns the extended binding, or nullopt on mismatch
+/// (literal positions, already-bound variables and repeated variables all
+/// must agree).
+std::optional<Binding> MatchPattern(const vql::TriplePattern& pattern,
+                                    const std::string& oid,
+                                    const std::string& attribute,
+                                    const triple::Value& value,
+                                    const Binding& base);
+
+/// Serialization for plan envelopes.
+void EncodeBinding(const Binding& binding, BufferWriter* w);
+Result<Binding> DecodeBinding(BufferReader* r);
+void EncodeBindings(const std::vector<Binding>& bindings, BufferWriter* w);
+Result<std::vector<Binding>> DecodeBindings(BufferReader* r);
+
+}  // namespace exec
+}  // namespace unistore
+
+#endif  // UNISTORE_EXEC_BINDING_H_

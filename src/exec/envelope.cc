@@ -1,0 +1,97 @@
+#include "exec/envelope.h"
+
+namespace unistore {
+namespace exec {
+namespace {
+
+Result<pgrid::Key> DecodeKey(BufferReader* r) {
+  UNISTORE_ASSIGN_OR_RETURN(std::string bits, r->GetString());
+  for (char c : bits) {
+    if (c != '0' && c != '1') {
+      return Status::Corruption("envelope key contains non-bit char");
+    }
+  }
+  return pgrid::Key::FromBits(bits);
+}
+
+}  // namespace
+
+void EncodeTerm(const vql::Term& term, BufferWriter* w) {
+  w->PutBool(term.is_variable);
+  if (term.is_variable) {
+    w->PutString(term.variable);
+  } else {
+    term.literal.Encode(w);
+  }
+}
+
+Result<vql::Term> DecodeTerm(BufferReader* r) {
+  UNISTORE_ASSIGN_OR_RETURN(bool is_variable, r->GetBool());
+  if (is_variable) {
+    UNISTORE_ASSIGN_OR_RETURN(std::string name, r->GetString());
+    return vql::Term::Var(std::move(name));
+  }
+  UNISTORE_ASSIGN_OR_RETURN(triple::Value value, triple::Value::Decode(r));
+  return vql::Term::Lit(std::move(value));
+}
+
+void EncodePattern(const vql::TriplePattern& pattern, BufferWriter* w) {
+  EncodeTerm(pattern.subject, w);
+  EncodeTerm(pattern.predicate, w);
+  EncodeTerm(pattern.object, w);
+}
+
+Result<vql::TriplePattern> DecodePattern(BufferReader* r) {
+  vql::TriplePattern p;
+  UNISTORE_ASSIGN_OR_RETURN(p.subject, DecodeTerm(r));
+  UNISTORE_ASSIGN_OR_RETURN(p.predicate, DecodeTerm(r));
+  UNISTORE_ASSIGN_OR_RETURN(p.object, DecodeTerm(r));
+  return p;
+}
+
+std::string PlanEnvelope::Encode() const {
+  BufferWriter w;
+  w.PutU32(initiator);
+  EncodePattern(pattern, &w);
+  w.PutString(filter_vql);
+  w.PutString(remaining.lo.bits());
+  w.PutString(remaining.hi.bits());
+  EncodeBindings(bindings, &w);
+  EncodeBindings(results, &w);
+  return w.Release();
+}
+
+Result<PlanEnvelope> PlanEnvelope::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  PlanEnvelope env;
+  UNISTORE_ASSIGN_OR_RETURN(env.initiator, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(env.pattern, DecodePattern(&r));
+  UNISTORE_ASSIGN_OR_RETURN(env.filter_vql, r.GetString());
+  UNISTORE_ASSIGN_OR_RETURN(env.remaining.lo, DecodeKey(&r));
+  UNISTORE_ASSIGN_OR_RETURN(env.remaining.hi, DecodeKey(&r));
+  UNISTORE_ASSIGN_OR_RETURN(env.bindings, DecodeBindings(&r));
+  UNISTORE_ASSIGN_OR_RETURN(env.results, DecodeBindings(&r));
+  return env;
+}
+
+std::string EnvelopeReply::Encode() const {
+  BufferWriter w;
+  w.PutU8(status_code);
+  w.PutString(error);
+  EncodeBindings(results, &w);
+  w.PutU32(peers_visited);
+  return w.Release();
+}
+
+Result<EnvelopeReply> EnvelopeReply::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  EnvelopeReply reply;
+  UNISTORE_ASSIGN_OR_RETURN(reply.status_code, r.GetU8());
+  UNISTORE_ASSIGN_OR_RETURN(reply.error, r.GetString());
+  UNISTORE_ASSIGN_OR_RETURN(reply.results, DecodeBindings(&r));
+  UNISTORE_ASSIGN_OR_RETURN(reply.peers_visited, r.GetU32());
+  return reply;
+}
+
+}  // namespace exec
+}  // namespace unistore

@@ -1,0 +1,61 @@
+// Mutant query plan envelopes (paper §2, after Papadimos & Maier's Mutant
+// Query Plans): a serialized plan fragment plus its partial results that
+// migrates between peers. UniStore uses envelopes for the Migrate join
+// strategy: the envelope carries the left-side bindings along the peers of
+// the right pattern's attribute partition; every visited peer joins
+// locally, mutates the envelope (annotates results, shrinks the remaining
+// range) and forwards it, until the exhausted envelope returns to the
+// initiator.
+#ifndef UNISTORE_EXEC_ENVELOPE_H_
+#define UNISTORE_EXEC_ENVELOPE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/binding.h"
+#include "net/message.h"
+#include "pgrid/key.h"
+#include "vql/ast.h"
+
+namespace unistore {
+namespace exec {
+
+/// The migrating plan fragment.
+struct PlanEnvelope {
+  net::PeerId initiator = net::kNoPeer;
+  /// The pattern each visited peer matches against its local store.
+  vql::TriplePattern pattern;
+  /// Optional residual FILTER (VQL text, re-parsed at each peer); applied
+  /// to merged bindings. Empty = none.
+  std::string filter_vql;
+  /// The key range still to visit (the right attribute's partition).
+  pgrid::KeyRange remaining;
+  /// Left-side input bindings.
+  std::vector<Binding> bindings;
+  /// Join results accumulated by already-visited peers.
+  std::vector<Binding> results;
+
+  std::string Encode() const;
+  static Result<PlanEnvelope> Decode(std::string_view bytes);
+};
+
+/// Terminal reply of an envelope walk.
+struct EnvelopeReply {
+  uint8_t status_code = 0;
+  std::string error;
+  std::vector<Binding> results;
+  uint32_t peers_visited = 0;
+
+  std::string Encode() const;
+  static Result<EnvelopeReply> Decode(std::string_view bytes);
+};
+
+void EncodeTerm(const vql::Term& term, BufferWriter* w);
+Result<vql::Term> DecodeTerm(BufferReader* r);
+void EncodePattern(const vql::TriplePattern& pattern, BufferWriter* w);
+Result<vql::TriplePattern> DecodePattern(BufferReader* r);
+
+}  // namespace exec
+}  // namespace unistore
+
+#endif  // UNISTORE_EXEC_ENVELOPE_H_

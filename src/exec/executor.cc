@@ -1,0 +1,710 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "exec/expr_eval.h"
+#include "qgram/qgram.h"
+#include "triple/index.h"
+
+namespace unistore {
+namespace exec {
+namespace {
+
+using plan::AccessPath;
+using plan::JoinStrategy;
+using plan::PhysicalOp;
+using triple::Triple;
+using triple::Value;
+
+// Fan-in accumulator for N parallel triple fetches.
+struct TripleFanIn {
+  size_t remaining;
+  Status first_error;
+  std::vector<Triple> triples;
+  std::function<void(Result<std::vector<Triple>>)> done;
+
+  void Arrive(Result<std::vector<Triple>> result) {
+    if (!result.ok()) {
+      if (first_error.ok()) first_error = result.status();
+    } else {
+      triples.insert(triples.end(),
+                     std::make_move_iterator(result->begin()),
+                     std::make_move_iterator(result->end()));
+    }
+    if (--remaining == 0) {
+      if (!first_error.ok()) {
+        done(first_error);
+      } else {
+        done(std::move(triples));
+      }
+    }
+  }
+};
+
+// Fan-in accumulator for N parallel binding producers.
+struct RowsFanIn {
+  size_t remaining;
+  Status first_error;
+  std::vector<Binding> rows;
+  Executor::RowsCallback done;
+
+  void Arrive(Result<std::vector<Binding>> result) {
+    if (!result.ok()) {
+      if (first_error.ok()) first_error = result.status();
+    } else {
+      rows.insert(rows.end(), std::make_move_iterator(result->begin()),
+                  std::make_move_iterator(result->end()));
+    }
+    if (--remaining == 0) {
+      if (!first_error.ok()) {
+        done(first_error);
+      } else {
+        done(std::move(rows));
+      }
+    }
+  }
+};
+
+std::string JoinKeyOf(const Binding& row,
+                      const std::vector<std::string>& vars) {
+  std::string key;
+  for (const auto& v : vars) {
+    auto it = row.find(v);
+    key += (it == row.end()) ? std::string("\x01")
+                             : it->second.ToIndexString();
+    key.push_back('\x1F');
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string QueryResult::ToTable() const {
+  std::vector<size_t> widths(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    widths[c] = columns[c].size() + 1;
+  }
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<std::string> line(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c) {
+      auto it = row.find(columns[c]);
+      line[c] = (it == row.end()) ? "-" : it->second.ToDisplayString();
+      widths[c] = std::max(widths[c], line[c].size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::ostringstream os;
+  auto rule = [&os, &widths]() {
+    os << "+";
+    for (size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+  rule();
+  os << "|";
+  for (size_t c = 0; c < columns.size(); ++c) {
+    os << " ?" << columns[c]
+       << std::string(widths[c] - columns[c].size() - 1, ' ') << " |";
+  }
+  os << "\n";
+  rule();
+  for (const auto& line : cells) {
+    os << "|";
+    for (size_t c = 0; c < columns.size(); ++c) {
+      os << " " << line[c] << std::string(widths[c] - line[c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  }
+  rule();
+  os << rows.size() << " row(s)\n";
+  return os.str();
+}
+
+Executor::Executor(triple::TripleStore* store, QueryService* service,
+                   const plan::Optimizer* optimizer)
+    : store_(store), service_(service), optimizer_(optimizer) {}
+
+void Executor::Execute(const vql::Query& query, ResultCallback callback) {
+  auto planned = optimizer_->Plan(query);
+  if (!planned.ok()) {
+    callback(planned.status());
+    return;
+  }
+  ExecutePlan(*planned, std::move(callback));
+}
+
+void Executor::ExecutePlan(const plan::PhysicalPlan& plan,
+                           ResultCallback callback) {
+  std::string plan_text = plan->ToString();
+  auto trace = std::make_shared<std::vector<std::string>>();
+  // The projection is the plan root; its columns name the result schema.
+  std::vector<std::string> columns =
+      plan->kind == algebra::LogicalOpKind::kProject
+          ? plan->columns
+          : std::vector<std::string>{};
+  ExecNode(plan, trace,
+           [callback, trace, plan_text = std::move(plan_text),
+            columns = std::move(columns)](
+               Result<std::vector<Binding>> rows) {
+    if (!rows.ok()) {
+      callback(rows.status());
+      return;
+    }
+    QueryResult result;
+    result.columns = columns;
+    if (result.columns.empty() && !rows->empty()) {
+      for (const auto& [var, value] : rows->front()) {
+        result.columns.push_back(var);
+      }
+    }
+    result.rows = std::move(*rows);
+    result.plan_text = std::move(plan_text);
+    result.trace = std::move(*trace);
+    callback(std::move(result));
+  });
+}
+
+void Executor::ExecNode(std::shared_ptr<PhysicalOp> node, Trace trace,
+                        RowsCallback callback) {
+  // Record every operator completion (output cardinality) in the trace.
+  callback = [node, trace, inner = std::move(callback)](
+                 Result<std::vector<Binding>> rows) {
+    if (trace) {
+      std::string line(algebra::LogicalOpKindName(node->kind));
+      if (node->kind == algebra::LogicalOpKind::kPatternScan) {
+        line += "[" + std::string(plan::AccessPathName(node->access)) +
+                "] " + node->pattern.ToString();
+      }
+      line += rows.ok() ? " -> " + std::to_string(rows->size()) + " rows"
+                        : " -> " + rows.status().ToString();
+      trace->push_back(std::move(line));
+    }
+    inner(std::move(rows));
+  };
+  switch (node->kind) {
+    case algebra::LogicalOpKind::kPatternScan:
+      ExecScan(std::move(node), std::move(trace), std::move(callback));
+      return;
+    case algebra::LogicalOpKind::kJoin:
+      ExecJoin(std::move(node), std::move(trace), std::move(callback));
+      return;
+    case algebra::LogicalOpKind::kFilter: {
+      auto predicate = node->predicate;
+      ExecNode(node->children[0], trace,
+               [predicate, callback](Result<std::vector<Binding>> rows) {
+                 if (!rows.ok()) {
+                   callback(rows.status());
+                   return;
+                 }
+                 std::vector<Binding> kept;
+                 kept.reserve(rows->size());
+                 for (auto& row : *rows) {
+                   if (EvaluatePredicate(*predicate, row)) {
+                     kept.push_back(std::move(row));
+                   }
+                 }
+                 callback(std::move(kept));
+               });
+      return;
+    }
+    case algebra::LogicalOpKind::kProject: {
+      auto columns = node->columns;
+      ExecNode(node->children[0], trace,
+               [columns, callback](Result<std::vector<Binding>> rows) {
+                 if (!rows.ok()) {
+                   callback(rows.status());
+                   return;
+                 }
+                 std::vector<Binding> projected;
+                 projected.reserve(rows->size());
+                 for (const auto& row : *rows) {
+                   Binding out;
+                   for (const auto& c : columns) {
+                     auto it = row.find(c);
+                     if (it != row.end()) out.emplace(c, it->second);
+                   }
+                   projected.push_back(std::move(out));
+                 }
+                 callback(std::move(projected));
+               });
+      return;
+    }
+    case algebra::LogicalOpKind::kOrderBy:
+    case algebra::LogicalOpKind::kTopN: {
+      auto keys = node->order_keys;
+      auto limit = node->limit;
+      ExecNode(node->children[0], trace,
+               [keys, limit, callback](Result<std::vector<Binding>> rows) {
+                 if (!rows.ok()) {
+                   callback(rows.status());
+                   return;
+                 }
+                 SortRows(&*rows, keys);
+                 if (limit.has_value() && rows->size() > *limit) {
+                   rows->resize(*limit);
+                 }
+                 callback(std::move(*rows));
+               });
+      return;
+    }
+    case algebra::LogicalOpKind::kSkyline: {
+      auto keys = node->skyline_keys;
+      ExecNode(node->children[0], trace,
+               [keys, callback](Result<std::vector<Binding>> rows) {
+                 if (!rows.ok()) {
+                   callback(rows.status());
+                   return;
+                 }
+                 callback(SkylineOf(std::move(*rows), keys));
+               });
+      return;
+    }
+    case algebra::LogicalOpKind::kLimit: {
+      auto limit = node->limit;
+      ExecNode(node->children[0], trace,
+               [limit, callback](Result<std::vector<Binding>> rows) {
+                 if (!rows.ok()) {
+                   callback(rows.status());
+                   return;
+                 }
+                 if (limit.has_value() && rows->size() > *limit) {
+                   rows->resize(*limit);
+                 }
+                 callback(std::move(*rows));
+               });
+      return;
+    }
+  }
+  callback(Status::Internal("unknown physical operator"));
+}
+
+std::vector<Binding> Executor::BindTriples(
+    const PhysicalOp& scan, const std::vector<Triple>& triples,
+    const Binding& base) const {
+  std::vector<Binding> rows;
+  rows.reserve(triples.size());
+  const bool expand =
+      !scan.pattern.predicate.is_variable && scan.attributes.size() > 1;
+  for (const Triple& t : triples) {
+    const vql::TriplePattern* pattern = &scan.pattern;
+    vql::TriplePattern rewritten;
+    if (expand) {
+      if (std::find(scan.attributes.begin(), scan.attributes.end(),
+                    t.attribute) == scan.attributes.end()) {
+        continue;
+      }
+      rewritten = scan.pattern;
+      rewritten.predicate = vql::Term::Lit(Value::String(t.attribute));
+      pattern = &rewritten;
+    }
+    auto binding = MatchPattern(*pattern, t.oid, t.attribute, t.value, base);
+    if (!binding.has_value()) continue;
+    // Residual scan restrictions (covering ranges are post-filtered here;
+    // similarity is verified exactly).
+    if (pattern->object.is_variable) {
+      const Value& v = binding->at(pattern->object.variable);
+      if (!scan.object_lo.is_null() && v < scan.object_lo) continue;
+      if (!scan.object_hi.is_null() && v > scan.object_hi) continue;
+      if (!scan.sim_target.empty()) {
+        if (!v.is_string()) continue;
+        if (BoundedEditDistance(v.AsString(), scan.sim_target,
+                                scan.sim_max_distance) >
+            scan.sim_max_distance) {
+          continue;
+        }
+      }
+    }
+    rows.push_back(std::move(*binding));
+  }
+  return rows;
+}
+
+void Executor::ExecScan(std::shared_ptr<PhysicalOp> node, Trace trace,
+                        RowsCallback callback) {
+  auto bind_and_return =
+      [this, node, callback](Result<std::vector<Triple>> triples) {
+        if (!triples.ok()) {
+          callback(triples.status());
+          return;
+        }
+        callback(BindTriples(*node, *triples, Binding{}));
+      };
+
+  const auto& p = node->pattern;
+  switch (node->access) {
+    case AccessPath::kOidLookup: {
+      if (!p.subject.literal.is_string()) {
+        callback(Status::InvalidArgument("OID literal must be a string"));
+        return;
+      }
+      store_->GetByOid(p.subject.literal.AsString(), bind_and_return);
+      return;
+    }
+    case AccessPath::kAttrValueLookup: {
+      auto fan = std::make_shared<TripleFanIn>();
+      fan->remaining = node->attributes.size();
+      fan->done = bind_and_return;
+      for (const auto& attr : node->attributes) {
+        store_->GetByAttrValue(attr, p.object.literal,
+                               [fan](Result<std::vector<Triple>> r) {
+                                 fan->Arrive(std::move(r));
+                               });
+      }
+      return;
+    }
+    case AccessPath::kValueLookup: {
+      store_->GetByValue(p.object.literal, bind_and_return);
+      return;
+    }
+    case AccessPath::kAttrRangeScan: {
+      auto fan = std::make_shared<TripleFanIn>();
+      fan->remaining = node->attributes.size();
+      fan->done = bind_and_return;
+      for (const auto& attr : node->attributes) {
+        if (node->scan_limit > 0) {
+          store_->GetByAttrRangeOrdered(attr, node->object_lo,
+                                        node->object_hi, node->scan_limit,
+                                        [fan](Result<std::vector<Triple>> r) {
+                                          fan->Arrive(std::move(r));
+                                        });
+        } else {
+          store_->GetByAttrRange(attr, node->object_lo, node->object_hi,
+                                 node->range_strategy,
+                                 [fan](Result<std::vector<Triple>> r) {
+                                   fan->Arrive(std::move(r));
+                                 });
+        }
+      }
+      return;
+    }
+    case AccessPath::kFullScan: {
+      store_->ScanAll(node->range_strategy, bind_and_return);
+      return;
+    }
+    case AccessPath::kSimilarityNaive: {
+      // Full attribute scan; BindTriples verifies edist exactly.
+      auto fan = std::make_shared<TripleFanIn>();
+      fan->remaining = node->attributes.size();
+      fan->done = bind_and_return;
+      for (const auto& attr : node->attributes) {
+        store_->ScanAttribute(attr, node->range_strategy,
+                              [fan](Result<std::vector<Triple>> r) {
+                                fan->Arrive(std::move(r));
+                              });
+      }
+      return;
+    }
+    case AccessPath::kSimilarityQGram: {
+      ExecSimilarityQGram(std::move(node), std::move(trace),
+                          std::move(callback));
+      return;
+    }
+  }
+  callback(Status::Internal("unknown access path"));
+}
+
+void Executor::ExecSimilarityQGram(std::shared_ptr<PhysicalOp> node,
+                                   Trace trace, RowsCallback callback) {
+  // The count filter can only prune when the threshold is positive; for
+  // very lax thresholds every string is a candidate and the posting
+  // lookups cannot enumerate them, so fall back to the naive scan. (The
+  // optimizer's cost model avoids this path then; this is the safety
+  // net that keeps forced plans correct.)
+  const std::string& target = node->sim_target;
+  if (qgram::CountFilterThreshold(target.size(), target.size(),
+                                  qgram::kDefaultQ,
+                                  node->sim_max_distance) <= 0) {
+    if (trace) {
+      trace->push_back("SimilarityQGram: threshold vacuous, falling back "
+                       "to naive scan");
+    }
+    auto fallback = std::make_shared<PhysicalOp>(*node);
+    fallback->access = AccessPath::kSimilarityNaive;
+    ExecScan(fallback, std::move(trace), std::move(callback));
+    return;
+  }
+
+  // Pigeonhole gram selection: a true match loses at most k*q of the
+  // target's |t|+q-1 positional grams, so any subset of distinct grams
+  // whose multiplicity sum exceeds k*q must intersect every match's gram
+  // set. Fetching only that subset keeps posting traffic proportional to
+  // the edit budget instead of the target length. Interior grams are
+  // preferred over padding grams (padding grams are shared by every value
+  // with the same first/last characters, i.e. the largest buckets).
+  auto all_grams = qgram::ExtractQGrams(target, qgram::kDefaultQ);
+  std::map<std::string, size_t> multiplicity;
+  for (const auto& g : all_grams) multiplicity[g]++;
+  std::vector<std::string> ordered;
+  for (const auto& [g, count] : multiplicity) ordered.push_back(g);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const std::string& a, const std::string& b) {
+                     auto pads = [](const std::string& s) {
+                       return std::count(s.begin(), s.end(),
+                                         qgram::kPadChar);
+                     };
+                     return pads(a) < pads(b);
+                   });
+  const size_t budget = node->sim_max_distance * qgram::kDefaultQ + 1;
+  std::vector<std::string> grams;
+  size_t covered = 0;
+  for (const auto& g : ordered) {
+    if (covered >= budget) break;
+    grams.push_back(g);
+    covered += multiplicity[g];
+  }
+  struct State {
+    size_t remaining;
+    std::map<std::string, Triple> candidates;  // identity -> triple
+    RowsCallback done;
+  };
+  auto state = std::make_shared<State>();
+  state->remaining = grams.size() * node->attributes.size();
+  state->done = std::move(callback);
+
+  auto self = this;
+  auto arrive = [state, self, node](Result<pgrid::LookupResult> result) {
+    if (result.ok()) {
+      for (const Triple& t : triple::DecodeTriples(result->entries)) {
+        state->candidates.emplace(t.Identity(), t);
+      }
+    }
+    if (--state->remaining == 0) {
+      std::vector<Triple> triples;
+      triples.reserve(state->candidates.size());
+      for (auto& [id, t] : state->candidates) triples.push_back(std::move(t));
+      // BindTriples verifies each candidate with the banded edit distance.
+      state->done(self->BindTriples(*node, triples, Binding{}));
+    }
+  };
+
+  for (const auto& attr : node->attributes) {
+    for (const auto& gram : grams) {
+      store_->peer()->Lookup(qgram::QGramKey(attr, gram),
+                             pgrid::LookupMode::kExact, arrive);
+    }
+  }
+}
+
+void Executor::ExecJoin(std::shared_ptr<PhysicalOp> node, Trace trace,
+                        RowsCallback callback) {
+  auto self = this;
+  ExecNode(node->children[0], trace,
+           [self, node, trace, callback](
+                                  Result<std::vector<Binding>> left) {
+    if (!left.ok()) {
+      callback(left.status());
+      return;
+    }
+    if (left->empty()) {
+      callback(std::vector<Binding>{});
+      return;
+    }
+
+    JoinStrategy strategy = node->join_strategy;
+    if (node->adaptive) {
+      // Adaptive re-optimization: now the left cardinality is exact.
+      strategy = self->optimizer_->ChooseJoinStrategy(
+          static_cast<double>(left->size()), node->children[1]->pattern);
+      if (trace && strategy != node->join_strategy) {
+        trace->push_back(
+            "Join: adaptive switch " +
+            std::string(plan::JoinStrategyName(node->join_strategy)) +
+            " -> " + std::string(plan::JoinStrategyName(strategy)) +
+            " at left cardinality " + std::to_string(left->size()));
+      }
+    }
+
+    const auto& right = *node->children[1];
+    const bool right_is_scan =
+        right.kind == algebra::LogicalOpKind::kPatternScan;
+    // Migrate needs a literal right attribute, a plain (non-similarity)
+    // scan and no mapping expansion.
+    const bool can_migrate =
+        right_is_scan && !right.pattern.predicate.is_variable &&
+        right.sim_target.empty() && right.attributes.size() <= 1;
+    // Probe needs the right subject variable bound by the left side.
+    bool can_probe = false;
+    if (right_is_scan && right.pattern.subject.is_variable) {
+      const auto& var = right.pattern.subject.variable;
+      can_probe = left->front().find(var) != left->front().end();
+    }
+
+    if (strategy == JoinStrategy::kMigrate && !can_migrate) {
+      strategy = can_probe ? JoinStrategy::kProbe : JoinStrategy::kLocalHash;
+      if (trace) trace->push_back("Join: migrate infeasible, fallback");
+    }
+    if (strategy == JoinStrategy::kProbe && !can_probe) {
+      strategy = JoinStrategy::kLocalHash;
+      if (trace) trace->push_back("Join: probe infeasible, fallback");
+    }
+
+    switch (strategy) {
+      case JoinStrategy::kProbe:
+        self->ExecProbeJoin(node, std::move(*left), trace, callback);
+        return;
+      case JoinStrategy::kMigrate:
+        self->service_->RunMigrateJoin(
+            right.pattern, /*filter_vql=*/"", std::move(*left),
+            [callback](Result<std::vector<Binding>> rows) {
+              callback(std::move(rows));
+            });
+        return;
+      case JoinStrategy::kLocalHash:
+        self->ExecLocalHashJoin(node, std::move(*left), trace, callback);
+        return;
+    }
+    callback(Status::Internal("unknown join strategy"));
+  });
+}
+
+void Executor::ExecProbeJoin(std::shared_ptr<PhysicalOp> node,
+                             std::vector<Binding> left, Trace trace,
+                             RowsCallback callback) {
+  (void)trace;
+  auto right = node->children[1];
+  const std::string subject_var = right->pattern.subject.variable;
+
+  auto fan = std::make_shared<RowsFanIn>();
+  fan->remaining = left.size();
+  fan->done = std::move(callback);
+
+  auto self = this;
+  for (auto& row : left) {
+    auto it = row.find(subject_var);
+    if (it == row.end() || !it->second.is_string()) {
+      fan->Arrive(std::vector<Binding>{});
+      continue;
+    }
+    const std::string oid = it->second.AsString();
+    Binding base = row;
+    store_->GetByOid(
+        oid, [self, right, base = std::move(base),
+              fan](Result<std::vector<Triple>> triples) {
+          if (!triples.ok()) {
+            fan->Arrive(triples.status());
+            return;
+          }
+          fan->Arrive(self->BindTriples(*right, *triples, base));
+        });
+  }
+}
+
+void Executor::ExecLocalHashJoin(std::shared_ptr<PhysicalOp> node,
+                                 std::vector<Binding> left, Trace trace,
+                                 RowsCallback callback) {
+  auto right = node->children[1];
+  auto self = this;
+  ExecNode(right, trace,
+           [self, left = std::move(left), right, callback](
+                      Result<std::vector<Binding>> right_rows) mutable {
+    if (!right_rows.ok()) {
+      callback(right_rows.status());
+      return;
+    }
+    // Shared variables determine the hash key; with none this degrades to
+    // a cross product (legal VQL, rare in practice).
+    std::vector<std::string> left_vars;
+    if (!left.empty()) {
+      for (const auto& [var, value] : left.front()) left_vars.push_back(var);
+    }
+    std::vector<std::string> right_vars;
+    if (!right_rows->empty()) {
+      for (const auto& [var, value] : right_rows->front()) {
+        right_vars.push_back(var);
+      }
+    }
+    std::vector<std::string> shared =
+        algebra::SharedVariables(left_vars, right_vars);
+
+    std::vector<Binding> out;
+    if (shared.empty()) {
+      for (const auto& l : left) {
+        for (const auto& r : *right_rows) {
+          if (Compatible(l, r)) out.push_back(Merge(l, r));
+        }
+      }
+      callback(std::move(out));
+      return;
+    }
+    std::multimap<std::string, const Binding*> table;
+    for (const auto& r : *right_rows) {
+      table.emplace(JoinKeyOf(r, shared), &r);
+    }
+    for (const auto& l : left) {
+      auto [lo, hi] = table.equal_range(JoinKeyOf(l, shared));
+      for (auto it = lo; it != hi; ++it) {
+        if (Compatible(l, *it->second)) out.push_back(Merge(l, *it->second));
+      }
+    }
+    callback(std::move(out));
+  });
+}
+
+// --- Local ranking helpers ---------------------------------------------------
+
+bool Dominates(const Binding& a, const Binding& b,
+               const std::vector<vql::SkylineKey>& keys) {
+  bool strictly_better = false;
+  for (const auto& key : keys) {
+    auto ia = a.find(key.variable);
+    auto ib = b.find(key.variable);
+    if (ia == a.end() || ib == b.end()) return false;
+    int cmp = ia->second.Compare(ib->second);
+    if (key.direction == vql::SkylineDirection::kMax) cmp = -cmp;
+    if (cmp > 0) return false;  // Worse in this dimension.
+    if (cmp < 0) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<Binding> SkylineOf(std::vector<Binding> rows,
+                               const std::vector<vql::SkylineKey>& keys) {
+  // Block-nested-loop skyline.
+  std::vector<Binding> window;
+  for (auto& candidate : rows) {
+    bool dominated = false;
+    for (const auto& kept : window) {
+      if (Dominates(kept, candidate, keys)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    window.erase(std::remove_if(window.begin(), window.end(),
+                                [&](const Binding& kept) {
+                                  return Dominates(candidate, kept, keys);
+                                }),
+                 window.end());
+    window.push_back(std::move(candidate));
+  }
+  return window;
+}
+
+void SortRows(std::vector<Binding>* rows,
+              const std::vector<vql::OrderKey>& keys) {
+  std::stable_sort(rows->begin(), rows->end(),
+                   [&keys](const Binding& a, const Binding& b) {
+                     for (const auto& key : keys) {
+                       auto ia = a.find(key.variable);
+                       auto ib = b.find(key.variable);
+                       const Value va = ia == a.end() ? Value() : ia->second;
+                       const Value vb = ib == b.end() ? Value() : ib->second;
+                       int cmp = va.Compare(vb);
+                       if (key.direction == vql::SortDirection::kDesc) {
+                         cmp = -cmp;
+                       }
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return false;
+                   });
+}
+
+}  // namespace exec
+}  // namespace unistore

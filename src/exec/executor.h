@@ -1,0 +1,106 @@
+// The distributed query executor.
+//
+// Evaluates a physical plan from one initiating peer: pattern scans run as
+// overlay operations (lookups, range scans, q-gram similarity, shower
+// multicasts), joins run as parallel index probes or as mutant-query-plan
+// envelopes (Migrate), and the local operators (filter, project, ranking)
+// run over the collected bindings. Join strategies are re-decided
+// adaptively once actual cardinalities are known.
+#ifndef UNISTORE_EXEC_EXECUTOR_H_
+#define UNISTORE_EXEC_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/binding.h"
+#include "exec/query_service.h"
+#include "plan/optimizer.h"
+#include "plan/physical.h"
+#include "triple/store_service.h"
+#include "vql/ast.h"
+
+namespace unistore {
+namespace exec {
+
+/// The answer to a VQL query.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Binding> rows;
+  /// The physical plan that produced the result (annotated strategies).
+  std::string plan_text;
+  /// Operator-level execution trace: one line per completed operator with
+  /// its output cardinality and runtime decisions (adaptive strategy
+  /// switches, fallbacks). The paper's §3 traceability claim: "results
+  /// are traceable, analyzable and (in limits) repeatable".
+  std::vector<std::string> trace;
+
+  /// Fixed-width text table (examples / demos).
+  std::string ToTable() const;
+};
+
+/// \brief Executes physical plans on behalf of one peer.
+class Executor {
+ public:
+  using ResultCallback = std::function<void(Result<QueryResult>)>;
+  using RowsCallback = std::function<void(Result<std::vector<Binding>>)>;
+
+  Executor(triple::TripleStore* store, QueryService* service,
+           const plan::Optimizer* optimizer);
+
+  /// Plans and runs `query`.
+  void Execute(const vql::Query& query, ResultCallback callback);
+
+  /// Runs a pre-built plan (ablation benchmarks force strategies).
+  void ExecutePlan(const plan::PhysicalPlan& plan, ResultCallback callback);
+
+ private:
+  /// Shared per-query trace sink (lives for the duration of one query).
+  using Trace = std::shared_ptr<std::vector<std::string>>;
+
+  void ExecNode(std::shared_ptr<plan::PhysicalOp> node, Trace trace,
+                RowsCallback callback);
+  void ExecScan(std::shared_ptr<plan::PhysicalOp> node, Trace trace,
+                RowsCallback callback);
+  void ExecJoin(std::shared_ptr<plan::PhysicalOp> node, Trace trace,
+                RowsCallback callback);
+  void ExecProbeJoin(std::shared_ptr<plan::PhysicalOp> node,
+                     std::vector<Binding> left, Trace trace,
+                     RowsCallback callback);
+  void ExecLocalHashJoin(std::shared_ptr<plan::PhysicalOp> node,
+                         std::vector<Binding> left, Trace trace,
+                         RowsCallback callback);
+  void ExecSimilarityQGram(std::shared_ptr<plan::PhysicalOp> node,
+                           Trace trace, RowsCallback callback);
+
+  /// Converts triples to pattern bindings. When `attributes` is non-empty
+  /// (mapping expansion), a triple matches if its attribute is any of
+  /// them; the pattern's literal attribute is substituted accordingly.
+  std::vector<Binding> BindTriples(const plan::PhysicalOp& scan,
+                                   const std::vector<triple::Triple>& triples,
+                                   const Binding& base) const;
+
+  triple::TripleStore* store_;
+  QueryService* service_;
+  const plan::Optimizer* optimizer_;
+};
+
+/// Skyline dominance: true iff `a` dominates `b` under `keys` (no worse in
+/// every dimension, strictly better in at least one). Bindings missing a
+/// dimension are incomparable.
+bool Dominates(const Binding& a, const Binding& b,
+               const std::vector<vql::SkylineKey>& keys);
+
+/// Block-nested-loop skyline of `rows`.
+std::vector<Binding> SkylineOf(std::vector<Binding> rows,
+                               const std::vector<vql::SkylineKey>& keys);
+
+/// Sorts rows by the given keys (stable; missing values sort first).
+void SortRows(std::vector<Binding>* rows,
+              const std::vector<vql::OrderKey>& keys);
+
+}  // namespace exec
+}  // namespace unistore
+
+#endif  // UNISTORE_EXEC_EXECUTOR_H_

@@ -1,0 +1,138 @@
+#include "exec/expr_eval.h"
+
+#include "common/strings.h"
+
+namespace unistore {
+namespace exec {
+namespace {
+
+using triple::Value;
+
+bool Truthy(const Value& v) {
+  if (v.is_null()) return false;
+  if (v.is_number()) return v.AsDouble() != 0;
+  return !v.AsString().empty();
+}
+
+Result<Value> EvalCompare(const vql::Expr& expr, const Binding& binding) {
+  UNISTORE_ASSIGN_OR_RETURN(Value lhs,
+                            EvaluateExpr(*expr.children[0], binding));
+  UNISTORE_ASSIGN_OR_RETURN(Value rhs,
+                            EvaluateExpr(*expr.children[1], binding));
+  bool result = false;
+  switch (expr.op) {
+    case vql::CompareOp::kEq:
+      result = lhs == rhs;
+      break;
+    case vql::CompareOp::kNe:
+      result = lhs != rhs;
+      break;
+    case vql::CompareOp::kLt:
+      result = lhs < rhs;
+      break;
+    case vql::CompareOp::kLe:
+      result = lhs <= rhs;
+      break;
+    case vql::CompareOp::kGt:
+      result = lhs > rhs;
+      break;
+    case vql::CompareOp::kGe:
+      result = lhs >= rhs;
+      break;
+    case vql::CompareOp::kContains:
+      if (!lhs.is_string() || !rhs.is_string()) {
+        return Status::InvalidArgument("CONTAINS needs string operands");
+      }
+      result = ContainsSubstring(lhs.AsString(), rhs.AsString());
+      break;
+    case vql::CompareOp::kPrefix:
+      if (!lhs.is_string() || !rhs.is_string()) {
+        return Status::InvalidArgument("PREFIX needs string operands");
+      }
+      result = StartsWith(lhs.AsString(), rhs.AsString());
+      break;
+  }
+  return Value::Int(result ? 1 : 0);
+}
+
+Result<Value> EvalFunction(const vql::Expr& expr, const Binding& binding) {
+  std::vector<Value> args;
+  args.reserve(expr.children.size());
+  for (const auto& child : expr.children) {
+    UNISTORE_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*child, binding));
+    args.push_back(std::move(v));
+  }
+  if (expr.function == "edist") {
+    if (args.size() != 2 || !args[0].is_string() || !args[1].is_string()) {
+      return Status::InvalidArgument("edist(s, t) needs two strings");
+    }
+    return Value::Int(static_cast<int64_t>(
+        EditDistance(args[0].AsString(), args[1].AsString())));
+  }
+  if (expr.function == "length") {
+    if (args.size() != 1 || !args[0].is_string()) {
+      return Status::InvalidArgument("length(s) needs one string");
+    }
+    return Value::Int(static_cast<int64_t>(args[0].AsString().size()));
+  }
+  if (expr.function == "lower") {
+    if (args.size() != 1 || !args[0].is_string()) {
+      return Status::InvalidArgument("lower(s) needs one string");
+    }
+    return Value::String(ToLowerAscii(args[0].AsString()));
+  }
+  return Status::Unimplemented("function '", expr.function, "'");
+}
+
+}  // namespace
+
+Result<triple::Value> EvaluateExpr(const vql::Expr& expr,
+                                   const Binding& binding) {
+  switch (expr.kind) {
+    case vql::ExprKind::kLiteral:
+      return expr.literal;
+    case vql::ExprKind::kVariable: {
+      auto it = binding.find(expr.variable);
+      if (it == binding.end()) {
+        return Status::InvalidArgument("unbound variable ?", expr.variable);
+      }
+      return it->second;
+    }
+    case vql::ExprKind::kCompare:
+      return EvalCompare(expr, binding);
+    case vql::ExprKind::kAnd: {
+      // Short-circuit.
+      UNISTORE_ASSIGN_OR_RETURN(Value lhs,
+                                EvaluateExpr(*expr.children[0], binding));
+      if (!Truthy(lhs)) return Value::Int(0);
+      UNISTORE_ASSIGN_OR_RETURN(Value rhs,
+                                EvaluateExpr(*expr.children[1], binding));
+      return Value::Int(Truthy(rhs) ? 1 : 0);
+    }
+    case vql::ExprKind::kOr: {
+      UNISTORE_ASSIGN_OR_RETURN(Value lhs,
+                                EvaluateExpr(*expr.children[0], binding));
+      if (Truthy(lhs)) return Value::Int(1);
+      UNISTORE_ASSIGN_OR_RETURN(Value rhs,
+                                EvaluateExpr(*expr.children[1], binding));
+      return Value::Int(Truthy(rhs) ? 1 : 0);
+    }
+    case vql::ExprKind::kNot: {
+      UNISTORE_ASSIGN_OR_RETURN(Value inner,
+                                EvaluateExpr(*expr.children[0], binding));
+      return Value::Int(Truthy(inner) ? 0 : 1);
+    }
+    case vql::ExprKind::kFunction:
+      return EvalFunction(expr, binding);
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+bool EvaluatePredicate(const vql::Expr& expr, const Binding& binding) {
+  auto result = EvaluateExpr(expr, binding);
+  if (!result.ok()) return false;  // FILTER errors eliminate the binding.
+  return Truthy(*result);
+}
+
+}  // namespace exec
+}  // namespace unistore

@@ -1,0 +1,26 @@
+// FILTER expression evaluation over bindings.
+#ifndef UNISTORE_EXEC_EXPR_EVAL_H_
+#define UNISTORE_EXEC_EXPR_EVAL_H_
+
+#include "common/result.h"
+#include "exec/binding.h"
+#include "vql/ast.h"
+
+namespace unistore {
+namespace exec {
+
+/// Evaluates `expr` under `binding`. Comparisons yield Int(0/1); the
+/// functions are edist (bounded Levenshtein), length, lower. Unbound
+/// variables or mistyped function arguments yield InvalidArgument.
+Result<triple::Value> EvaluateExpr(const vql::Expr& expr,
+                                   const Binding& binding);
+
+/// Predicate view: truthy = non-null, non-zero number, non-empty string.
+/// Evaluation errors count as *false* (SPARQL FILTER error semantics), so
+/// a filter never aborts a query over heterogeneous data.
+bool EvaluatePredicate(const vql::Expr& expr, const Binding& binding);
+
+}  // namespace exec
+}  // namespace unistore
+
+#endif  // UNISTORE_EXEC_EXPR_EVAL_H_

@@ -1,0 +1,308 @@
+#include "exec/query_service.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "exec/expr_eval.h"
+#include "pgrid/ophash.h"
+#include "triple/index.h"
+#include "vql/parser.h"
+
+namespace unistore {
+namespace exec {
+
+using net::Message;
+using net::MessageType;
+
+QueryService::QueryService(pgrid::Peer* peer) : peer_(peer) {
+  peer_->SetExtensionHandler(
+      MessageType::kPlanExec,
+      [this](const Message& msg) { OnPlanExec(msg); });
+  peer_->SetExtensionHandler(
+      MessageType::kPlanExecReply,
+      [this](const Message& msg) { OnPlanExecReply(msg); });
+  peer_->SetExtensionHandler(
+      MessageType::kStatsGossip,
+      [this](const Message& msg) { OnStatsGossip(msg); });
+}
+
+void QueryService::RunMigrateJoin(const vql::TriplePattern& pattern,
+                                  const std::string& filter_vql,
+                                  std::vector<Binding> left,
+                                  BindingsCallback callback) {
+  if (pattern.predicate.is_variable ||
+      !pattern.predicate.literal.is_string()) {
+    callback(Status::InvalidArgument(
+        "migrate join needs a literal attribute in the right pattern"));
+    return;
+  }
+  PlanEnvelope env;
+  env.initiator = peer_->id();
+  env.pattern = pattern;
+  env.filter_vql = filter_vql;
+  env.remaining =
+      triple::AttrRange(pattern.predicate.literal.AsString());
+  env.bindings = std::move(left);
+
+  uint64_t id = next_request_id_++;
+  pending_.emplace(id, std::move(callback));
+  // Arm a timeout so a lost envelope cannot hang the query.
+  peer_->transport()->simulation()->Schedule(
+      peer_->options().scan_timeout, [this, id]() {
+        FailPending(id, Status::Timeout("plan envelope timed out"));
+      });
+
+  if (peer_->IsResponsible(env.remaining.lo)) {
+    ServeEnvelope(std::move(env), id, 0);
+    return;
+  }
+  net::PeerId next = peer_->RouteNextHop(env.remaining.lo);
+  if (next == net::kNoPeer) {
+    FailPending(id, Status::Unavailable("no route toward join partition"));
+    return;
+  }
+  Message msg;
+  msg.type = MessageType::kPlanExec;
+  msg.src = peer_->id();
+  msg.dst = next;
+  msg.request_id = id;
+  msg.hops = 1;
+  msg.payload = env.Encode();
+  peer_->transport()->Send(std::move(msg));
+}
+
+void QueryService::OnPlanExec(const Message& msg) {
+  auto env = PlanEnvelope::Decode(msg.payload);
+  if (!env.ok()) return;
+  if (!peer_->IsResponsible(env->remaining.lo)) {
+    // Pure routing hop toward the next partition peer.
+    net::PeerId next = peer_->RouteNextHop(env->remaining.lo);
+    if (next == net::kNoPeer || next == peer_->id()) {
+      EnvelopeReply reply;
+      reply.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
+      reply.error = "envelope routing dead end at peer " +
+                    std::to_string(peer_->id());
+      reply.results = std::move(env->results);
+      peer_->rpc().ReplyTo(env->initiator, msg.request_id, msg.hops,
+                           MessageType::kPlanExecReply, reply.Encode());
+      return;
+    }
+    Message copy = msg;
+    copy.src = peer_->id();
+    copy.dst = next;
+    copy.hops = msg.hops + 1;
+    peer_->transport()->Send(std::move(copy));
+    return;
+  }
+  ServeEnvelope(std::move(*env), msg.request_id, msg.hops);
+}
+
+void QueryService::ServeEnvelope(PlanEnvelope env, uint64_t request_id,
+                                 uint32_t hops) {
+  ++envelopes_processed_;
+
+  // Optional residual filter: parsed once per visit (it travelled as VQL
+  // text — the "plan" part of the mutant plan).
+  vql::ExprPtr filter;
+  if (!env.filter_vql.empty()) {
+    auto parsed = vql::ParseExpression(env.filter_vql);
+    if (parsed.ok()) filter = *parsed;
+  }
+
+  // Join local entries of the remaining range against the bindings.
+  const auto local = peer_->store().GetRange(env.remaining);
+  for (const triple::Triple& t : triple::DecodeTriples(local)) {
+    for (const Binding& b : env.bindings) {
+      auto merged = MatchPattern(env.pattern, t.oid, t.attribute, t.value, b);
+      if (!merged.has_value()) continue;
+      if (filter && !EvaluatePredicate(*filter, *merged)) continue;
+      env.results.push_back(std::move(*merged));
+    }
+  }
+
+  // Walk on (identical structure to the sequential range scan).
+  const pgrid::Key subtree_max =
+      peer_->path().PadTo(pgrid::kKeyBits, /*ones=*/true);
+  bool more =
+      env.remaining.hi.Compare(subtree_max) > 0 && !peer_->path().empty();
+  if (more) {
+    pgrid::Key next_prefix = peer_->path().Successor();
+    if (next_prefix.empty()) {
+      more = false;
+    } else {
+      pgrid::Key next_lo =
+          next_prefix.PadTo(pgrid::kKeyBits, /*ones=*/false);
+      net::PeerId next = peer_->RouteNextHop(next_lo);
+      if (next == net::kNoPeer || next == peer_->id()) {
+        EnvelopeReply reply;
+        reply.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
+        reply.error = "envelope walk stalled at peer " +
+                      std::to_string(peer_->id());
+        reply.results = std::move(env.results);
+        reply.peers_visited = hops;
+        peer_->rpc().ReplyTo(env.initiator, request_id, hops,
+                             MessageType::kPlanExecReply, reply.Encode());
+        return;
+      }
+      env.remaining.lo = next_lo;
+      Message msg;
+      msg.type = MessageType::kPlanExec;
+      msg.src = peer_->id();
+      msg.dst = next;
+      msg.request_id = request_id;
+      msg.hops = hops + 1;
+      msg.payload = env.Encode();
+      peer_->transport()->Send(std::move(msg));
+      return;
+    }
+  }
+
+  EnvelopeReply reply;
+  reply.results = std::move(env.results);
+  reply.peers_visited = hops + 1;
+  if (env.initiator == peer_->id()) {
+    // Initiator-local completion.
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) return;
+    BindingsCallback cb = std::move(it->second);
+    pending_.erase(it);
+    cb(std::move(reply.results));
+    return;
+  }
+  peer_->rpc().ReplyTo(env.initiator, request_id, hops,
+                       MessageType::kPlanExecReply, reply.Encode());
+}
+
+void QueryService::OnPlanExecReply(const Message& msg) {
+  auto it = pending_.find(msg.request_id);
+  if (it == pending_.end()) return;
+  BindingsCallback cb = std::move(it->second);
+  pending_.erase(it);
+  auto reply = EnvelopeReply::Decode(msg.payload);
+  if (!reply.ok()) {
+    cb(reply.status());
+    return;
+  }
+  if (reply->status_code != 0) {
+    cb(Status(static_cast<StatusCode>(reply->status_code), reply->error));
+    return;
+  }
+  cb(std::move(reply->results));
+}
+
+void QueryService::FailPending(uint64_t request_id, const Status& status) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  BindingsCallback cb = std::move(it->second);
+  pending_.erase(it);
+  cb(status);
+}
+
+void QueryService::BuildLocalStats(double hop_latency_us) {
+  cost::StatsCatalog fresh;
+  fresh.network().peer_count =
+      std::pow(2.0, static_cast<double>(peer_->path().size()));
+  fresh.network().trie_depth =
+      static_cast<double>(peer_->path().size());
+  fresh.network().hop_latency_us = hop_latency_us;
+  fresh.RecordPeerPath(peer_->path().bits());
+
+  struct Acc {
+    uint64_t count = 0;
+    std::set<std::string> distinct;
+    double numeric_min = 0, numeric_max = 0;
+    bool has_numeric = false;
+    double strlen_sum = 0;
+  };
+  std::map<std::string, Acc> by_attr;
+  for (const auto& entry : peer_->store().GetAllLive()) {
+    // Count each triple once: only its A#v index copy.
+    if (entry.id.rfind("a#", 0) != 0) continue;
+    auto t = triple::Triple::DecodeFromString(entry.payload);
+    if (!t.ok()) continue;
+    Acc& acc = by_attr[t->attribute];
+    acc.count++;
+    acc.distinct.insert(t->value.ToIndexString());
+    if (t->value.is_number()) {
+      double v = t->value.AsDouble();
+      if (!acc.has_numeric || v < acc.numeric_min) acc.numeric_min = v;
+      if (!acc.has_numeric || v > acc.numeric_max) acc.numeric_max = v;
+      acc.has_numeric = true;
+    } else if (t->value.is_string()) {
+      acc.strlen_sum += static_cast<double>(t->value.AsString().size());
+    }
+  }
+  for (const auto& [attr, acc] : by_attr) {
+    cost::AttrStats stats;
+    stats.triple_count = acc.count;
+    stats.distinct_values = acc.distinct.size();
+    stats.numeric_min = acc.numeric_min;
+    stats.numeric_max = acc.numeric_max;
+    stats.has_numeric_range = acc.has_numeric;
+    stats.avg_string_length =
+        acc.count ? acc.strlen_sum / static_cast<double>(acc.count) : 0;
+    fresh.RecordAttribute(attr, stats);
+  }
+  contributions_[peer_->id()] = std::move(fresh);
+  merged_dirty_ = true;
+}
+
+const cost::StatsCatalog& QueryService::catalog() const {
+  if (merged_dirty_) {
+    merged_ = cost::StatsCatalog();
+    for (const auto& [origin, contribution] : contributions_) {
+      merged_.MergeFrom(contribution);
+      merged_.network().hop_latency_us =
+          contribution.network().hop_latency_us;
+    }
+    merged_dirty_ = false;
+  }
+  return merged_;
+}
+
+void QueryService::GossipStats(size_t fanout) {
+  std::vector<net::PeerId> targets;
+  for (size_t l = 0; l < peer_->routing().levels(); ++l) {
+    for (net::PeerId p : peer_->routing().RefsAt(l)) targets.push_back(p);
+  }
+  for (net::PeerId p : peer_->routing().replicas()) targets.push_back(p);
+  peer_->rng().Shuffle(&targets);
+  // Gossip only the local contribution, tagged with our id; receivers
+  // replace (not add) per origin so rounds never double-count.
+  BufferWriter w;
+  w.PutU32(peer_->id());
+  auto self_it = contributions_.find(peer_->id());
+  w.PutString(self_it == contributions_.end()
+                  ? std::string()
+                  : self_it->second.EncodeToString());
+  std::string payload = w.Release();
+  size_t sent = 0;
+  std::set<net::PeerId> seen;
+  for (net::PeerId target : targets) {
+    if (sent >= fanout) break;
+    if (target == peer_->id() || !seen.insert(target).second) continue;
+    Message msg;
+    msg.type = MessageType::kStatsGossip;
+    msg.src = peer_->id();
+    msg.dst = target;
+    msg.payload = payload;
+    peer_->transport()->Send(std::move(msg));
+    ++sent;
+  }
+}
+
+void QueryService::OnStatsGossip(const Message& msg) {
+  BufferReader r(msg.payload);
+  auto origin = r.GetU32();
+  if (!origin.ok()) return;
+  auto body = r.GetString();
+  if (!body.ok() || body->empty()) return;
+  auto incoming = cost::StatsCatalog::DecodeFromString(*body);
+  if (!incoming.ok()) return;
+  contributions_[*origin] = std::move(*incoming);
+  merged_dirty_ = true;
+}
+
+}  // namespace exec
+}  // namespace unistore

@@ -1,0 +1,79 @@
+// QueryService: the query-processing extension of one peer.
+//
+// Owns the peer's statistics catalog (built locally, spread by gossip) and
+// implements the server side of the distributed operators that are not
+// plain overlay primitives: mutant-query-plan envelopes (Migrate joins)
+// and statistics gossip.
+#ifndef UNISTORE_EXEC_QUERY_SERVICE_H_
+#define UNISTORE_EXEC_QUERY_SERVICE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cost/stats.h"
+#include "exec/binding.h"
+#include "exec/envelope.h"
+#include "pgrid/peer.h"
+
+namespace unistore {
+namespace exec {
+
+class QueryService {
+ public:
+  using BindingsCallback =
+      std::function<void(Result<std::vector<Binding>>)>;
+
+  /// Attaches to `peer` (registers the kPlanExec/kPlanExecReply and
+  /// kStatsGossip extension handlers).
+  explicit QueryService(pgrid::Peer* peer);
+
+  pgrid::Peer* peer() { return peer_; }
+
+  /// The merged statistics view: this peer's local contribution plus the
+  /// latest contribution received from every gossip origin (origin-keyed,
+  /// so repeated gossip rounds never double-count).
+  const cost::StatsCatalog& catalog() const;
+
+  /// \brief Runs a Migrate join: ships `left` through the partition of
+  /// `pattern`'s (literal) attribute; every peer joins locally and
+  /// forwards the envelope. `filter_vql` optionally prunes merged
+  /// bindings en route (empty = none).
+  void RunMigrateJoin(const vql::TriplePattern& pattern,
+                      const std::string& filter_vql,
+                      std::vector<Binding> left, BindingsCallback callback);
+
+  /// Rebuilds this peer's local statistics from its store: per-attribute
+  /// triple counts / distinct values / numeric ranges (derived from the
+  /// A#v index copies so each triple counts once), plus network estimates
+  /// from the routing state (peer count ~ 2^|path|).
+  void BuildLocalStats(double hop_latency_us);
+
+  /// Sends the catalog to `fanout` random contacts (refs + replicas).
+  void GossipStats(size_t fanout);
+
+  /// Envelopes served or forwarded by this peer (observability).
+  uint64_t envelopes_processed() const { return envelopes_processed_; }
+
+ private:
+  void OnPlanExec(const net::Message& msg);
+  void OnPlanExecReply(const net::Message& msg);
+  void OnStatsGossip(const net::Message& msg);
+  void ServeEnvelope(PlanEnvelope env, uint64_t request_id, uint32_t hops);
+  void FailPending(uint64_t request_id, const Status& status);
+
+  pgrid::Peer* peer_;
+  /// Per-origin stats contributions; [self] is the local one.
+  std::map<net::PeerId, cost::StatsCatalog> contributions_;
+  mutable cost::StatsCatalog merged_;
+  mutable bool merged_dirty_ = true;
+  uint64_t next_request_id_ = 1;
+  std::map<uint64_t, BindingsCallback> pending_;
+  uint64_t envelopes_processed_ = 0;
+};
+
+}  // namespace exec
+}  // namespace unistore
+
+#endif  // UNISTORE_EXEC_QUERY_SERVICE_H_

@@ -1,0 +1,33 @@
+#include "net/message.h"
+
+namespace unistore {
+namespace net {
+
+std::string_view MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kPing: return "Ping";
+    case MessageType::kPong: return "Pong";
+    case MessageType::kLookup: return "Lookup";
+    case MessageType::kLookupReply: return "LookupReply";
+    case MessageType::kInsert: return "Insert";
+    case MessageType::kInsertReply: return "InsertReply";
+    case MessageType::kRemove: return "Remove";
+    case MessageType::kRemoveReply: return "RemoveReply";
+    case MessageType::kRangeSeq: return "RangeSeq";
+    case MessageType::kRangeSeqReply: return "RangeSeqReply";
+    case MessageType::kRangeShower: return "RangeShower";
+    case MessageType::kRangeShowerReply: return "RangeShowerReply";
+    case MessageType::kExchange: return "Exchange";
+    case MessageType::kExchangeReply: return "ExchangeReply";
+    case MessageType::kReplicaPush: return "ReplicaPush";
+    case MessageType::kAntiEntropy: return "AntiEntropy";
+    case MessageType::kAntiEntropyReply: return "AntiEntropyReply";
+    case MessageType::kPlanExec: return "PlanExec";
+    case MessageType::kPlanExecReply: return "PlanExecReply";
+    case MessageType::kStatsGossip: return "StatsGossip";
+  }
+  return "Unknown";
+}
+
+}  // namespace net
+}  // namespace unistore

@@ -1,0 +1,70 @@
+// Wire message: the unit of communication between peers.
+#ifndef UNISTORE_NET_MESSAGE_H_
+#define UNISTORE_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace unistore {
+namespace net {
+
+/// Peer identifier (dense, assigned by the harness at creation).
+using PeerId = uint32_t;
+
+/// Sentinel for "no peer".
+constexpr PeerId kNoPeer = 0xFFFFFFFF;
+
+/// All protocol message types, across layers. Central registry so that the
+/// transport can report per-type traffic statistics.
+enum class MessageType : uint16_t {
+  // -- P-Grid overlay layer ------------------------------------------------
+  kPing = 1,
+  kPong = 2,
+  kLookup = 10,          ///< Route to key owner, return matching entries.
+  kLookupReply = 11,
+  kInsert = 12,          ///< Route to key owner, store entry.
+  kInsertReply = 13,
+  kRemove = 14,
+  kRemoveReply = 15,
+  kRangeSeq = 20,        ///< Sequential range scan (min-first walk).
+  kRangeSeqReply = 21,
+  kRangeShower = 22,     ///< Parallel "shower" range multicast.
+  kRangeShowerReply = 23,
+  kExchange = 30,        ///< Pairwise construction / refinement.
+  kExchangeReply = 31,
+  kReplicaPush = 40,     ///< Rumor-spreading update push.
+  kAntiEntropy = 41,     ///< Pull synchronization with a replica.
+  kAntiEntropyReply = 42,
+  // -- Query processing layer ----------------------------------------------
+  kPlanExec = 50,        ///< Mutant query plan envelope.
+  kPlanExecReply = 51,
+  kStatsGossip = 60,     ///< Cost-model statistics dissemination.
+};
+
+std::string_view MessageTypeName(MessageType type);
+
+/// \brief One message on the (simulated) wire.
+///
+/// `payload` carries the encoded request/response body (common/codec.h).
+/// `hops` counts overlay forwarding steps for this logical operation; a
+/// forwarding peer copies the message and increments it, so replies can
+/// report the route length back to the initiator.
+struct Message {
+  MessageType type;
+  PeerId src = kNoPeer;
+  PeerId dst = kNoPeer;
+  uint64_t request_id = 0;
+  uint32_t hops = 0;
+  std::string payload;
+
+  /// Wire size in bytes (header approximation + payload).
+  size_t WireSize() const { return kHeaderBytes + payload.size(); }
+
+  static constexpr size_t kHeaderBytes = 2 + 4 + 4 + 8 + 4;
+};
+
+}  // namespace net
+}  // namespace unistore
+
+#endif  // UNISTORE_NET_MESSAGE_H_

@@ -1,0 +1,96 @@
+#include "net/rpc.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace unistore {
+namespace net {
+
+RpcManager::RpcManager(PeerId self, Transport* transport)
+    : self_(self), transport_(transport) {
+  UNISTORE_CHECK(transport_ != nullptr);
+}
+
+uint64_t RpcManager::SendRequest(PeerId dst, MessageType type,
+                                 std::string payload, sim::SimTime timeout,
+                                 ReplyCallback callback) {
+  uint64_t id = RegisterPending(timeout, std::move(callback));
+  Message msg;
+  msg.type = type;
+  msg.src = self_;
+  msg.dst = dst;
+  msg.request_id = id;
+  msg.payload = std::move(payload);
+  transport_->Send(std::move(msg));
+  return id;
+}
+
+uint64_t RpcManager::RegisterPending(sim::SimTime timeout,
+                                     ReplyCallback callback) {
+  uint64_t id = next_request_id_++;
+  pending_.emplace(id, Pending{std::move(callback)});
+  if (timeout > 0) ArmTimeout(id, timeout);
+  return id;
+}
+
+void RpcManager::ArmTimeout(uint64_t request_id, sim::SimTime timeout) {
+  transport_->simulation()->Schedule(timeout, [this, request_id, timeout]() {
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) return;  // Already answered.
+    ReplyCallback cb = std::move(it->second.callback);
+    pending_.erase(it);
+    Message dummy;
+    cb(Status::Timeout("request ", request_id, " timed out after ", timeout,
+                       "us"),
+       dummy);
+  });
+}
+
+void RpcManager::Reply(const Message& request, MessageType type,
+                       std::string payload) {
+  ReplyTo(request.src, request.request_id, request.hops + 1, type,
+          std::move(payload));
+}
+
+void RpcManager::ReplyTo(PeerId dst, uint64_t request_id, uint32_t hops,
+                         MessageType type, std::string payload) {
+  Message msg;
+  msg.type = type;
+  msg.src = self_;
+  msg.dst = dst;
+  msg.request_id = request_id;
+  msg.hops = hops;
+  msg.payload = std::move(payload);
+  transport_->Send(std::move(msg));
+}
+
+bool RpcManager::HandleReply(const Message& msg) {
+  auto it = pending_.find(msg.request_id);
+  if (it == pending_.end()) {
+    UNISTORE_LOG(kDebug) << "peer " << self_ << ": late/unknown reply req="
+                         << msg.request_id << " type "
+                         << MessageTypeName(msg.type);
+    return false;
+  }
+  ReplyCallback cb = std::move(it->second.callback);
+  pending_.erase(it);
+  cb(Status::OK(), msg);
+  return true;
+}
+
+void RpcManager::Cancel(uint64_t request_id) { pending_.erase(request_id); }
+
+void RpcManager::FailAll(const Status& status) {
+  // Callbacks may issue new requests; drain on a copy.
+  std::vector<ReplyCallback> callbacks;
+  callbacks.reserve(pending_.size());
+  for (auto& [id, p] : pending_) callbacks.push_back(std::move(p.callback));
+  pending_.clear();
+  Message dummy;
+  for (auto& cb : callbacks) cb(status, dummy);
+}
+
+}  // namespace net
+}  // namespace unistore

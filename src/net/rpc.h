@@ -1,0 +1,88 @@
+// Request/response correlation with timeouts on top of Transport.
+#ifndef UNISTORE_NET_RPC_H_
+#define UNISTORE_NET_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "net/message.h"
+#include "net/transport.h"
+#include "sim/simulation.h"
+
+namespace unistore {
+namespace net {
+
+/// \brief Per-peer RPC bookkeeping: issues request ids, dispatches matching
+/// responses, and fires Status::Timeout when a reply does not arrive.
+///
+/// Owned by each protocol endpoint (e.g. pgrid::Peer). The endpoint routes
+/// *reply*-type messages into HandleReply(); request-type messages go to its
+/// own protocol handlers.
+///
+/// Forwarding protocols (prefix routing) keep the header `request_id` stable
+/// along the chain and carry the initiator id in the payload; the terminal
+/// peer answers the initiator directly with ReplyTo(), which the initiator's
+/// RpcManager matches by id.
+class RpcManager {
+ public:
+  /// Called exactly once per request with (status, reply). On timeout or
+  /// failure the message reference is a dummy and must be ignored.
+  using ReplyCallback = std::function<void(const Status&, const Message&)>;
+
+  RpcManager(PeerId self, Transport* transport);
+
+  /// Sends a request and registers `callback`. `timeout` <= 0 disables the
+  /// timer (the callback then only fires on a reply or FailAll).
+  /// Returns the assigned request id.
+  uint64_t SendRequest(PeerId dst, MessageType type, std::string payload,
+                       sim::SimTime timeout, ReplyCallback callback);
+
+  /// Allocates a request id and registers `callback` without sending —
+  /// used when the caller fans out several messages under one logical id
+  /// or sends through a custom path.
+  uint64_t RegisterPending(sim::SimTime timeout, ReplyCallback callback);
+
+  /// Sends a reply correlated with `request`: dst = request.src, the
+  /// request id and hop count are carried over (hops + 1).
+  void Reply(const Message& request, MessageType type, std::string payload);
+
+  /// Sends a reply to an explicit destination with an explicit request id —
+  /// the terminal step of a forwarding chain.
+  void ReplyTo(PeerId dst, uint64_t request_id, uint32_t hops,
+               MessageType type, std::string payload);
+
+  /// Routes an incoming reply message to its pending callback. Returns
+  /// false if no pending request matches (late reply after timeout).
+  bool HandleReply(const Message& msg);
+
+  /// Cancels one pending request without firing its callback.
+  void Cancel(uint64_t request_id);
+
+  /// Fails all pending requests with the given status (peer shutdown).
+  void FailAll(const Status& status);
+
+  size_t pending_count() const { return pending_.size(); }
+
+  PeerId self() const { return self_; }
+  Transport* transport() { return transport_; }
+
+ private:
+  struct Pending {
+    ReplyCallback callback;
+  };
+
+  void ArmTimeout(uint64_t request_id, sim::SimTime timeout);
+
+  PeerId self_;
+  Transport* transport_;
+  uint64_t next_request_id_ = 1;
+  std::unordered_map<uint64_t, Pending> pending_;
+};
+
+}  // namespace net
+}  // namespace unistore
+
+#endif  // UNISTORE_NET_RPC_H_

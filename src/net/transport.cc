@@ -1,0 +1,89 @@
+#include "net/transport.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace unistore {
+namespace net {
+
+TrafficStats TrafficStats::Since(const TrafficStats& other) const {
+  TrafficStats d;
+  d.messages_sent = messages_sent - other.messages_sent;
+  d.messages_delivered = messages_delivered - other.messages_delivered;
+  d.messages_lost = messages_lost - other.messages_lost;
+  d.messages_to_dead = messages_to_dead - other.messages_to_dead;
+  d.bytes_sent = bytes_sent - other.bytes_sent;
+  for (const auto& [type, count] : per_type) {
+    auto it = other.per_type.find(type);
+    uint64_t base = (it == other.per_type.end()) ? 0 : it->second;
+    if (count > base) d.per_type[type] = count - base;
+  }
+  return d;
+}
+
+std::string TrafficStats::ToString() const {
+  std::ostringstream os;
+  os << "messages=" << messages_sent << " delivered=" << messages_delivered
+     << " lost=" << messages_lost << " to_dead=" << messages_to_dead
+     << " bytes=" << bytes_sent;
+  return os.str();
+}
+
+Transport::Transport(sim::Simulation* simulation,
+                     std::unique_ptr<sim::LatencyModel> latency, uint64_t seed)
+    : simulation_(simulation), latency_(std::move(latency)), rng_(seed) {
+  UNISTORE_CHECK(simulation_ != nullptr);
+  UNISTORE_CHECK(latency_ != nullptr);
+}
+
+PeerId Transport::AddPeer(Handler handler) {
+  handlers_.push_back(std::move(handler));
+  alive_.push_back(true);
+  return static_cast<PeerId>(handlers_.size() - 1);
+}
+
+void Transport::SetHandler(PeerId peer, Handler handler) {
+  UNISTORE_CHECK(peer < handlers_.size());
+  handlers_[peer] = std::move(handler);
+}
+
+void Transport::Send(Message msg) {
+  UNISTORE_CHECK(msg.src < handlers_.size()) << "bad src " << msg.src;
+  UNISTORE_CHECK(msg.dst < handlers_.size()) << "bad dst " << msg.dst;
+
+  stats_.messages_sent++;
+  stats_.bytes_sent += msg.WireSize();
+  stats_.per_type[msg.type]++;
+
+  if (loss_probability_ > 0 && rng_.NextBernoulli(loss_probability_)) {
+    stats_.messages_lost++;
+    return;
+  }
+
+  sim::SimTime delay = latency_->Sample(msg.src, msg.dst, &rng_);
+  simulation_->Schedule(delay, [this, m = std::move(msg)]() {
+    if (!alive_[m.dst]) {
+      stats_.messages_to_dead++;
+      return;
+    }
+    stats_.messages_delivered++;
+    UNISTORE_LOG(kTrace) << "deliver " << MessageTypeName(m.type) << " "
+                         << m.src << "->" << m.dst << " req=" << m.request_id
+                         << " hops=" << m.hops;
+    handlers_[m.dst](m);
+  });
+}
+
+void Transport::SetAlive(PeerId peer, bool alive) {
+  UNISTORE_CHECK(peer < alive_.size());
+  alive_[peer] = alive;
+}
+
+bool Transport::IsAlive(PeerId peer) const {
+  UNISTORE_CHECK(peer < alive_.size());
+  return alive_[peer];
+}
+
+}  // namespace net
+}  // namespace unistore

@@ -1,0 +1,90 @@
+// Transport: message delivery between peers over the simulated network.
+#ifndef UNISTORE_NET_TRANSPORT_H_
+#define UNISTORE_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/message.h"
+#include "sim/latency.h"
+#include "sim/simulation.h"
+
+namespace unistore {
+namespace net {
+
+/// Counters describing the traffic that crossed the transport.
+struct TrafficStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_lost = 0;       ///< Random loss (loss model).
+  uint64_t messages_to_dead = 0;    ///< Destination was down at delivery.
+  uint64_t bytes_sent = 0;
+  std::map<MessageType, uint64_t> per_type;
+
+  /// Difference `*this - other` (for measuring a single operation).
+  TrafficStats Since(const TrafficStats& other) const;
+
+  std::string ToString() const;
+};
+
+/// \brief Delivers messages between registered peers with sampled latency,
+/// optional random loss, and per-peer liveness (for churn experiments).
+///
+/// Failure semantics mirror UDP-like best effort: a message to a dead or
+/// non-existent peer vanishes; it is the protocols' job (timeouts, retries,
+/// replication) to cope — exactly the environment the paper targets
+/// ("unreliable and highly dynamic", §3).
+class Transport {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Transport(sim::Simulation* simulation,
+            std::unique_ptr<sim::LatencyModel> latency, uint64_t seed);
+
+  /// Registers a peer and its message handler. Returns the assigned id.
+  PeerId AddPeer(Handler handler);
+
+  /// Replaces the handler of an existing peer (used when a peer object is
+  /// rebuilt on rejoin).
+  void SetHandler(PeerId peer, Handler handler);
+
+  /// Sends `msg` (src/dst must be valid ids). The message is copied into
+  /// the event queue; delivery happens at Now() + latency unless lost.
+  void Send(Message msg);
+
+  /// Marks a peer up/down. Messages in flight toward a peer that is down at
+  /// delivery time are dropped.
+  void SetAlive(PeerId peer, bool alive);
+  bool IsAlive(PeerId peer) const;
+
+  /// Fraction of messages dropped uniformly at random, in [0, 1).
+  void set_loss_probability(double p) { loss_probability_ = p; }
+  double loss_probability() const { return loss_probability_; }
+
+  size_t peer_count() const { return handlers_.size(); }
+
+  const TrafficStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TrafficStats(); }
+
+  sim::Simulation* simulation() { return simulation_; }
+
+ private:
+  sim::Simulation* simulation_;
+  std::unique_ptr<sim::LatencyModel> latency_;
+  Rng rng_;
+  double loss_probability_ = 0.0;
+
+  std::vector<Handler> handlers_;
+  std::vector<bool> alive_;
+  TrafficStats stats_;
+};
+
+}  // namespace net
+}  // namespace unistore
+
+#endif  // UNISTORE_NET_TRANSPORT_H_

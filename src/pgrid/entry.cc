@@ -1,0 +1,47 @@
+#include "pgrid/entry.h"
+
+namespace unistore {
+namespace pgrid {
+
+void Entry::Encode(BufferWriter* w) const {
+  w->PutString(key.bits());
+  w->PutString(id);
+  w->PutString(payload);
+  w->PutVarint(version);
+  w->PutBool(deleted);
+}
+
+Result<Entry> Entry::Decode(BufferReader* r) {
+  Entry e;
+  UNISTORE_ASSIGN_OR_RETURN(std::string bits, r->GetString());
+  for (char c : bits) {
+    if (c != '0' && c != '1') {
+      return Status::Corruption("entry key contains non-bit character");
+    }
+  }
+  e.key = Key::FromBits(bits);
+  UNISTORE_ASSIGN_OR_RETURN(e.id, r->GetString());
+  UNISTORE_ASSIGN_OR_RETURN(e.payload, r->GetString());
+  UNISTORE_ASSIGN_OR_RETURN(e.version, r->GetVarint());
+  UNISTORE_ASSIGN_OR_RETURN(e.deleted, r->GetBool());
+  return e;
+}
+
+void EncodeEntries(const std::vector<Entry>& entries, BufferWriter* w) {
+  w->PutVarint(entries.size());
+  for (const Entry& e : entries) e.Encode(w);
+}
+
+Result<std::vector<Entry>> DecodeEntries(BufferReader* r) {
+  UNISTORE_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  std::vector<Entry> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    UNISTORE_ASSIGN_OR_RETURN(Entry e, Entry::Decode(r));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace pgrid
+}  // namespace unistore

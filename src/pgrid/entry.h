@@ -1,0 +1,47 @@
+// Storage entries: what the overlay stores under a key.
+#ifndef UNISTORE_PGRID_ENTRY_H_
+#define UNISTORE_PGRID_ENTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/result.h"
+#include "pgrid/key.h"
+
+namespace unistore {
+namespace pgrid {
+
+/// \brief A versioned value stored in the DHT.
+///
+/// `id` identifies the logical datum under its key (for triples: the triple
+/// identity, so re-inserting the same triple with a higher version is an
+/// update, per the loose-consistency update scheme of [Datta ICDCS'03]).
+/// `payload` is opaque to the overlay; the triple layer stores encoded
+/// triples in it. `deleted` marks a tombstone, which replicas keep so that
+/// anti-entropy does not resurrect removed data.
+struct Entry {
+  Key key;
+  std::string id;
+  std::string payload;
+  uint64_t version = 1;
+  bool deleted = false;
+
+  void Encode(BufferWriter* w) const;
+  static Result<Entry> Decode(BufferReader* r);
+
+  bool operator==(const Entry& other) const {
+    return key == other.key && id == other.id && payload == other.payload &&
+           version == other.version && deleted == other.deleted;
+  }
+};
+
+/// Encodes a vector of entries (varint count + entries).
+void EncodeEntries(const std::vector<Entry>& entries, BufferWriter* w);
+Result<std::vector<Entry>> DecodeEntries(BufferReader* r);
+
+}  // namespace pgrid
+}  // namespace unistore
+
+#endif  // UNISTORE_PGRID_ENTRY_H_

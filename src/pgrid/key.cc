@@ -1,0 +1,86 @@
+#include "pgrid/key.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace unistore {
+namespace pgrid {
+
+Key Key::FromBits(std::string_view bits) {
+  for (char c : bits) {
+    UNISTORE_CHECK(c == '0' || c == '1') << "bad bit char '" << c << "'";
+  }
+  return Key(std::string(bits));
+}
+
+Key Key::Prefix(size_t len) const {
+  UNISTORE_CHECK(len <= bits_.size());
+  return Key(bits_.substr(0, len));
+}
+
+Key Key::Child(bool one) const { return Key(bits_ + (one ? '1' : '0')); }
+
+Key Key::Sibling() const {
+  UNISTORE_CHECK(!bits_.empty());
+  std::string s = bits_;
+  s.back() = (s.back() == '0') ? '1' : '0';
+  return Key(std::move(s));
+}
+
+Key Key::PadTo(size_t width, bool ones) const {
+  if (bits_.size() >= width) return *this;
+  std::string s = bits_;
+  s.append(width - s.size(), ones ? '1' : '0');
+  return Key(std::move(s));
+}
+
+bool Key::IsPrefixOf(const Key& other) const {
+  return bits_.size() <= other.bits_.size() &&
+         other.bits_.compare(0, bits_.size(), bits_) == 0;
+}
+
+size_t Key::CommonPrefixLength(const Key& other) const {
+  size_t n = std::min(bits_.size(), other.bits_.size());
+  size_t i = 0;
+  while (i < n && bits_[i] == other.bits_[i]) ++i;
+  return i;
+}
+
+int Key::Compare(const Key& other) const {
+  return bits_.compare(other.bits_) < 0   ? -1
+         : bits_.compare(other.bits_) > 0 ? 1
+                                          : 0;
+}
+
+Key Key::Successor() const {
+  // Drop trailing '1's, then flip the last '0' to '1'.
+  std::string s = bits_;
+  while (!s.empty() && s.back() == '1') s.pop_back();
+  if (s.empty()) return Key();  // Right-most prefix: no successor.
+  s.back() = '1';
+  return Key(std::move(s));
+}
+
+bool Key::IsMax() const {
+  return !bits_.empty() &&
+         bits_.find('0') == std::string::npos;
+}
+
+bool KeyRange::IntersectsPrefix(const Key& prefix, size_t key_width) const {
+  Key sub_lo = prefix.PadTo(key_width, /*ones=*/false);
+  Key sub_hi = prefix.PadTo(key_width, /*ones=*/true);
+  return sub_lo.Compare(hi) <= 0 && lo.Compare(sub_hi) <= 0;
+}
+
+KeyRange KeyRange::ClampToPrefix(const Key& prefix, size_t key_width) const {
+  Key sub_lo = prefix.PadTo(key_width, /*ones=*/false);
+  Key sub_hi = prefix.PadTo(key_width, /*ones=*/true);
+  KeyRange out;
+  out.lo = (lo.Compare(sub_lo) >= 0) ? lo : sub_lo;
+  out.hi = (hi.Compare(sub_hi) <= 0) ? hi : sub_hi;
+  return out;
+}
+
+}  // namespace pgrid
+}  // namespace unistore

@@ -1,0 +1,111 @@
+// Binary trie keys and paths.
+//
+// P-Grid organizes peers as the leaves of a virtual binary trie: a peer's
+// *path* is a bit string, and the peer is responsible for every data key
+// that starts with that path. Both paths and data keys are represented by
+// Key. Data keys produced by the order-preserving hash have a fixed width
+// (ophash.h); paths are variable-length prefixes.
+#ifndef UNISTORE_PGRID_KEY_H_
+#define UNISTORE_PGRID_KEY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace unistore {
+namespace pgrid {
+
+/// \brief An immutable bit string ('0'/'1' characters internally, which
+/// keeps traces human-readable; performance is irrelevant at key sizes of
+/// tens of bits).
+class Key {
+ public:
+  /// The empty key — the trie root (responsible for everything).
+  Key() = default;
+
+  /// Builds from a string of '0'/'1' characters. Aborts on other input
+  /// (programming error, not data error).
+  static Key FromBits(std::string_view bits);
+
+  size_t size() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+
+  /// Bit at position `i` (0 = most significant). Requires i < size().
+  bool bit(size_t i) const { return bits_[i] == '1'; }
+
+  /// First `len` bits (len <= size()).
+  Key Prefix(size_t len) const;
+
+  /// This key extended by one bit.
+  Key Child(bool one) const;
+
+  /// This key with the last bit flipped. Requires non-empty.
+  Key Sibling() const;
+
+  /// This key extended to `width` bits with 0s (`ones`=false) or 1s.
+  /// If already >= width, returns *this unchanged.
+  Key PadTo(size_t width, bool ones) const;
+
+  /// True iff this key is a prefix of `other` (every key is a prefix of
+  /// itself; the empty key is a prefix of everything).
+  bool IsPrefixOf(const Key& other) const;
+
+  /// Length of the longest common prefix with `other`.
+  size_t CommonPrefixLength(const Key& other) const;
+
+  /// Lexicographic bit comparison; a proper prefix sorts before its
+  /// extensions. Returns <0, 0, >0.
+  int Compare(const Key& other) const;
+
+  /// \brief The next sibling subtree in key order.
+  ///
+  /// "0110" -> "0111", "0111" -> "1", "111" -> empty (none). This is the
+  /// step of the sequential (min-first) range walk: after exhausting the
+  /// subtree under this prefix, the walk continues at Successor().
+  /// Returns an empty key when this is the right-most prefix.
+  Key Successor() const;
+
+  /// True for the all-ones key (no successor exists).
+  bool IsMax() const;
+
+  const std::string& bits() const { return bits_; }
+  std::string ToString() const { return bits_.empty() ? "<root>" : bits_; }
+
+  bool operator==(const Key& other) const { return bits_ == other.bits_; }
+  bool operator!=(const Key& other) const { return bits_ != other.bits_; }
+  bool operator<(const Key& other) const { return Compare(other) < 0; }
+  bool operator<=(const Key& other) const { return Compare(other) <= 0; }
+  bool operator>(const Key& other) const { return Compare(other) > 0; }
+  bool operator>=(const Key& other) const { return Compare(other) >= 0; }
+
+ private:
+  explicit Key(std::string bits) : bits_(std::move(bits)) {}
+
+  std::string bits_;
+};
+
+/// \brief A closed interval [lo, hi] of fixed-width data keys.
+struct KeyRange {
+  Key lo;
+  Key hi;
+
+  bool Contains(const Key& key) const {
+    return lo.Compare(key) <= 0 && key.Compare(hi) <= 0;
+  }
+
+  /// True iff the subtree under `prefix` intersects this range.
+  bool IntersectsPrefix(const Key& prefix, size_t key_width) const;
+
+  /// The intersection of this range with the subtree under `prefix`
+  /// (caller must ensure IntersectsPrefix() first).
+  KeyRange ClampToPrefix(const Key& prefix, size_t key_width) const;
+
+  std::string ToString() const {
+    return "[" + lo.ToString() + ", " + hi.ToString() + "]";
+  }
+};
+
+}  // namespace pgrid
+}  // namespace unistore
+
+#endif  // UNISTORE_PGRID_KEY_H_

@@ -1,0 +1,99 @@
+#include "pgrid/local_store.h"
+
+namespace unistore {
+namespace pgrid {
+
+bool LocalStore::Apply(const Entry& entry) {
+  auto& slot_map = entries_[entry.key];
+  auto it = slot_map.find(entry.id);
+  if (it == slot_map.end()) {
+    if (!entry.deleted) ++live_count_;
+    slot_map.emplace(entry.id, entry);
+    return true;
+  }
+  if (entry.version <= it->second.version) return false;
+  if (!it->second.deleted && entry.deleted) --live_count_;
+  if (it->second.deleted && !entry.deleted) ++live_count_;
+  it->second = entry;
+  return true;
+}
+
+std::vector<Entry> LocalStore::Get(const Key& key) const {
+  std::vector<Entry> out;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return out;
+  for (const auto& [id, e] : it->second) {
+    if (!e.deleted) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Entry> LocalStore::GetRange(const KeyRange& range) const {
+  std::vector<Entry> out;
+  for (auto it = entries_.lower_bound(range.lo);
+       it != entries_.end() && it->first.Compare(range.hi) <= 0; ++it) {
+    for (const auto& [id, e] : it->second) {
+      if (!e.deleted) out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<Entry> LocalStore::GetByPrefix(const Key& prefix) const {
+  std::vector<Entry> out;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (!prefix.IsPrefixOf(it->first)) break;
+    for (const auto& [id, e] : it->second) {
+      if (!e.deleted) out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<Entry> LocalStore::GetAll() const {
+  std::vector<Entry> out;
+  for (const auto& [key, slot_map] : entries_) {
+    for (const auto& [id, e] : slot_map) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Entry> LocalStore::GetAllLive() const {
+  std::vector<Entry> out;
+  for (const auto& [key, slot_map] : entries_) {
+    for (const auto& [id, e] : slot_map) {
+      if (!e.deleted) out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<Entry> LocalStore::ExtractNotMatching(const Key& path) {
+  std::vector<Entry> removed;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (path.IsPrefixOf(it->first)) {
+      ++it;
+      continue;
+    }
+    for (const auto& [id, e] : it->second) {
+      if (!e.deleted) --live_count_;
+      removed.push_back(e);
+    }
+    it = entries_.erase(it);
+  }
+  return removed;
+}
+
+size_t LocalStore::total_size() const {
+  size_t n = 0;
+  for (const auto& [key, slot_map] : entries_) n += slot_map.size();
+  return n;
+}
+
+void LocalStore::Clear() {
+  entries_.clear();
+  live_count_ = 0;
+}
+
+}  // namespace pgrid
+}  // namespace unistore

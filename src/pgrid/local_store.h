@@ -1,0 +1,66 @@
+// Per-peer ordered key/entry storage.
+#ifndef UNISTORE_PGRID_LOCAL_STORE_H_
+#define UNISTORE_PGRID_LOCAL_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pgrid/entry.h"
+#include "pgrid/key.h"
+
+namespace unistore {
+namespace pgrid {
+
+/// \brief The entries a single peer is responsible for, ordered by key.
+///
+/// Versioned upserts implement the update semantics of [Datta ICDCS'03]:
+/// an entry with a higher version replaces the stored one; lower or equal
+/// versions are ignored (idempotent re-delivery under rumor spreading).
+/// Deletions are tombstones so anti-entropy cannot resurrect them.
+class LocalStore {
+ public:
+  /// Applies `entry` (insert, update or tombstone). Returns true iff the
+  /// store changed (i.e. the entry was new or newer).
+  bool Apply(const Entry& entry);
+
+  /// All live entries with exactly this key.
+  std::vector<Entry> Get(const Key& key) const;
+
+  /// All live entries with key in [range.lo, range.hi].
+  std::vector<Entry> GetRange(const KeyRange& range) const;
+
+  /// All live entries whose key starts with `prefix`.
+  std::vector<Entry> GetByPrefix(const Key& prefix) const;
+
+  /// Every entry including tombstones (anti-entropy transfer).
+  std::vector<Entry> GetAll() const;
+
+  /// Live entries (excluding tombstones), in key order.
+  std::vector<Entry> GetAllLive() const;
+
+  /// Splits off and returns every entry whose key has `path` as a prefix
+  /// is *kept*; entries outside `path` are removed and returned. Used when
+  /// a peer specializes its path during an exchange.
+  std::vector<Entry> ExtractNotMatching(const Key& path);
+
+  /// Number of live entries.
+  size_t live_size() const { return live_count_; }
+
+  /// Number of slots including tombstones.
+  size_t total_size() const;
+
+  void Clear();
+
+ private:
+  // key -> (entry id -> entry)
+  std::map<Key, std::map<std::string, Entry>> entries_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace pgrid
+}  // namespace unistore
+
+#endif  // UNISTORE_PGRID_LOCAL_STORE_H_

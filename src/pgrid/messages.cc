@@ -1,0 +1,282 @@
+#include "pgrid/messages.h"
+
+namespace unistore {
+namespace pgrid {
+namespace {
+
+Result<Key> DecodeKey(BufferReader* r) {
+  UNISTORE_ASSIGN_OR_RETURN(std::string bits, r->GetString());
+  for (char c : bits) {
+    if (c != '0' && c != '1') {
+      return Status::Corruption("key contains non-bit character");
+    }
+  }
+  return Key::FromBits(bits);
+}
+
+void EncodeRange(const KeyRange& range, BufferWriter* w) {
+  w->PutString(range.lo.bits());
+  w->PutString(range.hi.bits());
+}
+
+Result<KeyRange> DecodeRange(BufferReader* r) {
+  KeyRange range;
+  UNISTORE_ASSIGN_OR_RETURN(range.lo, DecodeKey(r));
+  UNISTORE_ASSIGN_OR_RETURN(range.hi, DecodeKey(r));
+  return range;
+}
+
+}  // namespace
+
+void RefsBlock::Encode(BufferWriter* w) const {
+  w->PutVarint(refs.size());
+  for (const auto& level : refs) {
+    w->PutVarint(level.size());
+    for (PeerId p : level) w->PutU32(p);
+  }
+}
+
+Result<RefsBlock> RefsBlock::Decode(BufferReader* r) {
+  RefsBlock block;
+  UNISTORE_ASSIGN_OR_RETURN(uint64_t nlevels, r->GetVarint());
+  if (nlevels > 4096) return Status::Corruption("refs block too deep");
+  block.refs.resize(nlevels);
+  for (uint64_t l = 0; l < nlevels; ++l) {
+    UNISTORE_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+    if (n > 65536) return Status::Corruption("refs level too wide");
+    block.refs[l].reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      UNISTORE_ASSIGN_OR_RETURN(PeerId p, r->GetU32());
+      block.refs[l].push_back(p);
+    }
+  }
+  return block;
+}
+
+std::string LookupRequest::Encode() const {
+  BufferWriter w;
+  w.PutU32(initiator);
+  w.PutString(key.bits());
+  w.PutU8(static_cast<uint8_t>(mode));
+  return w.Release();
+}
+
+Result<LookupRequest> LookupRequest::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  LookupRequest req;
+  UNISTORE_ASSIGN_OR_RETURN(req.initiator, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(req.key, DecodeKey(&r));
+  UNISTORE_ASSIGN_OR_RETURN(uint8_t mode, r.GetU8());
+  if (mode > 1) return Status::Corruption("bad lookup mode");
+  req.mode = static_cast<LookupMode>(mode);
+  return req;
+}
+
+std::string LookupReply::Encode() const {
+  BufferWriter w;
+  w.PutU8(status_code);
+  w.PutString(error);
+  EncodeEntries(entries, &w);
+  w.PutString(owner_path);
+  w.PutU32(owner);
+  return w.Release();
+}
+
+Result<LookupReply> LookupReply::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  LookupReply reply;
+  UNISTORE_ASSIGN_OR_RETURN(reply.status_code, r.GetU8());
+  UNISTORE_ASSIGN_OR_RETURN(reply.error, r.GetString());
+  UNISTORE_ASSIGN_OR_RETURN(reply.entries, DecodeEntries(&r));
+  UNISTORE_ASSIGN_OR_RETURN(reply.owner_path, r.GetString());
+  UNISTORE_ASSIGN_OR_RETURN(reply.owner, r.GetU32());
+  return reply;
+}
+
+std::string InsertRequest::Encode() const {
+  BufferWriter w;
+  w.PutU32(initiator);
+  entry.Encode(&w);
+  return w.Release();
+}
+
+Result<InsertRequest> InsertRequest::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  InsertRequest req;
+  UNISTORE_ASSIGN_OR_RETURN(req.initiator, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(req.entry, Entry::Decode(&r));
+  return req;
+}
+
+std::string InsertReply::Encode() const {
+  BufferWriter w;
+  w.PutU8(status_code);
+  w.PutString(error);
+  w.PutU32(owner);
+  return w.Release();
+}
+
+Result<InsertReply> InsertReply::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  InsertReply reply;
+  UNISTORE_ASSIGN_OR_RETURN(reply.status_code, r.GetU8());
+  UNISTORE_ASSIGN_OR_RETURN(reply.error, r.GetString());
+  UNISTORE_ASSIGN_OR_RETURN(reply.owner, r.GetU32());
+  return reply;
+}
+
+std::string RangeSeqRequest::Encode() const {
+  BufferWriter w;
+  w.PutU32(initiator);
+  EncodeRange(range, &w);
+  w.PutU32(limit);
+  w.PutU32(collected);
+  return w.Release();
+}
+
+Result<RangeSeqRequest> RangeSeqRequest::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  RangeSeqRequest req;
+  UNISTORE_ASSIGN_OR_RETURN(req.initiator, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(req.range, DecodeRange(&r));
+  UNISTORE_ASSIGN_OR_RETURN(req.limit, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(req.collected, r.GetU32());
+  return req;
+}
+
+std::string RangeSeqReply::Encode() const {
+  BufferWriter w;
+  EncodeEntries(entries, &w);
+  w.PutBool(will_forward);
+  w.PutString(peer_path);
+  w.PutU8(status_code);
+  w.PutString(error);
+  return w.Release();
+}
+
+Result<RangeSeqReply> RangeSeqReply::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  RangeSeqReply reply;
+  UNISTORE_ASSIGN_OR_RETURN(reply.entries, DecodeEntries(&r));
+  UNISTORE_ASSIGN_OR_RETURN(reply.will_forward, r.GetBool());
+  UNISTORE_ASSIGN_OR_RETURN(reply.peer_path, r.GetString());
+  UNISTORE_ASSIGN_OR_RETURN(reply.status_code, r.GetU8());
+  UNISTORE_ASSIGN_OR_RETURN(reply.error, r.GetString());
+  return reply;
+}
+
+std::string RangeShowerRequest::Encode() const {
+  BufferWriter w;
+  w.PutU32(initiator);
+  EncodeRange(range, &w);
+  return w.Release();
+}
+
+Result<RangeShowerRequest> RangeShowerRequest::Decode(
+    std::string_view bytes) {
+  BufferReader r(bytes);
+  RangeShowerRequest req;
+  UNISTORE_ASSIGN_OR_RETURN(req.initiator, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(req.range, DecodeRange(&r));
+  return req;
+}
+
+std::string RangeShowerReply::Encode() const {
+  BufferWriter w;
+  EncodeEntries(entries, &w);
+  w.PutU32(forwards);
+  w.PutU32(unreachable);
+  w.PutString(peer_path);
+  return w.Release();
+}
+
+Result<RangeShowerReply> RangeShowerReply::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  RangeShowerReply reply;
+  UNISTORE_ASSIGN_OR_RETURN(reply.entries, DecodeEntries(&r));
+  UNISTORE_ASSIGN_OR_RETURN(reply.forwards, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(reply.unreachable, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(reply.peer_path, r.GetString());
+  return reply;
+}
+
+std::string ExchangeRequest::Encode() const {
+  BufferWriter w;
+  w.PutU32(initiator);
+  w.PutString(path);
+  w.PutVarint(live_size);
+  w.PutU32(replica_count);
+  w.PutU32(ttl);
+  refs.Encode(&w);
+  return w.Release();
+}
+
+Result<ExchangeRequest> ExchangeRequest::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  ExchangeRequest req;
+  UNISTORE_ASSIGN_OR_RETURN(req.initiator, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(req.path, r.GetString());
+  UNISTORE_ASSIGN_OR_RETURN(req.live_size, r.GetVarint());
+  UNISTORE_ASSIGN_OR_RETURN(req.replica_count, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(req.ttl, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(req.refs, RefsBlock::Decode(&r));
+  return req;
+}
+
+std::string ExchangeReply::Encode() const {
+  BufferWriter w;
+  w.PutU8(static_cast<uint8_t>(action));
+  w.PutString(new_initiator_path);
+  w.PutString(responder_path);
+  w.PutVarint(responder_size);
+  EncodeEntries(entries, &w);
+  refs.Encode(&w);
+  return w.Release();
+}
+
+Result<ExchangeReply> ExchangeReply::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  ExchangeReply reply;
+  UNISTORE_ASSIGN_OR_RETURN(uint8_t action, r.GetU8());
+  if (action > 5) return Status::Corruption("bad exchange action");
+  reply.action = static_cast<ExchangeAction>(action);
+  UNISTORE_ASSIGN_OR_RETURN(reply.new_initiator_path, r.GetString());
+  UNISTORE_ASSIGN_OR_RETURN(reply.responder_path, r.GetString());
+  UNISTORE_ASSIGN_OR_RETURN(reply.responder_size, r.GetVarint());
+  UNISTORE_ASSIGN_OR_RETURN(reply.entries, DecodeEntries(&r));
+  UNISTORE_ASSIGN_OR_RETURN(reply.refs, RefsBlock::Decode(&r));
+  return reply;
+}
+
+std::string EntryBatch::Encode() const {
+  BufferWriter w;
+  EncodeEntries(entries, &w);
+  w.PutBool(reroute_if_foreign);
+  w.PutBool(gossip);
+  return w.Release();
+}
+
+Result<EntryBatch> EntryBatch::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  EntryBatch batch;
+  UNISTORE_ASSIGN_OR_RETURN(batch.entries, DecodeEntries(&r));
+  UNISTORE_ASSIGN_OR_RETURN(batch.reroute_if_foreign, r.GetBool());
+  UNISTORE_ASSIGN_OR_RETURN(batch.gossip, r.GetBool());
+  return batch;
+}
+
+std::string AntiEntropyReply::Encode() const {
+  BufferWriter w;
+  EncodeEntries(entries, &w);
+  return w.Release();
+}
+
+Result<AntiEntropyReply> AntiEntropyReply::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  AntiEntropyReply reply;
+  UNISTORE_ASSIGN_OR_RETURN(reply.entries, DecodeEntries(&r));
+  return reply;
+}
+
+}  // namespace pgrid
+}  // namespace unistore

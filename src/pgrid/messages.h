@@ -1,0 +1,184 @@
+// Payload structs for the P-Grid overlay protocols.
+//
+// Conventions: routed requests keep the header `request_id` stable along
+// the forwarding chain and carry the initiator's PeerId in the payload; the
+// terminal peer replies directly to the initiator (net/rpc.h).
+#ifndef UNISTORE_PGRID_MESSAGES_H_
+#define UNISTORE_PGRID_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/result.h"
+#include "net/message.h"
+#include "pgrid/entry.h"
+#include "pgrid/key.h"
+
+namespace unistore {
+namespace pgrid {
+
+using net::PeerId;
+
+/// References grouped by trie level, as shipped in exchange messages.
+struct RefsBlock {
+  // refs[l] = peers referenced at level l.
+  std::vector<std::vector<PeerId>> refs;
+
+  void Encode(BufferWriter* w) const;
+  static Result<RefsBlock> Decode(BufferReader* r);
+};
+
+/// How a lookup request selects entries at the responsible peer.
+enum class LookupMode : uint8_t {
+  kExact = 0,   ///< Entries whose key equals the request key.
+  kPrefix = 1,  ///< Entries whose key starts with the request key.
+};
+
+struct LookupRequest {
+  PeerId initiator = net::kNoPeer;
+  Key key;
+  LookupMode mode = LookupMode::kExact;
+
+  std::string Encode() const;
+  static Result<LookupRequest> Decode(std::string_view bytes);
+};
+
+struct LookupReply {
+  uint8_t status_code = 0;  ///< StatusCode as int; 0 = OK.
+  std::string error;
+  std::vector<Entry> entries;
+  std::string owner_path;   ///< Path of the responsible peer.
+  PeerId owner = net::kNoPeer;
+
+  std::string Encode() const;
+  static Result<LookupReply> Decode(std::string_view bytes);
+};
+
+struct InsertRequest {
+  PeerId initiator = net::kNoPeer;
+  Entry entry;
+
+  std::string Encode() const;
+  static Result<InsertRequest> Decode(std::string_view bytes);
+};
+
+struct InsertReply {
+  uint8_t status_code = 0;
+  std::string error;
+  PeerId owner = net::kNoPeer;
+
+  std::string Encode() const;
+  static Result<InsertReply> Decode(std::string_view bytes);
+};
+
+struct RangeSeqRequest {
+  PeerId initiator = net::kNoPeer;
+  KeyRange range;
+  /// Stop the walk once this many entries were collected (0 = unlimited).
+  /// Because entries arrive in key order, this implements early-terminating
+  /// ordered scans (top-N pushdown).
+  uint32_t limit = 0;
+  /// Entries collected by earlier walk steps (maintained by the protocol).
+  uint32_t collected = 0;
+
+  std::string Encode() const;
+  static Result<RangeSeqRequest> Decode(std::string_view bytes);
+};
+
+/// One partial result of the sequential walk. `will_forward` tells the
+/// initiator whether another partial reply is coming.
+struct RangeSeqReply {
+  std::vector<Entry> entries;
+  bool will_forward = false;
+  std::string peer_path;
+  uint8_t status_code = 0;
+  std::string error;
+
+  std::string Encode() const;
+  static Result<RangeSeqReply> Decode(std::string_view bytes);
+};
+
+struct RangeShowerRequest {
+  PeerId initiator = net::kNoPeer;
+  KeyRange range;
+
+  std::string Encode() const;
+  static Result<RangeShowerRequest> Decode(std::string_view bytes);
+};
+
+/// One branch result of the shower multicast. `forwards` = number of
+/// sub-requests this peer spawned; the initiator tracks
+/// outstanding += forwards - 1 until it reaches zero. `unreachable` counts
+/// range branches the peer could not forward to (no live reference), so
+/// the initiator can flag an incomplete result instead of silently
+/// returning partial data.
+struct RangeShowerReply {
+  std::vector<Entry> entries;
+  uint32_t forwards = 0;
+  uint32_t unreachable = 0;
+  std::string peer_path;
+
+  std::string Encode() const;
+  static Result<RangeShowerReply> Decode(std::string_view bytes);
+};
+
+/// Pairwise construction/refinement (paper §2: "constructed by pair-wise
+/// interactions between nodes without central coordination").
+struct ExchangeRequest {
+  PeerId initiator = net::kNoPeer;
+  std::string path;
+  uint64_t live_size = 0;
+  uint32_t replica_count = 0;  ///< Initiator's replicas (migration safety).
+  uint32_t ttl = 0;  ///< Remaining recursive meetings to trigger.
+  RefsBlock refs;
+
+  std::string Encode() const;
+  static Result<ExchangeRequest> Decode(std::string_view bytes);
+};
+
+enum class ExchangeAction : uint8_t {
+  kNone = 0,        ///< Only references were exchanged.
+  kBusy = 1,        ///< Responder is mid-exchange; try again later.
+  kSplit = 2,       ///< Equal paths, enough data: initiator takes '0' side.
+  kReplicate = 3,   ///< Equal paths, little data: become replicas.
+  kSpecialize = 4,  ///< Initiator's path was a prefix: extend it.
+  kMigrateSplit = 5,  ///< Initiator migrates under responder's path.
+};
+
+struct ExchangeReply {
+  ExchangeAction action = ExchangeAction::kNone;
+  std::string new_initiator_path;  ///< Empty = keep current path.
+  std::string responder_path;      ///< Responder's path after the exchange.
+  uint64_t responder_size = 0;
+  std::vector<Entry> entries;      ///< Data now owned by the initiator.
+  RefsBlock refs;                  ///< Responder's references (merge).
+
+  std::string Encode() const;
+  static Result<ExchangeReply> Decode(std::string_view bytes);
+};
+
+/// Entry batch applied at the receiver. With `reroute_if_foreign`, entries
+/// outside the receiver's path are re-inserted via normal routing instead
+/// of being stored (used for post-exchange data handoff).
+struct EntryBatch {
+  std::vector<Entry> entries;
+  bool reroute_if_foreign = false;
+  bool gossip = false;  ///< Receiver forwards to random replicas (rumor).
+
+  std::string Encode() const;
+  static Result<EntryBatch> Decode(std::string_view bytes);
+};
+
+struct AntiEntropyReply {
+  std::vector<Entry> entries;  ///< Includes tombstones.
+
+  std::string Encode() const;
+  static Result<AntiEntropyReply> Decode(std::string_view bytes);
+};
+
+}  // namespace pgrid
+}  // namespace unistore
+
+#endif  // UNISTORE_PGRID_MESSAGES_H_

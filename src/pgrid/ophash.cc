@@ -1,0 +1,44 @@
+#include "pgrid/ophash.h"
+
+namespace unistore {
+namespace pgrid {
+namespace {
+
+void AppendRankBits(std::string* bits, uint8_t rank) {
+  for (int b = static_cast<int>(kBitsPerRank) - 1; b >= 0; --b) {
+    bits->push_back(((rank >> b) & 1) ? '1' : '0');
+  }
+}
+
+Key HashWithPadding(std::string_view s, bool pad_ones) {
+  std::string bits;
+  bits.reserve(kKeyBits);
+  const size_t n = std::min(s.size(), kCharsPerKey);
+  for (size_t i = 0; i < n; ++i) {
+    AppendRankBits(&bits, CharRank(static_cast<unsigned char>(s[i])));
+  }
+  bits.append(kKeyBits - bits.size(), pad_ones ? '1' : '0');
+  return Key::FromBits(bits);
+}
+
+}  // namespace
+
+uint8_t CharRank(unsigned char c) { return c; }
+
+Key OpHash(std::string_view s) { return HashWithPadding(s, false); }
+
+Key OpHashUpper(std::string_view s) { return HashWithPadding(s, true); }
+
+KeyRange PrefixRange(std::string_view p) {
+  return KeyRange{OpHash(p), OpHashUpper(p)};
+}
+
+KeyRange StringRange(std::string_view lo, std::string_view hi) {
+  // Weak monotonicity of OpHash makes [OpHash(lo), OpHashUpper(hi)] a
+  // covering range for every string in [lo, hi]; truncation collisions at
+  // the boundaries are removed by local post-filtering.
+  return KeyRange{OpHash(lo), OpHashUpper(hi)};
+}
+
+}  // namespace pgrid
+}  // namespace unistore

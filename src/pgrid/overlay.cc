@@ -1,0 +1,256 @@
+#include "pgrid/overlay.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace unistore {
+namespace pgrid {
+
+void GenerateBalancedPaths(size_t count, const std::string& prefix,
+                           std::vector<std::string>* out) {
+  UNISTORE_CHECK(count > 0);
+  if (count == 1) {
+    out->push_back(prefix);
+    return;
+  }
+  size_t left = (count + 1) / 2;
+  GenerateBalancedPaths(left, prefix + "0", out);
+  GenerateBalancedPaths(count - left, prefix + "1", out);
+}
+
+Overlay::Overlay(OverlayOptions options,
+                 std::unique_ptr<sim::LatencyModel> latency)
+    : options_(options), rng_(options.seed) {
+  transport_ = std::make_unique<net::Transport>(&simulation_,
+                                                std::move(latency),
+                                                rng_.Next());
+  transport_->set_loss_probability(options_.loss_probability);
+}
+
+Overlay::Overlay(OverlayOptions options)
+    : Overlay(options, std::make_unique<sim::ConstantLatency>(
+                           1 * sim::kMicrosPerMilli)) {}
+
+net::PeerId Overlay::AddPeers(size_t n) {
+  net::PeerId first = static_cast<net::PeerId>(peers_.size());
+  for (size_t i = 0; i < n; ++i) {
+    peers_.push_back(
+        std::make_unique<Peer>(transport_.get(), rng_.Next(), options_.peer));
+  }
+  return first;
+}
+
+void Overlay::BuildBalanced() {
+  UNISTORE_CHECK(!peers_.empty());
+  const size_t n = peers_.size();
+  const size_t replication = std::max<size_t>(1, options_.replication);
+  const size_t leaves = (n + replication - 1) / replication;
+
+  std::vector<std::string> paths;
+  GenerateBalancedPaths(leaves, "", &paths);
+
+  // Round-robin assignment: peer i -> paths[i % leaves]; peers sharing a
+  // path become replicas of each other.
+  std::map<std::string, std::vector<net::PeerId>> by_path;
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& path = paths[i % leaves];
+    peers_[i]->SetPath(Key::FromBits(path));
+    by_path[path].push_back(static_cast<net::PeerId>(i));
+  }
+
+  // Sorted path list for prefix-range candidate search.
+  std::vector<std::pair<std::string, net::PeerId>> sorted;
+  sorted.reserve(n);
+  for (const auto& [path, ids] : by_path) {
+    for (net::PeerId id : ids) sorted.emplace_back(path, id);
+  }
+  std::sort(sorted.begin(), sorted.end());
+
+  auto candidates_with_prefix = [&sorted](const std::string& prefix) {
+    std::vector<net::PeerId> out;
+    auto lo = std::lower_bound(
+        sorted.begin(), sorted.end(), prefix,
+        [](const auto& e, const std::string& p) { return e.first < p; });
+    for (auto it = lo; it != sorted.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      out.push_back(it->second);
+    }
+    return out;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    Peer& p = *peers_[i];
+    const std::string& path = p.path().bits();
+    // Replicas.
+    for (net::PeerId other : by_path[path]) {
+      if (other != p.id()) p.routing().AddReplica(other);
+    }
+    // References: up to kMaxRefsPerLevel random peers per opposite subtree.
+    for (size_t l = 0; l < path.size(); ++l) {
+      std::string sibling = path.substr(0, l);
+      sibling.push_back(path[l] == '0' ? '1' : '0');
+      std::vector<net::PeerId> cands = candidates_with_prefix(sibling);
+      rng_.Shuffle(&cands);
+      size_t take = std::min(RoutingTable::kMaxRefsPerLevel, cands.size());
+      for (size_t k = 0; k < take; ++k) {
+        p.routing().AddRef(l, cands[k], &p.rng());
+      }
+    }
+  }
+}
+
+void Overlay::RunExchangeRounds(size_t rounds) {
+  for (size_t r = 0; r < rounds; ++r) {
+    std::vector<net::PeerId> order = AlivePeers();
+    rng_.Shuffle(&order);
+    sim::SimTime stagger = 0;
+    for (net::PeerId initiator : order) {
+      // Uniform random partner. (The harness samples the meeting; the
+      // protocol itself is fully decentralized.)
+      if (order.size() < 2) break;
+      net::PeerId other = initiator;
+      while (other == initiator) {
+        other = order[rng_.NextBounded(order.size())];
+      }
+      stagger += 500;  // 0.5 ms apart to avoid artificial collisions.
+      simulation_.Schedule(stagger, [this, initiator, other]() {
+        peers_[initiator]->InitiateExchange(other, [](Status) {});
+      });
+    }
+    simulation_.RunUntilIdle();
+  }
+}
+
+std::vector<net::PeerId> Overlay::ResponsiblePeers(const Key& key) const {
+  std::vector<net::PeerId> out;
+  for (const auto& p : peers_) {
+    if (transport_->IsAlive(p->id()) && p->IsResponsible(key)) {
+      out.push_back(p->id());
+    }
+  }
+  return out;
+}
+
+size_t Overlay::InsertDirect(const Entry& entry) {
+  size_t stored = 0;
+  for (const auto& p : peers_) {
+    if (p->IsResponsible(entry.key)) {
+      p->ApplyLocal(entry);
+      ++stored;
+    }
+  }
+  return stored;
+}
+
+SampleStats Overlay::StorageDistribution() const {
+  SampleStats stats;
+  for (const auto& p : peers_) {
+    if (transport_->IsAlive(p->id())) {
+      stats.Add(static_cast<double>(p->store().live_size()));
+    }
+  }
+  return stats;
+}
+
+size_t Overlay::MaxPathDepth() const {
+  size_t depth = 0;
+  for (const auto& p : peers_) {
+    if (transport_->IsAlive(p->id())) {
+      depth = std::max(depth, p->path().size());
+    }
+  }
+  return depth;
+}
+
+std::vector<net::PeerId> Overlay::AlivePeers() const {
+  std::vector<net::PeerId> out;
+  for (const auto& p : peers_) {
+    if (transport_->IsAlive(p->id())) out.push_back(p->id());
+  }
+  return out;
+}
+
+Result<LookupResult> Overlay::LookupSync(net::PeerId from, const Key& key,
+                                         LookupMode mode) {
+  std::optional<Result<LookupResult>> out;
+  peers_[from]->Lookup(key, mode,
+                       [&out](Result<LookupResult> r) { out = std::move(r); });
+  simulation_.RunUntil([&out] { return out.has_value(); });
+  if (!out.has_value()) {
+    return Status::Internal("simulation drained before lookup completed");
+  }
+  return std::move(*out);
+}
+
+Status Overlay::InsertSync(net::PeerId from, Entry entry) {
+  std::optional<Status> out;
+  peers_[from]->Insert(std::move(entry),
+                       [&out](Status s) { out = std::move(s); });
+  simulation_.RunUntil([&out] { return out.has_value(); });
+  if (!out.has_value()) {
+    return Status::Internal("simulation drained before insert completed");
+  }
+  return *out;
+}
+
+Status Overlay::RemoveSync(net::PeerId from, const Key& key,
+                           const std::string& entry_id, uint64_t version) {
+  std::optional<Status> out;
+  peers_[from]->Remove(key, entry_id, version,
+                       [&out](Status s) { out = std::move(s); });
+  simulation_.RunUntil([&out] { return out.has_value(); });
+  if (!out.has_value()) {
+    return Status::Internal("simulation drained before remove completed");
+  }
+  return *out;
+}
+
+Result<RangeResult> Overlay::RangeSeqSync(net::PeerId from,
+                                          const KeyRange& range) {
+  std::optional<Result<RangeResult>> out;
+  peers_[from]->RangeScanSeq(
+      range, [&out](Result<RangeResult> r) { out = std::move(r); });
+  simulation_.RunUntil([&out] { return out.has_value(); });
+  if (!out.has_value()) {
+    return Status::Internal("simulation drained before range scan completed");
+  }
+  return std::move(*out);
+}
+
+Result<RangeResult> Overlay::RangeShowerSync(net::PeerId from,
+                                             const KeyRange& range) {
+  std::optional<Result<RangeResult>> out;
+  peers_[from]->RangeScanShower(
+      range, [&out](Result<RangeResult> r) { out = std::move(r); });
+  simulation_.RunUntil([&out] { return out.has_value(); });
+  if (!out.has_value()) {
+    return Status::Internal("simulation drained before range scan completed");
+  }
+  return std::move(*out);
+}
+
+Status Overlay::ExchangeSync(net::PeerId initiator, net::PeerId other) {
+  std::optional<Status> out;
+  peers_[initiator]->InitiateExchange(other,
+                                      [&out](Status s) { out = std::move(s); });
+  simulation_.RunUntil([&out] { return out.has_value(); });
+  if (!out.has_value()) {
+    return Status::Internal("simulation drained before exchange completed");
+  }
+  return *out;
+}
+
+Status Overlay::PullFromReplicaSync(net::PeerId who) {
+  std::optional<Status> out;
+  peers_[who]->PullFromReplica([&out](Status s) { out = std::move(s); });
+  simulation_.RunUntil([&out] { return out.has_value(); });
+  if (!out.has_value()) {
+    return Status::Internal("simulation drained before pull completed");
+  }
+  return *out;
+}
+
+}  // namespace pgrid
+}  // namespace unistore

@@ -1,0 +1,124 @@
+// Overlay: harness that owns the simulation, transport and peers.
+#ifndef UNISTORE_PGRID_OVERLAY_H_
+#define UNISTORE_PGRID_OVERLAY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "net/transport.h"
+#include "pgrid/peer.h"
+#include "sim/latency.h"
+#include "sim/simulation.h"
+
+namespace unistore {
+namespace pgrid {
+
+/// Construction and runtime knobs of a simulated overlay network.
+struct OverlayOptions {
+  /// Peers per leaf path when building a balanced trie.
+  size_t replication = 1;
+  /// Options applied to every peer.
+  PeerOptions peer;
+  /// Master seed; every peer and the transport fork from it.
+  uint64_t seed = 1234;
+  /// Uniform message loss probability.
+  double loss_probability = 0.0;
+};
+
+/// \brief Owns a Simulation + Transport + N peers, and provides balanced
+/// construction, decentralized exchange rounds, synchronous operation
+/// wrappers for tests/benchmarks, and churn control.
+///
+/// This is harness code: the peers never use its global knowledge; all
+/// protocol decisions happen inside pgrid::Peer with local state only.
+class Overlay {
+ public:
+  Overlay(OverlayOptions options,
+          std::unique_ptr<sim::LatencyModel> latency);
+
+  /// Convenience: overlay with constant 1 ms latency.
+  explicit Overlay(OverlayOptions options = {});
+
+  Overlay(const Overlay&) = delete;
+  Overlay& operator=(const Overlay&) = delete;
+
+  /// Adds `n` fresh peers (empty paths). Returns the first new id.
+  net::PeerId AddPeers(size_t n);
+
+  /// Assigns a balanced trie over all current peers: ceil(n/replication)
+  /// leaf paths, peers round-robin across paths, replicas linked and
+  /// routing references sampled globally. Instant (no protocol messages) —
+  /// the decentralized path is RunExchangeRounds().
+  void BuildBalanced();
+
+  /// Runs `rounds` rounds of random pairwise exchanges (each alive peer
+  /// initiates one meeting per round; recursive meetings run to
+  /// completion). This is the paper's "pair-wise interactions without
+  /// central coordination" construction.
+  void RunExchangeRounds(size_t rounds);
+
+  Peer* peer(net::PeerId id) { return peers_[id].get(); }
+  const Peer* peer(net::PeerId id) const { return peers_[id].get(); }
+  size_t size() const { return peers_.size(); }
+
+  sim::Simulation& simulation() { return simulation_; }
+  net::Transport& transport() { return *transport_; }
+  Rng& rng() { return rng_; }
+
+  // --- Global helpers (tests / benchmarks only) ---------------------------
+
+  /// Ids of alive peers whose path is a prefix of `key`.
+  std::vector<net::PeerId> ResponsiblePeers(const Key& key) const;
+
+  /// Stores an entry directly at every responsible peer (bulk loading).
+  /// Returns the number of peers that stored it.
+  size_t InsertDirect(const Entry& entry);
+
+  /// Live-entry counts across alive peers (load-balance metrics).
+  SampleStats StorageDistribution() const;
+
+  /// Maximum path length over alive peers (trie depth).
+  size_t MaxPathDepth() const;
+
+  // --- Synchronous wrappers (drive the simulation until completion) ------
+
+  Result<LookupResult> LookupSync(net::PeerId from, const Key& key,
+                                  LookupMode mode = LookupMode::kExact);
+  Status InsertSync(net::PeerId from, Entry entry);
+  Status RemoveSync(net::PeerId from, const Key& key,
+                    const std::string& entry_id, uint64_t version);
+  Result<RangeResult> RangeSeqSync(net::PeerId from, const KeyRange& range);
+  Result<RangeResult> RangeShowerSync(net::PeerId from,
+                                      const KeyRange& range);
+  Status ExchangeSync(net::PeerId initiator, net::PeerId other);
+  Status PullFromReplicaSync(net::PeerId who);
+
+  // --- Churn --------------------------------------------------------------
+
+  void Crash(net::PeerId id) { transport_->SetAlive(id, false); }
+  void Revive(net::PeerId id) { transport_->SetAlive(id, true); }
+  bool IsAlive(net::PeerId id) const { return transport_->IsAlive(id); }
+  std::vector<net::PeerId> AlivePeers() const;
+
+ private:
+  OverlayOptions options_;
+  sim::Simulation simulation_;
+  std::unique_ptr<net::Transport> transport_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+};
+
+/// Generates `count` balanced trie paths under `prefix` (left-heavy for
+/// non-powers of two). Exposed for tests.
+void GenerateBalancedPaths(size_t count, const std::string& prefix,
+                           std::vector<std::string>* out);
+
+}  // namespace pgrid
+}  // namespace unistore
+
+#endif  // UNISTORE_PGRID_OVERLAY_H_

@@ -1,0 +1,912 @@
+#include "pgrid/peer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace unistore {
+namespace pgrid {
+
+using net::Message;
+using net::MessageType;
+
+namespace {
+
+void NoopStatus(Status) {}
+
+}  // namespace
+
+Peer::Peer(net::Transport* transport, uint64_t rng_seed, PeerOptions options)
+    : transport_(transport),
+      id_(net::kNoPeer),
+      options_(options),
+      rng_(rng_seed),
+      rpc_(net::kNoPeer, transport) {
+  id_ = transport_->AddPeer([this](const Message& msg) { OnMessage(msg); });
+  // RpcManager was built before the id existed; rebuild in place.
+  rpc_ = net::RpcManager(id_, transport_);
+}
+
+void Peer::SetPath(const Key& path) {
+  path_ = path;
+  routing_.ResetForPath(path.size());
+  routing_.ClearReplicas();
+}
+
+void Peer::SetExtensionHandler(MessageType type, ExtensionHandler handler) {
+  extensions_[type] = std::move(handler);
+}
+
+// ---------------------------------------------------------------------------
+// Message pump & routing
+// ---------------------------------------------------------------------------
+
+void Peer::OnMessage(const Message& msg) {
+  switch (msg.type) {
+    case MessageType::kLookup:
+      HandleLookup(msg);
+      return;
+    case MessageType::kInsert:
+      HandleInsert(msg);
+      return;
+    case MessageType::kRangeSeq:
+      HandleRangeSeq(msg);
+      return;
+    case MessageType::kRangeShower:
+      HandleRangeShower(msg);
+      return;
+    case MessageType::kExchange:
+      HandleExchange(msg);
+      return;
+    case MessageType::kReplicaPush:
+      HandleEntryBatch(msg);
+      return;
+    case MessageType::kAntiEntropy:
+      HandleAntiEntropy(msg);
+      return;
+    case MessageType::kRangeSeqReply: {
+      auto reply = RangeSeqReply::Decode(msg.payload);
+      if (reply.ok()) OnSeqPartial(msg.request_id, msg.hops, *reply);
+      return;
+    }
+    case MessageType::kRangeShowerReply: {
+      auto reply = RangeShowerReply::Decode(msg.payload);
+      if (reply.ok()) OnShowerPartial(msg.request_id, msg.hops, *reply);
+      return;
+    }
+    case MessageType::kLookupReply:
+    case MessageType::kInsertReply:
+    case MessageType::kExchangeReply:
+    case MessageType::kAntiEntropyReply:
+      rpc_.HandleReply(msg);
+      return;
+    default: {
+      auto it = extensions_.find(msg.type);
+      if (it != extensions_.end()) {
+        it->second(msg);
+        return;
+      }
+      UNISTORE_LOG(kWarning) << "peer " << id_ << ": unhandled message type "
+                             << MessageTypeName(msg.type);
+    }
+  }
+}
+
+PeerId Peer::NextHop(const Key& key) {
+  if (IsResponsible(key)) return id_;
+  size_t level = path_.CommonPrefixLength(key);
+  UNISTORE_CHECK(level < path_.size());
+  return routing_.RandomRefAt(level, &rng_);
+}
+
+bool Peer::Forward(const Message& msg, const Key& key) {
+  PeerId next = NextHop(key);
+  if (next == net::kNoPeer || next == id_) return false;
+  Message copy = msg;
+  copy.src = id_;
+  copy.dst = next;
+  copy.hops = msg.hops + 1;
+  transport_->Send(std::move(copy));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Lookup
+// ---------------------------------------------------------------------------
+
+void Peer::Lookup(const Key& key, LookupMode mode, LookupCallback callback) {
+  DoLookup(key, mode, options_.request_retries, std::move(callback));
+}
+
+void Peer::DoLookup(const Key& key, LookupMode mode, int retries_left,
+                    LookupCallback callback) {
+  if (IsResponsible(key)) {
+    LookupResult result;
+    result.entries = (mode == LookupMode::kExact) ? store_.Get(key)
+                                                  : store_.GetByPrefix(key);
+    result.hops = 0;
+    result.owner = id_;
+    result.owner_path = path_.bits();
+    callback(std::move(result));
+    return;
+  }
+
+  LookupRequest req;
+  req.initiator = id_;
+  req.key = key;
+  req.mode = mode;
+
+  uint64_t rid = rpc_.RegisterPending(
+      options_.request_timeout,
+      [this, key, mode, retries_left, callback](const Status& status,
+                                                const Message& msg) {
+        if (!status.ok()) {
+          if (retries_left > 0) {
+            DoLookup(key, mode, retries_left - 1, callback);
+          } else {
+            callback(status);
+          }
+          return;
+        }
+        auto reply = LookupReply::Decode(msg.payload);
+        if (!reply.ok()) {
+          callback(reply.status());
+          return;
+        }
+        if (reply->status_code != 0) {
+          Status err(static_cast<StatusCode>(reply->status_code),
+                     reply->error);
+          if (retries_left > 0) {
+            DoLookup(key, mode, retries_left - 1, callback);
+          } else {
+            callback(err);
+          }
+          return;
+        }
+        LookupResult result;
+        result.entries = std::move(reply->entries);
+        result.hops = msg.hops;
+        result.owner = reply->owner;
+        result.owner_path = std::move(reply->owner_path);
+        callback(std::move(result));
+      });
+
+  Message msg;
+  msg.type = MessageType::kLookup;
+  msg.src = id_;
+  msg.dst = id_;  // Overwritten by Forward.
+  msg.request_id = rid;
+  msg.hops = 0;
+  msg.payload = req.Encode();
+  if (!Forward(msg, key)) {
+    rpc_.Cancel(rid);
+    callback(Status::Unavailable("peer ", id_, ": no route toward key ",
+                                 key.ToString()));
+  }
+}
+
+void Peer::ServeLookup(const LookupRequest& req, uint64_t request_id,
+                       uint32_t hops) {
+  LookupReply reply;
+  reply.entries = (req.mode == LookupMode::kExact)
+                      ? store_.Get(req.key)
+                      : store_.GetByPrefix(req.key);
+  reply.owner_path = path_.bits();
+  reply.owner = id_;
+  rpc_.ReplyTo(req.initiator, request_id, hops, MessageType::kLookupReply,
+               reply.Encode());
+}
+
+void Peer::HandleLookup(const Message& msg) {
+  auto req = LookupRequest::Decode(msg.payload);
+  if (!req.ok()) return;
+  if (IsResponsible(req->key)) {
+    ServeLookup(*req, msg.request_id, msg.hops);
+    return;
+  }
+  if (!Forward(msg, req->key)) {
+    LookupReply reply;
+    reply.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
+    reply.error = "routing dead end at peer " + std::to_string(id_);
+    rpc_.ReplyTo(req->initiator, msg.request_id, msg.hops,
+                 MessageType::kLookupReply, reply.Encode());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Insert / Remove
+// ---------------------------------------------------------------------------
+
+void Peer::Insert(Entry entry, StatusCallback callback) {
+  DoInsert(std::move(entry), options_.request_retries, std::move(callback));
+}
+
+void Peer::Remove(const Key& key, const std::string& entry_id,
+                  uint64_t version, StatusCallback callback) {
+  Entry tombstone;
+  tombstone.key = key;
+  tombstone.id = entry_id;
+  tombstone.version = version;
+  tombstone.deleted = true;
+  Insert(std::move(tombstone), std::move(callback));
+}
+
+void Peer::DoInsert(Entry entry, int retries_left, StatusCallback callback) {
+  if (IsResponsible(entry.key)) {
+    store_.Apply(entry);
+    PushToReplicas(entry);
+    callback(Status::OK());
+    return;
+  }
+
+  InsertRequest req;
+  req.initiator = id_;
+  req.entry = entry;
+
+  uint64_t rid = rpc_.RegisterPending(
+      options_.request_timeout,
+      [this, entry, retries_left, callback](const Status& status,
+                                            const Message& msg) {
+        if (!status.ok()) {
+          if (retries_left > 0) {
+            DoInsert(entry, retries_left - 1, callback);
+          } else {
+            callback(status);
+          }
+          return;
+        }
+        auto reply = InsertReply::Decode(msg.payload);
+        if (!reply.ok()) {
+          callback(reply.status());
+          return;
+        }
+        if (reply->status_code != 0) {
+          Status err(static_cast<StatusCode>(reply->status_code),
+                     reply->error);
+          if (retries_left > 0) {
+            DoInsert(entry, retries_left - 1, callback);
+          } else {
+            callback(err);
+          }
+          return;
+        }
+        callback(Status::OK());
+      });
+
+  Message msg;
+  msg.type = MessageType::kInsert;
+  msg.src = id_;
+  msg.dst = id_;
+  msg.request_id = rid;
+  msg.hops = 0;
+  msg.payload = req.Encode();
+  if (!Forward(msg, entry.key)) {
+    rpc_.Cancel(rid);
+    callback(Status::Unavailable("peer ", id_, ": no route toward key ",
+                                 entry.key.ToString()));
+  }
+}
+
+void Peer::ServeInsert(const InsertRequest& req, uint64_t request_id,
+                       uint32_t hops) {
+  store_.Apply(req.entry);
+  PushToReplicas(req.entry);
+  InsertReply reply;
+  reply.owner = id_;
+  rpc_.ReplyTo(req.initiator, request_id, hops, MessageType::kInsertReply,
+               reply.Encode());
+}
+
+void Peer::HandleInsert(const Message& msg) {
+  auto req = InsertRequest::Decode(msg.payload);
+  if (!req.ok()) return;
+  if (IsResponsible(req->entry.key)) {
+    ServeInsert(*req, msg.request_id, msg.hops);
+    return;
+  }
+  if (!Forward(msg, req->entry.key)) {
+    InsertReply reply;
+    reply.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
+    reply.error = "routing dead end at peer " + std::to_string(id_);
+    rpc_.ReplyTo(req->initiator, msg.request_id, msg.hops,
+                 MessageType::kInsertReply, reply.Encode());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replica maintenance
+// ---------------------------------------------------------------------------
+
+void Peer::PushToReplicas(const Entry& entry) {
+  const auto& replicas = routing_.replicas();
+  if (replicas.empty()) return;
+  std::vector<PeerId> targets = replicas;
+  rng_.Shuffle(&targets);
+  size_t fanout = std::min(options_.gossip_fanout, targets.size());
+  for (size_t i = 0; i < fanout; ++i) {
+    SendEntries(targets[i], {entry}, /*reroute_if_foreign=*/false,
+                /*gossip=*/true);
+  }
+}
+
+void Peer::SendEntries(PeerId dst, std::vector<Entry> entries,
+                       bool reroute_if_foreign, bool gossip) {
+  if (dst == id_ || entries.empty()) return;
+  EntryBatch batch;
+  batch.entries = std::move(entries);
+  batch.reroute_if_foreign = reroute_if_foreign;
+  batch.gossip = gossip;
+  Message msg;
+  msg.type = MessageType::kReplicaPush;
+  msg.src = id_;
+  msg.dst = dst;
+  msg.payload = batch.Encode();
+  transport_->Send(std::move(msg));
+}
+
+void Peer::ApplyOrReroute(const std::vector<Entry>& entries) {
+  for (const Entry& e : entries) {
+    if (IsResponsible(e.key)) {
+      store_.Apply(e);
+    } else {
+      ++rerouted_entries_;
+      DoInsert(e, options_.request_retries, NoopStatus);
+    }
+  }
+}
+
+void Peer::HandleEntryBatch(const Message& msg) {
+  auto batch = EntryBatch::Decode(msg.payload);
+  if (!batch.ok()) return;
+  for (const Entry& e : batch->entries) {
+    if (batch->reroute_if_foreign && !IsResponsible(e.key)) {
+      ++rerouted_entries_;
+      DoInsert(e, options_.request_retries, NoopStatus);
+      continue;
+    }
+    bool fresh = store_.Apply(e);
+    if (fresh && batch->gossip) {
+      // Rumor spreading with damping: only freshly learned updates are
+      // forwarded, so the rumor dies once the replica group has it.
+      PushToReplicas(e);
+    }
+  }
+}
+
+void Peer::HandleAntiEntropy(const Message& msg) {
+  AntiEntropyReply reply;
+  reply.entries = store_.GetAll();
+  rpc_.Reply(msg, MessageType::kAntiEntropyReply, reply.Encode());
+}
+
+void Peer::PullFromReplica(StatusCallback callback) {
+  const auto& replicas = routing_.replicas();
+  if (replicas.empty()) {
+    callback(Status::NotFound("peer ", id_, ": no replicas to pull from"));
+    return;
+  }
+  PeerId target = replicas[rng_.NextBounded(replicas.size())];
+  rpc_.SendRequest(
+      target, MessageType::kAntiEntropy, "", options_.request_timeout,
+      [this, callback](const Status& status, const Message& msg) {
+        if (!status.ok()) {
+          callback(status);
+          return;
+        }
+        auto reply = AntiEntropyReply::Decode(msg.payload);
+        if (!reply.ok()) {
+          callback(reply.status());
+          return;
+        }
+        for (const Entry& e : reply->entries) store_.Apply(e);
+        callback(Status::OK());
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Sequential range scan
+// ---------------------------------------------------------------------------
+
+void Peer::RangeScanSeq(const KeyRange& range, RangeCallback callback,
+                        uint32_t limit) {
+  uint64_t id = next_scan_id_++;
+  ScanState state;
+  state.callback = std::move(callback);
+  seq_scans_.emplace(id, std::move(state));
+
+  transport_->simulation()->Schedule(options_.scan_timeout, [this, id]() {
+    auto it = seq_scans_.find(id);
+    if (it != seq_scans_.end()) FinishSeqScan(id, /*complete=*/false);
+  });
+
+  RangeSeqRequest req;
+  req.initiator = id_;
+  req.range = range;
+  req.limit = limit;
+
+  if (IsResponsible(range.lo)) {
+    ProcessRangeSeq(req, id, 0);
+    return;
+  }
+  Message msg;
+  msg.type = MessageType::kRangeSeq;
+  msg.src = id_;
+  msg.dst = id_;
+  msg.request_id = id;
+  msg.payload = req.Encode();
+  if (!Forward(msg, range.lo)) {
+    FinishSeqScan(id, /*complete=*/false);
+  }
+}
+
+void Peer::ProcessRangeSeq(const RangeSeqRequest& req, uint64_t request_id,
+                           uint32_t hops) {
+  RangeSeqReply reply;
+  reply.entries = store_.GetRange(req.range);
+  reply.peer_path = path_.bits();
+
+  // Under a limit, trim the local batch to the remaining budget. GetRange
+  // returns entries in key order, so keeping a prefix preserves the
+  // ordered-walk semantics (the smallest keys win).
+  if (req.limit > 0 && req.collected < req.limit) {
+    const size_t budget = req.limit - req.collected;
+    if (reply.entries.size() > budget) reply.entries.resize(budget);
+  } else if (req.limit > 0) {
+    reply.entries.clear();
+  }
+
+  const uint32_t collected_now =
+      req.collected + static_cast<uint32_t>(reply.entries.size());
+
+  // Does the range extend beyond this peer's subtree?
+  const Key subtree_max = path_.PadTo(kKeyBits, /*ones=*/true);
+  bool more = req.range.hi.Compare(subtree_max) > 0 && !path_.empty();
+  if (req.limit > 0 && collected_now >= req.limit) {
+    more = false;  // Early termination: enough ordered entries collected.
+  }
+  if (more) {
+    Key next_prefix = path_.Successor();
+    if (next_prefix.empty()) {
+      more = false;  // Right-most leaf.
+    } else {
+      Key next_lo = next_prefix.PadTo(kKeyBits, /*ones=*/false);
+      RangeSeqRequest next = req;
+      next.range.lo = next_lo;
+      next.collected = collected_now;
+      Message msg;
+      msg.type = MessageType::kRangeSeq;
+      msg.src = id_;
+      msg.dst = id_;
+      msg.request_id = request_id;
+      msg.hops = hops;
+      msg.payload = next.Encode();
+      if (Forward(msg, next_lo)) {
+        reply.will_forward = true;
+      } else {
+        reply.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
+        reply.error = "walk stalled at peer " + std::to_string(id_);
+      }
+    }
+  }
+  DeliverSeqPartial(req.initiator, request_id, hops, reply);
+}
+
+void Peer::HandleRangeSeq(const Message& msg) {
+  auto req = RangeSeqRequest::Decode(msg.payload);
+  if (!req.ok()) return;
+  if (IsResponsible(req->range.lo)) {
+    ProcessRangeSeq(*req, msg.request_id, msg.hops);
+    return;
+  }
+  if (!Forward(msg, req->range.lo)) {
+    RangeSeqReply reply;
+    reply.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
+    reply.error = "routing dead end at peer " + std::to_string(id_);
+    reply.peer_path = path_.bits();
+    DeliverSeqPartial(req->initiator, msg.request_id, msg.hops, reply);
+  }
+}
+
+void Peer::DeliverSeqPartial(PeerId initiator, uint64_t request_id,
+                             uint32_t hops, const RangeSeqReply& reply) {
+  if (initiator == id_) {
+    OnSeqPartial(request_id, hops, reply);
+    return;
+  }
+  rpc_.ReplyTo(initiator, request_id, hops, MessageType::kRangeSeqReply,
+               reply.Encode());
+}
+
+void Peer::OnSeqPartial(uint64_t request_id, uint32_t hops,
+                        const RangeSeqReply& reply) {
+  auto it = seq_scans_.find(request_id);
+  if (it == seq_scans_.end()) return;
+  ScanState& state = it->second;
+  auto& result = state.result;
+  result.entries.insert(result.entries.end(), reply.entries.begin(),
+                        reply.entries.end());
+  result.peers_contacted++;
+  result.max_hops = std::max(result.max_hops, hops);
+  if (reply.status_code != 0) {
+    FinishSeqScan(request_id, /*complete=*/false);
+  } else if (!reply.will_forward) {
+    FinishSeqScan(request_id, /*complete=*/true);
+  }
+}
+
+void Peer::FinishSeqScan(uint64_t request_id, bool complete) {
+  auto it = seq_scans_.find(request_id);
+  if (it == seq_scans_.end()) return;
+  ScanState state = std::move(it->second);
+  seq_scans_.erase(it);
+  state.result.complete = complete;
+  state.callback(std::move(state.result));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel "shower" range scan
+// ---------------------------------------------------------------------------
+
+void Peer::RangeScanShower(const KeyRange& range, RangeCallback callback) {
+  uint64_t id = next_scan_id_++;
+  ScanState state;
+  state.callback = std::move(callback);
+  state.outstanding = 1;
+  shower_scans_.emplace(id, std::move(state));
+
+  transport_->simulation()->Schedule(options_.scan_timeout, [this, id]() {
+    auto it = shower_scans_.find(id);
+    if (it != shower_scans_.end()) FinishShowerScan(id, /*complete=*/false);
+  });
+
+  RangeShowerRequest req;
+  req.initiator = id_;
+  req.range = range;
+  // The initiator is itself part of the trie: its own levels cover the
+  // whole key space, so the shower starts right here.
+  ProcessRangeShower(req, id, 0);
+}
+
+void Peer::ProcessRangeShower(const RangeShowerRequest& req,
+                              uint64_t request_id, uint32_t hops) {
+  RangeShowerReply reply;
+  reply.peer_path = path_.bits();
+
+  // Guard against routing loops caused by stale tables mid-construction.
+  const bool may_forward = hops < 2 * kKeyBits;
+
+  for (size_t level = 0; level < path_.size(); ++level) {
+    Key sibling = path_.Prefix(level).Child(!path_.bit(level));
+    if (!req.range.IntersectsPrefix(sibling, kKeyBits)) continue;
+    if (!may_forward) {
+      reply.unreachable++;
+      continue;
+    }
+    PeerId ref = routing_.RandomRefAt(level, &rng_);
+    if (ref == net::kNoPeer) {
+      reply.unreachable++;
+      continue;
+    }
+    RangeShowerRequest sub = req;
+    sub.range = req.range.ClampToPrefix(sibling, kKeyBits);
+    Message msg;
+    msg.type = MessageType::kRangeShower;
+    msg.src = id_;
+    msg.dst = ref;
+    msg.request_id = request_id;
+    msg.hops = hops + 1;
+    msg.payload = sub.Encode();
+    transport_->Send(std::move(msg));
+    reply.forwards++;
+  }
+
+  if (req.range.IntersectsPrefix(path_, kKeyBits)) {
+    reply.entries =
+        store_.GetRange(req.range.ClampToPrefix(path_, kKeyBits));
+  }
+  DeliverShowerPartial(req.initiator, request_id, hops, reply);
+}
+
+void Peer::HandleRangeShower(const Message& msg) {
+  auto req = RangeShowerRequest::Decode(msg.payload);
+  if (!req.ok()) return;
+  ProcessRangeShower(*req, msg.request_id, msg.hops);
+}
+
+void Peer::DeliverShowerPartial(PeerId initiator, uint64_t request_id,
+                                uint32_t hops,
+                                const RangeShowerReply& reply) {
+  if (initiator == id_) {
+    OnShowerPartial(request_id, hops, reply);
+    return;
+  }
+  rpc_.ReplyTo(initiator, request_id, hops, MessageType::kRangeShowerReply,
+               reply.Encode());
+}
+
+void Peer::OnShowerPartial(uint64_t request_id, uint32_t hops,
+                           const RangeShowerReply& reply) {
+  auto it = shower_scans_.find(request_id);
+  if (it == shower_scans_.end()) return;
+  ScanState& state = it->second;
+  auto& result = state.result;
+  result.entries.insert(result.entries.end(), reply.entries.begin(),
+                        reply.entries.end());
+  result.peers_contacted++;
+  result.max_hops = std::max(result.max_hops, hops);
+  if (reply.unreachable > 0) result.complete = false;
+  state.outstanding += reply.forwards;
+  state.outstanding -= 1;
+  if (state.outstanding == 0) {
+    FinishShowerScan(request_id, state.result.complete);
+  }
+}
+
+void Peer::FinishShowerScan(uint64_t request_id, bool complete) {
+  auto it = shower_scans_.find(request_id);
+  if (it == shower_scans_.end()) return;
+  ScanState state = std::move(it->second);
+  shower_scans_.erase(it);
+  state.result.complete = complete && state.result.complete;
+  state.callback(std::move(state.result));
+}
+
+// ---------------------------------------------------------------------------
+// Exchange (construction, refinement, load balancing)
+// ---------------------------------------------------------------------------
+
+RefsBlock Peer::SnapshotRefs() const {
+  RefsBlock block;
+  block.refs.resize(routing_.levels());
+  for (size_t l = 0; l < routing_.levels(); ++l) {
+    block.refs[l] = routing_.RefsAt(l);
+  }
+  return block;
+}
+
+void Peer::MergeRefs(const RefsBlock& refs, const Key& sender_path,
+                     PeerId sender) {
+  (void)sender;
+  for (size_t l = 0; l < refs.refs.size(); ++l) {
+    // A sender ref at level l points into the subtree
+    // sender_path[0..l-1] + !sender_path[l]; it is usable at our level l
+    // iff our path agrees with the sender's on bits [0..l].
+    if (l >= path_.size() || l >= sender_path.size()) break;
+    if (path_.CommonPrefixLength(sender_path) <= l) break;
+    for (PeerId p : refs.refs[l]) {
+      if (p != id_) routing_.AddRef(l, p, &rng_);
+    }
+  }
+}
+
+void Peer::AddPeerByPath(PeerId peer, const Key& peer_path) {
+  if (peer == id_) return;
+  if (peer_path == path_) {
+    routing_.AddReplica(peer);
+    return;
+  }
+  size_t l = path_.CommonPrefixLength(peer_path);
+  if (l < path_.size() && l < peer_path.size()) {
+    routing_.AddRef(l, peer, &rng_);
+  }
+  // A proper-prefix relationship cannot be represented in the table; a
+  // later exchange resolves it.
+}
+
+void Peer::InitiateExchange(PeerId other, StatusCallback callback) {
+  DoInitiateExchange(other, options_.exchange_ttl, std::move(callback));
+}
+
+void Peer::DoInitiateExchange(PeerId other, uint32_t ttl,
+                              StatusCallback callback) {
+  if (exchange_busy_) {
+    callback(Status::Unavailable("peer ", id_, ": exchange in progress"));
+    return;
+  }
+  if (other == id_) {
+    callback(Status::InvalidArgument("cannot exchange with self"));
+    return;
+  }
+  exchange_busy_ = true;
+
+  ExchangeRequest req;
+  req.initiator = id_;
+  req.path = path_.bits();
+  req.live_size = store_.live_size();
+  req.replica_count = static_cast<uint32_t>(routing_.replicas().size());
+  req.ttl = ttl;
+  req.refs = SnapshotRefs();
+
+  rpc_.SendRequest(
+      other, MessageType::kExchange, req.Encode(), options_.request_timeout,
+      [this, ttl, callback](const Status& status, const Message& msg) {
+        exchange_busy_ = false;
+        if (!status.ok()) {
+          callback(status);
+          return;
+        }
+        auto reply = ExchangeReply::Decode(msg.payload);
+        if (!reply.ok()) {
+          callback(reply.status());
+          return;
+        }
+        if (reply->action == ExchangeAction::kBusy) {
+          callback(Status::Unavailable("exchange partner busy"));
+          return;
+        }
+        PeerId responder = msg.src;
+        ApplyExchangeReply(*reply, responder);
+
+        // Recursive refinement: meet one of the partner's contacts.
+        if (ttl > 0) {
+          std::vector<PeerId> candidates;
+          for (const auto& level : reply->refs.refs) {
+            for (PeerId p : level) {
+              if (p != id_) candidates.push_back(p);
+            }
+          }
+          if (!candidates.empty()) {
+            PeerId next = candidates[rng_.NextBounded(candidates.size())];
+            transport_->simulation()->Schedule(
+                1000, [this, next, ttl]() {
+                  DoInitiateExchange(next, ttl - 1, NoopStatus);
+                });
+          }
+        }
+        callback(Status::OK());
+      });
+}
+
+void Peer::HandleExchange(const Message& msg) {
+  auto req = ExchangeRequest::Decode(msg.payload);
+  if (!req.ok()) return;
+  for (char c : req->path) {
+    if (c != '0' && c != '1') return;  // Corrupt path; drop.
+  }
+  if (exchange_busy_) {
+    ExchangeReply busy;
+    busy.action = ExchangeAction::kBusy;
+    busy.responder_path = path_.bits();
+    rpc_.Reply(msg, MessageType::kExchangeReply, busy.Encode());
+    return;
+  }
+  ExchangeReply reply = DecideExchange(*req);
+  MergeRefs(req->refs, Key::FromBits(req->path), req->initiator);
+  rpc_.Reply(msg, MessageType::kExchangeReply, reply.Encode());
+}
+
+ExchangeReply Peer::DecideExchange(const ExchangeRequest& req) {
+  const Key a_path = Key::FromBits(req.path);
+  const size_t la = a_path.size();
+  const size_t lb = path_.size();
+  const size_t l = a_path.CommonPrefixLength(path_);
+  const PeerId a = req.initiator;
+
+  ExchangeReply reply;
+  reply.refs = SnapshotRefs();
+
+  if (la == lb && l == la) {
+    // Equal paths.
+    const uint64_t combined = req.live_size + store_.live_size();
+    if (combined > options_.split_threshold && lb < kKeyBits) {
+      // Split: initiator takes the '0' side, we take the '1' side.
+      const size_t split_level = lb;
+      path_ = path_.Child(true);
+      routing_.ExtendTo(path_.size());
+      routing_.ClearReplicas();
+      routing_.AddRef(split_level, a, &rng_);
+      reply.action = ExchangeAction::kSplit;
+      reply.new_initiator_path = a_path.Child(false).bits();
+      reply.entries = store_.ExtractNotMatching(path_);
+    } else {
+      routing_.AddReplica(a);
+      reply.action = ExchangeAction::kReplicate;
+      reply.entries = store_.GetAll();
+    }
+  } else if (l == la && la < lb) {
+    // Initiator's path is a proper prefix of ours: it specializes into the
+    // sibling of our next bit.
+    const bool our_bit = path_.bit(la);
+    reply.action = ExchangeAction::kSpecialize;
+    reply.new_initiator_path = a_path.Child(!our_bit).bits();
+    routing_.AddRef(la, a, &rng_);
+  } else if (l == lb && lb < la) {
+    // Our path is a proper prefix of the initiator's: we specialize.
+    const bool a_bit = a_path.bit(lb);
+    const size_t split_level = lb;
+    path_ = path_.Child(!a_bit);
+    routing_.ExtendTo(path_.size());
+    routing_.ClearReplicas();
+    routing_.AddRef(split_level, a, &rng_);
+    reply.action = ExchangeAction::kNone;
+    reply.entries = store_.ExtractNotMatching(path_);
+  } else {
+    // Paths diverge at level l < min(la, lb).
+    const bool we_are_overloaded =
+        store_.live_size() >
+        options_.balance_factor * static_cast<double>(req.live_size + 1);
+    if (we_are_overloaded && lb < kKeyBits && req.replica_count > 0) {
+      // Storage balancing [Aberer VLDB'05]: the underloaded initiator
+      // migrates under our overloaded region and takes half of it. Its old
+      // data stays with its replicas.
+      const size_t split_level = lb;
+      Key initiator_new = path_.Child(false);
+      path_ = path_.Child(true);
+      routing_.ExtendTo(path_.size());
+      routing_.ClearReplicas();
+      routing_.AddRef(split_level, a, &rng_);
+      reply.action = ExchangeAction::kMigrateSplit;
+      reply.new_initiator_path = initiator_new.bits();
+      reply.entries = store_.ExtractNotMatching(path_);
+    } else {
+      routing_.AddRef(l, a, &rng_);
+      reply.action = ExchangeAction::kNone;
+    }
+  }
+  reply.responder_path = path_.bits();
+  reply.responder_size = store_.live_size();
+  return reply;
+}
+
+void Peer::ApplyExchangeReply(const ExchangeReply& reply, PeerId responder) {
+  const Key responder_path = Key::FromBits(reply.responder_path);
+
+  switch (reply.action) {
+    case ExchangeAction::kNone:
+      break;
+    case ExchangeAction::kBusy:
+      return;
+    case ExchangeAction::kReplicate: {
+      routing_.AddReplica(responder);
+      // Symmetric sync: ship our state back so both replicas converge.
+      SendEntries(responder, store_.GetAll(), /*reroute_if_foreign=*/false,
+                  /*gossip=*/false);
+      break;
+    }
+    case ExchangeAction::kSplit:
+    case ExchangeAction::kSpecialize: {
+      const Key new_path = Key::FromBits(reply.new_initiator_path);
+      UNISTORE_CHECK(path_.IsPrefixOf(new_path))
+          << "exchange produced non-extension path";
+      path_ = new_path;
+      routing_.ExtendTo(path_.size());
+      routing_.ClearReplicas();
+      std::vector<Entry> foreign = store_.ExtractNotMatching(path_);
+      if (!foreign.empty()) {
+        rerouted_entries_ += foreign.size();
+        SendEntries(responder, std::move(foreign),
+                    /*reroute_if_foreign=*/true, /*gossip=*/false);
+      }
+      break;
+    }
+    case ExchangeAction::kMigrateSplit: {
+      const Key new_path = Key::FromBits(reply.new_initiator_path);
+      // Hand everything we hold to a replica of our old region, then move.
+      std::vector<PeerId> old_replicas = routing_.replicas();
+      std::vector<Entry> old_entries = store_.GetAll();
+      store_.Clear();
+      if (!old_entries.empty()) {
+        if (!old_replicas.empty()) {
+          PeerId heir = old_replicas[rng_.NextBounded(old_replicas.size())];
+          SendEntries(heir, std::move(old_entries),
+                      /*reroute_if_foreign=*/false, /*gossip=*/true);
+        } else {
+          SendEntries(responder, std::move(old_entries),
+                      /*reroute_if_foreign=*/true, /*gossip=*/false);
+        }
+      }
+      path_ = new_path;
+      routing_.ResetForPath(path_.size());
+      routing_.ClearReplicas();
+      break;
+    }
+  }
+
+  MergeRefs(reply.refs, responder_path, responder);
+  AddPeerByPath(responder, responder_path);
+  ApplyOrReroute(reply.entries);
+}
+
+}  // namespace pgrid
+}  // namespace unistore

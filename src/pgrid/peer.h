@@ -1,0 +1,247 @@
+// The P-Grid peer: overlay protocol endpoint + local storage.
+#ifndef UNISTORE_PGRID_PEER_H_
+#define UNISTORE_PGRID_PEER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/message.h"
+#include "net/rpc.h"
+#include "net/transport.h"
+#include "pgrid/key.h"
+#include "pgrid/local_store.h"
+#include "pgrid/messages.h"
+#include "pgrid/ophash.h"
+#include "pgrid/routing_table.h"
+
+namespace unistore {
+namespace pgrid {
+
+/// Tunables of one peer's protocol behaviour.
+struct PeerOptions {
+  /// Combined live entries at which two equal-path peers split instead of
+  /// replicating (the data-driven load-balancing knob: dense key regions
+  /// split deeper — [Aberer VLDB'05]).
+  size_t split_threshold = 256;
+
+  /// A peer offers a migrate-split to an exchange partner when it stores
+  /// more than `balance_factor` times the partner's load.
+  double balance_factor = 8.0;
+
+  /// Deadline of a single routed request (lookup/insert).
+  sim::SimTime request_timeout = 5 * sim::kMicrosPerSecond;
+
+  /// Deadline of a whole range scan.
+  sim::SimTime scan_timeout = 20 * sim::kMicrosPerSecond;
+
+  /// Retries of a failed lookup/insert at the initiator.
+  int request_retries = 2;
+
+  /// Replicas contacted directly on an update (rumor-spreading push,
+  /// [Datta ICDCS'03]); receivers forward new rumors to the same fanout.
+  size_t gossip_fanout = 2;
+
+  /// Recursive meetings an exchange may trigger (construction gossip).
+  uint32_t exchange_ttl = 2;
+};
+
+/// Result of a lookup operation.
+struct LookupResult {
+  std::vector<Entry> entries;
+  uint32_t hops = 0;      ///< Overlay hops from initiator to owner.
+  PeerId owner = net::kNoPeer;
+  std::string owner_path;
+};
+
+/// Result of a range scan (either strategy).
+struct RangeResult {
+  std::vector<Entry> entries;
+  uint32_t peers_contacted = 0;
+  uint32_t max_hops = 0;
+  /// False when a branch was unreachable or the scan timed out; the
+  /// entries collected so far are still returned.
+  bool complete = true;
+};
+
+/// \brief One P-Grid node: path, routing table, local store, and the
+/// message handlers implementing lookup/insert routing, both range-scan
+/// strategies, the pairwise exchange (construction, load balancing), and
+/// replica maintenance (rumor push + anti-entropy pull).
+///
+/// All client operations are asynchronous: they return immediately and the
+/// callback fires from the simulation loop. Synchronous wrappers for tests
+/// and benchmarks live in the harness (core::Cluster).
+class Peer {
+ public:
+  using LookupCallback = std::function<void(Result<LookupResult>)>;
+  using RangeCallback = std::function<void(Result<RangeResult>)>;
+  using StatusCallback = std::function<void(Status)>;
+  using ExtensionHandler = std::function<void(const net::Message&)>;
+
+  /// Creates the peer and registers it with `transport`.
+  Peer(net::Transport* transport, uint64_t rng_seed, PeerOptions options);
+
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+
+  PeerId id() const { return id_; }
+  const Key& path() const { return path_; }
+  const PeerOptions& options() const { return options_; }
+  LocalStore& store() { return store_; }
+  const LocalStore& store() const { return store_; }
+  RoutingTable& routing() { return routing_; }
+  const RoutingTable& routing() const { return routing_; }
+  net::RpcManager& rpc() { return rpc_; }
+  net::Transport* transport() { return transport_; }
+  Rng& rng() { return rng_; }
+
+  /// True iff this peer's path is a prefix of `key`.
+  bool IsResponsible(const Key& key) const { return path_.IsPrefixOf(key); }
+
+  /// The next greedy-routing hop toward `key`: this peer's id if
+  /// responsible, kNoPeer on a dead end. Exposed for protocol extensions
+  /// (mutant query plan envelopes route themselves with this).
+  PeerId RouteNextHop(const Key& key) { return NextHop(key); }
+
+  // --- Harness-side setup (bypasses the network; used by Overlay) --------
+
+  /// Sets the path and resizes the routing table (refs cleared).
+  void SetPath(const Key& path);
+
+  /// Stores an entry locally without routing.
+  void ApplyLocal(const Entry& entry) { store_.Apply(entry); }
+
+  // --- Asynchronous client API -------------------------------------------
+
+  /// Routes to the owner of `key` and returns the matching entries.
+  void Lookup(const Key& key, LookupMode mode, LookupCallback callback);
+
+  /// Routes `entry` to its owner, stores it, pushes to replicas.
+  void Insert(Entry entry, StatusCallback callback);
+
+  /// Deletes by writing a tombstone (id under `key` with higher version).
+  void Remove(const Key& key, const std::string& entry_id, uint64_t version,
+              StatusCallback callback);
+
+  /// Sequential (min-first) range scan: walks leaves left to right.
+  /// `limit` > 0 terminates the walk early after that many entries were
+  /// collected (ordered top-N pushdown; entries arrive in key order).
+  void RangeScanSeq(const KeyRange& range, RangeCallback callback,
+                    uint32_t limit = 0);
+
+  /// Parallel "shower" range scan: forks into every subtree overlapping
+  /// the range.
+  void RangeScanShower(const KeyRange& range, RangeCallback callback);
+
+  /// One pairwise exchange with `other` (construction / refinement /
+  /// balancing). Joining the network is an exchange from an empty path.
+  void InitiateExchange(PeerId other, StatusCallback callback);
+
+  /// Anti-entropy: pulls the full state of a random replica and merges.
+  void PullFromReplica(StatusCallback callback);
+
+  // --- Extension hook (query layer, statistics gossip) -------------------
+
+  /// Registers a handler for a message type the overlay does not consume.
+  void SetExtensionHandler(net::MessageType type, ExtensionHandler handler);
+
+  /// Total tombstone+live entries rerouted because they did not match this
+  /// peer's path after an exchange (observability for tests).
+  uint64_t rerouted_entries() const { return rerouted_entries_; }
+
+ private:
+  // Message pump.
+  void OnMessage(const net::Message& msg);
+
+  // Client ops with retry budget.
+  void DoLookup(const Key& key, LookupMode mode, int retries_left,
+                LookupCallback callback);
+  void DoInsert(Entry entry, int retries_left, StatusCallback callback);
+  void DoInitiateExchange(PeerId other, uint32_t ttl, StatusCallback callback);
+
+  // Routing.
+  PeerId NextHop(const Key& key);
+  // Forwards a routed request one hop toward `key`. Returns false if no
+  // reference is available (routing dead end).
+  bool Forward(const net::Message& msg, const Key& key);
+
+  // Request handlers (invoked for messages, and locally by client ops when
+  // this peer is already responsible).
+  void HandleLookup(const net::Message& msg);
+  void HandleInsert(const net::Message& msg);
+  void HandleRangeSeq(const net::Message& msg);
+  void HandleRangeShower(const net::Message& msg);
+  void HandleExchange(const net::Message& msg);
+  void HandleEntryBatch(const net::Message& msg);
+  void HandleAntiEntropy(const net::Message& msg);
+
+  // Shared protocol steps.
+  void ServeLookup(const LookupRequest& req, uint64_t request_id,
+                   uint32_t hops);
+  void ServeInsert(const InsertRequest& req, uint64_t request_id,
+                   uint32_t hops);
+  void ProcessRangeSeq(const RangeSeqRequest& req, uint64_t request_id,
+                       uint32_t hops);
+  void ProcessRangeShower(const RangeShowerRequest& req, uint64_t request_id,
+                          uint32_t hops);
+  void DeliverSeqPartial(PeerId initiator, uint64_t request_id, uint32_t hops,
+                         const RangeSeqReply& reply);
+  void DeliverShowerPartial(PeerId initiator, uint64_t request_id,
+                            uint32_t hops, const RangeShowerReply& reply);
+  void OnSeqPartial(uint64_t request_id, uint32_t hops,
+                    const RangeSeqReply& reply);
+  void OnShowerPartial(uint64_t request_id, uint32_t hops,
+                       const RangeShowerReply& reply);
+
+  // Exchange protocol.
+  ExchangeReply DecideExchange(const ExchangeRequest& req);
+  void ApplyExchangeReply(const ExchangeReply& reply, PeerId responder);
+  RefsBlock SnapshotRefs() const;
+  void MergeRefs(const RefsBlock& refs, const Key& sender_path,
+                 PeerId sender);
+  void AddPeerByPath(PeerId peer, const Key& peer_path);
+
+  // Replica maintenance.
+  void PushToReplicas(const Entry& entry);
+  void ApplyOrReroute(const std::vector<Entry>& entries);
+  void SendEntries(PeerId dst, std::vector<Entry> entries,
+                   bool reroute_if_foreign, bool gossip);
+
+  net::Transport* transport_;
+  PeerId id_;
+  PeerOptions options_;
+  Rng rng_;
+  Key path_;
+  LocalStore store_;
+  RoutingTable routing_;
+  net::RpcManager rpc_;
+  bool exchange_busy_ = false;
+  uint64_t rerouted_entries_ = 0;
+
+  std::map<net::MessageType, ExtensionHandler> extensions_;
+
+  // Initiator-side state of in-flight range scans, keyed by request id.
+  struct ScanState {
+    RangeCallback callback;
+    RangeResult result;
+    uint32_t outstanding = 1;  // Shower only.
+    bool finished = false;
+  };
+  uint64_t next_scan_id_ = 1;
+  std::map<uint64_t, ScanState> seq_scans_;
+  std::map<uint64_t, ScanState> shower_scans_;
+
+  void FinishSeqScan(uint64_t request_id, bool complete);
+  void FinishShowerScan(uint64_t request_id, bool complete);
+};
+
+}  // namespace pgrid
+}  // namespace unistore
+
+#endif  // UNISTORE_PGRID_PEER_H_

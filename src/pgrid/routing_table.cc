@@ -1,0 +1,95 @@
+#include "pgrid/routing_table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace unistore {
+namespace pgrid {
+
+void RoutingTable::ResetForPath(size_t path_length) {
+  levels_.assign(path_length, {});
+}
+
+void RoutingTable::ExtendTo(size_t path_length) {
+  if (levels_.size() < path_length) levels_.resize(path_length);
+}
+
+void RoutingTable::AddRef(size_t level, PeerId peer, Rng* rng) {
+  UNISTORE_CHECK(level < levels_.size())
+      << "level " << level << " of " << levels_.size();
+  auto& refs = levels_[level];
+  if (std::find(refs.begin(), refs.end(), peer) != refs.end()) return;
+  if (refs.size() < kMaxRefsPerLevel) {
+    refs.push_back(peer);
+    return;
+  }
+  // Replace a random existing reference: keeps the table fresh and gives
+  // every candidate a chance to be referenced somewhere (P-Grid keeps
+  // random *representative* subsets per level).
+  size_t victim = static_cast<size_t>(rng->NextBounded(refs.size()));
+  refs[victim] = peer;
+}
+
+void RoutingTable::RemoveRef(size_t level, PeerId peer) {
+  if (level >= levels_.size()) return;
+  auto& refs = levels_[level];
+  refs.erase(std::remove(refs.begin(), refs.end(), peer), refs.end());
+}
+
+void RoutingTable::RemoveEverywhere(PeerId peer) {
+  for (size_t l = 0; l < levels_.size(); ++l) RemoveRef(l, peer);
+  RemoveReplica(peer);
+}
+
+const std::vector<PeerId>& RoutingTable::RefsAt(size_t level) const {
+  static const std::vector<PeerId> kEmpty;
+  if (level >= levels_.size()) return kEmpty;
+  return levels_[level];
+}
+
+PeerId RoutingTable::RandomRefAt(size_t level, Rng* rng) const {
+  const auto& refs = RefsAt(level);
+  if (refs.empty()) return net::kNoPeer;
+  return refs[rng->NextBounded(refs.size())];
+}
+
+void RoutingTable::AddReplica(PeerId peer) {
+  if (std::find(replicas_.begin(), replicas_.end(), peer) == replicas_.end()) {
+    replicas_.push_back(peer);
+  }
+}
+
+void RoutingTable::RemoveReplica(PeerId peer) {
+  replicas_.erase(std::remove(replicas_.begin(), replicas_.end(), peer),
+                  replicas_.end());
+}
+
+size_t RoutingTable::TotalRefs() const {
+  size_t n = 0;
+  for (const auto& refs : levels_) n += refs.size();
+  return n;
+}
+
+std::string RoutingTable::ToString() const {
+  std::ostringstream os;
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    os << "L" << l << ":[";
+    for (size_t i = 0; i < levels_[l].size(); ++i) {
+      if (i) os << ",";
+      os << levels_[l][i];
+    }
+    os << "] ";
+  }
+  os << "replicas:[";
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (i) os << ",";
+    os << replicas_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace pgrid
+}  // namespace unistore

@@ -1,0 +1,75 @@
+// P-Grid routing state of one peer.
+#ifndef UNISTORE_PGRID_ROUTING_TABLE_H_
+#define UNISTORE_PGRID_ROUTING_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/message.h"
+#include "pgrid/key.h"
+
+namespace unistore {
+namespace pgrid {
+
+using net::PeerId;
+
+/// \brief Prefix-routing references plus the replica list.
+///
+/// A peer with path b0 b1 ... b(k-1) keeps, for every level l < k, a small
+/// set of references to peers whose paths start with b0 ... b(l-1) ¬bl —
+/// the *opposite* subtree at that level. Greedy routing forwards a key to
+/// a reference at the level of the first bit where the key leaves the
+/// peer's path, halving the remaining key space per hop (the paper's
+/// "logarithmic search complexity").
+class RoutingTable {
+ public:
+  /// Maximum references kept per level (fault tolerance vs table size).
+  static constexpr size_t kMaxRefsPerLevel = 4;
+
+  /// Resets to an empty table for the given path length.
+  void ResetForPath(size_t path_length);
+
+  /// Grows the table to `path_length` levels, preserving existing
+  /// references (used when a peer extends its path during an exchange).
+  void ExtendTo(size_t path_length);
+
+  /// Adds `peer` as a reference at `level` (dedup, capacity-capped with
+  /// random replacement driven by `rng`).
+  void AddRef(size_t level, PeerId peer, Rng* rng);
+
+  /// Removes a peer from one level (after a delivery failure).
+  void RemoveRef(size_t level, PeerId peer);
+
+  /// Removes a peer everywhere (peer known dead).
+  void RemoveEverywhere(PeerId peer);
+
+  /// All references at `level` (may be empty).
+  const std::vector<PeerId>& RefsAt(size_t level) const;
+
+  /// A uniformly random reference at `level`, or kNoPeer if none.
+  PeerId RandomRefAt(size_t level, Rng* rng) const;
+
+  size_t levels() const { return levels_.size(); }
+
+  /// Replicas: peers with the same path as this one.
+  const std::vector<PeerId>& replicas() const { return replicas_; }
+  void AddReplica(PeerId peer);
+  void RemoveReplica(PeerId peer);
+  void ClearReplicas() { replicas_.clear(); }
+
+  /// Total number of references across levels.
+  size_t TotalRefs() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<PeerId>> levels_;
+  std::vector<PeerId> replicas_;
+};
+
+}  // namespace pgrid
+}  // namespace unistore
+
+#endif  // UNISTORE_PGRID_ROUTING_TABLE_H_

@@ -1,0 +1,465 @@
+#include "plan/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "triple/index.h"
+
+namespace unistore {
+namespace plan {
+namespace {
+
+using algebra::LogicalOp;
+using algebra::LogicalOpKind;
+using algebra::LogicalPlan;
+using triple::Value;
+
+// A pattern plus the restrictions pushed into it during translation.
+struct AnnotatedPattern {
+  vql::TriplePattern pattern;
+  Value object_lo;
+  Value object_hi;
+  std::string sim_target;
+  size_t sim_max_distance = 0;
+};
+
+// Recognizes `?v op literal` / `literal op ?v`; returns (var, op, literal).
+struct VarCompare {
+  std::string variable;
+  vql::CompareOp op;
+  Value literal;
+};
+
+vql::CompareOp FlipOp(vql::CompareOp op) {
+  switch (op) {
+    case vql::CompareOp::kLt: return vql::CompareOp::kGt;
+    case vql::CompareOp::kLe: return vql::CompareOp::kGe;
+    case vql::CompareOp::kGt: return vql::CompareOp::kLt;
+    case vql::CompareOp::kGe: return vql::CompareOp::kLe;
+    default: return op;
+  }
+}
+
+std::optional<VarCompare> MatchVarCompare(const vql::Expr& expr) {
+  if (expr.kind != vql::ExprKind::kCompare) return std::nullopt;
+  const auto& lhs = *expr.children[0];
+  const auto& rhs = *expr.children[1];
+  if (lhs.kind == vql::ExprKind::kVariable &&
+      rhs.kind == vql::ExprKind::kLiteral) {
+    return VarCompare{lhs.variable, expr.op, rhs.literal};
+  }
+  if (lhs.kind == vql::ExprKind::kLiteral &&
+      rhs.kind == vql::ExprKind::kVariable) {
+    return VarCompare{rhs.variable, FlipOp(expr.op), lhs.literal};
+  }
+  return std::nullopt;
+}
+
+// Recognizes `edist(?v, 'target') < k` (or <=) in either argument order of
+// the comparison.
+struct SimRestriction {
+  std::string variable;
+  std::string target;
+  size_t max_distance;
+};
+
+std::optional<SimRestriction> MatchSimilarity(const vql::Expr& expr) {
+  if (expr.kind != vql::ExprKind::kCompare) return std::nullopt;
+  if (expr.op != vql::CompareOp::kLt && expr.op != vql::CompareOp::kLe) {
+    return std::nullopt;
+  }
+  const auto& lhs = *expr.children[0];
+  const auto& rhs = *expr.children[1];
+  if (lhs.kind != vql::ExprKind::kFunction || lhs.function != "edist" ||
+      rhs.kind != vql::ExprKind::kLiteral || !rhs.literal.is_number()) {
+    return std::nullopt;
+  }
+  if (lhs.children.size() != 2) return std::nullopt;
+  const auto& a = *lhs.children[0];
+  const auto& b = *lhs.children[1];
+  std::string variable, target;
+  if (a.kind == vql::ExprKind::kVariable &&
+      b.kind == vql::ExprKind::kLiteral && b.literal.is_string()) {
+    variable = a.variable;
+    target = b.literal.AsString();
+  } else if (b.kind == vql::ExprKind::kVariable &&
+             a.kind == vql::ExprKind::kLiteral && a.literal.is_string()) {
+    variable = b.variable;
+    target = a.literal.AsString();
+  } else {
+    return std::nullopt;
+  }
+  int64_t bound = rhs.literal.AsInt();
+  if (expr.op == vql::CompareOp::kLt) bound -= 1;  // edist < k  ==  <= k-1
+  if (bound < 0) return std::nullopt;
+  return SimRestriction{std::move(variable), std::move(target),
+                        static_cast<size_t>(bound)};
+}
+
+bool SharesVariable(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  return !algebra::SharedVariables(a, b).empty();
+}
+
+}  // namespace
+
+Optimizer::Optimizer(const cost::StatsCatalog* catalog,
+                     PlannerOptions options)
+    : catalog_(catalog), cost_model_(catalog), options_(options) {}
+
+Result<algebra::LogicalPlan> Optimizer::Translate(
+    const vql::Query& query) const {
+  if (query.patterns.empty()) {
+    return Status::InvalidArgument("query has no triple patterns");
+  }
+
+  // 1. Annotate patterns with pushed-down restrictions. The original
+  // filters are all kept as residual predicates: pushdowns only *narrow*
+  // what the scans fetch, the residuals guarantee exact semantics (e.g.
+  // strict '<' over a non-strict covering range).
+  std::vector<AnnotatedPattern> annotated;
+  annotated.reserve(query.patterns.size());
+  for (const auto& p : query.patterns) {
+    AnnotatedPattern ap;
+    ap.pattern = p;
+    annotated.push_back(std::move(ap));
+  }
+  auto find_object_pattern = [&annotated](const std::string& var) -> int {
+    for (size_t i = 0; i < annotated.size(); ++i) {
+      const auto& p = annotated[i].pattern;
+      if (p.object.is_variable && p.object.variable == var &&
+          !p.predicate.is_variable) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+
+  for (const auto& filter : query.filters) {
+    if (auto sim = MatchSimilarity(*filter)) {
+      int idx = find_object_pattern(sim->variable);
+      if (idx >= 0 && annotated[static_cast<size_t>(idx)].sim_target.empty()) {
+        annotated[static_cast<size_t>(idx)].sim_target = sim->target;
+        annotated[static_cast<size_t>(idx)].sim_max_distance =
+            sim->max_distance;
+        continue;
+      }
+    }
+    if (auto cmp = MatchVarCompare(*filter)) {
+      int idx = find_object_pattern(cmp->variable);
+      if (idx >= 0) {
+        auto& ap = annotated[static_cast<size_t>(idx)];
+        switch (cmp->op) {
+          case vql::CompareOp::kEq:
+            if (ap.object_lo.is_null() || cmp->literal > ap.object_lo) {
+              ap.object_lo = cmp->literal;
+            }
+            if (ap.object_hi.is_null() || cmp->literal < ap.object_hi) {
+              ap.object_hi = cmp->literal;
+            }
+            break;
+          case vql::CompareOp::kLt:
+          case vql::CompareOp::kLe:
+            if (ap.object_hi.is_null() || cmp->literal < ap.object_hi) {
+              ap.object_hi = cmp->literal;
+            }
+            break;
+          case vql::CompareOp::kGt:
+          case vql::CompareOp::kGe:
+            if (ap.object_lo.is_null() || cmp->literal > ap.object_lo) {
+              ap.object_lo = cmp->literal;
+            }
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+
+  // 2. Greedy join order: cheapest (estimated) pattern first, then always
+  // the cheapest pattern connected to the bound variables.
+  auto make_scan = [](const AnnotatedPattern& ap) {
+    LogicalPlan scan = algebra::MakePatternScan(ap.pattern);
+    scan->object_lo = ap.object_lo;
+    scan->object_hi = ap.object_hi;
+    scan->sim_target = ap.sim_target;
+    scan->sim_max_distance = ap.sim_max_distance;
+    return scan;
+  };
+
+  std::vector<LogicalPlan> scans;
+  scans.reserve(annotated.size());
+  for (const auto& ap : annotated) scans.push_back(make_scan(ap));
+
+  std::vector<bool> used(scans.size(), false);
+  auto cheapest = [this, &scans, &used](
+                      const std::vector<std::string>* bound) -> int {
+    int best = -1;
+    double best_cost = 0;
+    for (size_t i = 0; i < scans.size(); ++i) {
+      if (used[i]) continue;
+      if (bound != nullptr &&
+          !SharesVariable(*bound, scans[i]->OutputVariables())) {
+        continue;
+      }
+      double cost = EstimateScanCardinality(*scans[i]);
+      if (best < 0 || cost < best_cost) {
+        best = static_cast<int>(i);
+        best_cost = cost;
+      }
+    }
+    return best;
+  };
+
+  int first = cheapest(nullptr);
+  UNISTORE_CHECK(first >= 0);
+  used[static_cast<size_t>(first)] = true;
+  LogicalPlan root = scans[static_cast<size_t>(first)];
+  std::vector<std::string> bound = root->OutputVariables();
+
+  for (size_t step = 1; step < scans.size(); ++step) {
+    int next = cheapest(&bound);
+    if (next < 0) next = cheapest(nullptr);  // Cartesian fallback.
+    UNISTORE_CHECK(next >= 0);
+    used[static_cast<size_t>(next)] = true;
+    LogicalPlan right = scans[static_cast<size_t>(next)];
+    for (const auto& v : right->OutputVariables()) {
+      if (std::find(bound.begin(), bound.end(), v) == bound.end()) {
+        bound.push_back(v);
+      }
+    }
+    root = algebra::MakeJoin(std::move(root), std::move(right));
+  }
+
+  // 3. Residual filters (all of them — see above).
+  for (const auto& filter : query.filters) {
+    root = algebra::MakeFilter(filter, std::move(root));
+  }
+
+  // 4. Ranking / ordering.
+  if (!query.skyline.empty()) {
+    root = algebra::MakeSkyline(query.skyline, std::move(root));
+    if (query.limit.has_value()) {
+      root = algebra::MakeLimit(*query.limit, std::move(root));
+    }
+  } else if (!query.order_by.empty()) {
+    if (query.limit.has_value()) {
+      root = algebra::MakeTopN(query.order_by, *query.limit,
+                               std::move(root));
+    } else {
+      root = algebra::MakeOrderBy(query.order_by, std::move(root));
+    }
+  } else if (query.limit.has_value()) {
+    root = algebra::MakeLimit(*query.limit, std::move(root));
+  }
+
+  // 5. Projection.
+  std::vector<std::string> columns =
+      query.select_all ? bound : query.select;
+  root = algebra::MakeProject(std::move(columns), std::move(root));
+  return root;
+}
+
+double Optimizer::EstimateScanCardinality(
+    const algebra::LogicalOp& scan) const {
+  const auto& p = scan.pattern;
+  const double total = std::max<double>(1, catalog_->TotalTriples());
+  if (!p.subject.is_variable) return 3;  // A handful of triples per OID.
+  if (p.predicate.is_variable) {
+    if (!p.object.is_variable) return std::max(2.0, total / 1000);
+    return total;
+  }
+  const std::string& attr = p.predicate.literal.AsString();
+  cost::AttrStats stats = catalog_->Attribute(attr);
+  double count = std::max<double>(
+      1, stats.triple_count ? stats.triple_count : total / 10);
+  if (!p.object.is_variable) {
+    double distinct = std::max<double>(1, stats.distinct_values);
+    return std::max(1.0, count / distinct);
+  }
+  if (!scan.sim_target.empty()) return std::max(1.0, 0.02 * count);
+  if (!scan.object_lo.is_null() || !scan.object_hi.is_null()) {
+    if (scan.object_lo.is_number() || scan.object_hi.is_number()) {
+      double lo = scan.object_lo.is_null() ? -1e300
+                                           : scan.object_lo.AsDouble();
+      double hi = scan.object_hi.is_null() ? 1e300
+                                           : scan.object_hi.AsDouble();
+      return std::max(1.0,
+                      catalog_->EstimateRangeSelectivity(attr, lo, hi) *
+                          count);
+    }
+    return std::max(1.0, 0.3 * count);
+  }
+  return count;
+}
+
+double Optimizer::EstimateScanPeers(const algebra::LogicalOp& scan) const {
+  const auto& p = scan.pattern;
+  if (p.predicate.is_variable) {
+    // Whole A#v index.
+    return catalog_->EstimatePeersInRange(pgrid::PrefixRange("a#"));
+  }
+  const std::string& attr = p.predicate.literal.AsString();
+  pgrid::KeyRange range =
+      triple::AttrValueRange(attr, scan.object_lo, scan.object_hi);
+  return catalog_->EstimatePeersInRange(range);
+}
+
+triple::RangeStrategy Optimizer::ChooseRangeStrategy(
+    double peers_in_range, double expected_entries) const {
+  if (options_.force_range_strategy.has_value()) {
+    return *options_.force_range_strategy;
+  }
+  cost::Cost seq = cost_model_.RangeScanSequential(peers_in_range,
+                                                   expected_entries);
+  cost::Cost shower = cost_model_.RangeScanShower(peers_in_range,
+                                                  expected_entries);
+  return seq.Total() <= shower.Total() ? triple::RangeStrategy::kSequential
+                                       : triple::RangeStrategy::kShower;
+}
+
+JoinStrategy Optimizer::ChooseJoinStrategy(
+    double left_cardinality, const vql::TriplePattern& right) const {
+  if (options_.force_join_strategy.has_value()) {
+    return *options_.force_join_strategy;
+  }
+  // Probe requires the right subject (or object) to become bound per left
+  // binding; migrate requires a literal right attribute to walk.
+  if (right.predicate.is_variable) return JoinStrategy::kProbe;
+  const std::string& attr = right.predicate.literal.AsString();
+  double peers =
+      catalog_->EstimatePeersInRange(triple::AttrRange(attr));
+  cost::Cost probe = cost_model_.IndexJoinProbe(left_cardinality, 0.5);
+  cost::Cost migrate =
+      cost_model_.IndexJoinMigrate(left_cardinality, peers);
+  return probe.Total() <= migrate.Total() ? JoinStrategy::kProbe
+                                          : JoinStrategy::kMigrate;
+}
+
+PhysicalPlan Optimizer::PhysicalizeScan(const algebra::LogicalOp& scan) const {
+  auto op = std::make_shared<PhysicalOp>();
+  op->kind = LogicalOpKind::kPatternScan;
+  op->pattern = scan.pattern;
+  op->object_lo = scan.object_lo;
+  op->object_hi = scan.object_hi;
+  op->sim_target = scan.sim_target;
+  op->sim_max_distance = scan.sim_max_distance;
+
+  const auto& p = scan.pattern;
+  if (!p.predicate.is_variable) {
+    const std::string attr = p.predicate.literal.AsString();
+    op->attributes = {attr};
+    if (options_.apply_mappings && options_.mappings != nullptr) {
+      op->attributes = options_.mappings->Equivalents(attr);
+    }
+  }
+
+  const double cardinality = EstimateScanCardinality(scan);
+  const double peers_in_range = EstimateScanPeers(scan);
+
+  if (!p.subject.is_variable) {
+    op->access = AccessPath::kOidLookup;
+    op->estimated_cost = cost_model_.Lookup();
+  } else if (!p.predicate.is_variable) {
+    if (!scan.sim_target.empty()) {
+      // Cost-based q-gram vs naive similarity.
+      if (options_.force_similarity_path.has_value()) {
+        op->access = *options_.force_similarity_path;
+      } else {
+        const auto stats =
+            catalog_->Attribute(p.predicate.literal.AsString());
+        cost::Cost qg = cost_model_.SimilarityQGram(
+            static_cast<double>(scan.sim_max_distance), 3, cardinality);
+        cost::Cost naive = cost_model_.SimilarityNaive(
+            peers_in_range, static_cast<double>(stats.triple_count));
+        op->access = qg.Total() <= naive.Total()
+                         ? AccessPath::kSimilarityQGram
+                         : AccessPath::kSimilarityNaive;
+      }
+      op->range_strategy = triple::RangeStrategy::kShower;
+      op->estimated_cost = cost_model_.SimilarityQGram(
+          static_cast<double>(scan.sim_max_distance), 3, cardinality);
+    } else if (!p.object.is_variable) {
+      op->access = AccessPath::kAttrValueLookup;
+      op->estimated_cost = cost_model_.Lookup();
+    } else {
+      op->access = AccessPath::kAttrRangeScan;
+      op->range_strategy = ChooseRangeStrategy(peers_in_range, cardinality);
+      op->estimated_cost =
+          op->range_strategy == triple::RangeStrategy::kSequential
+              ? cost_model_.RangeScanSequential(peers_in_range, cardinality)
+              : cost_model_.RangeScanShower(peers_in_range, cardinality);
+    }
+  } else if (!p.object.is_variable) {
+    op->access = AccessPath::kValueLookup;
+    op->estimated_cost = cost_model_.Lookup();
+  } else {
+    op->access = AccessPath::kFullScan;
+    op->range_strategy = triple::RangeStrategy::kShower;
+    op->estimated_cost =
+        cost_model_.RangeScanShower(peers_in_range, cardinality);
+  }
+  return op;
+}
+
+PhysicalPlan Optimizer::Physicalize(const algebra::LogicalPlan& logical) const {
+  if (logical->kind == LogicalOpKind::kPatternScan) {
+    return PhysicalizeScan(*logical);
+  }
+  auto op = std::make_shared<PhysicalOp>();
+  op->kind = logical->kind;
+  op->predicate = logical->predicate;
+  op->columns = logical->columns;
+  op->order_keys = logical->order_keys;
+  op->skyline_keys = logical->skyline_keys;
+  op->limit = logical->limit;
+  for (const auto& child : logical->children) {
+    op->children.push_back(Physicalize(child));
+  }
+
+  if (op->kind == LogicalOpKind::kJoin) {
+    op->adaptive = options_.adaptive &&
+                   !options_.force_join_strategy.has_value();
+    double left_card = 10;  // Static default; refined adaptively at runtime.
+    if (op->children[0]->kind == LogicalOpKind::kPatternScan) {
+      // Re-derive the estimate from the physical child's annotations.
+      algebra::LogicalOp tmp;
+      tmp.kind = LogicalOpKind::kPatternScan;
+      tmp.pattern = op->children[0]->pattern;
+      tmp.object_lo = op->children[0]->object_lo;
+      tmp.object_hi = op->children[0]->object_hi;
+      tmp.sim_target = op->children[0]->sim_target;
+      left_card = EstimateScanCardinality(tmp);
+    }
+    op->join_strategy =
+        ChooseJoinStrategy(left_card, op->children[1]->pattern);
+  }
+
+  // Top-N pushdown: ORDER BY ?v ASC LIMIT n directly over an attribute
+  // range scan of ?v becomes an early-terminating ordered walk.
+  if (op->kind == LogicalOpKind::kTopN && options_.enable_topn_pushdown &&
+      op->order_keys.size() == 1 &&
+      op->order_keys[0].direction == vql::SortDirection::kAsc &&
+      op->limit.has_value() && !op->children.empty()) {
+    PhysicalOp& child = *op->children[0];
+    if (child.kind == LogicalOpKind::kPatternScan &&
+        child.access == AccessPath::kAttrRangeScan &&
+        child.pattern.object.is_variable &&
+        child.pattern.object.variable == op->order_keys[0].variable) {
+      child.scan_limit = static_cast<uint32_t>(*op->limit);
+      child.range_strategy = triple::RangeStrategy::kSequential;
+    }
+  }
+  return op;
+}
+
+Result<PhysicalPlan> Optimizer::Plan(const vql::Query& query) const {
+  UNISTORE_ASSIGN_OR_RETURN(algebra::LogicalPlan logical, Translate(query));
+  return Physicalize(logical);
+}
+
+}  // namespace plan
+}  // namespace unistore

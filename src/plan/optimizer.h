@@ -1,0 +1,80 @@
+// The query optimizer: VQL AST -> logical plan -> physical plan.
+//
+// Responsibilities (paper §2):
+//  * schema-independent translation of triple patterns,
+//  * filter pushdown (ranges and edist similarity into scans),
+//  * greedy selectivity-based join ordering,
+//  * cost-based choice among physical implementations (index access paths,
+//    sequential vs shower ranges, probe vs migrate joins, q-gram vs naive
+//    similarity),
+//  * adaptive re-decisions at runtime (ChooseJoinStrategy is re-invoked by
+//    the executor once actual cardinalities are known),
+//  * optional automatic application of schema mappings.
+#ifndef UNISTORE_PLAN_OPTIMIZER_H_
+#define UNISTORE_PLAN_OPTIMIZER_H_
+
+#include <optional>
+
+#include "algebra/logical.h"
+#include "common/result.h"
+#include "cost/cost_model.h"
+#include "plan/physical.h"
+#include "triple/schema.h"
+#include "vql/ast.h"
+
+namespace unistore {
+namespace plan {
+
+/// Optimizer knobs; the `force_*` overrides exist for the ablation
+/// benchmarks ("we will execute identical queries ... while influencing
+/// the integrated optimizer", paper §4).
+struct PlannerOptions {
+  std::optional<triple::RangeStrategy> force_range_strategy;
+  std::optional<JoinStrategy> force_join_strategy;
+  /// Force similarity path: kSimilarityQGram or kSimilarityNaive.
+  std::optional<AccessPath> force_similarity_path;
+  bool enable_topn_pushdown = true;
+  bool adaptive = true;
+  /// Expand literal attributes with their correspondence classes.
+  bool apply_mappings = false;
+  const triple::MappingSet* mappings = nullptr;
+};
+
+class Optimizer {
+ public:
+  Optimizer(const cost::StatsCatalog* catalog, PlannerOptions options);
+
+  /// Full pipeline: parse-tree -> physical plan.
+  Result<PhysicalPlan> Plan(const vql::Query& query) const;
+
+  /// Translation + rewrites only (exposed for tests/inspection).
+  Result<algebra::LogicalPlan> Translate(const vql::Query& query) const;
+
+  /// Cost-based strategy for a join with `left_cardinality` bindings
+  /// against `right` (re-invoked adaptively by the executor).
+  JoinStrategy ChooseJoinStrategy(double left_cardinality,
+                                  const vql::TriplePattern& right) const;
+
+  /// Cost-based range strategy for a scan touching `peers_in_range`
+  /// peers.
+  triple::RangeStrategy ChooseRangeStrategy(double peers_in_range,
+                                            double expected_entries) const;
+
+  const cost::CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  PhysicalPlan Physicalize(const algebra::LogicalPlan& logical) const;
+  PhysicalPlan PhysicalizeScan(const algebra::LogicalOp& scan) const;
+  double EstimateScanCardinality(const algebra::LogicalOp& scan) const;
+  /// Peers hosting the scan's key region (peer-path sample estimate).
+  double EstimateScanPeers(const algebra::LogicalOp& scan) const;
+
+  const cost::StatsCatalog* catalog_;
+  cost::CostModel cost_model_;
+  PlannerOptions options_;
+};
+
+}  // namespace plan
+}  // namespace unistore
+
+#endif  // UNISTORE_PLAN_OPTIMIZER_H_

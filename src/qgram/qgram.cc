@@ -1,0 +1,91 @@
+#include "qgram/qgram.h"
+
+#include <algorithm>
+#include <set>
+
+#include "pgrid/ophash.h"
+
+namespace unistore {
+namespace qgram {
+
+std::vector<std::string> ExtractQGrams(std::string_view s, size_t q) {
+  if (q == 0) return {};
+  std::string padded;
+  padded.reserve(s.size() + 2 * (q - 1));
+  padded.append(q - 1, kPadChar);
+  padded.append(s);
+  padded.append(q - 1, kPadChar);
+  std::vector<std::string> grams;
+  if (padded.size() < q) return grams;
+  grams.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    grams.push_back(padded.substr(i, q));
+  }
+  return grams;
+}
+
+std::vector<std::string> DistinctQGrams(std::string_view s, size_t q) {
+  auto grams = ExtractQGrams(s, q);
+  std::sort(grams.begin(), grams.end());
+  grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+  return grams;
+}
+
+size_t GramOverlap(std::vector<std::string> a, std::vector<std::string> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  size_t i = 0, j = 0, overlap = 0;
+  while (i < a.size() && j < b.size()) {
+    int c = a[i].compare(b[j]);
+    if (c == 0) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (c < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+int64_t CountFilterThreshold(size_t len_a, size_t len_b, size_t q,
+                             size_t k) {
+  // With (q-1)-padding each string has len + q - 1 grams and one edit
+  // operation destroys at most q of them.
+  const int64_t grams =
+      static_cast<int64_t>(std::max(len_a, len_b) + q - 1);
+  return grams - static_cast<int64_t>(k * q);
+}
+
+std::string QGramIndexString(const std::string& attribute,
+                             const std::string& gram) {
+  return "g#" + attribute + "#" + gram;
+}
+
+pgrid::Key QGramKey(const std::string& attribute, const std::string& gram) {
+  return pgrid::OpHash(QGramIndexString(attribute, gram));
+}
+
+std::vector<pgrid::Entry> EntriesForTripleQGrams(const triple::Triple& t,
+                                                 size_t q, uint64_t version,
+                                                 bool deleted) {
+  std::vector<pgrid::Entry> entries;
+  if (!t.value.is_string()) return entries;
+  const std::string payload = t.EncodeToString();
+  const std::string identity = t.Identity();
+  for (const std::string& gram : DistinctQGrams(t.value.AsString(), q)) {
+    pgrid::Entry e;
+    e.key = QGramKey(t.attribute, gram);
+    e.id = "g#" + gram + "\x1F" + identity;
+    e.payload = payload;
+    e.version = version;
+    e.deleted = deleted;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace qgram
+}  // namespace unistore

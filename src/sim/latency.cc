@@ -1,0 +1,51 @@
+#include "sim/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace unistore {
+namespace sim {
+namespace {
+
+// Mixes a node pair + seed into a 64-bit hash (symmetric in src/dst so the
+// base delay of a link is direction-independent, like a real path RTT/2).
+uint64_t PairHash(NodeId a, NodeId b, uint64_t seed) {
+  uint64_t lo = std::min(a, b);
+  uint64_t hi = std::max(a, b);
+  uint64_t x = seed ^ (lo * 0x9E3779B97F4A7C15ULL) ^
+               (hi * 0xC2B2AE3D27D4EB4FULL + 0x165667B19E3779F9ULL);
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+WanLatency::WanLatency() : WanLatency(Options{}) {}
+
+WanLatency::WanLatency(Options options) : options_(options) {}
+
+SimTime WanLatency::BaseDelay(NodeId src, NodeId dst) const {
+  if (src == dst) return options_.min_us;
+  // Draw the pair's base delay from the lognormal using the pair hash as a
+  // private RNG seed — stable across calls and across runs.
+  Rng pair_rng(PairHash(src, dst, options_.seed));
+  double base = pair_rng.NextLogNormal(options_.mu, options_.sigma);
+  return std::max<SimTime>(options_.min_us, static_cast<SimTime>(base));
+}
+
+SimTime WanLatency::Sample(NodeId src, NodeId dst, Rng* rng) {
+  SimTime base = BaseDelay(src, dst);
+  SimTime jitter = 0;
+  if (options_.jitter_mean_us > 0 && rng != nullptr) {
+    jitter = static_cast<SimTime>(rng->NextExponential(
+        options_.jitter_mean_us));
+  }
+  return std::max<SimTime>(options_.min_us, base + jitter);
+}
+
+}  // namespace sim
+}  // namespace unistore

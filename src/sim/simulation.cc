@@ -1,0 +1,58 @@
+#include "sim/simulation.h"
+
+#include "common/logging.h"
+
+namespace unistore {
+namespace sim {
+
+void Simulation::Schedule(SimTime delay, std::function<void()> fn) {
+  UNISTORE_CHECK(delay >= 0) << "negative delay " << delay;
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
+  UNISTORE_CHECK(when >= now_) << "scheduling in the past: " << when
+                               << " < " << now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Simulation::PopAndRun() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the function object must be moved
+  // out before pop. Copy the header fields, then run after popping so that
+  // events scheduled by `fn` see a consistent queue.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+size_t Simulation::RunUntilIdle() {
+  size_t n = 0;
+  while (PopAndRun()) ++n;
+  return n;
+}
+
+size_t Simulation::RunFor(SimTime duration) {
+  const SimTime deadline = now_ + duration;
+  size_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    PopAndRun();
+    ++n;
+  }
+  now_ = deadline;
+  return n;
+}
+
+bool Simulation::RunUntil(const std::function<bool()>& pred) {
+  if (pred()) return true;
+  while (PopAndRun()) {
+    if (pred()) return true;
+  }
+  return pred();
+}
+
+}  // namespace sim
+}  // namespace unistore

@@ -1,0 +1,112 @@
+#include "triple/index.h"
+
+namespace unistore {
+namespace triple {
+namespace {
+
+const char* KindTag(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kOid:
+      return "o#";
+    case IndexKind::kAttrValue:
+      return "a#";
+    case IndexKind::kValue:
+      return "v#";
+  }
+  return "?#";
+}
+
+std::string EntryId(IndexKind kind, const Triple& triple) {
+  return std::string(KindTag(kind)) + triple.Identity();
+}
+
+}  // namespace
+
+std::string IndexString(IndexKind kind, const Triple& triple) {
+  switch (kind) {
+    case IndexKind::kOid:
+      return "o#" + triple.oid;
+    case IndexKind::kAttrValue:
+      return "a#" + triple.attribute + "#" + triple.value.ToIndexString();
+    case IndexKind::kValue:
+      return "v#" + triple.value.ToIndexString();
+  }
+  return "";
+}
+
+pgrid::Key IndexKey(IndexKind kind, const Triple& triple) {
+  return pgrid::OpHash(IndexString(kind, triple));
+}
+
+std::vector<pgrid::Entry> EntriesForTriple(const Triple& triple,
+                                           uint64_t version, bool deleted) {
+  std::vector<pgrid::Entry> entries;
+  entries.reserve(3);
+  const std::string payload = triple.EncodeToString();
+  for (IndexKind kind :
+       {IndexKind::kOid, IndexKind::kAttrValue, IndexKind::kValue}) {
+    pgrid::Entry e;
+    e.key = IndexKey(kind, triple);
+    e.id = EntryId(kind, triple);
+    e.payload = payload;
+    e.version = version;
+    e.deleted = deleted;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+pgrid::Key OidKey(const std::string& oid) {
+  return pgrid::OpHash("o#" + oid);
+}
+
+pgrid::Key AttrValueKey(const std::string& attribute, const Value& value) {
+  return pgrid::OpHash("a#" + attribute + "#" + value.ToIndexString());
+}
+
+pgrid::KeyRange AttrValueRange(const std::string& attribute, const Value& lo,
+                               const Value& hi) {
+  const std::string base = "a#" + attribute + "#";
+  pgrid::KeyRange range;
+  range.lo = lo.is_null() ? pgrid::OpHash(base)
+                          : pgrid::OpHash(base + lo.ToIndexString());
+  range.hi = hi.is_null() ? pgrid::OpHashUpper(base)
+                          : pgrid::OpHashUpper(base + hi.ToIndexString());
+  return range;
+}
+
+pgrid::KeyRange AttrRange(const std::string& attribute) {
+  return pgrid::PrefixRange("a#" + attribute + "#");
+}
+
+pgrid::KeyRange AttrPrefixRange(const std::string& attribute,
+                                const std::string& prefix) {
+  // String values are tagged 's' in the index encoding.
+  return pgrid::PrefixRange("a#" + attribute + "#s" + prefix);
+}
+
+pgrid::Key ValueKey(const Value& value) {
+  return pgrid::OpHash("v#" + value.ToIndexString());
+}
+
+pgrid::KeyRange ValueRange(const Value& lo, const Value& hi) {
+  pgrid::KeyRange range;
+  range.lo = lo.is_null() ? pgrid::OpHash("v#")
+                          : pgrid::OpHash("v#" + lo.ToIndexString());
+  range.hi = hi.is_null() ? pgrid::OpHashUpper("v#")
+                          : pgrid::OpHashUpper("v#" + hi.ToIndexString());
+  return range;
+}
+
+std::vector<Triple> DecodeTriples(const std::vector<pgrid::Entry>& entries) {
+  std::vector<Triple> out;
+  out.reserve(entries.size());
+  for (const auto& e : entries) {
+    auto t = Triple::DecodeFromString(e.payload);
+    if (t.ok()) out.push_back(std::move(*t));
+  }
+  return out;
+}
+
+}  // namespace triple
+}  // namespace unistore

@@ -1,0 +1,78 @@
+// The 3-way triple index (paper §2, Figure 2).
+//
+// "By default, we index each triple on the OID, Ai#vi (the concatenation of
+// Ai and vi), and vi. This enables search based on the unique key, queries
+// of the form Ai >= vi, and using vi as the key for queries on an arbitrary
+// attribute."
+//
+// Each triple therefore becomes three DHT entries whose keys are the
+// order-preserving hashes of tagged index strings; every entry carries the
+// full encoded triple so any index reproduces origin data.
+#ifndef UNISTORE_TRIPLE_INDEX_H_
+#define UNISTORE_TRIPLE_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "pgrid/entry.h"
+#include "pgrid/key.h"
+#include "pgrid/ophash.h"
+#include "triple/triple.h"
+
+namespace unistore {
+namespace triple {
+
+/// Which of the three indexes an entry belongs to.
+enum class IndexKind : uint8_t {
+  kOid = 0,        ///< hash("o#" + oid)
+  kAttrValue = 1,  ///< hash("a#" + attr + "#" + index(value))
+  kValue = 2,      ///< hash("v#" + index(value))
+};
+
+/// The pre-hash index string of a triple under one index.
+std::string IndexString(IndexKind kind, const Triple& triple);
+
+/// The DHT key of a triple under one index.
+pgrid::Key IndexKey(IndexKind kind, const Triple& triple);
+
+/// The three DHT entries representing `triple` (versioned; tombstones when
+/// `deleted`).
+std::vector<pgrid::Entry> EntriesForTriple(const Triple& triple,
+                                           uint64_t version,
+                                           bool deleted = false);
+
+// --- Query-side key builders ------------------------------------------------
+
+/// Exact-match key for all triples of one logical tuple.
+pgrid::Key OidKey(const std::string& oid);
+
+/// Exact-match key for triples with a given attribute and value.
+pgrid::Key AttrValueKey(const std::string& attribute, const Value& value);
+
+/// Covering key range for triples with attribute in [lo, hi] values.
+/// Pass Value::Null() bounds to span the whole attribute.
+pgrid::KeyRange AttrValueRange(const std::string& attribute, const Value& lo,
+                               const Value& hi);
+
+/// Covering key range for every triple of one attribute (any value).
+pgrid::KeyRange AttrRange(const std::string& attribute);
+
+/// Covering range for string values of `attribute` starting with `prefix`.
+pgrid::KeyRange AttrPrefixRange(const std::string& attribute,
+                                const std::string& prefix);
+
+/// Exact-match key in the value index (queries on arbitrary attributes).
+pgrid::Key ValueKey(const Value& value);
+
+/// Covering key range in the value index for values in [lo, hi].
+pgrid::KeyRange ValueRange(const Value& lo, const Value& hi);
+
+/// Decodes the triples out of DHT entries, dropping undecodable ones.
+/// Entries produced by EntriesForTriple always decode; this tolerates
+/// foreign payloads sharing the key space.
+std::vector<Triple> DecodeTriples(const std::vector<pgrid::Entry>& entries);
+
+}  // namespace triple
+}  // namespace unistore
+
+#endif  // UNISTORE_TRIPLE_INDEX_H_

@@ -1,0 +1,89 @@
+#include "triple/schema.h"
+
+#include <algorithm>
+#include <set>
+
+namespace unistore {
+namespace triple {
+
+std::string Tuple::ToString() const {
+  std::string out = "(" + oid;
+  for (const auto& [attr, value] : attributes) {
+    out += ", " + attr + "=" + value.ToDisplayString();
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<Triple> Decompose(const Tuple& tuple) {
+  std::vector<Triple> out;
+  out.reserve(tuple.attributes.size());
+  for (const auto& [attr, value] : tuple.attributes) {
+    if (value.is_null()) continue;  // Nulls are simply not stored.
+    out.emplace_back(tuple.oid, attr, value);
+  }
+  return out;
+}
+
+std::vector<Tuple> Assemble(const std::vector<Triple>& triples) {
+  std::map<std::string, Tuple> by_oid;
+  for (const Triple& t : triples) {
+    Tuple& tuple = by_oid[t.oid];
+    tuple.oid = t.oid;
+    tuple.attributes.emplace(t.attribute, t.value);  // First value wins.
+  }
+  std::vector<Tuple> out;
+  out.reserve(by_oid.size());
+  for (auto& [oid, tuple] : by_oid) out.push_back(std::move(tuple));
+  return out;
+}
+
+Triple MakeMappingTriple(const std::string& from, const std::string& to) {
+  return Triple(from, kMappingAttribute, Value::String(to));
+}
+
+bool IsMappingTriple(const Triple& triple) {
+  return triple.attribute == kMappingAttribute;
+}
+
+void MappingSet::Add(const std::string& from, const std::string& to) {
+  auto link = [this](const std::string& a, const std::string& b) {
+    auto& edge_list = edges_[a];
+    if (std::find(edge_list.begin(), edge_list.end(), b) == edge_list.end()) {
+      edge_list.push_back(b);
+    }
+  };
+  link(from, to);
+  link(to, from);
+}
+
+void MappingSet::AddFromTriples(const std::vector<Triple>& triples) {
+  for (const Triple& t : triples) {
+    if (IsMappingTriple(t) && t.value.is_string()) {
+      Add(t.oid, t.value.AsString());
+    }
+  }
+}
+
+std::vector<std::string> MappingSet::Equivalents(
+    const std::string& attribute) const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  std::vector<std::string> frontier = {attribute};
+  seen.insert(attribute);
+  while (!frontier.empty()) {
+    std::string current = std::move(frontier.back());
+    frontier.pop_back();
+    out.push_back(current);
+    auto it = edges_.find(current);
+    if (it == edges_.end()) continue;
+    for (const std::string& next : it->second) {
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace triple
+}  // namespace unistore

@@ -1,0 +1,85 @@
+// Logical tuples over the universal relation: decomposition into triples
+// and re-assembly of query results (paper §2, Figure 2).
+#ifndef UNISTORE_TRIPLE_SCHEMA_H_
+#define UNISTORE_TRIPLE_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "triple/triple.h"
+
+namespace unistore {
+namespace triple {
+
+/// \brief A logical tuple: an OID plus attribute/value pairs.
+///
+/// Null attributes are simply absent — "the vertical storage supersedes the
+/// explicit representation of null values" (§2).
+struct Tuple {
+  std::string oid;
+  std::map<std::string, Value> attributes;
+
+  std::string ToString() const;
+};
+
+/// Decomposes a tuple into its triples (one per present attribute).
+std::vector<Triple> Decompose(const Tuple& tuple);
+
+/// Groups triples by OID back into logical tuples. A later duplicate
+/// (oid, attribute) keeps the first value seen.
+std::vector<Tuple> Assemble(const std::vector<Triple>& triples);
+
+/// \brief Generates system OIDs ("the OID is system generated", §2):
+/// "<prefix><counter>" with a per-generator prefix so concurrent peers
+/// cannot collide.
+class OidGenerator {
+ public:
+  explicit OidGenerator(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  std::string Next() { return prefix_ + std::to_string(counter_++); }
+
+ private:
+  std::string prefix_;
+  uint64_t counter_ = 0;
+};
+
+// --- Schema mappings ---------------------------------------------------------
+
+/// Reserved attribute under which correspondence metadata is stored: the
+/// triple (attr_a, kMappingAttribute, attr_b) states that attribute `attr_a`
+/// corresponds to `attr_b` ("we allow to store triples representing a
+/// simple kind of schema mappings", §2). Mappings are ordinary triples —
+/// queryable explicitly by the user, and applied automatically by the
+/// query processor when enabled.
+inline constexpr char kMappingAttribute[] = "map#corresponds_to";
+
+/// Builds the metadata triple declaring `from` corresponds to `to`.
+Triple MakeMappingTriple(const std::string& from, const std::string& to);
+
+bool IsMappingTriple(const Triple& triple);
+
+/// \brief A symmetric, transitively closed set of attribute
+/// correspondences.
+class MappingSet {
+ public:
+  /// Adds a correspondence (symmetric).
+  void Add(const std::string& from, const std::string& to);
+
+  /// Adds every mapping triple found in `triples`.
+  void AddFromTriples(const std::vector<Triple>& triples);
+
+  /// All attributes equivalent to `attribute`, including itself
+  /// (transitive closure).
+  std::vector<std::string> Equivalents(const std::string& attribute) const;
+
+  size_t size() const { return edges_.size(); }
+
+ private:
+  std::map<std::string, std::vector<std::string>> edges_;
+};
+
+}  // namespace triple
+}  // namespace unistore
+
+#endif  // UNISTORE_TRIPLE_SCHEMA_H_

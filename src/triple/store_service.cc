@@ -1,0 +1,205 @@
+#include "triple/store_service.h"
+
+#include <set>
+
+namespace unistore {
+namespace triple {
+namespace {
+
+// Fan-in state for N parallel operations sharing one callback.
+struct FanIn {
+  size_t remaining;
+  Status first_error;
+  TripleStore::StatusCallback callback;
+
+  void Arrive(const Status& status) {
+    if (!status.ok() && first_error.ok()) first_error = status;
+    if (--remaining == 0) callback(first_error);
+  }
+};
+
+}  // namespace
+
+std::vector<Triple> DedupTriples(std::vector<Triple> triples) {
+  std::set<std::string> seen;
+  std::vector<Triple> out;
+  out.reserve(triples.size());
+  for (auto& t : triples) {
+    if (seen.insert(t.Identity()).second) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void TripleStore::InsertEntries(std::vector<pgrid::Entry> entries,
+                              StatusCallback callback) {
+  if (entries.empty()) {
+    callback(Status::OK());
+    return;
+  }
+  auto fan = std::make_shared<FanIn>();
+  fan->remaining = entries.size();
+  fan->callback = std::move(callback);
+  for (auto& e : entries) {
+    peer_->Insert(std::move(e), [fan](Status s) { fan->Arrive(s); });
+  }
+}
+
+void TripleStore::InsertTriple(const Triple& triple, uint64_t version,
+                               StatusCallback callback) {
+  InsertEntries(EntriesForTriple(triple, version, /*deleted=*/false),
+              std::move(callback));
+}
+
+void TripleStore::InsertTuple(const Tuple& tuple, uint64_t version,
+                              StatusCallback callback) {
+  std::vector<pgrid::Entry> entries;
+  for (const Triple& t : Decompose(tuple)) {
+    auto triple_entries = EntriesForTriple(t, version, /*deleted=*/false);
+    entries.insert(entries.end(),
+                   std::make_move_iterator(triple_entries.begin()),
+                   std::make_move_iterator(triple_entries.end()));
+  }
+  InsertEntries(std::move(entries), std::move(callback));
+}
+
+void TripleStore::RemoveTriple(const Triple& triple, uint64_t version,
+                               StatusCallback callback) {
+  InsertEntries(EntriesForTriple(triple, version, /*deleted=*/true),
+              std::move(callback));
+}
+
+void TripleStore::GetByOid(const std::string& oid,
+                           TriplesCallback callback) {
+  peer_->Lookup(
+      OidKey(oid), pgrid::LookupMode::kExact,
+      [oid, callback](Result<pgrid::LookupResult> result) {
+        if (!result.ok()) {
+          callback(result.status());
+          return;
+        }
+        std::vector<Triple> triples;
+        for (Triple& t : DecodeTriples(result->entries)) {
+          if (t.oid == oid) triples.push_back(std::move(t));
+        }
+        callback(DedupTriples(std::move(triples)));
+      });
+}
+
+void TripleStore::GetByAttrValue(const std::string& attribute,
+                                 const Value& value,
+                                 TriplesCallback callback) {
+  peer_->Lookup(
+      AttrValueKey(attribute, value), pgrid::LookupMode::kExact,
+      [attribute, value, callback](Result<pgrid::LookupResult> result) {
+        if (!result.ok()) {
+          callback(result.status());
+          return;
+        }
+        std::vector<Triple> triples;
+        for (Triple& t : DecodeTriples(result->entries)) {
+          if (t.attribute == attribute && t.value == value) {
+            triples.push_back(std::move(t));
+          }
+        }
+        callback(DedupTriples(std::move(triples)));
+      });
+}
+
+void TripleStore::RunRange(const pgrid::KeyRange& range,
+                           RangeStrategy strategy,
+                           std::function<bool(const Triple&)> keep,
+                           TriplesCallback callback, uint32_t limit) {
+  auto handler = [keep = std::move(keep),
+                  callback](Result<pgrid::RangeResult> result) {
+    if (!result.ok()) {
+      callback(result.status());
+      return;
+    }
+    if (!result->complete) {
+      callback(Status::Unavailable(
+          "range scan incomplete: a subtree was unreachable"));
+      return;
+    }
+    std::vector<Triple> triples;
+    for (Triple& t : DecodeTriples(result->entries)) {
+      if (keep(t)) triples.push_back(std::move(t));
+    }
+    callback(DedupTriples(std::move(triples)));
+  };
+  if (strategy == RangeStrategy::kSequential) {
+    peer_->RangeScanSeq(range, std::move(handler), limit);
+  } else {
+    peer_->RangeScanShower(range, std::move(handler));
+  }
+}
+
+void TripleStore::GetByAttrRangeOrdered(const std::string& attribute,
+                                        const Value& lo, const Value& hi,
+                                        uint32_t limit,
+                                        TriplesCallback callback) {
+  RunRange(AttrValueRange(attribute, lo, hi), RangeStrategy::kSequential,
+           [attribute, lo, hi](const Triple& t) {
+             if (t.attribute != attribute) return false;
+             if (!lo.is_null() && t.value < lo) return false;
+             if (!hi.is_null() && t.value > hi) return false;
+             return true;
+           },
+           std::move(callback), limit);
+}
+
+void TripleStore::ScanAll(RangeStrategy strategy, TriplesCallback callback) {
+  RunRange(pgrid::PrefixRange("a#"), strategy,
+           [](const Triple&) { return true; }, std::move(callback));
+}
+
+void TripleStore::GetByAttrRange(const std::string& attribute,
+                                 const Value& lo, const Value& hi,
+                                 RangeStrategy strategy,
+                                 TriplesCallback callback) {
+  RunRange(AttrValueRange(attribute, lo, hi), strategy,
+           [attribute, lo, hi](const Triple& t) {
+             if (t.attribute != attribute) return false;
+             if (!lo.is_null() && t.value < lo) return false;
+             if (!hi.is_null() && t.value > hi) return false;
+             return true;
+           },
+           std::move(callback));
+}
+
+void TripleStore::GetByAttrPrefix(const std::string& attribute,
+                                  const std::string& prefix,
+                                  RangeStrategy strategy,
+                                  TriplesCallback callback) {
+  RunRange(AttrPrefixRange(attribute, prefix), strategy,
+           [attribute, prefix](const Triple& t) {
+             return t.attribute == attribute && t.value.is_string() &&
+                    t.value.AsString().compare(0, prefix.size(), prefix) == 0;
+           },
+           std::move(callback));
+}
+
+void TripleStore::GetByValue(const Value& value, TriplesCallback callback) {
+  peer_->Lookup(ValueKey(value), pgrid::LookupMode::kExact,
+                [value, callback](Result<pgrid::LookupResult> result) {
+                  if (!result.ok()) {
+                    callback(result.status());
+                    return;
+                  }
+                  std::vector<Triple> triples;
+                  for (Triple& t : DecodeTriples(result->entries)) {
+                    if (t.value == value) triples.push_back(std::move(t));
+                  }
+                  callback(DedupTriples(std::move(triples)));
+                });
+}
+
+void TripleStore::ScanAttribute(const std::string& attribute,
+                                RangeStrategy strategy,
+                                TriplesCallback callback) {
+  RunRange(AttrRange(attribute), strategy,
+           [attribute](const Triple& t) { return t.attribute == attribute; },
+           std::move(callback));
+}
+
+}  // namespace triple
+}  // namespace unistore

@@ -1,0 +1,43 @@
+#include "triple/triple.h"
+
+namespace unistore {
+namespace triple {
+
+std::string Triple::Identity() const {
+  // \x1F (unit separator) cannot appear in oids/attributes produced by the
+  // system and keeps the identity unambiguous.
+  return oid + "\x1F" + attribute + "\x1F" + value.ToIndexString();
+}
+
+std::string Triple::ToString() const {
+  return "(" + oid + ", '" + attribute + "', " + value.ToDisplayString() +
+         ")";
+}
+
+void Triple::Encode(BufferWriter* w) const {
+  w->PutString(oid);
+  w->PutString(attribute);
+  value.Encode(w);
+}
+
+Result<Triple> Triple::Decode(BufferReader* r) {
+  Triple t;
+  UNISTORE_ASSIGN_OR_RETURN(t.oid, r->GetString());
+  UNISTORE_ASSIGN_OR_RETURN(t.attribute, r->GetString());
+  UNISTORE_ASSIGN_OR_RETURN(t.value, Value::Decode(r));
+  return t;
+}
+
+std::string Triple::EncodeToString() const {
+  BufferWriter w;
+  Encode(&w);
+  return w.Release();
+}
+
+Result<Triple> Triple::DecodeFromString(std::string_view bytes) {
+  BufferReader r(bytes);
+  return Decode(&r);
+}
+
+}  // namespace triple
+}  // namespace unistore

@@ -1,0 +1,169 @@
+#include "triple/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace unistore {
+namespace triple {
+namespace {
+
+// Monotone transform of a double onto uint64: flips the sign bit for
+// non-negative values and all bits for negative ones, so that unsigned
+// integer order equals numeric order (standard IEEE-754 total-order trick).
+uint64_t SortableBits(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  if (bits & 0x8000000000000000ULL) {
+    return ~bits;
+  }
+  return bits | 0x8000000000000000ULL;
+}
+
+std::string ToHex16(uint64_t v) {
+  static const char kDigits[] = "0123456789ABCDEF";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+double Value::AsDouble() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(std::get<int64_t>(rep_));
+    case ValueType::kReal:
+      return std::get<double>(rep_);
+    default:
+      return 0.0;
+  }
+}
+
+int64_t Value::AsInt() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::get<int64_t>(rep_);
+    case ValueType::kReal:
+      return static_cast<int64_t>(std::get<double>(rep_));
+    default:
+      return 0;
+  }
+}
+
+const std::string& Value::AsString() const {
+  static const std::string kEmpty;
+  if (!is_string()) return kEmpty;
+  return std::get<std::string>(rep_);
+}
+
+int Value::Compare(const Value& other) const {
+  // Class rank: null=0, number=1, string=2.
+  auto rank = [](const Value& v) {
+    switch (v.type()) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kInt:
+      case ValueType::kReal:
+        return 1;
+      case ValueType::kString:
+        return 2;
+    }
+    return 0;
+  };
+  int ra = rank(*this), rb = rank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;
+    case 1: {
+      // Exact integer comparison when both are ints; mixed via double.
+      if (type() == ValueType::kInt && other.type() == ValueType::kInt) {
+        int64_t a = std::get<int64_t>(rep_);
+        int64_t b = std::get<int64_t>(other.rep_);
+        return a < b ? -1 : a > b ? 1 : 0;
+      }
+      double a = AsDouble(), b = other.AsDouble();
+      return a < b ? -1 : a > b ? 1 : 0;
+    }
+    default: {
+      int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : c > 0 ? 1 : 0;
+    }
+  }
+}
+
+std::string Value::ToIndexString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "!";
+    case ValueType::kInt:
+    case ValueType::kReal:
+      return "n" + ToHex16(SortableBits(AsDouble()));
+    case ValueType::kString:
+      return "s" + AsString();
+  }
+  return "!";
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(rep_));
+    case ValueType::kReal: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(rep_));
+      return buf;
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "null";
+}
+
+void Value::Encode(BufferWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      w->PutI64(std::get<int64_t>(rep_));
+      break;
+    case ValueType::kReal:
+      w->PutDouble(std::get<double>(rep_));
+      break;
+    case ValueType::kString:
+      w->PutString(AsString());
+      break;
+  }
+}
+
+Result<Value> Value::Decode(BufferReader* r) {
+  UNISTORE_ASSIGN_OR_RETURN(uint8_t type, r->GetU8());
+  switch (static_cast<ValueType>(type)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt: {
+      UNISTORE_ASSIGN_OR_RETURN(int64_t v, r->GetI64());
+      return Value::Int(v);
+    }
+    case ValueType::kReal: {
+      UNISTORE_ASSIGN_OR_RETURN(double v, r->GetDouble());
+      return Value::Real(v);
+    }
+    case ValueType::kString: {
+      UNISTORE_ASSIGN_OR_RETURN(std::string v, r->GetString());
+      return Value::String(std::move(v));
+    }
+  }
+  return Status::Corruption("unknown value type tag ", type);
+}
+
+}  // namespace triple
+}  // namespace unistore

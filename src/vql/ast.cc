@@ -1,0 +1,186 @@
+#include "vql/ast.h"
+
+namespace unistore {
+namespace vql {
+namespace {
+
+std::string QuoteString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+std::string ValueToVql(const triple::Value& v) {
+  if (v.is_string()) return QuoteString(v.AsString());
+  return v.ToDisplayString();
+}
+
+}  // namespace
+
+std::string Term::ToString() const {
+  if (is_variable) return "?" + variable;
+  if (literal.is_string()) {
+    // Attribute-position literals print unquoted when they look like
+    // identifiers? No: VQL quotes all string literals, as in the paper's
+    // example query: (?a,'name',?name).
+    return QuoteString(literal.AsString());
+  }
+  return literal.ToDisplayString();
+}
+
+std::string TriplePattern::ToString() const {
+  return "(" + subject.ToString() + "," + predicate.ToString() + "," +
+         object.ToString() + ")";
+}
+
+std::string CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+    case CompareOp::kContains: return "CONTAINS";
+    case CompareOp::kPrefix: return "PREFIX";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return ValueToVql(literal);
+    case ExprKind::kVariable:
+      return "?" + variable;
+    case ExprKind::kCompare:
+      return children[0]->ToString() + " " + CompareOpToString(op) + " " +
+             children[1]->ToString();
+    case ExprKind::kAnd:
+      return "(" + children[0]->ToString() + " AND " +
+             children[1]->ToString() + ")";
+    case ExprKind::kOr:
+      return "(" + children[0]->ToString() + " OR " +
+             children[1]->ToString() + ")";
+    case ExprKind::kNot:
+      return "NOT (" + children[0]->ToString() + ")";
+    case ExprKind::kFunction: {
+      std::string out = function + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) out += ",";
+        out += children[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+ExprPtr Expr::Literal(triple::Value value) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::Variable(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kVariable;
+  e->variable = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCompare;
+  e->op = op;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAnd;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kOr;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr inner) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kNot;
+  e->children = {std::move(inner)};
+  return e;
+}
+
+ExprPtr Expr::Function(std::string name,
+                       std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kFunction;
+  e->function = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+void CollectVariables(const Expr& expr, std::vector<std::string>* out) {
+  if (expr.kind == ExprKind::kVariable) {
+    out->push_back(expr.variable);
+    return;
+  }
+  for (const auto& child : expr.children) CollectVariables(*child, out);
+}
+
+std::string Query::ToString() const {
+  std::string out = "SELECT ";
+  if (select_all) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < select.size(); ++i) {
+      if (i) out += ",";
+      out += "?" + select[i];
+    }
+  }
+  out += "\nWHERE {";
+  for (const auto& p : patterns) {
+    out += " " + p.ToString();
+  }
+  for (const auto& f : filters) {
+    out += " FILTER " + f->ToString();
+  }
+  out += " }";
+  if (!skyline.empty()) {
+    out += "\nORDER BY SKYLINE OF ";
+    for (size_t i = 0; i < skyline.size(); ++i) {
+      if (i) out += ", ";
+      out += "?" + skyline[i].variable +
+             (skyline[i].direction == SkylineDirection::kMin ? " MIN"
+                                                             : " MAX");
+    }
+  } else if (!order_by.empty()) {
+    out += "\nORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i) out += ", ";
+      out += "?" + order_by[i].variable +
+             (order_by[i].direction == SortDirection::kAsc ? " ASC"
+                                                           : " DESC");
+    }
+  }
+  if (limit.has_value()) {
+    out += "\nLIMIT " + std::to_string(*limit);
+  }
+  return out;
+}
+
+}  // namespace vql
+}  // namespace unistore

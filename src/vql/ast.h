@@ -1,0 +1,135 @@
+// VQL abstract syntax tree.
+//
+// VQL (Vertical Query Language) is "derived from SPARQL" (paper §2):
+// targeted triples are written in braces with ?variables; optional FILTER
+// predicates restrict bindings; the surrounding construct follows SQL with
+// SELECT/WHERE blocks, ORDER BY, LIMIT, and the advanced SKYLINE OF clause.
+#ifndef UNISTORE_VQL_AST_H_
+#define UNISTORE_VQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "triple/value.h"
+
+namespace unistore {
+namespace vql {
+
+/// A subject/predicate/object position in a triple pattern: a ?variable or
+/// a literal.
+struct Term {
+  bool is_variable = false;
+  std::string variable;   ///< Name without the '?'.
+  triple::Value literal;
+
+  static Term Var(std::string name) {
+    Term t;
+    t.is_variable = true;
+    t.variable = std::move(name);
+    return t;
+  }
+  static Term Lit(triple::Value value) {
+    Term t;
+    t.literal = std::move(value);
+    return t;
+  }
+
+  std::string ToString() const;
+};
+
+/// One "(s, p, o)" pattern in the WHERE block.
+struct TriplePattern {
+  Term subject;    ///< Matches the OID.
+  Term predicate;  ///< Matches the attribute.
+  Term object;     ///< Matches the value.
+
+  std::string ToString() const;
+};
+
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kVariable,
+  kCompare,
+  kAnd,
+  kOr,
+  kNot,
+  kFunction,
+};
+
+enum class CompareOp : uint8_t {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kContains,  ///< String containment (substring search, §2).
+  kPrefix,    ///< String prefix.
+};
+
+std::string CompareOpToString(CompareOp op);
+
+/// A FILTER expression node. Immutable after parsing; shared_ptr because
+/// plans share subtrees when filters are split and pushed down.
+struct Expr {
+  ExprKind kind;
+  triple::Value literal;                       // kLiteral
+  std::string variable;                        // kVariable
+  CompareOp op = CompareOp::kEq;               // kCompare
+  std::string function;                        // kFunction: edist|length|lower
+  std::vector<std::shared_ptr<const Expr>> children;
+
+  std::string ToString() const;
+
+  static std::shared_ptr<const Expr> Literal(triple::Value value);
+  static std::shared_ptr<const Expr> Variable(std::string name);
+  static std::shared_ptr<const Expr> Compare(
+      CompareOp op, std::shared_ptr<const Expr> lhs,
+      std::shared_ptr<const Expr> rhs);
+  static std::shared_ptr<const Expr> And(
+      std::shared_ptr<const Expr> lhs, std::shared_ptr<const Expr> rhs);
+  static std::shared_ptr<const Expr> Or(
+      std::shared_ptr<const Expr> lhs, std::shared_ptr<const Expr> rhs);
+  static std::shared_ptr<const Expr> Not(std::shared_ptr<const Expr> inner);
+  static std::shared_ptr<const Expr> Function(
+      std::string name, std::vector<std::shared_ptr<const Expr>> args);
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Collects the variables referenced anywhere in `expr`.
+void CollectVariables(const Expr& expr, std::vector<std::string>* out);
+
+enum class SortDirection : uint8_t { kAsc, kDesc };
+enum class SkylineDirection : uint8_t { kMin, kMax };
+
+struct OrderKey {
+  std::string variable;
+  SortDirection direction = SortDirection::kAsc;
+};
+
+struct SkylineKey {
+  std::string variable;
+  SkylineDirection direction = SkylineDirection::kMin;
+};
+
+/// A parsed VQL query.
+struct Query {
+  bool select_all = false;
+  std::vector<std::string> select;  ///< Projection variables (no '?').
+  std::vector<TriplePattern> patterns;
+  std::vector<ExprPtr> filters;     ///< Conjunctive FILTER clauses.
+  std::vector<OrderKey> order_by;
+  std::vector<SkylineKey> skyline;  ///< Non-empty for SKYLINE OF queries.
+  std::optional<uint64_t> limit;
+
+  /// Pretty-prints back to parseable VQL (round-trip tested).
+  std::string ToString() const;
+};
+
+}  // namespace vql
+}  // namespace unistore
+
+#endif  // UNISTORE_VQL_AST_H_

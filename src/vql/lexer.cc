@@ -1,0 +1,253 @@
+#include "vql/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/strings.h"
+
+namespace unistore {
+namespace vql {
+namespace {
+
+const std::map<std::string, TokenType>& Keywords() {
+  static const std::map<std::string, TokenType> kKeywords = {
+      {"select", TokenType::kSelect},   {"where", TokenType::kWhere},
+      {"filter", TokenType::kFilter},   {"order", TokenType::kOrder},
+      {"by", TokenType::kBy},           {"limit", TokenType::kLimit},
+      {"skyline", TokenType::kSkyline}, {"of", TokenType::kOf},
+      {"min", TokenType::kMin},         {"max", TokenType::kMax},
+      {"asc", TokenType::kAsc},         {"desc", TokenType::kDesc},
+      {"and", TokenType::kAnd},         {"or", TokenType::kOr},
+      {"not", TokenType::kNot},         {"contains", TokenType::kContains},
+      {"prefix", TokenType::kPrefix},
+  };
+  return kKeywords;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '#' || c == '.';
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::string_view TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kEnd: return "<end>";
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kVariable: return "variable";
+    case TokenType::kString: return "string";
+    case TokenType::kInteger: return "integer";
+    case TokenType::kReal: return "real";
+    case TokenType::kSelect: return "SELECT";
+    case TokenType::kWhere: return "WHERE";
+    case TokenType::kFilter: return "FILTER";
+    case TokenType::kOrder: return "ORDER";
+    case TokenType::kBy: return "BY";
+    case TokenType::kLimit: return "LIMIT";
+    case TokenType::kSkyline: return "SKYLINE";
+    case TokenType::kOf: return "OF";
+    case TokenType::kMin: return "MIN";
+    case TokenType::kMax: return "MAX";
+    case TokenType::kAsc: return "ASC";
+    case TokenType::kDesc: return "DESC";
+    case TokenType::kAnd: return "AND";
+    case TokenType::kOr: return "OR";
+    case TokenType::kNot: return "NOT";
+    case TokenType::kContains: return "CONTAINS";
+    case TokenType::kPrefix: return "PREFIX";
+    case TokenType::kLBrace: return "{";
+    case TokenType::kRBrace: return "}";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kComma: return ",";
+    case TokenType::kStar: return "*";
+    case TokenType::kEq: return "=";
+    case TokenType::kNe: return "!=";
+    case TokenType::kLt: return "<";
+    case TokenType::kLe: return "<=";
+    case TokenType::kGt: return ">";
+    case TokenType::kGe: return ">=";
+  }
+  return "<?>";
+}
+
+std::string Token::ToString() const {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return text;
+    case TokenType::kVariable:
+      return "?" + text;
+    case TokenType::kString:
+      return "'" + text + "'";
+    case TokenType::kInteger:
+      return std::to_string(int_value);
+    case TokenType::kReal:
+      return std::to_string(real_value);
+    default:
+      return std::string(TokenTypeName(type));
+  }
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&tokens](TokenType type, size_t pos) {
+    Token t;
+    t.type = type;
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    switch (c) {
+      case '{': push(TokenType::kLBrace, start); ++i; continue;
+      case '}': push(TokenType::kRBrace, start); ++i; continue;
+      case '(': push(TokenType::kLParen, start); ++i; continue;
+      case ')': push(TokenType::kRParen, start); ++i; continue;
+      case ',': push(TokenType::kComma, start); ++i; continue;
+      case '*': push(TokenType::kStar, start); ++i; continue;
+      case '=': push(TokenType::kEq, start); ++i; continue;
+      case '<':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenType::kLe, start);
+          i += 2;
+        } else {
+          push(TokenType::kLt, start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenType::kGe, start);
+          i += 2;
+        } else {
+          push(TokenType::kGt, start);
+          ++i;
+        }
+        continue;
+      case '!':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenType::kNe, start);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("stray '!' at offset ", start);
+      default:
+        break;
+    }
+
+    if (c == '?') {
+      ++i;
+      std::string name;
+      while (i < input.size() && IsIdentChar(input[i])) name.push_back(input[i++]);
+      if (name.empty()) {
+        return Status::ParseError("empty variable name at offset ", start);
+      }
+      Token t;
+      t.type = TokenType::kVariable;
+      t.text = std::move(name);
+      t.position = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    if (c == '\'') {
+      ++i;
+      std::string body;
+      bool closed = false;
+      while (i < input.size()) {
+        if (input[i] == '\'') {
+          if (i + 1 < input.size() && input[i + 1] == '\'') {
+            body.push_back('\'');  // Escaped quote.
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        body.push_back(input[i++]);
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string at offset ", start);
+      }
+      Token t;
+      t.type = TokenType::kString;
+      t.text = std::move(body);
+      t.position = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i + (c == '-' ? 1 : 0);
+      bool is_real = false;
+      while (j < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[j])) ||
+              input[j] == '.')) {
+        if (input[j] == '.') {
+          if (is_real) break;  // Second dot ends the number.
+          is_real = true;
+        }
+        ++j;
+      }
+      std::string text(input.substr(i, j - i));
+      Token t;
+      t.position = start;
+      if (is_real) {
+        t.type = TokenType::kReal;
+        t.real_value = std::stod(text);
+      } else {
+        t.type = TokenType::kInteger;
+        t.int_value = std::stoll(text);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < input.size() && IsIdentChar(input[j])) ++j;
+      std::string word(input.substr(i, j - i));
+      std::string lower = ToLowerAscii(word);
+      auto it = Keywords().find(lower);
+      Token t;
+      t.position = start;
+      if (it != Keywords().end()) {
+        t.type = it->second;
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = std::move(word);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    return Status::ParseError("unexpected character '", std::string(1, c),
+                              "' at offset ", start);
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = input.size();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace vql
+}  // namespace unistore

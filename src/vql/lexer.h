@@ -1,0 +1,24 @@
+// VQL lexer.
+#ifndef UNISTORE_VQL_LEXER_H_
+#define UNISTORE_VQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "vql/token.h"
+
+namespace unistore {
+namespace vql {
+
+/// Tokenizes a VQL query. Keywords are case-insensitive; strings are
+/// single-quoted with '' as the escape for a literal quote; identifiers
+/// may contain letters, digits, '_', ':', '#' and '.' (namespace prefixes
+/// like "ns:attr" lex as one identifier).
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace vql
+}  // namespace unistore
+
+#endif  // UNISTORE_VQL_LEXER_H_

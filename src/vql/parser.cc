@@ -1,0 +1,335 @@
+#include "vql/parser.h"
+
+#include <set>
+
+#include "vql/lexer.h"
+
+namespace unistore {
+namespace vql {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> ParseStandaloneExpr() {
+    UNISTORE_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    UNISTORE_RETURN_IF_ERROR(Expect(TokenType::kEnd));
+    return e;
+  }
+
+  Result<Query> ParseQuery() {
+    Query query;
+    UNISTORE_RETURN_IF_ERROR(Expect(TokenType::kSelect));
+    UNISTORE_RETURN_IF_ERROR(ParseSelectList(&query));
+    UNISTORE_RETURN_IF_ERROR(Expect(TokenType::kWhere));
+    UNISTORE_RETURN_IF_ERROR(Expect(TokenType::kLBrace));
+    UNISTORE_RETURN_IF_ERROR(ParseBody(&query));
+    UNISTORE_RETURN_IF_ERROR(Expect(TokenType::kRBrace));
+    UNISTORE_RETURN_IF_ERROR(ParseTail(&query));
+    UNISTORE_RETURN_IF_ERROR(Expect(TokenType::kEnd));
+    UNISTORE_RETURN_IF_ERROR(Validate(query));
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool Match(TokenType type) {
+    if (!Check(type)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Expect(TokenType type) {
+    if (!Check(type)) {
+      return Status::ParseError("expected ", TokenTypeName(type), " but got ",
+                                Peek().ToString(), " at offset ",
+                                Peek().position);
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseSelectList(Query* query) {
+    if (Match(TokenType::kStar)) {
+      query->select_all = true;
+      return Status::OK();
+    }
+    do {
+      if (!Check(TokenType::kVariable)) {
+        return Status::ParseError("expected ?variable in SELECT at offset ",
+                                  Peek().position);
+      }
+      query->select.push_back(Advance().text);
+    } while (Match(TokenType::kComma));
+    return Status::OK();
+  }
+
+  Status ParseBody(Query* query) {
+    bool saw_any = false;
+    while (true) {
+      if (Check(TokenType::kLParen)) {
+        UNISTORE_ASSIGN_OR_RETURN(TriplePattern p, ParsePattern());
+        query->patterns.push_back(std::move(p));
+        saw_any = true;
+      } else if (Match(TokenType::kFilter)) {
+        UNISTORE_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        query->filters.push_back(std::move(e));
+        saw_any = true;
+      } else {
+        break;
+      }
+    }
+    if (!saw_any) {
+      return Status::ParseError("WHERE block must contain at least one "
+                                "triple pattern");
+    }
+    return Status::OK();
+  }
+
+  Result<TriplePattern> ParsePattern() {
+    UNISTORE_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+    TriplePattern p;
+    UNISTORE_ASSIGN_OR_RETURN(p.subject, ParseTerm());
+    UNISTORE_RETURN_IF_ERROR(Expect(TokenType::kComma));
+    UNISTORE_ASSIGN_OR_RETURN(p.predicate, ParseTerm());
+    UNISTORE_RETURN_IF_ERROR(Expect(TokenType::kComma));
+    UNISTORE_ASSIGN_OR_RETURN(p.object, ParseTerm());
+    UNISTORE_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    return p;
+  }
+
+  Result<Term> ParseTerm() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kVariable:
+        Advance();
+        return Term::Var(t.text);
+      case TokenType::kString:
+        Advance();
+        return Term::Lit(triple::Value::String(t.text));
+      case TokenType::kInteger:
+        Advance();
+        return Term::Lit(triple::Value::Int(t.int_value));
+      case TokenType::kReal:
+        Advance();
+        return Term::Lit(triple::Value::Real(t.real_value));
+      default:
+        return Status::ParseError("expected term (?var or literal) at "
+                                  "offset ", t.position, ", got ",
+                                  t.ToString());
+    }
+  }
+
+  Status ParseTail(Query* query) {
+    if (Match(TokenType::kOrder)) {
+      UNISTORE_RETURN_IF_ERROR(Expect(TokenType::kBy));
+      if (Match(TokenType::kSkyline)) {
+        UNISTORE_RETURN_IF_ERROR(Expect(TokenType::kOf));
+        do {
+          if (!Check(TokenType::kVariable)) {
+            return Status::ParseError(
+                "expected ?variable in SKYLINE OF at offset ",
+                Peek().position);
+          }
+          SkylineKey key;
+          key.variable = Advance().text;
+          if (Match(TokenType::kMin)) {
+            key.direction = SkylineDirection::kMin;
+          } else if (Match(TokenType::kMax)) {
+            key.direction = SkylineDirection::kMax;
+          } else {
+            return Status::ParseError(
+                "SKYLINE OF dimension needs MIN or MAX at offset ",
+                Peek().position);
+          }
+          query->skyline.push_back(std::move(key));
+        } while (Match(TokenType::kComma));
+      } else {
+        do {
+          if (!Check(TokenType::kVariable)) {
+            return Status::ParseError(
+                "expected ?variable in ORDER BY at offset ", Peek().position);
+          }
+          OrderKey key;
+          key.variable = Advance().text;
+          if (Match(TokenType::kDesc)) {
+            key.direction = SortDirection::kDesc;
+          } else {
+            Match(TokenType::kAsc);  // Optional.
+            key.direction = SortDirection::kAsc;
+          }
+          query->order_by.push_back(std::move(key));
+        } while (Match(TokenType::kComma));
+      }
+    }
+    if (Match(TokenType::kLimit)) {
+      if (!Check(TokenType::kInteger) || Peek().int_value < 0) {
+        return Status::ParseError("LIMIT needs a non-negative integer at "
+                                  "offset ", Peek().position);
+      }
+      query->limit = static_cast<uint64_t>(Advance().int_value);
+    }
+    return Status::OK();
+  }
+
+  // --- Expressions ---------------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    UNISTORE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Match(TokenType::kOr)) {
+      UNISTORE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    UNISTORE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Match(TokenType::kAnd)) {
+      UNISTORE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Match(TokenType::kNot)) {
+      UNISTORE_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      return Expr::Not(std::move(inner));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    UNISTORE_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+    CompareOp op;
+    switch (Peek().type) {
+      case TokenType::kEq: op = CompareOp::kEq; break;
+      case TokenType::kNe: op = CompareOp::kNe; break;
+      case TokenType::kLt: op = CompareOp::kLt; break;
+      case TokenType::kLe: op = CompareOp::kLe; break;
+      case TokenType::kGt: op = CompareOp::kGt; break;
+      case TokenType::kGe: op = CompareOp::kGe; break;
+      case TokenType::kContains: op = CompareOp::kContains; break;
+      case TokenType::kPrefix: op = CompareOp::kPrefix; break;
+      default:
+        return lhs;  // Bare primary (e.g. inside NOT).
+    }
+    Advance();
+    UNISTORE_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+    return Expr::Compare(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kLParen: {
+        Advance();
+        UNISTORE_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        UNISTORE_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+        return inner;
+      }
+      case TokenType::kIdentifier: {
+        std::string name = Advance().text;
+        UNISTORE_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+        std::vector<ExprPtr> args;
+        if (!Check(TokenType::kRParen)) {
+          do {
+            UNISTORE_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            args.push_back(std::move(arg));
+          } while (Match(TokenType::kComma));
+        }
+        UNISTORE_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+        static const std::set<std::string> kFunctions = {"edist", "length",
+                                                         "lower"};
+        if (kFunctions.find(name) == kFunctions.end()) {
+          return Status::ParseError("unknown function '", name,
+                                    "' at offset ", t.position);
+        }
+        return Expr::Function(std::move(name), std::move(args));
+      }
+      case TokenType::kVariable:
+        Advance();
+        return Expr::Variable(t.text);
+      case TokenType::kString:
+        Advance();
+        return Expr::Literal(triple::Value::String(t.text));
+      case TokenType::kInteger:
+        Advance();
+        return Expr::Literal(triple::Value::Int(t.int_value));
+      case TokenType::kReal:
+        Advance();
+        return Expr::Literal(triple::Value::Real(t.real_value));
+      default:
+        return Status::ParseError("expected expression at offset ",
+                                  t.position, ", got ", t.ToString());
+    }
+  }
+
+  // --- Semantic checks -------------------------------------------------------
+
+  Status Validate(const Query& query) {
+    std::set<std::string> bound;
+    for (const auto& p : query.patterns) {
+      for (const Term* term : {&p.subject, &p.predicate, &p.object}) {
+        if (term->is_variable) bound.insert(term->variable);
+      }
+    }
+    if (!query.select_all) {
+      for (const auto& v : query.select) {
+        if (bound.find(v) == bound.end()) {
+          return Status::ParseError("SELECT variable ?", v,
+                                    " not bound by any pattern");
+        }
+      }
+    }
+    for (const auto& f : query.filters) {
+      std::vector<std::string> used;
+      CollectVariables(*f, &used);
+      for (const auto& v : used) {
+        if (bound.find(v) == bound.end()) {
+          return Status::ParseError("FILTER variable ?", v,
+                                    " not bound by any pattern");
+        }
+      }
+    }
+    for (const auto& key : query.order_by) {
+      if (bound.find(key.variable) == bound.end()) {
+        return Status::ParseError("ORDER BY variable ?", key.variable,
+                                  " not bound by any pattern");
+      }
+    }
+    for (const auto& key : query.skyline) {
+      if (bound.find(key.variable) == bound.end()) {
+        return Status::ParseError("SKYLINE variable ?", key.variable,
+                                  " not bound by any pattern");
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> Parse(std::string_view input) {
+  UNISTORE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view input) {
+  UNISTORE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpr();
+}
+
+}  // namespace vql
+}  // namespace unistore

@@ -1,0 +1,38 @@
+// VQL parser (recursive descent).
+#ifndef UNISTORE_VQL_PARSER_H_
+#define UNISTORE_VQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "vql/ast.h"
+
+namespace unistore {
+namespace vql {
+
+/// Parses one VQL query. Grammar (keywords case-insensitive):
+///
+///   Query      := SELECT SelectList WHERE '{' Body '}' Tail
+///   SelectList := '*' | ?var (',' ?var)*
+///   Body       := (Pattern | FILTER Expr)+
+///   Pattern    := '(' Term ',' Term ',' Term ')'
+///   Term       := ?var | 'string' | number
+///   Tail       := [ORDER BY OrderSpec] [LIMIT int]
+///   OrderSpec  := SKYLINE OF ?var (MIN|MAX) (',' ?var (MIN|MAX))*
+///              |  ?var [ASC|DESC] (',' ?var [ASC|DESC])*
+///   Expr       := Or; Or := And (OR And)*; And := Unary (AND Unary)*
+///   Unary      := NOT Unary | Cmp
+///   Cmp        := Primary [ ('='|'!='|'<'|'<='|'>'|'>='|CONTAINS|PREFIX)
+///                 Primary ]
+///   Primary    := '(' Expr ')' | ident '(' Expr (',' Expr)* ')'
+///              |  ?var | 'string' | number
+Result<Query> Parse(std::string_view input);
+
+/// Parses a standalone FILTER expression (used when expressions travel
+/// inside serialized query plans and are re-parsed at the receiving peer).
+Result<ExprPtr> ParseExpression(std::string_view input);
+
+}  // namespace vql
+}  // namespace unistore
+
+#endif  // UNISTORE_VQL_PARSER_H_

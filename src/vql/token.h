@@ -1,0 +1,68 @@
+// VQL token definitions.
+#ifndef UNISTORE_VQL_TOKEN_H_
+#define UNISTORE_VQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace unistore {
+namespace vql {
+
+enum class TokenType : uint8_t {
+  kEnd,
+  // Literals & names.
+  kIdentifier,   ///< attribute / function names (may contain ':' '#' '_')
+  kVariable,     ///< ?name
+  kString,       ///< 'single quoted'
+  kInteger,
+  kReal,
+  // Keywords.
+  kSelect,
+  kWhere,
+  kFilter,
+  kOrder,
+  kBy,
+  kLimit,
+  kSkyline,
+  kOf,
+  kMin,
+  kMax,
+  kAsc,
+  kDesc,
+  kAnd,
+  kOr,
+  kNot,
+  kContains,
+  kPrefix,
+  // Punctuation / operators.
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kComma,
+  kStar,
+  kEq,       ///< =
+  kNe,       ///< !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+std::string_view TokenTypeName(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    ///< Identifier/variable name or string body.
+  int64_t int_value = 0;
+  double real_value = 0;
+  size_t position = 0;  ///< Byte offset in the query (error messages).
+
+  std::string ToString() const;
+};
+
+}  // namespace vql
+}  // namespace unistore
+
+#endif  // UNISTORE_VQL_TOKEN_H_

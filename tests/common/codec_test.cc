@@ -1,0 +1,137 @@
+#include "common/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+
+namespace unistore {
+namespace {
+
+TEST(CodecTest, RoundTripPrimitives) {
+  BufferWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI64(-42);
+  w.PutDouble(3.14159);
+  w.PutBool(true);
+  w.PutBool(false);
+
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.GetU8().value(), 0xAB);
+  EXPECT_EQ(r.GetU16().value(), 0xBEEF);
+  EXPECT_EQ(r.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.GetI64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), 3.14159);
+  EXPECT_TRUE(r.GetBool().value());
+  EXPECT_FALSE(r.GetBool().value());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(CodecTest, RoundTripStrings) {
+  BufferWriter w;
+  w.PutString("");
+  w.PutString("hello");
+  std::string binary("\x00\x01\xFF\x7F", 4);
+  w.PutString(binary);
+
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.GetString().value(), "");
+  EXPECT_EQ(r.GetString().value(), "hello");
+  EXPECT_EQ(r.GetString().value(), binary);
+}
+
+TEST(CodecTest, VarintBoundaries) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ULL << 32) - 1,
+                             1ULL << 32,
+                             std::numeric_limits<uint64_t>::max()};
+  BufferWriter w;
+  for (uint64_t v : values) w.PutVarint(v);
+  BufferReader r(w.buffer());
+  for (uint64_t v : values) {
+    auto got = r.GetVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(CodecTest, UnderflowReturnsCorruption) {
+  BufferReader r("ab");
+  EXPECT_EQ(r.GetU64().status().code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, StringBodyUnderflow) {
+  BufferWriter w;
+  w.PutVarint(100);  // Length prefix claims 100 bytes...
+  w.PutRaw("short");
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.GetString().status().code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, TruncatedVarintIsCorruption) {
+  std::string bad(1, static_cast<char>(0x80));  // Continuation, then EOF.
+  BufferReader r(bad);
+  EXPECT_EQ(r.GetVarint().status().code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, OverlongVarintIsCorruption) {
+  std::string bad(11, static_cast<char>(0xFF));
+  BufferReader r(bad);
+  EXPECT_EQ(r.GetVarint().status().code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, NegativeAndSpecialDoubles) {
+  BufferWriter w;
+  w.PutDouble(-0.0);
+  w.PutDouble(std::numeric_limits<double>::infinity());
+  w.PutDouble(std::numeric_limits<double>::lowest());
+  BufferReader r(w.buffer());
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), -0.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(),
+                   std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(),
+                   std::numeric_limits<double>::lowest());
+}
+
+// Property: random sequences of typed values round-trip exactly.
+TEST(CodecTest, PropertyRandomRoundTrip) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    BufferWriter w;
+    std::vector<uint64_t> ints;
+    std::vector<std::string> strs;
+    int n = static_cast<int>(rng.NextBounded(20)) + 1;
+    for (int i = 0; i < n; ++i) {
+      uint64_t v = rng.Next();
+      ints.push_back(v);
+      w.PutVarint(v);
+      std::string s;
+      size_t len = rng.NextBounded(50);
+      for (size_t j = 0; j < len; ++j) {
+        s.push_back(static_cast<char>(rng.NextBounded(256)));
+      }
+      strs.push_back(s);
+      w.PutString(s);
+    }
+    BufferReader r(w.buffer());
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(r.GetVarint().value(), ints[static_cast<size_t>(i)]);
+      ASSERT_EQ(r.GetString().value(), strs[static_cast<size_t>(i)]);
+    }
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+}  // namespace
+}  // namespace unistore

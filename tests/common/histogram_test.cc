@@ -1,0 +1,107 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace unistore {
+namespace {
+
+TEST(SampleStatsTest, BasicMoments) {
+  SampleStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(SampleStatsTest, Percentiles) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+}
+
+TEST(SampleStatsTest, EmptyIsSafe) {
+  SampleStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.Gini(), 0.0);
+}
+
+TEST(SampleStatsTest, GiniOfEqualValuesIsZero) {
+  SampleStats s;
+  for (int i = 0; i < 50; ++i) s.Add(10.0);
+  EXPECT_NEAR(s.Gini(), 0.0, 1e-9);
+}
+
+TEST(SampleStatsTest, GiniOfConcentratedMassApproachesOne) {
+  SampleStats s;
+  for (int i = 0; i < 99; ++i) s.Add(0.0);
+  s.Add(1000.0);
+  EXPECT_GT(s.Gini(), 0.95);
+}
+
+TEST(SampleStatsTest, GiniIsScaleInvariant) {
+  SampleStats a, b;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    double v = rng.NextDouble() * 100;
+    a.Add(v);
+    b.Add(v * 7.5);
+  }
+  EXPECT_NEAR(a.Gini(), b.Gini(), 1e-9);
+}
+
+TEST(SampleStatsTest, AddAfterReadKeepsConsistency) {
+  SampleStats s;
+  s.Add(5);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  s.Add(10);  // Adding after a sorted read must re-sort.
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+}
+
+TEST(EquiDepthHistogramTest, UniformEstimates) {
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(i / 100.0);  // [0,100)
+  auto h = EquiDepthHistogram::Build(values, 32);
+  EXPECT_EQ(h.total_count(), 10000u);
+  EXPECT_NEAR(h.EstimateRangeFraction(0, 100), 1.0, 0.02);
+  EXPECT_NEAR(h.EstimateRangeFraction(0, 50), 0.5, 0.03);
+  EXPECT_NEAR(h.EstimateRangeFraction(25, 75), 0.5, 0.03);
+  EXPECT_NEAR(h.EstimateRangeFraction(90, 95), 0.05, 0.02);
+}
+
+TEST(EquiDepthHistogramTest, SkewedEstimates) {
+  // 90% of mass at [0,1), 10% at [1,100).
+  std::vector<double> values;
+  Rng rng(17);
+  for (int i = 0; i < 9000; ++i) values.push_back(rng.NextDouble());
+  for (int i = 0; i < 1000; ++i) values.push_back(1 + rng.NextDouble() * 99);
+  auto h = EquiDepthHistogram::Build(values, 64);
+  EXPECT_NEAR(h.EstimateRangeFraction(0, 1), 0.9, 0.05);
+  EXPECT_NEAR(h.EstimateRangeFraction(1, 100), 0.1, 0.05);
+}
+
+TEST(EquiDepthHistogramTest, EmptyAndDegenerate) {
+  auto empty = EquiDepthHistogram::Build({}, 8);
+  EXPECT_DOUBLE_EQ(empty.EstimateRangeFraction(0, 1), 0.0);
+
+  auto single = EquiDepthHistogram::Build({5.0}, 8);
+  EXPECT_GT(single.EstimateRangeFraction(4, 6), 0.99);
+}
+
+TEST(EquiDepthHistogramTest, InvertedRangeIsZero) {
+  auto h = EquiDepthHistogram::Build({1, 2, 3}, 2);
+  EXPECT_DOUBLE_EQ(h.EstimateRangeFraction(5, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace unistore

@@ -1,0 +1,132 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/rng.h"
+
+namespace unistore {
+namespace {
+
+TEST(EditDistanceTest, BasicCases) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(EditDistance("ICDE", "ICDM"), 1u);
+}
+
+TEST(EditDistanceTest, Symmetry) {
+  EXPECT_EQ(EditDistance("conference", "confrence"),
+            EditDistance("confrence", "conference"));
+}
+
+TEST(EditDistanceTest, PaperExample) {
+  // §2: "for the name of the series we allow an edit distance of up to 2
+  // to the term 'ICDE' in order to ignore typos".
+  EXPECT_LE(EditDistance("ICDE", "ICD"), 2u);
+  EXPECT_LE(EditDistance("ICDE", "ICDEE"), 2u);
+  EXPECT_GT(EditDistance("ICDE", "SIGMOD"), 2u);
+}
+
+TEST(BoundedEditDistanceTest, ExactWithinBound) {
+  EXPECT_EQ(BoundedEditDistance("kitten", "sitting", 3), 3u);
+  EXPECT_EQ(BoundedEditDistance("abc", "abc", 0), 0u);
+  EXPECT_EQ(BoundedEditDistance("abc", "abd", 1), 1u);
+}
+
+TEST(BoundedEditDistanceTest, ExceedsBound) {
+  EXPECT_GT(BoundedEditDistance("kitten", "sitting", 2), 2u);
+  EXPECT_GT(BoundedEditDistance("", "abcdef", 3), 3u);
+}
+
+TEST(BoundedEditDistanceTest, LengthDifferenceShortCircuit) {
+  EXPECT_GT(BoundedEditDistance("a", "abcdefgh", 2), 2u);
+}
+
+// Property: the banded implementation agrees with the full DP whenever the
+// distance is within the bound, and reports > bound otherwise.
+class BoundedEditDistanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundedEditDistanceProperty, AgreesWithFullDp) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const char alphabet[] = "abcd";  // Small alphabet: collisions likely.
+  for (int iter = 0; iter < 300; ++iter) {
+    auto make = [&rng, &alphabet](size_t maxlen) {
+      std::string s;
+      size_t len = rng.NextBounded(maxlen + 1);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(alphabet[rng.NextBounded(4)]);
+      }
+      return s;
+    };
+    std::string a = make(12), b = make(12);
+    size_t exact = EditDistance(a, b);
+    for (size_t bound : {0u, 1u, 2u, 3u, 5u}) {
+      size_t banded = BoundedEditDistance(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(banded, exact) << "a=" << a << " b=" << b << " k=" << bound;
+      } else {
+        EXPECT_GT(banded, bound) << "a=" << a << " b=" << b << " k=" << bound;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundedEditDistanceProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(SplitJoinTest, SplitKeepsEmptyPieces) {
+  auto pieces = SplitString("a,,b,", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(pieces[2], "b");
+  EXPECT_EQ(pieces[3], "");
+}
+
+TEST(SplitJoinTest, SplitSinglePiece) {
+  auto pieces = SplitString("abc", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "abc");
+}
+
+TEST(SplitJoinTest, JoinRoundTrip) {
+  std::vector<std::string> pieces = {"x", "y", "z"};
+  EXPECT_EQ(JoinStrings(pieces, "::"), "x::y::z");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(PredicatesTest, StartsEndsContains) {
+  EXPECT_TRUE(StartsWith("unistore", "uni"));
+  EXPECT_FALSE(StartsWith("uni", "unistore"));
+  EXPECT_TRUE(EndsWith("unistore", "store"));
+  EXPECT_FALSE(EndsWith("store", "unistore"));
+  EXPECT_TRUE(ContainsSubstring("unistore", "isto"));
+  EXPECT_FALSE(ContainsSubstring("unistore", "xyz"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLowerAscii("ICDE 2006 - WS"), "icde 2006 - ws");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(LooksLikeIntegerTest, Cases) {
+  EXPECT_TRUE(LooksLikeInteger("0"));
+  EXPECT_TRUE(LooksLikeInteger("-42"));
+  EXPECT_TRUE(LooksLikeInteger("+7"));
+  EXPECT_FALSE(LooksLikeInteger(""));
+  EXPECT_FALSE(LooksLikeInteger("-"));
+  EXPECT_FALSE(LooksLikeInteger("12a"));
+  EXPECT_FALSE(LooksLikeInteger("1.5"));
+}
+
+}  // namespace
+}  // namespace unistore

@@ -1,0 +1,529 @@
+// End-to-end integration: full clusters, VQL queries, and an independent
+// brute-force reference engine. Every distributed answer must equal the
+// reference's answer on the same data.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/cluster.h"
+#include "core/datagen.h"
+#include "exec/expr_eval.h"
+#include "vql/parser.h"
+
+namespace unistore {
+namespace core {
+namespace {
+
+using exec::Binding;
+using triple::Triple;
+using triple::Value;
+
+// --- Brute-force reference engine (independent of the executor) -----------
+
+class Reference {
+ public:
+  void Add(const triple::Tuple& tuple) {
+    for (const Triple& t : triple::Decompose(tuple)) triples_.push_back(t);
+  }
+
+  std::vector<Binding> Eval(const vql::Query& query) const {
+    std::vector<Binding> rows = {Binding{}};
+    for (const auto& pattern : query.patterns) {
+      std::vector<Binding> next;
+      for (const Binding& row : rows) {
+        for (const Triple& t : triples_) {
+          auto merged =
+              exec::MatchPattern(pattern, t.oid, t.attribute, t.value, row);
+          if (merged.has_value()) next.push_back(std::move(*merged));
+        }
+      }
+      rows = std::move(next);
+    }
+    for (const auto& filter : query.filters) {
+      std::vector<Binding> kept;
+      for (auto& row : rows) {
+        if (exec::EvaluatePredicate(*filter, row)) kept.push_back(row);
+      }
+      rows = std::move(kept);
+    }
+    if (!query.skyline.empty()) {
+      // Independent O(n^2) pairwise skyline.
+      std::vector<Binding> skyline;
+      for (const auto& candidate : rows) {
+        bool dominated = false;
+        for (const auto& other : rows) {
+          if (RefDominates(other, candidate, query.skyline)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) skyline.push_back(candidate);
+      }
+      rows = std::move(skyline);
+    }
+    // Project to the select list.
+    std::vector<Binding> projected;
+    for (const auto& row : rows) {
+      Binding out;
+      if (query.select_all) {
+        out = row;
+      } else {
+        for (const auto& v : query.select) {
+          auto it = row.find(v);
+          if (it != row.end()) out.emplace(v, it->second);
+        }
+      }
+      projected.push_back(std::move(out));
+    }
+    return projected;
+  }
+
+ private:
+  static bool RefDominates(const Binding& a, const Binding& b,
+                           const std::vector<vql::SkylineKey>& keys) {
+    bool strict = false;
+    for (const auto& key : keys) {
+      auto ia = a.find(key.variable);
+      auto ib = b.find(key.variable);
+      if (ia == a.end() || ib == b.end()) return false;
+      int cmp = ia->second.Compare(ib->second);
+      if (key.direction == vql::SkylineDirection::kMax) cmp = -cmp;
+      if (cmp > 0) return false;
+      if (cmp < 0) strict = true;
+    }
+    return strict;
+  }
+
+  std::vector<Triple> triples_;
+};
+
+// Order-insensitive multiset comparison of result rows.
+std::multiset<std::string> RowSet(const std::vector<Binding>& rows) {
+  std::multiset<std::string> out;
+  for (const auto& row : rows) out.insert(exec::BindingToString(row));
+  return out;
+}
+
+// --- Fixture ---------------------------------------------------------------
+
+struct TestCluster {
+  std::unique_ptr<Cluster> cluster;
+  Reference reference;
+
+  explicit TestCluster(size_t peers = 16, uint64_t seed = 11) {
+    ClusterOptions options;
+    options.peers = peers;
+    options.seed = seed;
+    cluster = std::make_unique<Cluster>(options);
+  }
+
+  void Load(const std::vector<triple::Tuple>& tuples) {
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      auto via = static_cast<net::PeerId>(i % cluster->size());
+      ASSERT_TRUE(cluster->InsertTupleSync(via, tuples[i]).ok());
+      reference.Add(tuples[i]);
+    }
+    cluster->simulation().RunUntilIdle();
+    cluster->RefreshStats();
+  }
+
+  void ExpectMatchesReference(const std::string& vql_text,
+                              net::PeerId via = 0) {
+    auto parsed = vql::Parse(vql_text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto result = cluster->QuerySync(via, vql_text);
+    ASSERT_TRUE(result.ok()) << vql_text << "\n"
+                             << result.status().ToString();
+    auto expected = reference.Eval(*parsed);
+    EXPECT_EQ(RowSet(result->rows), RowSet(expected))
+        << "query: " << vql_text << "\nplan:\n"
+        << result->plan_text;
+  }
+};
+
+std::vector<triple::Tuple> SmallDataset() {
+  BibliographyOptions options;
+  options.authors = 12;
+  options.publications_per_author = 2;
+  options.typo_probability = 0.3;
+  options.seed = 5;
+  return GenerateBibliography(options).AllTuples();
+}
+
+// --- Tests -------------------------------------------------------------------
+
+TEST(IntegrationTest, SinglePatternScan) {
+  TestCluster tc;
+  tc.Load(SmallDataset());
+  tc.ExpectMatchesReference("SELECT ?a,?n WHERE { (?a,'name',?n) }");
+}
+
+TEST(IntegrationTest, ExactValueLookup) {
+  TestCluster tc;
+  tc.Load(SmallDataset());
+  tc.ExpectMatchesReference("SELECT ?c WHERE { (?c,'year',2005) }", 3);
+}
+
+TEST(IntegrationTest, OidLookup) {
+  TestCluster tc;
+  tc.Load(SmallDataset());
+  tc.ExpectMatchesReference(
+      "SELECT ?p,?v WHERE { ('person-3',?p,?v) }", 7);
+}
+
+TEST(IntegrationTest, RangeFilterPushdown) {
+  TestCluster tc;
+  tc.Load(SmallDataset());
+  tc.ExpectMatchesReference(
+      "SELECT ?a,?g WHERE { (?a,'age',?g) FILTER ?g >= 40 }", 2);
+  tc.ExpectMatchesReference(
+      "SELECT ?c,?y WHERE { (?c,'year',?y) FILTER ?y > 2002 FILTER ?y < "
+      "2005 }",
+      5);
+}
+
+TEST(IntegrationTest, TwoPatternJoin) {
+  TestCluster tc;
+  tc.Load(SmallDataset());
+  tc.ExpectMatchesReference(
+      "SELECT ?n,?g WHERE { (?a,'name',?n) (?a,'age',?g) }");
+}
+
+TEST(IntegrationTest, JoinStrategiesAgree) {
+  TestCluster tc;
+  tc.Load(SmallDataset());
+  const std::string query =
+      "SELECT ?n,?g WHERE { (?a,'name',?n) (?a,'age',?g) FILTER ?g < 60 }";
+  auto parsed = vql::Parse(query);
+  ASSERT_TRUE(parsed.ok());
+  auto expected = RowSet(tc.reference.Eval(*parsed));
+
+  for (plan::JoinStrategy strategy :
+       {plan::JoinStrategy::kProbe, plan::JoinStrategy::kMigrate,
+        plan::JoinStrategy::kLocalHash}) {
+    plan::PlannerOptions options;
+    options.force_join_strategy = strategy;
+    tc.cluster->SetPlannerOptions(options);
+    auto result = tc.cluster->QuerySync(1, query);
+    ASSERT_TRUE(result.ok())
+        << "strategy " << plan::JoinStrategyName(strategy) << ": "
+        << result.status().ToString();
+    EXPECT_EQ(RowSet(result->rows), expected)
+        << "strategy " << plan::JoinStrategyName(strategy) << "\nplan:\n"
+        << result->plan_text;
+  }
+}
+
+TEST(IntegrationTest, SimilarityPathsAgree) {
+  TestCluster tc;
+  tc.Load(SmallDataset());
+  const std::string query =
+      "SELECT ?c,?s WHERE { (?c,'series',?s) FILTER edist(?s,'ICDE') < 2 }";
+  auto parsed = vql::Parse(query);
+  ASSERT_TRUE(parsed.ok());
+  auto expected = RowSet(tc.reference.Eval(*parsed));
+  ASSERT_FALSE(expected.empty());  // Dataset has ICDE + typos.
+
+  for (plan::AccessPath path : {plan::AccessPath::kSimilarityQGram,
+                                plan::AccessPath::kSimilarityNaive}) {
+    plan::PlannerOptions options;
+    options.force_similarity_path = path;
+    tc.cluster->SetPlannerOptions(options);
+    auto result = tc.cluster->QuerySync(2, query);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(RowSet(result->rows), expected)
+        << "path " << plan::AccessPathName(path);
+  }
+}
+
+TEST(IntegrationTest, RangeStrategiesAgree) {
+  TestCluster tc;
+  tc.Load(SmallDataset());
+  const std::string query =
+      "SELECT ?a,?g WHERE { (?a,'age',?g) FILTER ?g >= 30 FILTER ?g <= 60 }";
+  auto parsed = vql::Parse(query);
+  ASSERT_TRUE(parsed.ok());
+  auto expected = RowSet(tc.reference.Eval(*parsed));
+
+  for (triple::RangeStrategy strategy :
+       {triple::RangeStrategy::kSequential, triple::RangeStrategy::kShower}) {
+    plan::PlannerOptions options;
+    options.force_range_strategy = strategy;
+    tc.cluster->SetPlannerOptions(options);
+    auto result = tc.cluster->QuerySync(4, query);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(RowSet(result->rows), expected);
+  }
+}
+
+TEST(IntegrationTest, OrderByAndLimit) {
+  TestCluster tc;
+  tc.Load(SmallDataset());
+  auto result = tc.cluster->QuerySync(
+      0, "SELECT ?g WHERE { (?a,'age',?g) } ORDER BY ?g LIMIT 5");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 5u);
+  // Rows sorted ascending; and they are the globally smallest ages.
+  auto full = tc.cluster->QuerySync(
+      0, "SELECT ?g WHERE { (?a,'age',?g) } ORDER BY ?g");
+  ASSERT_TRUE(full.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(result->rows[i].at("g"), full->rows[i].at("g"));
+  }
+}
+
+TEST(IntegrationTest, TopNPushdownMatchesNoPushdown) {
+  TestCluster tc;
+  tc.Load(SmallDataset());
+  const std::string query =
+      "SELECT ?g WHERE { (?a,'age',?g) } ORDER BY ?g LIMIT 4";
+  plan::PlannerOptions with;
+  tc.cluster->SetPlannerOptions(with);
+  auto pushed = tc.cluster->QuerySync(0, query);
+  ASSERT_TRUE(pushed.ok());
+  EXPECT_NE(pushed->plan_text.find("walk_limit"), std::string::npos);
+
+  plan::PlannerOptions without;
+  without.enable_topn_pushdown = false;
+  tc.cluster->SetPlannerOptions(without);
+  auto plain = tc.cluster->QuerySync(0, query);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(RowSet(pushed->rows), RowSet(plain->rows));
+}
+
+TEST(IntegrationTest, SkylineQuery) {
+  TestCluster tc;
+  tc.Load(SmallDataset());
+  tc.ExpectMatchesReference(
+      "SELECT ?n,?g,?c WHERE { (?a,'name',?n) (?a,'age',?g) "
+      "(?a,'num_of_pubs',?c) } ORDER BY SKYLINE OF ?g MIN, ?c MAX");
+}
+
+TEST(IntegrationTest, ThePaperExampleQuery) {
+  // The §2 demo query, end to end on Figure-3-style data.
+  TestCluster tc(24, /*seed=*/17);
+  BibliographyOptions options;
+  options.authors = 10;
+  options.publications_per_author = 2;
+  options.typo_probability = 0.25;
+  options.seed = 23;
+  tc.Load(GenerateBibliography(options).AllTuples());
+  tc.ExpectMatchesReference(R"(
+    SELECT ?name,?age,?cnt
+    WHERE {(?a,'name',?name) (?a,'age',?age)
+           (?a,'num_of_pubs',?cnt)
+           (?a,'has_published',?title) (?p,'title',?title)
+           (?p,'published_in',?conf) (?c,'confname',?conf)
+           (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3
+    }
+    ORDER BY SKYLINE OF ?age MIN, ?cnt MAX)");
+}
+
+TEST(IntegrationTest, SubstringAndPrefixFilters) {
+  TestCluster tc;
+  tc.Load(SmallDataset());
+  tc.ExpectMatchesReference(
+      "SELECT ?c,?n WHERE { (?c,'confname',?n) FILTER ?n CONTAINS '2004' }");
+  tc.ExpectMatchesReference(
+      "SELECT ?c,?s WHERE { (?c,'series',?s) FILTER ?s PREFIX 'IC' }");
+}
+
+TEST(IntegrationTest, SchemaMappingsApplyAutomatically) {
+  TestCluster tc(8, 31);
+  // Two communities using different attribute names for the same thing.
+  triple::Tuple german;
+  german.oid = "g1";
+  german.attributes["telefon"] = Value::Int(12345);
+  german.attributes["name"] = Value::String("fritz");
+  triple::Tuple english;
+  english.oid = "e1";
+  english.attributes["phone"] = Value::Int(99999);
+  english.attributes["name"] = Value::String("fred");
+  tc.Load({german, english});
+  ASSERT_TRUE(tc.cluster->InsertMappingSync(0, "phone", "telefon").ok());
+
+  // Without mappings: only the literal attribute matches.
+  auto plain = tc.cluster->QuerySync(
+      1, "SELECT ?a,?p WHERE { (?a,'phone',?p) }");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->rows.size(), 1u);
+
+  // With mappings loaded from the network and enabled: both match.
+  ASSERT_TRUE(tc.cluster->LoadMappingsSync(1).ok());
+  plan::PlannerOptions options;
+  options.apply_mappings = true;
+  tc.cluster->node(1).SetPlannerOptions(options);
+  auto mapped = tc.cluster->QuerySync(
+      1, "SELECT ?a,?p WHERE { (?a,'phone',?p) }");
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->rows.size(), 2u) << mapped->plan_text;
+}
+
+TEST(IntegrationTest, MetadataIsQueryableExplicitly) {
+  // "This additional metadata can be queried explicitly by the user" (§2).
+  TestCluster tc(8, 37);
+  tc.Load({});
+  ASSERT_TRUE(tc.cluster->InsertMappingSync(0, "phone", "telefon").ok());
+  auto result = tc.cluster->QuerySync(
+      2, "SELECT ?from,?to WHERE { (?from,'map#corresponds_to',?to) }");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].at("from"), Value::String("phone"));
+  EXPECT_EQ(result->rows[0].at("to"), Value::String("telefon"));
+}
+
+TEST(IntegrationTest, DeleteMakesTriplesInvisibleToQueries) {
+  TestCluster tc(8, 41);
+  triple::Tuple t;
+  t.oid = "x1";
+  t.attributes["name"] = Value::String("ghost");
+  tc.Load({t});
+  auto before = tc.cluster->QuerySync(
+      0, "SELECT ?a WHERE { (?a,'name','ghost') }");
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->rows.size(), 1u);
+
+  ASSERT_TRUE(tc.cluster
+                  ->RemoveTripleSync(
+                      3, Triple("x1", "name", Value::String("ghost")))
+                  .ok());
+  auto after = tc.cluster->QuerySync(
+      0, "SELECT ?a WHERE { (?a,'name','ghost') }");
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->rows.empty());
+}
+
+TEST(IntegrationTest, UpdatedValueWinsInQueries) {
+  TestCluster tc(8, 43);
+  triple::Tuple t;
+  t.oid = "p1";
+  t.attributes["age"] = Value::Int(30);
+  tc.Load({t});
+  // Age changes: delete old triple, insert new (triple-level update).
+  ASSERT_TRUE(
+      tc.cluster->RemoveTripleSync(1, Triple("p1", "age", Value::Int(30)))
+          .ok());
+  ASSERT_TRUE(
+      tc.cluster->InsertTripleSync(2, Triple("p1", "age", Value::Int(31)))
+          .ok());
+  auto result =
+      tc.cluster->QuerySync(0, "SELECT ?g WHERE { ('p1','age',?g) }");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].at("g"), Value::Int(31));
+}
+
+TEST(IntegrationTest, QueriesFromEveryPeerAgree) {
+  TestCluster tc(16, 47);
+  tc.Load(SmallDataset());
+  auto expected = tc.cluster->QuerySync(
+      0, "SELECT ?n WHERE { (?a,'name',?n) }");
+  ASSERT_TRUE(expected.ok());
+  for (net::PeerId via = 1; via < 16; ++via) {
+    auto result = tc.cluster->QuerySync(
+        via, "SELECT ?n WHERE { (?a,'name',?n) }");
+    ASSERT_TRUE(result.ok()) << "via " << via;
+    EXPECT_EQ(RowSet(result->rows), RowSet(expected->rows)) << "via " << via;
+  }
+}
+
+TEST(IntegrationTest, ExecutionTraceRecordsOperators) {
+  TestCluster tc(16, 61);
+  tc.Load(SmallDataset());
+  auto result = tc.cluster->QuerySync(
+      2,
+      "SELECT ?n,?g WHERE { (?a,'name',?n) (?a,'age',?g) FILTER ?g > 20 } "
+      "ORDER BY ?g LIMIT 3");
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->trace.empty());
+  // Every operator class of the plan appears with a cardinality.
+  std::string joined;
+  for (const auto& line : result->trace) joined += line + "\n";
+  EXPECT_NE(joined.find("PatternScan"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("Join"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("Filter"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("Project"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("rows"), std::string::npos) << joined;
+  // Traces are repeatable: the same query yields the same trace
+  // (deterministic simulation — the paper's "(in limits) repeatable").
+  auto again = tc.cluster->QuerySync(
+      2,
+      "SELECT ?n,?g WHERE { (?a,'name',?n) (?a,'age',?g) FILTER ?g > 20 } "
+      "ORDER BY ?g LIMIT 3");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(result->trace, again->trace);
+}
+
+TEST(IntegrationTest, MeasuredQueryReportsTrafficAndLatency) {
+  TestCluster tc;
+  tc.Load(SmallDataset());
+  auto measured = tc.cluster->QueryMeasured(
+      0, "SELECT ?n,?g WHERE { (?a,'name',?n) (?a,'age',?g) }");
+  ASSERT_TRUE(measured.ok());
+  EXPECT_GT(measured->traffic.messages_sent, 0u);
+  EXPECT_GT(measured->traffic.bytes_sent, 0u);
+  EXPECT_GT(measured->virtual_latency_us, 0);
+  EXPECT_FALSE(measured->result.plan_text.empty());
+}
+
+TEST(IntegrationTest, WanClusterAnswersWithinSeconds) {
+  // Smoke version of experiment C2: PlanetLab-like latencies, a realistic
+  // query, answer within single-digit virtual seconds.
+  ClusterOptions options;
+  options.peers = 48;
+  options.seed = 53;
+  options.latency = ClusterOptions::Latency::kWan;
+  Cluster cluster(options);
+  BibliographyOptions data;
+  data.authors = 12;
+  data.seed = 3;
+  auto tuples = GenerateBibliography(data).AllTuples();
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    ASSERT_TRUE(cluster
+                    .InsertTupleSync(
+                        static_cast<net::PeerId>(i % cluster.size()),
+                        tuples[i])
+                    .ok());
+  }
+  cluster.simulation().RunUntilIdle();
+  cluster.RefreshStats();
+  auto measured = cluster.QueryMeasured(
+      5, "SELECT ?n,?g WHERE { (?a,'name',?n) (?a,'age',?g) }");
+  ASSERT_TRUE(measured.ok()) << measured.status().ToString();
+  EXPECT_GT(measured->virtual_latency_us, 50 * sim::kMicrosPerMilli);
+  EXPECT_LT(measured->virtual_latency_us, 10 * sim::kMicrosPerSecond);
+}
+
+TEST(IntegrationTest, Figure2PlacementEighteenTriples) {
+  // Figure 2: two 3-attribute tuples produce 18 index entries distributed
+  // over the 8-peer network, and each index reproduces the origin data.
+  ClusterOptions options;
+  options.peers = 8;
+  options.seed = 59;
+  options.node.qgram_index = false;  // Count only the paper's 3 indexes.
+  Cluster cluster(options);
+  for (const auto& tuple : Fig2Tuples()) {
+    ASSERT_TRUE(cluster.InsertTupleSync(0, tuple).ok());
+  }
+  cluster.simulation().RunUntilIdle();
+
+  size_t total_entries = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    total_entries += cluster.overlay()
+                         .peer(static_cast<net::PeerId>(i))
+                         ->store()
+                         .live_size();
+  }
+  EXPECT_EQ(total_entries, 18u);  // 2 tuples x 3 attributes x 3 indexes.
+
+  // Reproduction of origin data from the OID index.
+  auto result = cluster.QuerySync(
+      3, "SELECT ?p,?v WHERE { ('a12',?p,?v) }");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 3u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace unistore

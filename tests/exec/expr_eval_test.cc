@@ -1,0 +1,196 @@
+#include "exec/expr_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "vql/parser.h"
+
+namespace unistore {
+namespace exec {
+namespace {
+
+using triple::Value;
+
+Binding B(std::initializer_list<std::pair<std::string, Value>> items) {
+  Binding b;
+  for (auto& [k, v] : items) b.emplace(k, v);
+  return b;
+}
+
+vql::ExprPtr E(const std::string& text) {
+  auto e = vql::ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return *e;
+}
+
+TEST(ExprEvalTest, Comparisons) {
+  Binding b = B({{"x", Value::Int(5)}, {"s", Value::String("icde")}});
+  EXPECT_TRUE(EvaluatePredicate(*E("?x = 5"), b));
+  EXPECT_TRUE(EvaluatePredicate(*E("?x != 4"), b));
+  EXPECT_TRUE(EvaluatePredicate(*E("?x < 6"), b));
+  EXPECT_TRUE(EvaluatePredicate(*E("?x <= 5"), b));
+  EXPECT_TRUE(EvaluatePredicate(*E("?x > 4"), b));
+  EXPECT_TRUE(EvaluatePredicate(*E("?x >= 5"), b));
+  EXPECT_FALSE(EvaluatePredicate(*E("?x > 5"), b));
+  EXPECT_TRUE(EvaluatePredicate(*E("?s = 'icde'"), b));
+}
+
+TEST(ExprEvalTest, LogicalConnectives) {
+  Binding b = B({{"x", Value::Int(5)}});
+  EXPECT_TRUE(EvaluatePredicate(*E("?x > 1 AND ?x < 10"), b));
+  EXPECT_FALSE(EvaluatePredicate(*E("?x > 1 AND ?x > 10"), b));
+  EXPECT_TRUE(EvaluatePredicate(*E("?x > 10 OR ?x = 5"), b));
+  EXPECT_TRUE(EvaluatePredicate(*E("NOT ?x > 10"), b));
+  EXPECT_FALSE(EvaluatePredicate(*E("NOT (?x = 5)"), b));
+}
+
+TEST(ExprEvalTest, StringPredicates) {
+  Binding b = B({{"s", Value::String("ICDE 2006 - Workshops")}});
+  EXPECT_TRUE(EvaluatePredicate(*E("?s CONTAINS '2006'"), b));
+  EXPECT_FALSE(EvaluatePredicate(*E("?s CONTAINS 'vldb'"), b));
+  EXPECT_TRUE(EvaluatePredicate(*E("?s PREFIX 'ICDE'"), b));
+  EXPECT_FALSE(EvaluatePredicate(*E("?s PREFIX 'VLDB'"), b));
+}
+
+TEST(ExprEvalTest, Functions) {
+  Binding b = B({{"s", Value::String("ICDEE")}});
+  auto edist = EvaluateExpr(*E("edist(?s,'ICDE')"), b);
+  ASSERT_TRUE(edist.ok());
+  EXPECT_EQ(*edist, Value::Int(1));
+  auto length = EvaluateExpr(*E("length(?s)"), b);
+  ASSERT_TRUE(length.ok());
+  EXPECT_EQ(*length, Value::Int(5));
+  auto lower = EvaluateExpr(*E("lower(?s)"), b);
+  ASSERT_TRUE(lower.ok());
+  EXPECT_EQ(*lower, Value::String("icdee"));
+}
+
+TEST(ExprEvalTest, ThePaperFilter) {
+  // edist(?sr,'ICDE') < 3 keeps typo'd series names, drops foreign ones.
+  auto filter = E("edist(?sr,'ICDE') < 3");
+  EXPECT_TRUE(EvaluatePredicate(*filter, B({{"sr", Value::String("ICDE")}})));
+  EXPECT_TRUE(EvaluatePredicate(*filter, B({{"sr", Value::String("ICD")}})));
+  EXPECT_TRUE(EvaluatePredicate(*filter, B({{"sr", Value::String("IDCE")}})));
+  EXPECT_FALSE(
+      EvaluatePredicate(*filter, B({{"sr", Value::String("SIGMOD")}})));
+}
+
+TEST(ExprEvalTest, ErrorsEliminateBinding) {
+  // Unbound variable -> false, not a crash (SPARQL error semantics).
+  EXPECT_FALSE(EvaluatePredicate(*E("?ghost > 1"), Binding{}));
+  // Type error in a function -> false.
+  Binding b = B({{"x", Value::Int(5)}});
+  EXPECT_FALSE(EvaluatePredicate(*E("edist(?x,'a') < 2"), b));
+  EXPECT_FALSE(EvaluatePredicate(*E("?x CONTAINS 'a'"), b));
+}
+
+TEST(ExprEvalTest, CrossTypeComparisonIsTotalOrder) {
+  Binding b = B({{"n", Value::Int(5)}, {"s", Value::String("a")}});
+  // Numbers sort before strings in the value order.
+  EXPECT_TRUE(EvaluatePredicate(*E("?n < ?s"), b));
+}
+
+TEST(BindingTest, CompatibleAndMerge) {
+  Binding a = B({{"x", Value::Int(1)}, {"y", Value::Int(2)}});
+  Binding b = B({{"y", Value::Int(2)}, {"z", Value::Int(3)}});
+  Binding c = B({{"y", Value::Int(9)}});
+  EXPECT_TRUE(Compatible(a, b));
+  EXPECT_FALSE(Compatible(a, c));
+  Binding m = Merge(a, b);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.at("z"), Value::Int(3));
+}
+
+TEST(BindingTest, MatchPatternUnifiesAndRejects) {
+  vql::TriplePattern p;
+  p.subject = vql::Term::Var("a");
+  p.predicate = vql::Term::Lit(Value::String("age"));
+  p.object = vql::Term::Var("g");
+
+  auto matched = MatchPattern(p, "p1", "age", Value::Int(30), {});
+  ASSERT_TRUE(matched.has_value());
+  EXPECT_EQ(matched->at("a"), Value::String("p1"));
+  EXPECT_EQ(matched->at("g"), Value::Int(30));
+
+  EXPECT_FALSE(MatchPattern(p, "p1", "name", Value::Int(30), {}).has_value());
+
+  // Already-bound variable must agree.
+  Binding base = B({{"a", Value::String("p2")}});
+  EXPECT_FALSE(MatchPattern(p, "p1", "age", Value::Int(30), base).has_value());
+  EXPECT_TRUE(MatchPattern(p, "p2", "age", Value::Int(30), base).has_value());
+}
+
+TEST(BindingTest, RepeatedVariableMustAgree) {
+  // (?x,'links',?x): subject and object must be equal.
+  vql::TriplePattern p;
+  p.subject = vql::Term::Var("x");
+  p.predicate = vql::Term::Lit(Value::String("links"));
+  p.object = vql::Term::Var("x");
+  EXPECT_TRUE(
+      MatchPattern(p, "n1", "links", Value::String("n1"), {}).has_value());
+  EXPECT_FALSE(
+      MatchPattern(p, "n1", "links", Value::String("n2"), {}).has_value());
+}
+
+TEST(BindingTest, CodecRoundTrip) {
+  std::vector<Binding> rows = {
+      B({{"a", Value::String("p1")}, {"g", Value::Int(30)}}),
+      B({{"x", Value::Real(1.5)}}),
+      {},
+  };
+  BufferWriter w;
+  EncodeBindings(rows, &w);
+  BufferReader r(w.buffer());
+  auto back = DecodeBindings(&r);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 3u);
+  EXPECT_EQ((*back)[0].at("g"), Value::Int(30));
+  EXPECT_TRUE((*back)[2].empty());
+}
+
+TEST(RankingTest, DominanceAndSkyline) {
+  std::vector<vql::SkylineKey> keys = {
+      {"age", vql::SkylineDirection::kMin},
+      {"pubs", vql::SkylineDirection::kMax}};
+  Binding young_prolific =
+      B({{"age", Value::Int(30)}, {"pubs", Value::Int(20)}});
+  Binding old_lazy = B({{"age", Value::Int(60)}, {"pubs", Value::Int(2)}});
+  Binding young_lazy = B({{"age", Value::Int(30)}, {"pubs", Value::Int(2)}});
+
+  EXPECT_TRUE(Dominates(young_prolific, old_lazy, keys));
+  EXPECT_TRUE(Dominates(young_prolific, young_lazy, keys));
+  EXPECT_FALSE(Dominates(young_lazy, young_prolific, keys));
+  EXPECT_FALSE(Dominates(young_prolific, young_prolific, keys));
+
+  auto skyline = SkylineOf({young_prolific, old_lazy, young_lazy}, keys);
+  ASSERT_EQ(skyline.size(), 1u);
+  EXPECT_EQ(skyline[0].at("pubs"), Value::Int(20));
+}
+
+TEST(RankingTest, SkylineKeepsIncomparables) {
+  std::vector<vql::SkylineKey> keys = {
+      {"age", vql::SkylineDirection::kMin},
+      {"pubs", vql::SkylineDirection::kMax}};
+  // Pareto frontier: younger-with-fewer vs older-with-more.
+  Binding a = B({{"age", Value::Int(30)}, {"pubs", Value::Int(5)}});
+  Binding b = B({{"age", Value::Int(50)}, {"pubs", Value::Int(20)}});
+  auto skyline = SkylineOf({a, b}, keys);
+  EXPECT_EQ(skyline.size(), 2u);
+}
+
+TEST(RankingTest, SortRowsMultiKey) {
+  std::vector<Binding> rows = {
+      B({{"g", Value::Int(30)}, {"n", Value::String("b")}}),
+      B({{"g", Value::Int(25)}, {"n", Value::String("z")}}),
+      B({{"g", Value::Int(30)}, {"n", Value::String("a")}}),
+  };
+  SortRows(&rows, {{"g", vql::SortDirection::kDesc},
+                   {"n", vql::SortDirection::kAsc}});
+  EXPECT_EQ(rows[0].at("n"), Value::String("a"));
+  EXPECT_EQ(rows[1].at("n"), Value::String("b"));
+  EXPECT_EQ(rows[2].at("n"), Value::String("z"));
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace unistore

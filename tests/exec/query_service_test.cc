@@ -1,0 +1,211 @@
+// QueryService: mutant-plan envelopes, statistics gossip and the envelope
+// codec, exercised directly (the executor-level behaviour is covered by
+// the integration suite).
+#include "exec/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "exec/envelope.h"
+#include "pgrid/overlay.h"
+#include "triple/index.h"
+#include "triple/store_service.h"
+
+namespace unistore {
+namespace exec {
+namespace {
+
+using triple::Triple;
+using triple::Value;
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  QueryServiceTest() {
+    pgrid::OverlayOptions options;
+    options.seed = 77;
+    overlay_ = std::make_unique<pgrid::Overlay>(options);
+    overlay_->AddPeers(16);
+    overlay_->BuildBalanced();
+    for (size_t i = 0; i < 16; ++i) {
+      services_.push_back(std::make_unique<QueryService>(
+          overlay_->peer(static_cast<net::PeerId>(i))));
+    }
+  }
+
+  void InsertTriple(const Triple& t) {
+    for (auto& entry : triple::EntriesForTriple(t, 1)) {
+      overlay_->InsertDirect(entry);
+    }
+  }
+
+  Result<std::vector<Binding>> MigrateSync(size_t via,
+                                           const vql::TriplePattern& pattern,
+                                           const std::string& filter,
+                                           std::vector<Binding> left) {
+    std::optional<Result<std::vector<Binding>>> out;
+    services_[via]->RunMigrateJoin(
+        pattern, filter, std::move(left),
+        [&out](Result<std::vector<Binding>> r) { out = std::move(r); });
+    overlay_->simulation().RunUntil([&out] { return out.has_value(); });
+    if (!out.has_value()) return Status::Internal("drained");
+    return std::move(*out);
+  }
+
+  std::unique_ptr<pgrid::Overlay> overlay_;
+  std::vector<std::unique_ptr<QueryService>> services_;
+};
+
+vql::TriplePattern AgePattern() {
+  vql::TriplePattern p;
+  p.subject = vql::Term::Var("a");
+  p.predicate = vql::Term::Lit(Value::String("age"));
+  p.object = vql::Term::Var("g");
+  return p;
+}
+
+TEST_F(QueryServiceTest, MigrateJoinJoinsAgainstPartition) {
+  InsertTriple(Triple("p1", "age", Value::Int(30)));
+  InsertTriple(Triple("p2", "age", Value::Int(40)));
+  InsertTriple(Triple("p3", "name", Value::String("zoe")));
+
+  std::vector<Binding> left = {
+      {{"a", Value::String("p1")}, {"n", Value::String("alice")}},
+      {{"a", Value::String("p2")}, {"n", Value::String("bob")}},
+      {{"a", Value::String("nobody")}, {"n", Value::String("ghost")}},
+  };
+  auto result = MigrateSync(3, AgePattern(), "", left);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 2u);
+  for (const auto& row : *result) {
+    EXPECT_TRUE(row.count("g"));
+    EXPECT_TRUE(row.count("n"));
+  }
+}
+
+TEST_F(QueryServiceTest, MigrateJoinAppliesShippedFilter) {
+  InsertTriple(Triple("p1", "age", Value::Int(30)));
+  InsertTriple(Triple("p2", "age", Value::Int(70)));
+  std::vector<Binding> left = {{{"a", Value::String("p1")}},
+                               {{"a", Value::String("p2")}}};
+  auto result = MigrateSync(5, AgePattern(), "?g < 50", left);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->front().at("g"), Value::Int(30));
+}
+
+TEST_F(QueryServiceTest, MigrateJoinEmptyLeftYieldsEmpty) {
+  InsertTriple(Triple("p1", "age", Value::Int(30)));
+  auto result = MigrateSync(0, AgePattern(), "", {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_F(QueryServiceTest, MigrateJoinNeedsLiteralAttribute) {
+  vql::TriplePattern p;
+  p.subject = vql::Term::Var("a");
+  p.predicate = vql::Term::Var("p");  // Variable attribute: unsupported.
+  p.object = vql::Term::Var("v");
+  auto result = MigrateSync(0, p, "", {{{"a", Value::String("p1")}}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(QueryServiceTest, EnvelopeCountsVisitedPeers) {
+  InsertTriple(Triple("p1", "age", Value::Int(30)));
+  uint64_t before = 0;
+  for (auto& s : services_) before += s->envelopes_processed();
+  (void)MigrateSync(2, AgePattern(), "",
+                    {{{"a", Value::String("p1")}}});
+  uint64_t after = 0;
+  for (auto& s : services_) after += s->envelopes_processed();
+  EXPECT_GT(after, before);
+}
+
+TEST_F(QueryServiceTest, StatsGossipSpreadsContributions) {
+  InsertTriple(Triple("p1", "age", Value::Int(30)));
+  InsertTriple(Triple("p2", "age", Value::Int(40)));
+  overlay_->simulation().RunUntilIdle();
+  for (auto& s : services_) s->BuildLocalStats(1000);
+
+  // Before gossip: only peers hosting 'age' entries know the attribute.
+  size_t knowing_before = 0;
+  for (auto& s : services_) {
+    if (s->catalog().Attribute("age").triple_count > 0) ++knowing_before;
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (auto& s : services_) s->GossipStats(3);
+    overlay_->simulation().RunUntilIdle();
+  }
+  size_t knowing_after = 0;
+  for (auto& s : services_) {
+    if (s->catalog().Attribute("age").triple_count > 0) ++knowing_after;
+  }
+  EXPECT_GT(knowing_after, knowing_before);
+}
+
+TEST_F(QueryServiceTest, RepeatedGossipDoesNotDoubleCount) {
+  InsertTriple(Triple("p1", "age", Value::Int(30)));
+  overlay_->simulation().RunUntilIdle();
+  for (auto& s : services_) s->BuildLocalStats(1000);
+  for (int round = 0; round < 6; ++round) {
+    for (auto& s : services_) s->GossipStats(3);
+    overlay_->simulation().RunUntilIdle();
+  }
+  // The triple was inserted once; no catalog may report more than the
+  // replication count of copies (here: 1).
+  for (auto& s : services_) {
+    EXPECT_LE(s->catalog().Attribute("age").triple_count, 1u);
+  }
+}
+
+TEST_F(QueryServiceTest, GossipCarriesPeerPaths) {
+  for (auto& s : services_) s->BuildLocalStats(1000);
+  for (int round = 0; round < 3; ++round) {
+    for (auto& s : services_) s->GossipStats(4);
+    overlay_->simulation().RunUntilIdle();
+  }
+  // After gossip a peer knows several paths, enabling peers-in-range
+  // estimation.
+  EXPECT_GT(services_[0]->catalog().peer_path_sample_size(), 3u);
+}
+
+TEST(EnvelopeCodecTest, RoundTrip) {
+  PlanEnvelope env;
+  env.initiator = 7;
+  env.pattern.subject = vql::Term::Var("a");
+  env.pattern.predicate = vql::Term::Lit(Value::String("age"));
+  env.pattern.object = vql::Term::Lit(Value::Int(30));
+  env.filter_vql = "?g < 50";
+  env.remaining = triple::AttrRange("age");
+  env.bindings = {{{"a", Value::String("p1")}}};
+  env.results = {{{"a", Value::String("p0")}, {"g", Value::Int(3)}}};
+
+  auto back = PlanEnvelope::Decode(env.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->initiator, 7u);
+  EXPECT_EQ(back->pattern.ToString(), env.pattern.ToString());
+  EXPECT_EQ(back->filter_vql, "?g < 50");
+  EXPECT_EQ(back->remaining.lo, env.remaining.lo);
+  EXPECT_EQ(back->bindings.size(), 1u);
+  EXPECT_EQ(back->results.size(), 1u);
+}
+
+TEST(EnvelopeCodecTest, ReplyRoundTripAndCorruption) {
+  EnvelopeReply reply;
+  reply.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
+  reply.error = "stalled";
+  reply.results = {{{"x", Value::Int(1)}}};
+  reply.peers_visited = 9;
+  auto back = EnvelopeReply::Decode(reply.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->error, "stalled");
+  EXPECT_EQ(back->peers_visited, 9u);
+
+  EXPECT_FALSE(PlanEnvelope::Decode("\x01\x02garbage").ok());
+  EXPECT_FALSE(EnvelopeReply::Decode("\xFF").ok());
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace unistore

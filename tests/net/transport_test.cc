@@ -1,0 +1,241 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/rpc.h"
+#include "sim/latency.h"
+#include "sim/simulation.h"
+
+namespace unistore {
+namespace net {
+namespace {
+
+struct Fixture {
+  sim::Simulation sim;
+  std::unique_ptr<Transport> transport;
+  std::vector<std::vector<Message>> inboxes;
+
+  explicit Fixture(size_t peers, sim::SimTime latency = 1000,
+                   uint64_t seed = 7) {
+    transport = std::make_unique<Transport>(
+        &sim, std::make_unique<sim::ConstantLatency>(latency), seed);
+    inboxes.resize(peers);
+    for (size_t i = 0; i < peers; ++i) {
+      transport->AddPeer([this, i](const Message& m) {
+        inboxes[i].push_back(m);
+      });
+    }
+  }
+
+  Message Make(PeerId src, PeerId dst, MessageType type = MessageType::kPing,
+               std::string payload = "") {
+    Message m;
+    m.type = type;
+    m.src = src;
+    m.dst = dst;
+    m.payload = std::move(payload);
+    return m;
+  }
+};
+
+TEST(TransportTest, DeliversWithLatency) {
+  Fixture f(2, 2500);
+  f.transport->Send(f.Make(0, 1));
+  EXPECT_TRUE(f.inboxes[1].empty());
+  f.sim.RunUntilIdle();
+  ASSERT_EQ(f.inboxes[1].size(), 1u);
+  EXPECT_EQ(f.sim.Now(), 2500);
+  EXPECT_EQ(f.inboxes[1][0].src, 0u);
+}
+
+TEST(TransportTest, SelfSendWorks) {
+  Fixture f(1);
+  f.transport->Send(f.Make(0, 0, MessageType::kPing, "self"));
+  f.sim.RunUntilIdle();
+  ASSERT_EQ(f.inboxes[0].size(), 1u);
+  EXPECT_EQ(f.inboxes[0][0].payload, "self");
+}
+
+TEST(TransportTest, DeadPeerDropsMessages) {
+  Fixture f(2);
+  f.transport->SetAlive(1, false);
+  f.transport->Send(f.Make(0, 1));
+  f.sim.RunUntilIdle();
+  EXPECT_TRUE(f.inboxes[1].empty());
+  EXPECT_EQ(f.transport->stats().messages_to_dead, 1u);
+}
+
+TEST(TransportTest, MessageInFlightToPeerThatDiesIsDropped) {
+  Fixture f(2, 1000);
+  f.transport->Send(f.Make(0, 1));
+  // Peer dies while the message is in flight.
+  f.sim.Schedule(500, [&f] { f.transport->SetAlive(1, false); });
+  f.sim.RunUntilIdle();
+  EXPECT_TRUE(f.inboxes[1].empty());
+}
+
+TEST(TransportTest, RevivedPeerReceivesAgain) {
+  Fixture f(2);
+  f.transport->SetAlive(1, false);
+  f.transport->SetAlive(1, true);
+  f.transport->Send(f.Make(0, 1));
+  f.sim.RunUntilIdle();
+  EXPECT_EQ(f.inboxes[1].size(), 1u);
+}
+
+TEST(TransportTest, LossDropsApproximatelyAtRate) {
+  Fixture f(2);
+  f.transport->set_loss_probability(0.4);
+  for (int i = 0; i < 2000; ++i) f.transport->Send(f.Make(0, 1));
+  f.sim.RunUntilIdle();
+  double delivered = static_cast<double>(f.inboxes[1].size());
+  EXPECT_NEAR(delivered / 2000.0, 0.6, 0.05);
+  EXPECT_EQ(f.transport->stats().messages_lost + f.inboxes[1].size(), 2000u);
+}
+
+TEST(TransportTest, StatsCountBytesAndTypes) {
+  Fixture f(2);
+  f.transport->Send(f.Make(0, 1, MessageType::kLookup, "12345"));
+  f.transport->Send(f.Make(1, 0, MessageType::kLookupReply, ""));
+  f.sim.RunUntilIdle();
+  const auto& stats = f.transport->stats();
+  EXPECT_EQ(stats.messages_sent, 2u);
+  EXPECT_EQ(stats.messages_delivered, 2u);
+  EXPECT_EQ(stats.bytes_sent, 2 * Message::kHeaderBytes + 5);
+  EXPECT_EQ(stats.per_type.at(MessageType::kLookup), 1u);
+  EXPECT_EQ(stats.per_type.at(MessageType::kLookupReply), 1u);
+}
+
+TEST(TransportTest, StatsSinceComputesDelta) {
+  Fixture f(2);
+  f.transport->Send(f.Make(0, 1));
+  f.sim.RunUntilIdle();
+  TrafficStats before = f.transport->stats();
+  f.transport->Send(f.Make(0, 1));
+  f.transport->Send(f.Make(0, 1));
+  f.sim.RunUntilIdle();
+  TrafficStats delta = f.transport->stats().Since(before);
+  EXPECT_EQ(delta.messages_sent, 2u);
+  EXPECT_EQ(delta.per_type.at(MessageType::kPing), 2u);
+}
+
+TEST(RpcTest, RequestResponseRoundTrip) {
+  Fixture f(2);
+  RpcManager client(0, f.transport.get());
+  // Peer 1 echoes requests as pongs.
+  f.transport->SetHandler(1, [&f](const Message& m) {
+    Message reply;
+    reply.type = MessageType::kPong;
+    reply.src = 1;
+    reply.dst = m.src;
+    reply.request_id = m.request_id;
+    reply.payload = "echo:" + m.payload;
+    f.transport->Send(std::move(reply));
+  });
+  // Client routes pongs into the manager.
+  f.transport->SetHandler(0, [&client](const Message& m) {
+    client.HandleReply(m);
+  });
+
+  Status got_status = Status::Internal("unset");
+  std::string got_payload;
+  client.SendRequest(1, MessageType::kPing, "hi", 10000,
+                     [&](const Status& s, const Message& m) {
+                       got_status = s;
+                       got_payload = m.payload;
+                     });
+  f.sim.RunUntilIdle();
+  EXPECT_TRUE(got_status.ok());
+  EXPECT_EQ(got_payload, "echo:hi");
+  EXPECT_EQ(client.pending_count(), 0u);
+}
+
+TEST(RpcTest, TimeoutFiresWhenNoReply) {
+  Fixture f(2);
+  RpcManager client(0, f.transport.get());
+  f.transport->SetHandler(1, [](const Message&) {});  // Black hole.
+
+  Status got_status;
+  client.SendRequest(1, MessageType::kPing, "", 5000,
+                     [&](const Status& s, const Message&) { got_status = s; });
+  f.sim.RunUntilIdle();
+  EXPECT_TRUE(got_status.IsTimeout());
+  EXPECT_EQ(client.pending_count(), 0u);
+}
+
+TEST(RpcTest, LateReplyAfterTimeoutIsIgnored) {
+  Fixture f(2, /*latency=*/8000);
+  RpcManager client(0, f.transport.get());
+  f.transport->SetHandler(1, [&f](const Message& m) {
+    Message reply;
+    reply.type = MessageType::kPong;
+    reply.src = 1;
+    reply.dst = m.src;
+    reply.request_id = m.request_id;
+    f.transport->Send(std::move(reply));
+  });
+  int calls = 0;
+  Status first_status;
+  f.transport->SetHandler(0, [&client](const Message& m) {
+    client.HandleReply(m);
+  });
+  client.SendRequest(1, MessageType::kPing, "", 5000,
+                     [&](const Status& s, const Message&) {
+                       ++calls;
+                       first_status = s;
+                     });
+  f.sim.RunUntilIdle();
+  EXPECT_EQ(calls, 1);  // Exactly once: the timeout.
+  EXPECT_TRUE(first_status.IsTimeout());
+}
+
+TEST(RpcTest, CancelSuppressesCallback) {
+  Fixture f(2);
+  RpcManager client(0, f.transport.get());
+  f.transport->SetHandler(0, [&client](const Message& m) {
+    client.HandleReply(m);
+  });
+  int calls = 0;
+  uint64_t id = client.SendRequest(
+      1, MessageType::kPing, "", 5000,
+      [&](const Status&, const Message&) { ++calls; });
+  client.Cancel(id);
+  f.sim.RunUntilIdle();
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(RpcTest, FailAllFlushesPending) {
+  Fixture f(3);
+  RpcManager client(0, f.transport.get());
+  std::vector<Status> results;
+  client.SendRequest(1, MessageType::kPing, "", 0,
+                     [&](const Status& s, const Message&) {
+                       results.push_back(s);
+                     });
+  client.SendRequest(2, MessageType::kPing, "", 0,
+                     [&](const Status& s, const Message&) {
+                       results.push_back(s);
+                     });
+  client.FailAll(Status::Unavailable("shutdown"));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].IsUnavailable());
+  EXPECT_TRUE(results[1].IsUnavailable());
+  EXPECT_EQ(client.pending_count(), 0u);
+}
+
+TEST(RpcTest, ReplyToCarriesHops) {
+  Fixture f(2);
+  RpcManager server(1, f.transport.get());
+  server.ReplyTo(0, 77, 5, MessageType::kPong, "data");
+  f.sim.RunUntilIdle();
+  ASSERT_EQ(f.inboxes[0].size(), 1u);
+  EXPECT_EQ(f.inboxes[0][0].request_id, 77u);
+  EXPECT_EQ(f.inboxes[0][0].hops, 5u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace unistore

@@ -1,0 +1,222 @@
+// Updates with loose consistency guarantees [Datta ICDCS'03] and behaviour
+// under churn (paper claims: robustness in "unreliable and highly dynamic"
+// environments; experiment C8).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "pgrid/overlay.h"
+
+namespace unistore {
+namespace pgrid {
+namespace {
+
+Entry MakeVersioned(const std::string& value, const std::string& id,
+                    uint64_t version) {
+  Entry e;
+  e.key = OpHash(value);
+  e.id = id;
+  e.payload = value + "@v" + std::to_string(version);
+  e.version = version;
+  return e;
+}
+
+OverlayOptions ReplicatedOptions(uint64_t seed, size_t replication) {
+  OverlayOptions options;
+  options.seed = seed;
+  options.replication = replication;
+  options.peer.gossip_fanout = 3;
+  return options;
+}
+
+TEST(UpdateTest, UpdatePropagatesToAllReplicas) {
+  Overlay overlay(ReplicatedOptions(1, 4));
+  overlay.AddPeers(16);
+  overlay.BuildBalanced();
+
+  Entry v1 = MakeVersioned("shared doc", "d1", 1);
+  ASSERT_TRUE(overlay.InsertSync(0, v1).ok());
+  overlay.simulation().RunUntilIdle();
+
+  Entry v2 = MakeVersioned("shared doc", "d1", 2);
+  ASSERT_TRUE(overlay.InsertSync(7, v2).ok());
+  overlay.simulation().RunUntilIdle();
+
+  for (auto id : overlay.ResponsiblePeers(v1.key)) {
+    auto entries = overlay.peer(id)->store().Get(v1.key);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].version, 2u) << "replica " << id << " stale";
+  }
+}
+
+TEST(UpdateTest, StaleUpdateNeverOverwritesNewer) {
+  Overlay overlay(ReplicatedOptions(2, 2));
+  overlay.AddPeers(8);
+  overlay.BuildBalanced();
+
+  ASSERT_TRUE(overlay.InsertSync(0, MakeVersioned("doc", "d", 5)).ok());
+  overlay.simulation().RunUntilIdle();
+  ASSERT_TRUE(overlay.InsertSync(1, MakeVersioned("doc", "d", 3)).ok());
+  overlay.simulation().RunUntilIdle();
+
+  Key key = OpHash("doc");
+  for (auto id : overlay.ResponsiblePeers(key)) {
+    auto entries = overlay.peer(id)->store().Get(key);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].version, 5u);
+  }
+}
+
+TEST(UpdateTest, RemoveTombstonesAllReplicas) {
+  Overlay overlay(ReplicatedOptions(3, 3));
+  overlay.AddPeers(12);
+  overlay.BuildBalanced();
+
+  Entry e = MakeVersioned("to be deleted", "x", 1);
+  ASSERT_TRUE(overlay.InsertSync(0, e).ok());
+  overlay.simulation().RunUntilIdle();
+  ASSERT_TRUE(overlay.RemoveSync(4, e.key, "x", 2).ok());
+  overlay.simulation().RunUntilIdle();
+
+  for (auto id : overlay.ResponsiblePeers(e.key)) {
+    EXPECT_TRUE(overlay.peer(id)->store().Get(e.key).empty());
+  }
+  auto result = overlay.LookupSync(1, e.key);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->entries.empty());
+}
+
+TEST(UpdateTest, RejoiningReplicaCatchesUpViaAntiEntropy) {
+  Overlay overlay(ReplicatedOptions(4, 3));
+  overlay.AddPeers(12);
+  overlay.BuildBalanced();
+
+  Entry v1 = MakeVersioned("offline doc", "od", 1);
+  ASSERT_TRUE(overlay.InsertSync(0, v1).ok());
+  overlay.simulation().RunUntilIdle();
+
+  auto owners = overlay.ResponsiblePeers(v1.key);
+  ASSERT_EQ(owners.size(), 3u);
+  net::PeerId offline = owners[0];
+  overlay.Crash(offline);
+
+  // Update while one replica is down, issued from a non-owner peer (an
+  // owner-issued update would apply locally even on the crashed node).
+  net::PeerId helper = net::kNoPeer;
+  for (net::PeerId id = 0; id < 12; ++id) {
+    if (std::find(owners.begin(), owners.end(), id) == owners.end()) {
+      helper = id;
+      break;
+    }
+  }
+  ASSERT_NE(helper, net::kNoPeer);
+  Entry v2 = MakeVersioned("offline doc", "od", 2);
+  ASSERT_TRUE(overlay.InsertSync(helper, v2).ok());
+  overlay.simulation().RunUntilIdle();
+  {
+    auto entries = overlay.peer(offline)->store().Get(v1.key);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].version, 1u);  // Still stale while down.
+  }
+
+  // Rejoin and pull.
+  overlay.Revive(offline);
+  ASSERT_TRUE(overlay.PullFromReplicaSync(offline).ok());
+  auto entries = overlay.peer(offline)->store().Get(v1.key);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].version, 2u);
+}
+
+TEST(ChurnTest, LookupsDegradeGracefullyUnderChurn) {
+  Overlay overlay(ReplicatedOptions(5, 3));
+  overlay.AddPeers(48);
+  overlay.BuildBalanced();
+
+  // Insert 60 values with diverse leading characters so their keys spread
+  // across the trie (OpHash keys are built from the first 8 characters).
+  std::vector<Entry> entries;
+  for (int i = 0; i < 60; ++i) {
+    Entry e = MakeVersioned(std::string(1, static_cast<char>('a' + i % 26)) +
+                                std::to_string(i) + "-churn",
+                            "c" + std::to_string(i), 1);
+    ASSERT_TRUE(overlay.InsertSync(0, e).ok());
+    entries.push_back(e);
+  }
+  overlay.simulation().RunUntilIdle();
+
+  // Kill 25% of peers.
+  Rng rng(55);
+  size_t killed = 0;
+  for (net::PeerId id = 0; id < 48 && killed < 12; ++id) {
+    if (rng.NextBernoulli(0.3)) {
+      overlay.Crash(id);
+      ++killed;
+    }
+  }
+
+  int successes = 0;
+  int attempts = 0;
+  for (const auto& e : entries) {
+    net::PeerId from = 0;
+    do {
+      from = static_cast<net::PeerId>(rng.NextBounded(48));
+    } while (!overlay.IsAlive(from));
+    ++attempts;
+    auto result = overlay.LookupSync(from, e.key);
+    if (result.ok() && !result->entries.empty()) ++successes;
+  }
+  // With replication 3 and 25% churn, the vast majority must succeed.
+  EXPECT_GT(successes, attempts * 3 / 4)
+      << successes << "/" << attempts << " lookups succeeded";
+}
+
+TEST(ChurnTest, MessageLossToleratedByRetries) {
+  OverlayOptions options = ReplicatedOptions(6, 2);
+  options.loss_probability = 0.05;
+  options.peer.request_retries = 3;
+  Overlay overlay(options);
+  overlay.AddPeers(16);
+  overlay.BuildBalanced();
+
+  int ok_count = 0;
+  for (int i = 0; i < 40; ++i) {
+    Entry e = MakeVersioned("lossy-" + std::to_string(i),
+                            "l" + std::to_string(i), 1);
+    if (overlay.InsertSync(0, e).ok()) {
+      auto result = overlay.LookupSync(5, e.key);
+      if (result.ok() && !result->entries.empty()) ++ok_count;
+    }
+  }
+  EXPECT_GT(ok_count, 30);
+}
+
+TEST(ChurnTest, DeadEndReportedWhenWholeSubtreeGone) {
+  OverlayOptions options;
+  options.seed = 7;
+  Overlay overlay(options);
+  overlay.AddPeers(8);
+  overlay.BuildBalanced();
+  // ASCII values hash into the '0' half of the key space (high bit of the
+  // first byte is 0); kill that entire subtree so such keys become
+  // unreachable, and query from a surviving '1'-side peer.
+  net::PeerId from = net::kNoPeer;
+  for (net::PeerId id = 0; id < 8; ++id) {
+    if (overlay.peer(id)->path().bit(0)) {
+      from = id;
+    } else {
+      overlay.Crash(id);
+    }
+  }
+  ASSERT_NE(from, net::kNoPeer);
+  Key key = OpHash("probe-value");
+  ASSERT_FALSE(key.bit(0));
+  auto result = overlay.LookupSync(from, key);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTimeout() || result.status().IsUnavailable())
+      << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace pgrid
+}  // namespace unistore

@@ -1,0 +1,163 @@
+#include "pgrid/key.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pgrid/ophash.h"
+
+namespace unistore {
+namespace pgrid {
+namespace {
+
+TEST(KeyTest, EmptyKeyIsRoot) {
+  Key k;
+  EXPECT_TRUE(k.empty());
+  EXPECT_EQ(k.size(), 0u);
+  EXPECT_EQ(k.ToString(), "<root>");
+  EXPECT_TRUE(k.IsPrefixOf(Key::FromBits("0101")));
+  EXPECT_TRUE(k.IsPrefixOf(Key()));
+}
+
+TEST(KeyTest, FromBitsAndAccessors) {
+  Key k = Key::FromBits("0110");
+  EXPECT_EQ(k.size(), 4u);
+  EXPECT_FALSE(k.bit(0));
+  EXPECT_TRUE(k.bit(1));
+  EXPECT_TRUE(k.bit(2));
+  EXPECT_FALSE(k.bit(3));
+  EXPECT_EQ(k.bits(), "0110");
+}
+
+TEST(KeyTest, PrefixChildSibling) {
+  Key k = Key::FromBits("0110");
+  EXPECT_EQ(k.Prefix(2).bits(), "01");
+  EXPECT_EQ(k.Child(true).bits(), "01101");
+  EXPECT_EQ(k.Child(false).bits(), "01100");
+  EXPECT_EQ(k.Sibling().bits(), "0111");
+}
+
+TEST(KeyTest, PadTo) {
+  Key k = Key::FromBits("01");
+  EXPECT_EQ(k.PadTo(5, false).bits(), "01000");
+  EXPECT_EQ(k.PadTo(5, true).bits(), "01111");
+  EXPECT_EQ(k.PadTo(1, true).bits(), "01");  // Already wider.
+}
+
+TEST(KeyTest, PrefixRelation) {
+  Key a = Key::FromBits("01");
+  Key b = Key::FromBits("0110");
+  EXPECT_TRUE(a.IsPrefixOf(b));
+  EXPECT_FALSE(b.IsPrefixOf(a));
+  EXPECT_TRUE(a.IsPrefixOf(a));
+  EXPECT_FALSE(Key::FromBits("00").IsPrefixOf(b));
+}
+
+TEST(KeyTest, CommonPrefixLength) {
+  EXPECT_EQ(Key::FromBits("0110").CommonPrefixLength(Key::FromBits("0111")),
+            3u);
+  EXPECT_EQ(Key::FromBits("10").CommonPrefixLength(Key::FromBits("01")), 0u);
+  EXPECT_EQ(Key::FromBits("01").CommonPrefixLength(Key::FromBits("0110")),
+            2u);
+  EXPECT_EQ(Key().CommonPrefixLength(Key::FromBits("1")), 0u);
+}
+
+TEST(KeyTest, CompareIsLexicographic) {
+  EXPECT_LT(Key::FromBits("0"), Key::FromBits("1"));
+  EXPECT_LT(Key::FromBits("01"), Key::FromBits("010"));  // Prefix first.
+  EXPECT_LT(Key::FromBits("0011"), Key::FromBits("01"));
+  EXPECT_EQ(Key::FromBits("01").Compare(Key::FromBits("01")), 0);
+}
+
+TEST(KeyTest, SuccessorWalksLeavesInOrder) {
+  EXPECT_EQ(Key::FromBits("0110").Successor().bits(), "0111");
+  EXPECT_EQ(Key::FromBits("0111").Successor().bits(), "1");
+  EXPECT_EQ(Key::FromBits("0").Successor().bits(), "1");
+  EXPECT_TRUE(Key::FromBits("111").Successor().empty());
+  EXPECT_TRUE(Key::FromBits("111").IsMax());
+  EXPECT_FALSE(Key::FromBits("110").IsMax());
+}
+
+TEST(KeyTest, SuccessorCoversBalancedTrieWalk) {
+  // Walking successors from 000 visits all 8 leaves in order.
+  Key k = Key::FromBits("000");
+  std::vector<std::string> visited{k.bits()};
+  while (true) {
+    Key next = k.Successor();
+    if (next.empty()) break;
+    k = next.PadTo(3, false);
+    visited.push_back(k.bits());
+  }
+  EXPECT_EQ(visited, (std::vector<std::string>{"000", "001", "010", "011",
+                                               "100", "101", "110", "111"}));
+}
+
+TEST(KeyRangeTest, Contains) {
+  KeyRange r{Key::FromBits("0010"), Key::FromBits("0110")};
+  EXPECT_TRUE(r.Contains(Key::FromBits("0010")));
+  EXPECT_TRUE(r.Contains(Key::FromBits("0100")));
+  EXPECT_TRUE(r.Contains(Key::FromBits("0110")));
+  EXPECT_FALSE(r.Contains(Key::FromBits("0001")));
+  EXPECT_FALSE(r.Contains(Key::FromBits("0111")));
+}
+
+TEST(KeyRangeTest, IntersectsPrefix) {
+  KeyRange r{Key::FromBits("0010"), Key::FromBits("0110")};
+  EXPECT_TRUE(r.IntersectsPrefix(Key::FromBits("00"), 4));
+  EXPECT_TRUE(r.IntersectsPrefix(Key::FromBits("01"), 4));
+  EXPECT_FALSE(r.IntersectsPrefix(Key::FromBits("1"), 4));
+  EXPECT_FALSE(r.IntersectsPrefix(Key::FromBits("0111"), 4));
+  EXPECT_TRUE(r.IntersectsPrefix(Key(), 4));  // Root covers everything.
+}
+
+TEST(KeyRangeTest, ClampToPrefix) {
+  KeyRange r{Key::FromBits("0010"), Key::FromBits("0110")};
+  KeyRange clamped = r.ClampToPrefix(Key::FromBits("01"), 4);
+  EXPECT_EQ(clamped.lo.bits(), "0100");
+  EXPECT_EQ(clamped.hi.bits(), "0110");
+  KeyRange inner = r.ClampToPrefix(Key::FromBits("00"), 4);
+  EXPECT_EQ(inner.lo.bits(), "0010");
+  EXPECT_EQ(inner.hi.bits(), "0011");
+}
+
+// Property: for random ranges and random prefixes, IntersectsPrefix agrees
+// with a brute-force check over all keys of small width.
+TEST(KeyRangeTest, PropertyIntersectionAgreesWithBruteForce) {
+  constexpr size_t kWidth = 6;
+  Rng rng(99);
+  auto random_key = [&rng]() {
+    std::string bits;
+    for (size_t i = 0; i < kWidth; ++i) {
+      bits.push_back(rng.NextBounded(2) ? '1' : '0');
+    }
+    return Key::FromBits(bits);
+  };
+  for (int iter = 0; iter < 500; ++iter) {
+    Key a = random_key(), b = random_key();
+    KeyRange range = (a <= b) ? KeyRange{a, b} : KeyRange{b, a};
+    std::string pbits;
+    size_t plen = rng.NextBounded(kWidth + 1);
+    for (size_t i = 0; i < plen; ++i) {
+      pbits.push_back(rng.NextBounded(2) ? '1' : '0');
+    }
+    Key prefix = Key::FromBits(pbits);
+
+    bool brute = false;
+    for (uint64_t v = 0; v < (1ULL << kWidth); ++v) {
+      std::string bits;
+      for (size_t i = 0; i < kWidth; ++i) {
+        bits.push_back(((v >> (kWidth - 1 - i)) & 1) ? '1' : '0');
+      }
+      Key k = Key::FromBits(bits);
+      if (prefix.IsPrefixOf(k) && range.Contains(k)) {
+        brute = true;
+        break;
+      }
+    }
+    EXPECT_EQ(range.IntersectsPrefix(prefix, kWidth), brute)
+        << "range=" << range.ToString() << " prefix=" << prefix.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace pgrid
+}  // namespace unistore

@@ -1,0 +1,162 @@
+#include "pgrid/local_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/codec.h"
+#include "pgrid/ophash.h"
+
+namespace unistore {
+namespace pgrid {
+namespace {
+
+Entry MakeEntry(const std::string& keybits, const std::string& id,
+                const std::string& payload, uint64_t version = 1,
+                bool deleted = false) {
+  Entry e;
+  e.key = Key::FromBits(keybits);
+  e.id = id;
+  e.payload = payload;
+  e.version = version;
+  e.deleted = deleted;
+  return e;
+}
+
+TEST(LocalStoreTest, InsertAndGet) {
+  LocalStore store;
+  EXPECT_TRUE(store.Apply(MakeEntry("0101", "t1", "hello")));
+  auto got = store.Get(Key::FromBits("0101"));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].payload, "hello");
+  EXPECT_EQ(store.live_size(), 1u);
+}
+
+TEST(LocalStoreTest, MultipleIdsUnderOneKey) {
+  LocalStore store;
+  store.Apply(MakeEntry("0101", "t1", "a"));
+  store.Apply(MakeEntry("0101", "t2", "b"));
+  EXPECT_EQ(store.Get(Key::FromBits("0101")).size(), 2u);
+  EXPECT_EQ(store.live_size(), 2u);
+}
+
+TEST(LocalStoreTest, HigherVersionWins) {
+  LocalStore store;
+  store.Apply(MakeEntry("0101", "t1", "v1", 1));
+  EXPECT_TRUE(store.Apply(MakeEntry("0101", "t1", "v2", 2)));
+  auto got = store.Get(Key::FromBits("0101"));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].payload, "v2");
+  EXPECT_EQ(store.live_size(), 1u);
+}
+
+TEST(LocalStoreTest, LowerOrEqualVersionIgnored) {
+  LocalStore store;
+  store.Apply(MakeEntry("0101", "t1", "v2", 2));
+  EXPECT_FALSE(store.Apply(MakeEntry("0101", "t1", "v1", 1)));
+  EXPECT_FALSE(store.Apply(MakeEntry("0101", "t1", "v2b", 2)));
+  EXPECT_EQ(store.Get(Key::FromBits("0101"))[0].payload, "v2");
+}
+
+TEST(LocalStoreTest, TombstoneHidesAndPersists) {
+  LocalStore store;
+  store.Apply(MakeEntry("0101", "t1", "x", 1));
+  EXPECT_TRUE(store.Apply(MakeEntry("0101", "t1", "", 2, /*deleted=*/true)));
+  EXPECT_TRUE(store.Get(Key::FromBits("0101")).empty());
+  EXPECT_EQ(store.live_size(), 0u);
+  EXPECT_EQ(store.total_size(), 1u);  // Tombstone remains.
+  // Re-delivery of the old version cannot resurrect.
+  EXPECT_FALSE(store.Apply(MakeEntry("0101", "t1", "x", 1)));
+  EXPECT_TRUE(store.Get(Key::FromBits("0101")).empty());
+  // A newer write revives the slot.
+  EXPECT_TRUE(store.Apply(MakeEntry("0101", "t1", "y", 3)));
+  EXPECT_EQ(store.live_size(), 1u);
+}
+
+TEST(LocalStoreTest, GetRangeInclusive) {
+  LocalStore store;
+  store.Apply(MakeEntry("0001", "a", "1"));
+  store.Apply(MakeEntry("0100", "b", "2"));
+  store.Apply(MakeEntry("0110", "c", "3"));
+  store.Apply(MakeEntry("1000", "d", "4"));
+  auto got = store.GetRange({Key::FromBits("0100"), Key::FromBits("0110")});
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].payload, "2");
+  EXPECT_EQ(got[1].payload, "3");
+}
+
+TEST(LocalStoreTest, GetByPrefix) {
+  LocalStore store;
+  store.Apply(MakeEntry("0001", "a", "1"));
+  store.Apply(MakeEntry("0010", "b", "2"));
+  store.Apply(MakeEntry("0011", "c", "3"));
+  store.Apply(MakeEntry("0100", "d", "4"));
+  auto got = store.GetByPrefix(Key::FromBits("001"));
+  ASSERT_EQ(got.size(), 2u);
+  auto all = store.GetByPrefix(Key());
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(LocalStoreTest, ExtractNotMatchingSplitsStore) {
+  LocalStore store;
+  store.Apply(MakeEntry("0001", "a", "1"));
+  store.Apply(MakeEntry("0101", "b", "2"));
+  store.Apply(MakeEntry("0111", "c", "3"));
+  auto removed = store.ExtractNotMatching(Key::FromBits("01"));
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].payload, "1");
+  EXPECT_EQ(store.live_size(), 2u);
+  EXPECT_TRUE(store.Get(Key::FromBits("0001")).empty());
+}
+
+TEST(LocalStoreTest, GetAllIncludesTombstones) {
+  LocalStore store;
+  store.Apply(MakeEntry("0001", "a", "1"));
+  store.Apply(MakeEntry("0010", "b", "", 2, true));
+  EXPECT_EQ(store.GetAll().size(), 2u);
+  EXPECT_EQ(store.GetAllLive().size(), 1u);
+}
+
+TEST(LocalStoreTest, ClearResets) {
+  LocalStore store;
+  store.Apply(MakeEntry("0001", "a", "1"));
+  store.Clear();
+  EXPECT_EQ(store.live_size(), 0u);
+  EXPECT_EQ(store.total_size(), 0u);
+}
+
+TEST(EntryCodecTest, RoundTrip) {
+  Entry e = MakeEntry("010101", "triple-7", "payload bytes", 42, true);
+  BufferWriter w;
+  e.Encode(&w);
+  BufferReader r(w.buffer());
+  auto back = Entry::Decode(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, e);
+}
+
+TEST(EntryCodecTest, VectorRoundTrip) {
+  std::vector<Entry> entries = {MakeEntry("00", "a", "1"),
+                                MakeEntry("01", "b", "2", 3),
+                                MakeEntry("10", "c", "", 9, true)};
+  BufferWriter w;
+  EncodeEntries(entries, &w);
+  BufferReader r(w.buffer());
+  auto back = DecodeEntries(&r);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ((*back)[i], entries[i]);
+}
+
+TEST(EntryCodecTest, CorruptKeyRejected) {
+  BufferWriter w;
+  w.PutString("01x1");  // Bad bit char.
+  w.PutString("id");
+  w.PutString("payload");
+  w.PutVarint(1);
+  w.PutBool(false);
+  BufferReader r(w.buffer());
+  EXPECT_EQ(Entry::Decode(&r).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace pgrid
+}  // namespace unistore

@@ -1,0 +1,204 @@
+// Protocol robustness: peers must survive corrupt payloads, unknown
+// message types, late/duplicate replies and degenerate exchanges without
+// crashing or corrupting state (DESIGN.md testing strategy: "never hang or
+// return wrong data silently").
+#include <gtest/gtest.h>
+
+#include "pgrid/overlay.h"
+
+namespace unistore {
+namespace pgrid {
+namespace {
+
+net::Message Garbage(net::PeerId src, net::PeerId dst,
+                     net::MessageType type) {
+  net::Message m;
+  m.type = type;
+  m.src = src;
+  m.dst = dst;
+  m.request_id = 999999;
+  m.payload = "\xFF\x01garbage\x80\x80\x80\x80\x80\x80\x80\x80\x80\x80\x80";
+  return m;
+}
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  RobustnessTest() {
+    OverlayOptions options;
+    options.seed = 321;
+    overlay_ = std::make_unique<Overlay>(options);
+    overlay_->AddPeers(8);
+    overlay_->BuildBalanced();
+  }
+
+  std::unique_ptr<Overlay> overlay_;
+};
+
+TEST_F(RobustnessTest, CorruptPayloadsAreDropped) {
+  using MT = net::MessageType;
+  for (MT type : {MT::kLookup, MT::kInsert, MT::kRangeSeq, MT::kRangeShower,
+                  MT::kExchange, MT::kReplicaPush, MT::kRangeSeqReply,
+                  MT::kRangeShowerReply}) {
+    overlay_->transport().Send(Garbage(0, 3, type));
+  }
+  overlay_->simulation().RunUntilIdle();
+  // The network still works afterwards.
+  Entry e;
+  e.key = OpHash("post-garbage");
+  e.id = "pg";
+  e.payload = "x";
+  ASSERT_TRUE(overlay_->InsertSync(1, e).ok());
+  auto found = overlay_->LookupSync(6, e.key);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->entries.size(), 1u);
+}
+
+TEST_F(RobustnessTest, UnknownMessageTypeIsIgnored) {
+  net::Message m = Garbage(0, 2, static_cast<net::MessageType>(222));
+  overlay_->transport().Send(std::move(m));
+  overlay_->simulation().RunUntilIdle();
+  EXPECT_TRUE(overlay_->LookupSync(0, OpHash("anything")).ok());
+}
+
+TEST_F(RobustnessTest, DuplicateRepliesAreIgnored) {
+  // A reply with a stale request id must not confuse the RPC layer.
+  net::Message m;
+  m.type = net::MessageType::kLookupReply;
+  m.src = 5;
+  m.dst = 0;
+  m.request_id = 424242;  // Never issued.
+  LookupReply reply;
+  reply.owner = 5;
+  m.payload = reply.Encode();
+  overlay_->transport().Send(std::move(m));
+  overlay_->simulation().RunUntilIdle();
+  EXPECT_EQ(overlay_->peer(0)->rpc().pending_count(), 0u);
+}
+
+TEST_F(RobustnessTest, ExchangeWithSelfIsRejected) {
+  Status status = overlay_->ExchangeSync(2, 2);
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+TEST_F(RobustnessTest, ExchangeWithCorruptPathIsDropped) {
+  ExchangeRequest req;
+  req.initiator = 0;
+  req.path = "01x1";  // Corrupt bits.
+  net::Message m;
+  m.type = net::MessageType::kExchange;
+  m.src = 0;
+  m.dst = 4;
+  m.request_id = 7;
+  m.payload = req.Encode();
+  overlay_->transport().Send(std::move(m));
+  overlay_->simulation().RunUntilIdle();
+  // Responder's path unchanged.
+  EXPECT_EQ(overlay_->peer(4)->path().size(), 3u);
+}
+
+TEST_F(RobustnessTest, LookupToDeadNetworkTimesOutCleanly) {
+  for (net::PeerId id = 1; id < 8; ++id) overlay_->Crash(id);
+  // Peer 0 can only reach itself; a key outside its subtree dead-ends.
+  Key foreign = overlay_->peer(0)->path().Sibling().PadTo(kKeyBits, false);
+  auto result = overlay_->LookupSync(0, foreign);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTimeout() ||
+              result.status().IsUnavailable());
+  EXPECT_EQ(overlay_->peer(0)->rpc().pending_count(), 0u);
+}
+
+TEST_F(RobustnessTest, InsertRetriesExhaustGracefully) {
+  OverlayOptions options;
+  options.seed = 5;
+  options.loss_probability = 1.0;  // Every message is lost.
+  options.peer.request_timeout = 100 * sim::kMicrosPerMilli;
+  options.peer.request_retries = 1;
+  Overlay lossy(options);
+  lossy.AddPeers(4);
+  lossy.BuildBalanced();
+  Entry e;
+  e.key = OpHash("lost forever");
+  e.id = "l";
+  e.payload = "x";
+  // Find a peer NOT responsible so the insert must route.
+  net::PeerId via = 0;
+  for (net::PeerId id = 0; id < 4; ++id) {
+    if (!lossy.peer(id)->IsResponsible(e.key)) {
+      via = id;
+      break;
+    }
+  }
+  Status status = lossy.InsertSync(via, e);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsTimeout() || status.IsUnavailable());
+}
+
+TEST_F(RobustnessTest, ScanStateCleanedUpAfterTimeout) {
+  // Crash the peers of the '1' half so a full scan cannot complete; the
+  // scan must finish incomplete and clear its state.
+  for (net::PeerId id = 0; id < 8; ++id) {
+    if (overlay_->peer(id)->path().bit(0)) overlay_->Crash(id);
+  }
+  net::PeerId from = net::kNoPeer;
+  for (net::PeerId id = 0; id < 8; ++id) {
+    if (overlay_->IsAlive(id)) {
+      from = id;
+      break;
+    }
+  }
+  KeyRange full{Key().PadTo(kKeyBits, false), Key().PadTo(kKeyBits, true)};
+  auto result = overlay_->RangeSeqSync(from, full);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->complete);
+  // Running the simulation further must not fire stray callbacks.
+  overlay_->simulation().RunUntilIdle();
+}
+
+TEST_F(RobustnessTest, RemoveEverywherePurgesDeadRefs) {
+  auto* peer = overlay_->peer(0);
+  size_t before = peer->routing().TotalRefs();
+  ASSERT_GT(before, 0u);
+  // Remove one referenced peer everywhere.
+  net::PeerId victim = net::kNoPeer;
+  for (size_t l = 0; l < peer->routing().levels(); ++l) {
+    if (!peer->routing().RefsAt(l).empty()) {
+      victim = peer->routing().RefsAt(l)[0];
+      break;
+    }
+  }
+  ASSERT_NE(victim, net::kNoPeer);
+  peer->routing().RemoveEverywhere(victim);
+  EXPECT_LT(peer->routing().TotalRefs(), before);
+}
+
+TEST_F(RobustnessTest, ConcurrentScansDoNotInterfere) {
+  for (int i = 0; i < 40; ++i) {
+    Entry e;
+    e.key = OpHash(std::string(1, static_cast<char>(i * 6 + 1)) + "-v" +
+                   std::to_string(i));
+    e.id = "c" + std::to_string(i);
+    e.payload = "p";
+    overlay_->InsertDirect(e);
+  }
+  KeyRange full{Key().PadTo(kKeyBits, false), Key().PadTo(kKeyBits, true)};
+  int done = 0;
+  std::vector<size_t> sizes;
+  for (int i = 0; i < 6; ++i) {
+    auto cb = [&done, &sizes](Result<RangeResult> r) {
+      ++done;
+      if (r.ok()) sizes.push_back(r->entries.size());
+    };
+    if (i % 2 == 0) {
+      overlay_->peer(static_cast<net::PeerId>(i))->RangeScanSeq(full, cb);
+    } else {
+      overlay_->peer(static_cast<net::PeerId>(i))->RangeScanShower(full, cb);
+    }
+  }
+  overlay_->simulation().RunUntilIdle();
+  EXPECT_EQ(done, 6);
+  for (size_t s : sizes) EXPECT_EQ(s, 40u);
+}
+
+}  // namespace
+}  // namespace pgrid
+}  // namespace unistore

@@ -1,0 +1,274 @@
+#include "plan/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "vql/parser.h"
+
+namespace unistore {
+namespace plan {
+namespace {
+
+cost::StatsCatalog MakeCatalog() {
+  cost::StatsCatalog catalog;
+  catalog.network().peer_count = 64;
+  catalog.network().trie_depth = 6;
+  catalog.network().hop_latency_us = 1000;
+  auto add = [&catalog](const std::string& attr, uint64_t count,
+                        uint64_t distinct, double lo = 0, double hi = 0) {
+    cost::AttrStats s;
+    s.triple_count = count;
+    s.distinct_values = distinct;
+    if (hi > lo) {
+      s.numeric_min = lo;
+      s.numeric_max = hi;
+      s.has_numeric_range = true;
+    }
+    catalog.RecordAttribute(attr, s);
+  };
+  add("name", 1000, 1000);
+  add("age", 1000, 60, 20, 80);
+  add("num_of_pubs", 1000, 25, 0, 25);
+  add("series", 30, 5);
+  add("confname", 30, 30);
+  return catalog;
+}
+
+vql::Query Q(const std::string& text) {
+  auto q = vql::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest() : catalog_(MakeCatalog()) {}
+
+  Optimizer Make(PlannerOptions options = {}) {
+    return Optimizer(&catalog_, options);
+  }
+
+  cost::StatsCatalog catalog_;
+};
+
+TEST_F(OptimizerTest, SinglePatternBecomesRangeScan) {
+  auto plan = Make().Plan(Q("SELECT ?n WHERE { (?a,'name',?n) }"));
+  ASSERT_TRUE(plan.ok());
+  // Project over PatternScan.
+  ASSERT_EQ((*plan)->kind, algebra::LogicalOpKind::kProject);
+  const auto& scan = *(*plan)->children[0];
+  EXPECT_EQ(scan.kind, algebra::LogicalOpKind::kPatternScan);
+  EXPECT_EQ(scan.access, AccessPath::kAttrRangeScan);
+}
+
+TEST_F(OptimizerTest, SubjectLiteralUsesOidLookup) {
+  auto plan = Make().Plan(Q("SELECT ?n WHERE { ('person-1','name',?n) }"));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->children[0]->access, AccessPath::kOidLookup);
+}
+
+TEST_F(OptimizerTest, AttrAndObjectLiteralUsesExactLookup) {
+  auto plan = Make().Plan(Q("SELECT ?a WHERE { (?a,'age',30) }"));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->children[0]->access, AccessPath::kAttrValueLookup);
+}
+
+TEST_F(OptimizerTest, ObjectLiteralWithFreeAttrUsesValueIndex) {
+  auto plan = Make().Plan(Q("SELECT ?a,?p WHERE { (?a,?p,'icde') }"));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->children[0]->access, AccessPath::kValueLookup);
+}
+
+TEST_F(OptimizerTest, RangeFilterIsPushedIntoScan) {
+  auto plan = Make().Plan(
+      Q("SELECT ?a WHERE { (?a,'age',?g) FILTER ?g >= 30 AND ?g >= 20 }"));
+  ASSERT_TRUE(plan.ok());
+  // Plan: Project > Filter(AND...) > Scan. Conjunctions written as one AND
+  // are not split, but single-comparison filters are pushed:
+  auto plan2 = Make().Plan(
+      Q("SELECT ?a WHERE { (?a,'age',?g) FILTER ?g >= 30 FILTER ?g < 50 }"));
+  ASSERT_TRUE(plan2.ok());
+  const PhysicalOp* node = plan2->get();
+  while (node->kind != algebra::LogicalOpKind::kPatternScan) {
+    node = node->children[0].get();
+  }
+  EXPECT_EQ(node->object_lo, triple::Value::Int(30));
+  EXPECT_EQ(node->object_hi, triple::Value::Int(50));
+}
+
+TEST_F(OptimizerTest, EqualityFilterTightensBothBounds) {
+  auto plan =
+      Make().Plan(Q("SELECT ?a WHERE { (?a,'age',?g) FILTER ?g = 42 }"));
+  ASSERT_TRUE(plan.ok());
+  const PhysicalOp* node = plan->get();
+  while (node->kind != algebra::LogicalOpKind::kPatternScan) {
+    node = node->children[0].get();
+  }
+  EXPECT_EQ(node->object_lo, triple::Value::Int(42));
+  EXPECT_EQ(node->object_hi, triple::Value::Int(42));
+}
+
+TEST_F(OptimizerTest, EdistFilterBecomesSimilarityScan) {
+  auto plan = Make().Plan(
+      Q("SELECT ?c WHERE { (?c,'series',?s) FILTER edist(?s,'ICDE') < 3 }"));
+  ASSERT_TRUE(plan.ok());
+  const PhysicalOp* node = plan->get();
+  while (node->kind != algebra::LogicalOpKind::kPatternScan) {
+    node = node->children[0].get();
+  }
+  EXPECT_TRUE(node->access == AccessPath::kSimilarityQGram ||
+              node->access == AccessPath::kSimilarityNaive);
+  EXPECT_EQ(node->sim_target, "ICDE");
+  EXPECT_EQ(node->sim_max_distance, 2u);  // < 3  ==  <= 2
+}
+
+TEST_F(OptimizerTest, ForcedSimilarityPathIsRespected) {
+  PlannerOptions options;
+  options.force_similarity_path = AccessPath::kSimilarityNaive;
+  auto plan = Make(options).Plan(
+      Q("SELECT ?c WHERE { (?c,'series',?s) FILTER edist(?s,'ICDE') < 2 }"));
+  ASSERT_TRUE(plan.ok());
+  const PhysicalOp* node = plan->get();
+  while (node->kind != algebra::LogicalOpKind::kPatternScan) {
+    node = node->children[0].get();
+  }
+  EXPECT_EQ(node->access, AccessPath::kSimilarityNaive);
+}
+
+TEST_F(OptimizerTest, JoinOrderStartsWithMostSelectivePattern) {
+  // 'series' has 30 triples, 'name' has 1000: the join should scan series
+  // first (left-most leaf of the left-deep tree).
+  auto plan = Make().Plan(
+      Q("SELECT ?n WHERE { (?a,'name',?n) (?a,'series',?s) }"));
+  ASSERT_TRUE(plan.ok());
+  const PhysicalOp* join = plan->get();
+  while (join->kind != algebra::LogicalOpKind::kJoin) {
+    join = join->children[0].get();
+  }
+  const PhysicalOp* left = join->children[0].get();
+  EXPECT_EQ(left->pattern.predicate.literal.AsString(), "series");
+}
+
+TEST_F(OptimizerTest, PaperQueryPlansAllEightPatterns) {
+  const char* text = R"(
+    SELECT ?name,?age,?cnt
+    WHERE {(?a,'name',?name) (?a,'age',?age)
+           (?a,'num_of_pubs',?cnt)
+           (?a,'has_published',?title) (?p,'title',?title)
+           (?p,'published_in',?conf) (?c,'confname',?conf)
+           (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3
+    }
+    ORDER BY SKYLINE OF ?age MIN, ?cnt MAX)";
+  auto plan = Make().Plan(Q(text));
+  ASSERT_TRUE(plan.ok());
+  // Count scans and joins.
+  int scans = 0, joins = 0, skylines = 0;
+  std::function<void(const PhysicalOp&)> walk = [&](const PhysicalOp& op) {
+    if (op.kind == algebra::LogicalOpKind::kPatternScan) ++scans;
+    if (op.kind == algebra::LogicalOpKind::kJoin) ++joins;
+    if (op.kind == algebra::LogicalOpKind::kSkyline) ++skylines;
+    for (const auto& c : op.children) walk(*c);
+  };
+  walk(**plan);
+  EXPECT_EQ(scans, 8);
+  EXPECT_EQ(joins, 7);
+  EXPECT_EQ(skylines, 1);
+}
+
+TEST_F(OptimizerTest, TopNPushdownAnnotatesScan) {
+  auto plan = Make().Plan(
+      Q("SELECT ?g WHERE { (?a,'age',?g) } ORDER BY ?g LIMIT 5"));
+  ASSERT_TRUE(plan.ok());
+  const PhysicalOp* node = plan->get();
+  while (node->kind != algebra::LogicalOpKind::kPatternScan) {
+    node = node->children[0].get();
+  }
+  EXPECT_EQ(node->scan_limit, 5u);
+  EXPECT_EQ(node->range_strategy, triple::RangeStrategy::kSequential);
+}
+
+TEST_F(OptimizerTest, NoTopNPushdownForDescOrDisabled) {
+  auto desc = Make().Plan(
+      Q("SELECT ?g WHERE { (?a,'age',?g) } ORDER BY ?g DESC LIMIT 5"));
+  ASSERT_TRUE(desc.ok());
+  const PhysicalOp* node = desc->get();
+  while (node->kind != algebra::LogicalOpKind::kPatternScan) {
+    node = node->children[0].get();
+  }
+  EXPECT_EQ(node->scan_limit, 0u);
+
+  PlannerOptions options;
+  options.enable_topn_pushdown = false;
+  auto off = Make(options).Plan(
+      Q("SELECT ?g WHERE { (?a,'age',?g) } ORDER BY ?g LIMIT 5"));
+  ASSERT_TRUE(off.ok());
+  node = off->get();
+  while (node->kind != algebra::LogicalOpKind::kPatternScan) {
+    node = node->children[0].get();
+  }
+  EXPECT_EQ(node->scan_limit, 0u);
+}
+
+TEST_F(OptimizerTest, MappingsExpandScanAttributes) {
+  triple::MappingSet mappings;
+  mappings.Add("phone", "telephone");
+  PlannerOptions options;
+  options.apply_mappings = true;
+  options.mappings = &mappings;
+  auto plan = Make(options).Plan(Q("SELECT ?p WHERE { (?a,'phone',?p) }"));
+  ASSERT_TRUE(plan.ok());
+  const PhysicalOp* node = plan->get();
+  while (node->kind != algebra::LogicalOpKind::kPatternScan) {
+    node = node->children[0].get();
+  }
+  EXPECT_EQ(node->attributes,
+            (std::vector<std::string>{"phone", "telephone"}));
+}
+
+TEST_F(OptimizerTest, AdaptiveJoinStrategyDependsOnCardinality) {
+  Optimizer optimizer = Make();
+  vql::TriplePattern right;
+  right.subject = vql::Term::Var("a");
+  right.predicate = vql::Term::Lit(triple::Value::String("series"));
+  right.object = vql::Term::Var("s");
+  JoinStrategy few = optimizer.ChooseJoinStrategy(1, right);
+  JoinStrategy many = optimizer.ChooseJoinStrategy(100000, right);
+  EXPECT_EQ(few, JoinStrategy::kProbe);
+  EXPECT_EQ(many, JoinStrategy::kMigrate);
+}
+
+TEST_F(OptimizerTest, ForcedStrategiesOverrideCost) {
+  PlannerOptions options;
+  options.force_join_strategy = JoinStrategy::kLocalHash;
+  options.force_range_strategy = triple::RangeStrategy::kSequential;
+  Optimizer optimizer = Make(options);
+  vql::TriplePattern right;
+  right.subject = vql::Term::Var("a");
+  right.predicate = vql::Term::Lit(triple::Value::String("series"));
+  right.object = vql::Term::Var("s");
+  EXPECT_EQ(optimizer.ChooseJoinStrategy(1, right),
+            JoinStrategy::kLocalHash);
+  EXPECT_EQ(optimizer.ChooseRangeStrategy(0.9, 1000),
+            triple::RangeStrategy::kSequential);
+}
+
+TEST_F(OptimizerTest, PlanPrintingIsStable) {
+  auto plan = Make().Plan(
+      Q("SELECT ?n WHERE { (?a,'name',?n) (?a,'age',?g) FILTER ?g > 30 }"));
+  ASSERT_TRUE(plan.ok());
+  std::string text = (*plan)->ToString();
+  EXPECT_NE(text.find("Project"), std::string::npos);
+  EXPECT_NE(text.find("Join"), std::string::npos);
+  EXPECT_NE(text.find("PatternScan"), std::string::npos);
+  EXPECT_NE(text.find("Filter"), std::string::npos);
+}
+
+TEST_F(OptimizerTest, EmptyPatternsRejected) {
+  vql::Query query;
+  query.select_all = true;
+  Optimizer optimizer = Make();
+  EXPECT_FALSE(optimizer.Plan(query).ok());
+}
+
+}  // namespace
+}  // namespace plan
+}  // namespace unistore

@@ -1,0 +1,131 @@
+#include "qgram/qgram.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/datagen.h"
+
+namespace unistore {
+namespace qgram {
+namespace {
+
+TEST(QGramTest, ExtractionCountsAndPadding) {
+  auto grams = ExtractQGrams("abc", 3);
+  // |s| + q - 1 = 5 grams with 2-fold padding.
+  ASSERT_EQ(grams.size(), 5u);
+  EXPECT_EQ(grams[0], std::string(2, kPadChar) + "a");
+  EXPECT_EQ(grams[2], "abc");
+  EXPECT_EQ(grams[4], std::string("c") + std::string(2, kPadChar));
+}
+
+TEST(QGramTest, EmptyString) {
+  auto grams = ExtractQGrams("", 3);
+  // Padding only: q - 1 grams.
+  EXPECT_EQ(grams.size(), 2u);
+}
+
+TEST(QGramTest, DistinctRemovesDuplicates) {
+  auto all = ExtractQGrams("aaaa", 2);
+  auto distinct = DistinctQGrams("aaaa", 2);
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_LT(distinct.size(), all.size());
+  EXPECT_EQ(distinct.size(), 3u);  // #a, aa, a#
+}
+
+TEST(QGramTest, GramOverlapMultiset) {
+  EXPECT_EQ(GramOverlap({"ab", "bc", "bc"}, {"bc", "bc", "cd"}), 2u);
+  EXPECT_EQ(GramOverlap({}, {"x"}), 0u);
+  EXPECT_EQ(GramOverlap({"a", "b"}, {"b", "a"}), 2u);
+}
+
+TEST(QGramTest, CountFilterThresholdFormula) {
+  // |s|=|t|=10, q=3, k=1: threshold = 12 - 3 = 9.
+  EXPECT_EQ(CountFilterThreshold(10, 10, 3, 1), 9);
+  // Lax threshold can go non-positive: the filter is then vacuous.
+  EXPECT_LE(CountFilterThreshold(3, 3, 3, 2), 0);
+}
+
+// The count filter's defining property: it never rejects a true match.
+class CountFilterProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CountFilterProperty, NoFalseNegatives) {
+  const size_t k = GetParam();
+  Rng rng(1000 + k);
+  for (int iter = 0; iter < 300; ++iter) {
+    // Random base string, then apply exactly up to k random edits.
+    std::string base;
+    size_t len = 6 + rng.NextBounded(12);
+    for (size_t i = 0; i < len; ++i) {
+      base.push_back(static_cast<char>('a' + rng.NextBounded(6)));
+    }
+    std::string mutated = base;
+    for (size_t e = 0; e < k; ++e) {
+      mutated = core::InjectTypo(mutated, &rng);
+    }
+    size_t dist = EditDistance(base, mutated);
+    // InjectTypo's transposition costs 2 Levenshtein edits; skip samples
+    // that drifted past the budget (they are not "true matches").
+    if (dist > k) continue;
+
+    auto grams_a = ExtractQGrams(base, kDefaultQ);
+    auto grams_b = ExtractQGrams(mutated, kDefaultQ);
+    int64_t overlap = static_cast<int64_t>(GramOverlap(grams_a, grams_b));
+    int64_t threshold = CountFilterThreshold(base.size(), mutated.size(),
+                                             kDefaultQ, k);
+    EXPECT_GE(overlap, threshold)
+        << "base=" << base << " mutated=" << mutated << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EditBudgets, CountFilterProperty,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(QGramTest, PostingEntriesOnlyForStrings) {
+  triple::Triple str_triple("o1", "series", triple::Value::String("ICDE"));
+  triple::Triple num_triple("o1", "year", triple::Value::Int(2006));
+  EXPECT_FALSE(EntriesForTripleQGrams(str_triple, 3, 1).empty());
+  EXPECT_TRUE(EntriesForTripleQGrams(num_triple, 3, 1).empty());
+}
+
+TEST(QGramTest, PostingEntriesOnePerDistinctGram) {
+  triple::Triple t("o1", "series", triple::Value::String("ICDE"));
+  auto entries = EntriesForTripleQGrams(t, 3, 1);
+  EXPECT_EQ(entries.size(), DistinctQGrams("ICDE", 3).size());
+  std::set<std::string> ids;
+  for (const auto& e : entries) {
+    ids.insert(e.id);
+    auto decoded = triple::Triple::DecodeFromString(e.payload);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, t);
+  }
+  EXPECT_EQ(ids.size(), entries.size());
+}
+
+TEST(QGramTest, PostingKeysGroupByAttributeAndGram) {
+  // Same gram + same attribute -> same key (shared posting bucket).
+  EXPECT_EQ(QGramKey("series", "ICD"), QGramKey("series", "ICD"));
+  // Different attribute -> different bucket.
+  EXPECT_NE(QGramKey("series", "ICD"), QGramKey("name", "ICD"));
+}
+
+TEST(QGramTest, SharedGramLandsInSharedBucket) {
+  triple::Triple a("o1", "series", triple::Value::String("ICDE"));
+  triple::Triple b("o2", "series", triple::Value::String("ICDM"));
+  auto ea = EntriesForTripleQGrams(a, 3, 1);
+  auto eb = EntriesForTripleQGrams(b, 3, 1);
+  // "ICD" is a gram of both; they must share at least one key.
+  bool shared = false;
+  for (const auto& x : ea) {
+    for (const auto& y : eb) {
+      if (x.key == y.key) shared = true;
+    }
+  }
+  EXPECT_TRUE(shared);
+}
+
+}  // namespace
+}  // namespace qgram
+}  // namespace unistore

@@ -1,0 +1,154 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "sim/latency.h"
+
+namespace unistore {
+namespace sim {
+namespace {
+
+TEST(SimulationTest, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulationTest, EqualTimesFireInFifoOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(1, [&] {
+    ++fired;
+    sim.Schedule(1, [&] { ++fired; });
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 2);
+}
+
+TEST(SimulationTest, RunForStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(20, [&] { ++fired; });
+  sim.Schedule(30, [&] { ++fired; });
+  sim.RunFor(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 20);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulationTest, RunForAdvancesClockWhenIdle) {
+  Simulation sim;
+  sim.RunFor(1000);
+  EXPECT_EQ(sim.Now(), 1000);
+}
+
+TEST(SimulationTest, RunUntilPredicate) {
+  Simulation sim;
+  int counter = 0;
+  for (int i = 1; i <= 100; ++i) {
+    sim.Schedule(i, [&] { ++counter; });
+  }
+  bool reached = sim.RunUntil([&] { return counter == 42; });
+  EXPECT_TRUE(reached);
+  EXPECT_EQ(counter, 42);
+  EXPECT_EQ(sim.Now(), 42);
+}
+
+TEST(SimulationTest, RunUntilReturnsFalseWhenDrained) {
+  Simulation sim;
+  sim.Schedule(1, [] {});
+  bool reached = sim.RunUntil([] { return false; });
+  EXPECT_FALSE(reached);
+}
+
+TEST(SimulationTest, ProcessedEventCount) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.Schedule(i, [] {});
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.processed_events(), 7u);
+}
+
+TEST(LatencyTest, ConstantModel) {
+  ConstantLatency model(1500);
+  Rng rng(1);
+  EXPECT_EQ(model.Sample(0, 1, &rng), 1500);
+  EXPECT_EQ(model.Sample(5, 5, &rng), 1500);
+}
+
+TEST(LatencyTest, UniformModelStaysInRange) {
+  UniformLatency model(100, 200);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    SimTime d = model.Sample(0, 1, &rng);
+    EXPECT_GE(d, 100);
+    EXPECT_LE(d, 200);
+  }
+}
+
+TEST(LatencyTest, WanBaseDelayIsSymmetricAndStable) {
+  WanLatency model;
+  EXPECT_EQ(model.BaseDelay(3, 9), model.BaseDelay(9, 3));
+  EXPECT_EQ(model.BaseDelay(3, 9), model.BaseDelay(3, 9));
+}
+
+TEST(LatencyTest, WanPairsDiffer) {
+  WanLatency model;
+  // Some pair should differ from another (heavy-tailed base delays).
+  bool found_different = false;
+  SimTime first = model.BaseDelay(0, 1);
+  for (NodeId n = 2; n < 20 && !found_different; ++n) {
+    found_different = (model.BaseDelay(0, n) != first);
+  }
+  EXPECT_TRUE(found_different);
+}
+
+TEST(LatencyTest, WanMedianIsTensOfMilliseconds) {
+  WanLatency model;
+  Rng rng(3);
+  SampleStats stats;
+  for (NodeId a = 0; a < 40; ++a) {
+    for (NodeId b = a + 1; b < 40; ++b) {
+      stats.Add(static_cast<double>(model.BaseDelay(a, b)));
+    }
+  }
+  // Lognormal(mu=10.6, sigma=0.6): median = e^10.6 ~= 40 ms.
+  EXPECT_GT(stats.Percentile(50), 20.0 * kMicrosPerMilli);
+  EXPECT_LT(stats.Percentile(50), 80.0 * kMicrosPerMilli);
+}
+
+TEST(LatencyTest, WanRespectsFloor) {
+  WanLatency::Options opts;
+  opts.min_us = 5000;
+  WanLatency model(opts);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(model.Sample(1, 2, &rng), 5000);
+  }
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace unistore

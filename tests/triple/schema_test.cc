@@ -1,0 +1,109 @@
+#include "triple/schema.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace unistore {
+namespace triple {
+namespace {
+
+TEST(SchemaTest, DecomposeSkipsNulls) {
+  Tuple t;
+  t.oid = "p1";
+  t.attributes["name"] = Value::String("alice");
+  t.attributes["age"] = Value::Int(30);
+  t.attributes["office"] = Value::Null();  // "supersedes ... null values"
+  auto triples = Decompose(t);
+  EXPECT_EQ(triples.size(), 2u);
+  for (const auto& tr : triples) {
+    EXPECT_EQ(tr.oid, "p1");
+    EXPECT_FALSE(tr.value.is_null());
+  }
+}
+
+TEST(SchemaTest, DecomposeAssembleRoundTrip) {
+  Tuple a;
+  a.oid = "p1";
+  a.attributes["name"] = Value::String("alice");
+  a.attributes["age"] = Value::Int(30);
+  Tuple b;
+  b.oid = "p2";
+  b.attributes["name"] = Value::String("bob");
+
+  std::vector<Triple> triples = Decompose(a);
+  auto more = Decompose(b);
+  triples.insert(triples.end(), more.begin(), more.end());
+
+  auto tuples = Assemble(triples);
+  ASSERT_EQ(tuples.size(), 2u);
+  std::sort(tuples.begin(), tuples.end(),
+            [](const Tuple& x, const Tuple& y) { return x.oid < y.oid; });
+  EXPECT_EQ(tuples[0].oid, "p1");
+  EXPECT_EQ(tuples[0].attributes.at("age"), Value::Int(30));
+  EXPECT_EQ(tuples[1].oid, "p2");
+  EXPECT_EQ(tuples[1].attributes.at("name"), Value::String("bob"));
+}
+
+TEST(SchemaTest, AssembleHandlesHeterogeneousSchemas) {
+  // Tuples with different attribute sets coexist (universal relation).
+  std::vector<Triple> triples = {
+      Triple("x", "name", Value::String("x")),
+      Triple("y", "title", Value::String("t")),
+      Triple("y", "year", Value::Int(2005)),
+  };
+  auto tuples = Assemble(triples);
+  ASSERT_EQ(tuples.size(), 2u);
+}
+
+TEST(OidGeneratorTest, UniqueAndPrefixed) {
+  OidGenerator gen("node7-");
+  std::string a = gen.Next();
+  std::string b = gen.Next();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.rfind("node7-", 0), 0u);
+}
+
+TEST(MappingTest, MappingTripleShape) {
+  Triple m = MakeMappingTriple("phone", "telephone");
+  EXPECT_TRUE(IsMappingTriple(m));
+  EXPECT_EQ(m.oid, "phone");
+  EXPECT_EQ(m.value.AsString(), "telephone");
+  EXPECT_FALSE(IsMappingTriple(Triple("a", "name", Value::String("x"))));
+}
+
+TEST(MappingTest, SymmetricResolution) {
+  MappingSet mappings;
+  mappings.Add("phone", "telephone");
+  auto eq = mappings.Equivalents("telephone");
+  EXPECT_EQ(eq, (std::vector<std::string>{"phone", "telephone"}));
+}
+
+TEST(MappingTest, TransitiveClosure) {
+  MappingSet mappings;
+  mappings.Add("phone", "telephone");
+  mappings.Add("telephone", "tel");
+  auto eq = mappings.Equivalents("phone");
+  EXPECT_EQ(eq, (std::vector<std::string>{"phone", "tel", "telephone"}));
+}
+
+TEST(MappingTest, UnmappedAttributeIsItsOwnClass) {
+  MappingSet mappings;
+  auto eq = mappings.Equivalents("name");
+  EXPECT_EQ(eq, (std::vector<std::string>{"name"}));
+}
+
+TEST(MappingTest, AddFromTriples) {
+  MappingSet mappings;
+  std::vector<Triple> triples = {
+      MakeMappingTriple("confname", "conference"),
+      Triple("noise", "name", Value::String("ignored")),
+  };
+  mappings.AddFromTriples(triples);
+  auto eq = mappings.Equivalents("conference");
+  EXPECT_EQ(eq, (std::vector<std::string>{"conference", "confname"}));
+}
+
+}  // namespace
+}  // namespace triple
+}  // namespace unistore

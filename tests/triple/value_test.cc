@@ -1,0 +1,122 @@
+#include "triple/value.h"
+
+#include <gtest/gtest.h>
+
+#include "common/codec.h"
+#include "common/rng.h"
+
+namespace unistore {
+namespace triple {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Int(5).is_number());
+  EXPECT_TRUE(Value::Real(2.5).is_number());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_EQ(Value::Int(5).AsInt(), 5);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+  EXPECT_EQ(Value::Int(7).AsDouble(), 7.0);
+  EXPECT_EQ(Value::Real(7.9).AsInt(), 7);
+}
+
+TEST(ValueTest, CrossTypeOrdering) {
+  // null < numbers < strings.
+  EXPECT_LT(Value::Null(), Value::Int(-100));
+  EXPECT_LT(Value::Int(5), Value::String(""));
+  EXPECT_LT(Value::Null(), Value::String("a"));
+}
+
+TEST(ValueTest, NumericOrderingAcrossIntAndReal) {
+  EXPECT_LT(Value::Int(2), Value::Real(2.5));
+  EXPECT_LT(Value::Real(1.9), Value::Int(2));
+  EXPECT_EQ(Value::Int(2), Value::Real(2.0));
+  EXPECT_LT(Value::Int(-5), Value::Int(3));
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value::String("abc"), Value::String("abd"));
+  EXPECT_LT(Value::String("ab"), Value::String("abc"));
+}
+
+TEST(ValueTest, DisplayStrings) {
+  EXPECT_EQ(Value::Null().ToDisplayString(), "null");
+  EXPECT_EQ(Value::Int(42).ToDisplayString(), "42");
+  EXPECT_EQ(Value::String("hi").ToDisplayString(), "hi");
+}
+
+TEST(ValueTest, IndexStringClassesAreDisjointAndOrdered) {
+  // Tags: '!' (null) < 'n' (number) < 's' (string) byte-wise.
+  EXPECT_LT(Value::Null().ToIndexString(),
+            Value::Int(-1000000).ToIndexString());
+  EXPECT_LT(Value::Int(1000000).ToIndexString(),
+            Value::String("").ToIndexString());
+}
+
+// Property: the index encoding is strictly order-preserving for numbers.
+class ValueIndexOrder : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ValueIndexOrder, NumericIndexStringsPreserveOrder) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    double a = (rng.NextDouble() - 0.5) * 1e6;
+    double b = (rng.NextDouble() - 0.5) * 1e6;
+    Value va = Value::Real(a), vb = Value::Real(b);
+    if (a == b) continue;
+    if (a < b) {
+      EXPECT_LT(va.ToIndexString(), vb.ToIndexString()) << a << " " << b;
+    } else {
+      EXPECT_GT(va.ToIndexString(), vb.ToIndexString()) << a << " " << b;
+    }
+  }
+  // Integers and reals interleave consistently.
+  for (int i = 0; i < 200; ++i) {
+    int64_t a = rng.NextInt(-100000, 100000);
+    double b = (rng.NextDouble() - 0.5) * 200000;
+    Value va = Value::Int(a), vb = Value::Real(b);
+    int cmp = va.Compare(vb);
+    int icmp = va.ToIndexString().compare(vb.ToIndexString());
+    if (cmp < 0) {
+      EXPECT_LT(icmp, 0);
+    } else if (cmp > 0) {
+      EXPECT_GT(icmp, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueIndexOrder, ::testing::Values(1, 2, 3));
+
+TEST(ValueTest, NegativeNumbersOrderCorrectlyInIndex) {
+  EXPECT_LT(Value::Int(-10).ToIndexString(), Value::Int(-1).ToIndexString());
+  EXPECT_LT(Value::Int(-1).ToIndexString(), Value::Int(0).ToIndexString());
+  EXPECT_LT(Value::Int(0).ToIndexString(), Value::Int(1).ToIndexString());
+  EXPECT_LT(Value::Real(-0.5).ToIndexString(),
+            Value::Real(0.5).ToIndexString());
+}
+
+TEST(ValueTest, CodecRoundTrip) {
+  const Value values[] = {Value::Null(), Value::Int(-42),
+                          Value::Real(3.25), Value::String("hello world"),
+                          Value::String("")};
+  for (const Value& v : values) {
+    BufferWriter w;
+    v.Encode(&w);
+    BufferReader r(w.buffer());
+    auto back = Value::Decode(&r);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+    EXPECT_EQ(back->type(), v.type());
+  }
+}
+
+TEST(ValueTest, DecodeRejectsBadTag) {
+  BufferWriter w;
+  w.PutU8(99);
+  BufferReader r(w.buffer());
+  EXPECT_EQ(Value::Decode(&r).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace triple
+}  // namespace unistore

@@ -1,0 +1,135 @@
+// AST construction, printing and variable collection.
+#include "vql/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "vql/parser.h"
+
+namespace unistore {
+namespace vql {
+namespace {
+
+using triple::Value;
+
+TEST(TermTest, Printing) {
+  EXPECT_EQ(Term::Var("name").ToString(), "?name");
+  EXPECT_EQ(Term::Lit(Value::String("icde")).ToString(), "'icde'");
+  EXPECT_EQ(Term::Lit(Value::Int(42)).ToString(), "42");
+  // Quotes inside strings are escaped (round-trippable).
+  EXPECT_EQ(Term::Lit(Value::String("it's")).ToString(), "'it''s'");
+}
+
+TEST(TriplePatternTest, Printing) {
+  TriplePattern p;
+  p.subject = Term::Var("a");
+  p.predicate = Term::Lit(Value::String("age"));
+  p.object = Term::Lit(Value::Int(30));
+  EXPECT_EQ(p.ToString(), "(?a,'age',30)");
+}
+
+TEST(ExprTest, FactoryAndPrinting) {
+  auto e = Expr::Compare(CompareOp::kLt,
+                         Expr::Function("edist", {Expr::Variable("s"),
+                                                  Expr::Literal(
+                                                      Value::String("ICDE"))}),
+                         Expr::Literal(Value::Int(3)));
+  EXPECT_EQ(e->ToString(), "edist(?s,'ICDE') < 3");
+
+  auto logic = Expr::Or(Expr::Not(Expr::Variable("x")),
+                        Expr::And(Expr::Variable("y"),
+                                  Expr::Variable("z")));
+  EXPECT_EQ(logic->ToString(), "(NOT (?x) OR (?y AND ?z))");
+}
+
+TEST(ExprTest, CompareOpNames) {
+  EXPECT_EQ(CompareOpToString(CompareOp::kEq), "=");
+  EXPECT_EQ(CompareOpToString(CompareOp::kNe), "!=");
+  EXPECT_EQ(CompareOpToString(CompareOp::kLe), "<=");
+  EXPECT_EQ(CompareOpToString(CompareOp::kGe), ">=");
+  EXPECT_EQ(CompareOpToString(CompareOp::kContains), "CONTAINS");
+  EXPECT_EQ(CompareOpToString(CompareOp::kPrefix), "PREFIX");
+}
+
+TEST(ExprTest, CollectVariables) {
+  auto e = Expr::And(
+      Expr::Compare(CompareOp::kGt, Expr::Variable("a"),
+                    Expr::Literal(Value::Int(1))),
+      Expr::Compare(CompareOp::kLt,
+                    Expr::Function("length", {Expr::Variable("b")}),
+                    Expr::Variable("c")));
+  std::vector<std::string> vars;
+  CollectVariables(*e, &vars);
+  EXPECT_EQ(vars, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(QueryPrinterTest, FullQueryStructure) {
+  Query q;
+  q.select = {"n", "g"};
+  TriplePattern p;
+  p.subject = Term::Var("a");
+  p.predicate = Term::Lit(Value::String("name"));
+  p.object = Term::Var("n");
+  q.patterns.push_back(p);
+  p.predicate = Term::Lit(Value::String("age"));
+  p.object = Term::Var("g");
+  q.patterns.push_back(p);
+  q.filters.push_back(Expr::Compare(CompareOp::kGe, Expr::Variable("g"),
+                                    Expr::Literal(Value::Int(30))));
+  q.order_by.push_back({"g", SortDirection::kDesc});
+  q.limit = 5;
+
+  std::string text = q.ToString();
+  EXPECT_NE(text.find("SELECT ?n,?g"), std::string::npos);
+  EXPECT_NE(text.find("(?a,'name',?n)"), std::string::npos);
+  EXPECT_NE(text.find("FILTER ?g >= 30"), std::string::npos);
+  EXPECT_NE(text.find("ORDER BY ?g DESC"), std::string::npos);
+  EXPECT_NE(text.find("LIMIT 5"), std::string::npos);
+  // And the printed text re-parses to the same text (fixed point).
+  auto reparsed = Parse(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToString(), text);
+}
+
+TEST(QueryPrinterTest, SkylinePrinting) {
+  Query q;
+  q.select_all = true;
+  TriplePattern p;
+  p.subject = Term::Var("a");
+  p.predicate = Term::Lit(Value::String("age"));
+  p.object = Term::Var("g");
+  q.patterns.push_back(p);
+  q.skyline.push_back({"g", SkylineDirection::kMin});
+  std::string text = q.ToString();
+  EXPECT_NE(text.find("SELECT *"), std::string::npos);
+  EXPECT_NE(text.find("SKYLINE OF ?g MIN"), std::string::npos);
+  auto reparsed = Parse(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed->select_all);
+}
+
+// Property: parse(print(parse(q))) == parse(q) for a corpus of queries.
+class PrintParseFixedPoint : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrintParseFixedPoint, Holds) {
+  auto q1 = Parse(GetParam());
+  ASSERT_TRUE(q1.ok()) << GetParam();
+  auto q2 = Parse(q1->ToString());
+  ASSERT_TRUE(q2.ok()) << q1->ToString();
+  EXPECT_EQ(q1->ToString(), q2->ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, PrintParseFixedPoint,
+    ::testing::Values(
+        "SELECT ?a WHERE { (?a,'x',1) }",
+        "SELECT * WHERE { (?a,?p,?v) FILTER ?v != 'x''y' }",
+        "SELECT ?a WHERE { (?a,'x',?v) FILTER NOT ?v > 3 AND ?v < 9 }",
+        "SELECT ?a WHERE { (?a,'x',?v) FILTER lower(?v) PREFIX 'ab' }",
+        "SELECT ?a,?b WHERE { (?a,'x',?v) (?b,'y',?v) } ORDER BY ?a, ?b "
+        "DESC LIMIT 3",
+        "SELECT ?a WHERE { (?a,'x',?v) } ORDER BY SKYLINE OF ?v MIN, ?a "
+        "MAX"));
+
+}  // namespace
+}  // namespace vql
+}  // namespace unistore

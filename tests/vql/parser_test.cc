@@ -1,0 +1,202 @@
+#include "vql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "vql/lexer.h"
+
+namespace unistore {
+namespace vql {
+namespace {
+
+TEST(LexerTest, TokenizesBasicQuery) {
+  auto tokens = Tokenize("SELECT ?a WHERE { (?a,'name',?n) }");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kSelect);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kVariable);
+  EXPECT_EQ((*tokens)[1].text, "a");
+  EXPECT_EQ((*tokens)[2].type, TokenType::kWhere);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kLBrace);
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("select Select SELECT sKyLiNe");
+  ASSERT_TRUE(tokens.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*tokens)[i].type, TokenType::kSelect);
+  }
+  EXPECT_EQ((*tokens)[3].type, TokenType::kSkyline);
+}
+
+TEST(LexerTest, StringsWithEscapedQuotes) {
+  auto tokens = Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, NumbersIntegerAndReal) {
+  auto tokens = Tokenize("42 -7 3.25");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].int_value, -7);
+  EXPECT_DOUBLE_EQ((*tokens)[2].real_value, 3.25);
+}
+
+TEST(LexerTest, OperatorsAndComparisons) {
+  auto tokens = Tokenize("< <= > >= = !=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kLt);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kLe);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kGt);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kGe);
+  EXPECT_EQ((*tokens)[4].type, TokenType::kEq);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kNe);
+}
+
+TEST(LexerTest, NamespacedIdentifiers) {
+  auto tokens = Tokenize("ns:attr map#corresponds_to");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "ns:attr");
+  EXPECT_EQ((*tokens)[1].text, "map#corresponds_to");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_EQ(Tokenize("'unterminated").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(Tokenize("a ! b").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Tokenize("? ").status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, MinimalQuery) {
+  auto q = Parse("SELECT ?n WHERE { (?a,'name',?n) }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->select, (std::vector<std::string>{"n"}));
+  ASSERT_EQ(q->patterns.size(), 1u);
+  EXPECT_TRUE(q->patterns[0].subject.is_variable);
+  EXPECT_EQ(q->patterns[0].predicate.literal.AsString(), "name");
+  EXPECT_FALSE(q->limit.has_value());
+}
+
+TEST(ParserTest, SelectStar) {
+  auto q = Parse("SELECT * WHERE { (?a,'name',?n) }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->select_all);
+}
+
+TEST(ParserTest, ThePaperExampleQuery) {
+  // Verbatim from paper §2 (the skyline-of-authors query).
+  const char* text = R"(
+    SELECT ?name,?age,?cnt
+    WHERE {(?a,'name',?name) (?a,'age',?age)
+           (?a,'num_of_pubs',?cnt)
+           (?a,'has_published',?title) (?p,'title',?title)
+           (?p,'published_in',?conf) (?c,'confname',?conf)
+           (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3
+    }
+    ORDER BY SKYLINE OF ?age MIN, ?cnt MAX)";
+  auto q = Parse(text);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select, (std::vector<std::string>{"name", "age", "cnt"}));
+  EXPECT_EQ(q->patterns.size(), 8u);
+  ASSERT_EQ(q->filters.size(), 1u);
+  EXPECT_EQ(q->filters[0]->ToString(), "edist(?sr,'ICDE') < 3");
+  ASSERT_EQ(q->skyline.size(), 2u);
+  EXPECT_EQ(q->skyline[0].variable, "age");
+  EXPECT_EQ(q->skyline[0].direction, SkylineDirection::kMin);
+  EXPECT_EQ(q->skyline[1].variable, "cnt");
+  EXPECT_EQ(q->skyline[1].direction, SkylineDirection::kMax);
+}
+
+TEST(ParserTest, OrderByWithDirectionsAndLimit) {
+  auto q = Parse(
+      "SELECT ?n WHERE { (?a,'name',?n) (?a,'age',?g) } "
+      "ORDER BY ?g DESC, ?n LIMIT 10");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->order_by.size(), 2u);
+  EXPECT_EQ(q->order_by[0].direction, SortDirection::kDesc);
+  EXPECT_EQ(q->order_by[1].direction, SortDirection::kAsc);
+  EXPECT_EQ(q->limit, 10u);
+}
+
+TEST(ParserTest, FilterPrecedenceAndParens) {
+  auto q = Parse(
+      "SELECT ?x WHERE { (?x,'a',?v) "
+      "FILTER ?v > 1 AND ?v < 5 OR NOT (?v = 3) }");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->filters.size(), 1u);
+  // AND binds tighter than OR.
+  EXPECT_EQ(q->filters[0]->kind, ExprKind::kOr);
+}
+
+TEST(ParserTest, StringPredicates) {
+  auto q = Parse(
+      "SELECT ?x WHERE { (?x,'name',?n) "
+      "FILTER ?n CONTAINS 'ic' AND ?n PREFIX 'a' }");
+  ASSERT_TRUE(q.ok());
+}
+
+TEST(ParserTest, FunctionsInFilters) {
+  auto q = Parse(
+      "SELECT ?x WHERE { (?x,'name',?n) "
+      "FILTER length(?n) >= 3 AND lower(?n) = 'abc' }");
+  ASSERT_TRUE(q.ok());
+}
+
+TEST(ParserTest, NumericLiteralsInPatterns) {
+  auto q = Parse("SELECT ?x WHERE { (?x,'year',2006) (?x,'score',3.5) }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->patterns[0].object.literal, triple::Value::Int(2006));
+  EXPECT_EQ(q->patterns[1].object.literal, triple::Value::Real(3.5));
+}
+
+TEST(ParserTest, SemanticErrors) {
+  // SELECT variable not bound.
+  EXPECT_FALSE(Parse("SELECT ?ghost WHERE { (?a,'x',?b) }").ok());
+  // FILTER variable not bound.
+  EXPECT_FALSE(
+      Parse("SELECT ?a WHERE { (?a,'x',?b) FILTER ?ghost > 1 }").ok());
+  // ORDER BY variable not bound.
+  EXPECT_FALSE(
+      Parse("SELECT ?a WHERE { (?a,'x',?b) } ORDER BY ?ghost").ok());
+  // Empty WHERE.
+  EXPECT_FALSE(Parse("SELECT ?a WHERE { }").ok());
+  // Unknown function.
+  EXPECT_FALSE(
+      Parse("SELECT ?a WHERE { (?a,'x',?b) FILTER magic(?b) > 1 }").ok());
+  // Skyline without direction.
+  EXPECT_FALSE(
+      Parse("SELECT ?a WHERE { (?a,'x',?b) } ORDER BY SKYLINE OF ?b").ok());
+  // Negative limit.
+  EXPECT_FALSE(Parse("SELECT ?a WHERE { (?a,'x',?b) } LIMIT -1").ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const char* queries[] = {
+      "SELECT ?n WHERE { (?a,'name',?n) }",
+      "SELECT ?n,?g WHERE { (?a,'name',?n) (?a,'age',?g) FILTER ?g >= 30 } "
+      "ORDER BY ?g DESC LIMIT 5",
+      "SELECT ?x WHERE { (?x,'y',2006) } ORDER BY SKYLINE OF ?x MIN",
+      "SELECT * WHERE { (?a,'name',?n) FILTER edist(?n,'icde') < 2 }",
+  };
+  for (const char* text : queries) {
+    auto q1 = Parse(text);
+    ASSERT_TRUE(q1.ok()) << text;
+    std::string printed = q1->ToString();
+    auto q2 = Parse(printed);
+    ASSERT_TRUE(q2.ok()) << "reparse failed for: " << printed;
+    EXPECT_EQ(q2->ToString(), printed) << "unstable print for: " << text;
+  }
+}
+
+TEST(ParserTest, StandaloneExpression) {
+  auto e = ParseExpression("edist(?sr,'ICDE') < 3");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "edist(?sr,'ICDE') < 3");
+  EXPECT_FALSE(ParseExpression("?x > ").ok());
+  EXPECT_FALSE(ParseExpression("?x > 1 garbage").ok());
+}
+
+}  // namespace
+}  // namespace vql
+}  // namespace unistore
