@@ -1,0 +1,84 @@
+# Shared compile/link options for every UniStore target.
+#
+# Usage: link against `unistore::build_flags` (done automatically by the
+# unistore_add_library / unistore_add_executable helpers below). Keeping the
+# flags on one INTERFACE target means a future PR can tighten hygiene (or add
+# an instrumented configuration) in exactly one place.
+
+add_library(unistore_build_flags INTERFACE)
+add_library(unistore::build_flags ALIAS unistore_build_flags)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(unistore_build_flags INTERFACE -Wall -Wextra)
+  if(UNISTORE_WERROR)
+    target_compile_options(unistore_build_flags INTERFACE -Werror)
+  endif()
+endif()
+
+if(UNISTORE_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "UNISTORE_SANITIZE requires GCC or Clang")
+  endif()
+  set(_unistore_san_flags -fsanitize=address,undefined -fno-omit-frame-pointer
+      -fno-sanitize-recover=all)
+  target_compile_options(unistore_build_flags INTERFACE ${_unistore_san_flags})
+  target_link_options(unistore_build_flags INTERFACE ${_unistore_san_flags})
+endif()
+
+# unistore_add_library(<layer> SOURCES ... DEPS ...)
+#
+# Declares the static library `unistore_<layer>` (alias unistore::<layer>)
+# rooted at src/, with its inter-layer dependency edges stated explicitly.
+# DEPS are other layer names; linking is PUBLIC so link order resolves
+# transitively. Note the edges are enforced only at link time (all layers
+# share the src/ include root, so a header-only violation still compiles);
+# the declared graph is documentation plus the linker's ordering contract,
+# which is what future sharding PRs rely on.
+function(unistore_add_library layer)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_library(unistore_${layer} STATIC ${ARG_SOURCES})
+  add_library(unistore::${layer} ALIAS unistore_${layer})
+  target_include_directories(unistore_${layer}
+    PUBLIC ${PROJECT_SOURCE_DIR}/src)
+  target_link_libraries(unistore_${layer} PRIVATE unistore::build_flags)
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(unistore_${layer} PUBLIC unistore::${dep})
+  endforeach()
+endfunction()
+
+# unistore_add_executable(<name> SOURCES ... DEPS ...)
+function(unistore_add_executable name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_executable(${name} ${ARG_SOURCES})
+  target_link_libraries(${name} PRIVATE unistore::build_flags)
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(${name} PRIVATE unistore::${dep})
+  endforeach()
+endfunction()
+
+# unistore_add_test(<layer> <name>)
+#
+# Builds tests/<layer>/<name>.cc into the binary <layer>_<name>, links it
+# against the layer's library + gtest_main, and registers every TEST() case
+# with CTest under the label `<layer>` with a per-case timeout. Labels let
+# CI slices (`ctest -L pgrid`) and sanitizer jobs target one layer without
+# enumerating binaries.
+function(unistore_add_test layer name)
+  cmake_parse_arguments(ARG "" "TIMEOUT" "DEPS" ${ARGN})
+  if(NOT ARG_TIMEOUT)
+    set(ARG_TIMEOUT 120)
+  endif()
+  if(NOT ARG_DEPS)
+    set(ARG_DEPS ${layer})
+  endif()
+  set(target ${layer}_${name})
+  add_executable(${target} ${name}.cc)
+  target_link_libraries(${target} PRIVATE unistore::build_flags GTest::gtest_main)
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(${target} PRIVATE unistore::${dep})
+  endforeach()
+  gtest_discover_tests(${target}
+    TEST_PREFIX "${layer}."
+    PROPERTIES LABELS ${layer} TIMEOUT ${ARG_TIMEOUT}
+    DISCOVERY_TIMEOUT 60)
+endfunction()

@@ -193,6 +193,7 @@ INSTANTIATE_TEST_SUITE_P(NetworkSizes, RoutingScaling,
 TEST(OverlayTest, ReplicationStoresOnAllReplicas) {
   OverlayOptions options;
   options.replication = 2;
+  options.seed = 11;
   Overlay overlay(options);
   overlay.AddPeers(16);  // 8 leaves x 2 replicas.
   overlay.BuildBalanced();
