@@ -85,6 +85,13 @@ double Rng::NextExponential(double mean) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+uint64_t Rng::StreamSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed ^ (stream + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 ZipfGenerator::ZipfGenerator(size_t n, double s) : s_(s) {
   assert(n > 0);
   cdf_.resize(n);

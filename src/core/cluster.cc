@@ -3,6 +3,9 @@
 #include <cmath>
 #include <optional>
 
+#include "sim/sharded_scheduler.h"
+#include "sim/simulation.h"
+
 namespace unistore {
 namespace core {
 namespace {
@@ -22,8 +25,20 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   overlay_options.peer = options_.peer;
   overlay_options.seed = options_.seed;
   overlay_options.loss_probability = options_.loss_probability;
-  overlay_ = std::make_unique<pgrid::Overlay>(overlay_options,
-                                              MakeLatency(options_));
+  std::unique_ptr<sim::LatencyModel> latency = MakeLatency(options_);
+  if (options_.engine == ClusterOptions::Engine::kSharded) {
+    sim::ShardedScheduler::Options sharded;
+    sharded.shards = std::max<size_t>(1, options_.shards);
+    sharded.threads = options_.threads;
+    // Conservative lookahead: the minimum link latency bounds how far a
+    // shard can run ahead without missing a cross-shard message.
+    sharded.lookahead = latency->MinLatency();
+    scheduler_ = std::make_unique<sim::ShardedScheduler>(sharded);
+  } else {
+    scheduler_ = std::make_unique<sim::Simulation>();
+  }
+  overlay_ = std::make_unique<pgrid::Overlay>(
+      overlay_options, std::move(latency), scheduler_.get());
   overlay_->AddPeers(options_.peers);
   if (options_.balanced_construction) overlay_->BuildBalanced();
   nodes_.reserve(options_.peers);

@@ -21,6 +21,16 @@ namespace core {
 struct ClusterOptions {
   size_t peers = 16;
   size_t replication = 1;
+  /// Event engine: the single-threaded loop (default) or the sharded
+  /// deterministic parallel engine. Both produce identical query results,
+  /// delivery traces, and merged traffic statistics for the same seed
+  /// (DESIGN.md §2).
+  enum class Engine { kSingleThread, kSharded } engine = Engine::kSingleThread;
+  /// Peer partitions under Engine::kSharded (shard = peer id % shards).
+  size_t shards = 1;
+  /// Worker threads under Engine::kSharded; 0 = one per shard, 1 = run
+  /// shards inline (deterministic single-core mode).
+  size_t threads = 0;
   /// true: instant balanced trie (default). false: peers start with empty
   /// paths — load data through node 0, then run
   /// overlay().RunExchangeRounds() to let the trie form data-driven
@@ -46,7 +56,8 @@ class Cluster {
   size_t size() const { return nodes_.size(); }
   UniStore& node(net::PeerId id) { return *nodes_[id]; }
   pgrid::Overlay& overlay() { return *overlay_; }
-  sim::Simulation& simulation() { return overlay_->simulation(); }
+  sim::Scheduler& simulation() { return overlay_->scheduler(); }
+  sim::Scheduler& scheduler() { return overlay_->scheduler(); }
 
   // --- Synchronous operations (drive the virtual clock) -------------------
 
@@ -92,6 +103,8 @@ class Cluster {
   Status RunSyncStatus(std::function<void(std::function<void(Status)>)> op);
 
   ClusterOptions options_;
+  /// Engine outlives overlay_ (peers unregister timers by dying first).
+  std::unique_ptr<sim::Scheduler> scheduler_;
   std::unique_ptr<pgrid::Overlay> overlay_;
   std::vector<std::unique_ptr<UniStore>> nodes_;
 };

@@ -35,7 +35,7 @@ uint64_t UniStore::NextVersion() {
   // deterministically; the sequence keeps same-instant local writes
   // ordered.
   uint64_t now = static_cast<uint64_t>(
-      peer_->transport()->simulation()->Now());
+      peer_->transport()->scheduler()->Now());
   return (now << 20) | ((++version_sequence_ & 0x3FF) << 10) |
          (peer_->id() & 0x3FF);
 }

@@ -48,8 +48,9 @@ void QueryService::RunMigrateJoin(const vql::TriplePattern& pattern,
   uint64_t id = next_request_id_++;
   pending_.emplace(id, std::move(callback));
   // Arm a timeout so a lost envelope cannot hang the query.
-  peer_->transport()->simulation()->Schedule(
-      peer_->options().scan_timeout, [this, id]() {
+  peer_->transport()->scheduler()->ScheduleAfter(
+      peer_->options().scan_timeout, peer_->id(), peer_->id(),
+      [this, id]() {
         FailPending(id, Status::Timeout("plan envelope timed out"));
       });
 

@@ -36,7 +36,8 @@ uint64_t RpcManager::RegisterPending(sim::SimTime timeout,
 }
 
 void RpcManager::ArmTimeout(uint64_t request_id, sim::SimTime timeout) {
-  transport_->simulation()->Schedule(timeout, [this, request_id, timeout]() {
+  transport_->scheduler()->ScheduleAfter(
+      timeout, self_, self_, [this, request_id, timeout]() {
     auto it = pending_.find(request_id);
     if (it == pending_.end()) return;  // Already answered.
     ReplyCallback cb = std::move(it->second.callback);

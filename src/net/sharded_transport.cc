@@ -1,0 +1,29 @@
+#include "net/sharded_transport.h"
+
+namespace unistore {
+namespace net {
+
+ShardedTransport::ShardedTransport(sim::Scheduler* scheduler,
+                                   std::unique_ptr<sim::LatencyModel> latency,
+                                   uint64_t seed)
+    : TransportBase(scheduler, std::move(latency), seed),
+      slots_(scheduler->shard_count() + 1) {}
+
+TrafficStats& ShardedTransport::StatsSlot() {
+  // CurrentShard() returns shard_count() from harness context — the extra
+  // slot — so no execution context ever shares a block with another.
+  return slots_[scheduler()->CurrentShard()].stats;
+}
+
+TrafficStats ShardedTransport::stats() const {
+  TrafficStats merged;
+  for (const Slot& slot : slots_) merged.Merge(slot.stats);
+  return merged;
+}
+
+void ShardedTransport::ResetStats() {
+  for (Slot& slot : slots_) slot.stats = TrafficStats();
+}
+
+}  // namespace net
+}  // namespace unistore

@@ -1,0 +1,41 @@
+// ShardedTransport: the Transport implementation for ShardedScheduler.
+//
+// Identical delivery semantics to SimTransport (both inherit
+// TransportBase); the difference is bookkeeping: each scheduler shard —
+// plus one slot for harness context — owns a private TrafficStats block,
+// so concurrent shard execution never contends on counters. stats() merges
+// the slots on read; the merge is exact because every counter is a sum.
+#ifndef UNISTORE_NET_SHARDED_TRANSPORT_H_
+#define UNISTORE_NET_SHARDED_TRANSPORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace unistore {
+namespace net {
+
+class ShardedTransport : public TransportBase {
+ public:
+  ShardedTransport(sim::Scheduler* scheduler,
+                   std::unique_ptr<sim::LatencyModel> latency, uint64_t seed);
+
+  TrafficStats stats() const override;
+  void ResetStats() override;
+
+ protected:
+  TrafficStats& StatsSlot() override;
+
+ private:
+  /// Cache-line sized so shards never false-share counters.
+  struct alignas(64) Slot {
+    TrafficStats stats;
+  };
+  std::vector<Slot> slots_;  ///< shard_count() + 1 (last = harness).
+};
+
+}  // namespace net
+}  // namespace unistore
+
+#endif  // UNISTORE_NET_SHARDED_TRANSPORT_H_

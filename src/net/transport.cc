@@ -1,11 +1,27 @@
 #include "net/transport.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/logging.h"
+#include "net/sharded_transport.h"
+#include "sim/sharded_scheduler.h"
 
 namespace unistore {
 namespace net {
+namespace {
+
+// FNV-1a: a portable, stable payload digest for delivery traces.
+uint64_t HashPayload(const std::string& payload) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : payload) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
 
 TrafficStats TrafficStats::Since(const TrafficStats& other) const {
   TrafficStats d;
@@ -13,6 +29,7 @@ TrafficStats TrafficStats::Since(const TrafficStats& other) const {
   d.messages_delivered = messages_delivered - other.messages_delivered;
   d.messages_lost = messages_lost - other.messages_lost;
   d.messages_to_dead = messages_to_dead - other.messages_to_dead;
+  d.messages_invalid = messages_invalid - other.messages_invalid;
   d.bytes_sent = bytes_sent - other.bytes_sent;
   for (const auto& [type, count] : per_type) {
     auto it = other.per_type.find(type);
@@ -22,67 +39,145 @@ TrafficStats TrafficStats::Since(const TrafficStats& other) const {
   return d;
 }
 
+void TrafficStats::Merge(const TrafficStats& other) {
+  messages_sent += other.messages_sent;
+  messages_delivered += other.messages_delivered;
+  messages_lost += other.messages_lost;
+  messages_to_dead += other.messages_to_dead;
+  messages_invalid += other.messages_invalid;
+  bytes_sent += other.bytes_sent;
+  for (const auto& [type, count] : other.per_type) {
+    per_type[type] += count;
+  }
+}
+
 std::string TrafficStats::ToString() const {
   std::ostringstream os;
   os << "messages=" << messages_sent << " delivered=" << messages_delivered
      << " lost=" << messages_lost << " to_dead=" << messages_to_dead
-     << " bytes=" << bytes_sent;
+     << " invalid=" << messages_invalid << " bytes=" << bytes_sent;
+  for (const auto& [type, count] : per_type) {
+    os << " " << MessageTypeName(type) << "=" << count;
+  }
   return os.str();
 }
 
-Transport::Transport(sim::Simulation* simulation,
-                     std::unique_ptr<sim::LatencyModel> latency, uint64_t seed)
-    : simulation_(simulation), latency_(std::move(latency)), rng_(seed) {
-  UNISTORE_CHECK(simulation_ != nullptr);
+TransportBase::TransportBase(sim::Scheduler* scheduler,
+                             std::unique_ptr<sim::LatencyModel> latency,
+                             uint64_t seed)
+    : scheduler_(scheduler), latency_(std::move(latency)), seed_(seed) {
+  UNISTORE_CHECK(scheduler_ != nullptr);
   UNISTORE_CHECK(latency_ != nullptr);
 }
 
-PeerId Transport::AddPeer(Handler handler) {
+PeerId TransportBase::AddPeer(Handler handler) {
+  const PeerId id = static_cast<PeerId>(handlers_.size());
   handlers_.push_back(std::move(handler));
   alive_.push_back(true);
-  return static_cast<PeerId>(handlers_.size() - 1);
+  peer_rng_.push_back(Rng(Rng::StreamSeed(seed_, id)));
+  trace_.emplace_back();
+  scheduler_->RegisterDomain(id);
+  return id;
 }
 
-void Transport::SetHandler(PeerId peer, Handler handler) {
+void TransportBase::SetHandler(PeerId peer, Handler handler) {
   UNISTORE_CHECK(peer < handlers_.size());
+  // Handlers are read by every shard; swapping one from inside a window
+  // would race (and silently break determinism) — fail fast instead.
+  UNISTORE_CHECK(!scheduler_->InShardContext())
+      << "SetHandler from inside a shard window";
   handlers_[peer] = std::move(handler);
 }
 
-void Transport::Send(Message msg) {
-  UNISTORE_CHECK(msg.src < handlers_.size()) << "bad src " << msg.src;
-  UNISTORE_CHECK(msg.dst < handlers_.size()) << "bad dst " << msg.dst;
-
-  stats_.messages_sent++;
-  stats_.bytes_sent += msg.WireSize();
-  stats_.per_type[msg.type]++;
-
-  if (loss_probability_ > 0 && rng_.NextBernoulli(loss_probability_)) {
-    stats_.messages_lost++;
+void TransportBase::Send(Message msg) {
+  TrafficStats& stats = StatsSlot();
+  if (msg.src >= handlers_.size() || msg.dst >= handlers_.size()) {
+    stats.messages_invalid++;
+    UNISTORE_LOG(kWarning) << "dropping invalid send "
+                           << MessageTypeName(msg.type) << " " << msg.src
+                           << "->" << msg.dst << " (" << handlers_.size()
+                           << " peers registered)";
     return;
   }
 
-  sim::SimTime delay = latency_->Sample(msg.src, msg.dst, &rng_);
-  simulation_->Schedule(delay, [this, m = std::move(msg)]() {
-    if (!alive_[m.dst]) {
-      stats_.messages_to_dead++;
-      return;
-    }
-    stats_.messages_delivered++;
-    UNISTORE_LOG(kTrace) << "deliver " << MessageTypeName(m.type) << " "
-                         << m.src << "->" << m.dst << " req=" << m.request_id
-                         << " hops=" << m.hops;
-    handlers_[m.dst](m);
-  });
+  stats.messages_sent++;
+  stats.bytes_sent += msg.WireSize();
+  stats.per_type[msg.type]++;
+
+  // All stochastic draws of this message come from the *source* peer's
+  // stream: the draw sequence depends only on the src's own send history,
+  // never on how sends of different peers interleave.
+  Rng& rng = peer_rng_[msg.src];
+  if (loss_probability_ > 0 && rng.NextBernoulli(loss_probability_)) {
+    stats.messages_lost++;
+    return;
+  }
+
+  // Clamp to the model's floor: the sharded engine's lookahead equals
+  // MinLatency(), so no delivery may undercut it.
+  sim::SimTime delay = std::max(latency_->Sample(msg.src, msg.dst, &rng),
+                                latency_->MinLatency());
+  const uint32_t src = msg.src;
+  const uint32_t dst = msg.dst;
+  scheduler_->ScheduleEvent(scheduler_->Now() + delay, /*domain=*/src,
+                            /*owner=*/dst,
+                            [this, m = std::move(msg)]() { Deliver(m); });
 }
 
-void Transport::SetAlive(PeerId peer, bool alive) {
+void TransportBase::Deliver(const Message& m) {
+  TrafficStats& stats = StatsSlot();
+  if (!alive_[m.dst]) {
+    stats.messages_to_dead++;
+    return;
+  }
+  stats.messages_delivered++;
+  if (trace_enabled_) {
+    trace_[m.dst].push_back(DeliveryRecord{scheduler_->Now(), m.src, m.type,
+                                           m.request_id, m.hops,
+                                           HashPayload(m.payload)});
+  }
+  UNISTORE_LOG(kTrace) << "deliver " << MessageTypeName(m.type) << " "
+                       << m.src << "->" << m.dst << " req=" << m.request_id
+                       << " hops=" << m.hops;
+  handlers_[m.dst](m);
+}
+
+void TransportBase::SetAlive(PeerId peer, bool alive) {
   UNISTORE_CHECK(peer < alive_.size());
+  // Liveness bits are read by every shard at delivery time; a write from
+  // inside a window would race on the packed vector<bool> — fail fast.
+  UNISTORE_CHECK(!scheduler_->InShardContext())
+      << "SetAlive from inside a shard window";
   alive_[peer] = alive;
 }
 
-bool Transport::IsAlive(PeerId peer) const {
+bool TransportBase::IsAlive(PeerId peer) const {
   UNISTORE_CHECK(peer < alive_.size());
   return alive_[peer];
+}
+
+void TransportBase::EnableDeliveryTrace() { trace_enabled_ = true; }
+
+std::string TransportBase::DeliveryTrace() const {
+  std::ostringstream os;
+  for (size_t dst = 0; dst < trace_.size(); ++dst) {
+    for (const DeliveryRecord& r : trace_[dst]) {
+      os << "t=" << r.when << " " << r.src << "->" << dst << " "
+         << MessageTypeName(r.type) << " req=" << r.request_id
+         << " hops=" << r.hops << " payload=" << r.payload_hash << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::unique_ptr<Transport> MakeTransport(
+    sim::Scheduler* scheduler, std::unique_ptr<sim::LatencyModel> latency,
+    uint64_t seed) {
+  if (dynamic_cast<sim::ShardedScheduler*>(scheduler) != nullptr) {
+    return std::make_unique<ShardedTransport>(scheduler, std::move(latency),
+                                              seed);
+  }
+  return std::make_unique<SimTransport>(scheduler, std::move(latency), seed);
 }
 
 }  // namespace net

@@ -1,4 +1,15 @@
 // Transport: message delivery between peers over the simulated network.
+//
+// `Transport` is an interface with two implementations:
+//   - SimTransport     — one statistics block, for the single-threaded
+//                        sim::Simulation engine (default).
+//   - ShardedTransport — per-shard statistics slots merged on read, for
+//                        sim::ShardedScheduler (net/sharded_transport.h).
+//
+// Both share the delivery semantics in TransportBase, and both derive one
+// RNG stream per peer from (seed, peer_id) so that loss and latency draws
+// depend only on a peer's own send history — the property that makes
+// sharded execution deterministic (DESIGN.md §2-3).
 #ifndef UNISTORE_NET_TRANSPORT_H_
 #define UNISTORE_NET_TRANSPORT_H_
 
@@ -12,7 +23,7 @@
 #include "common/rng.h"
 #include "net/message.h"
 #include "sim/latency.h"
-#include "sim/simulation.h"
+#include "sim/scheduler.h"
 
 namespace unistore {
 namespace net {
@@ -23,11 +34,15 @@ struct TrafficStats {
   uint64_t messages_delivered = 0;
   uint64_t messages_lost = 0;       ///< Random loss (loss model).
   uint64_t messages_to_dead = 0;    ///< Destination was down at delivery.
+  uint64_t messages_invalid = 0;    ///< Dropped: src/dst not registered.
   uint64_t bytes_sent = 0;
   std::map<MessageType, uint64_t> per_type;
 
   /// Difference `*this - other` (for measuring a single operation).
   TrafficStats Since(const TrafficStats& other) const;
+
+  /// Adds `other` into this (per-shard slots merged on read).
+  void Merge(const TrafficStats& other);
 
   std::string ToString() const;
 };
@@ -43,46 +58,116 @@ class Transport {
  public:
   using Handler = std::function<void(const Message&)>;
 
-  Transport(sim::Simulation* simulation,
-            std::unique_ptr<sim::LatencyModel> latency, uint64_t seed);
+  virtual ~Transport() = default;
 
   /// Registers a peer and its message handler. Returns the assigned id.
-  PeerId AddPeer(Handler handler);
+  /// Harness-time only (never from inside an event).
+  virtual PeerId AddPeer(Handler handler) = 0;
 
   /// Replaces the handler of an existing peer (used when a peer object is
   /// rebuilt on rejoin).
-  void SetHandler(PeerId peer, Handler handler);
+  virtual void SetHandler(PeerId peer, Handler handler) = 0;
 
-  /// Sends `msg` (src/dst must be valid ids). The message is copied into
-  /// the event queue; delivery happens at Now() + latency unless lost.
-  void Send(Message msg);
+  /// Sends `msg`. An unregistered src or dst counts as an invalid send and
+  /// the message is dropped. Otherwise the message is copied into the
+  /// event queue; delivery happens at Now() + latency unless lost.
+  virtual void Send(Message msg) = 0;
 
-  /// Marks a peer up/down. Messages in flight toward a peer that is down at
-  /// delivery time are dropped.
-  void SetAlive(PeerId peer, bool alive);
-  bool IsAlive(PeerId peer) const;
+  /// Marks a peer up/down. Messages in flight toward a peer that is down
+  /// at delivery time are dropped. Harness-time only under sharding.
+  virtual void SetAlive(PeerId peer, bool alive) = 0;
+  virtual bool IsAlive(PeerId peer) const = 0;
 
   /// Fraction of messages dropped uniformly at random, in [0, 1).
-  void set_loss_probability(double p) { loss_probability_ = p; }
-  double loss_probability() const { return loss_probability_; }
+  virtual void set_loss_probability(double p) = 0;
+  virtual double loss_probability() const = 0;
 
-  size_t peer_count() const { return handlers_.size(); }
+  virtual size_t peer_count() const = 0;
 
-  const TrafficStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = TrafficStats(); }
+  /// Traffic counters; merged across shard slots on read.
+  virtual TrafficStats stats() const = 0;
+  virtual void ResetStats() = 0;
 
-  sim::Simulation* simulation() { return simulation_; }
+  virtual sim::Scheduler* scheduler() = 0;
+
+  /// Starts recording one delivery log per destination peer (tests). The
+  /// concatenation is a canonical per-peer trace: identical across engines
+  /// and shard counts for the same seed.
+  virtual void EnableDeliveryTrace() = 0;
+  virtual std::string DeliveryTrace() const = 0;
+};
+
+/// \brief Shared mechanics of both transports: registration, liveness,
+/// per-peer RNG streams, validation, loss/latency sampling, tracing.
+///
+/// Subclasses provide the statistics slot for the calling context.
+class TransportBase : public Transport {
+ public:
+  PeerId AddPeer(Handler handler) override;
+  void SetHandler(PeerId peer, Handler handler) override;
+  void Send(Message msg) override;
+  void SetAlive(PeerId peer, bool alive) override;
+  bool IsAlive(PeerId peer) const override;
+  void set_loss_probability(double p) override { loss_probability_ = p; }
+  double loss_probability() const override { return loss_probability_; }
+  size_t peer_count() const override { return handlers_.size(); }
+  sim::Scheduler* scheduler() override { return scheduler_; }
+  void EnableDeliveryTrace() override;
+  std::string DeliveryTrace() const override;
+
+ protected:
+  TransportBase(sim::Scheduler* scheduler,
+                std::unique_ptr<sim::LatencyModel> latency, uint64_t seed);
+
+  /// The TrafficStats block the current execution context may mutate.
+  virtual TrafficStats& StatsSlot() = 0;
 
  private:
-  sim::Simulation* simulation_;
+  struct DeliveryRecord {
+    sim::SimTime when;
+    PeerId src;
+    MessageType type;
+    uint64_t request_id;
+    uint32_t hops;
+    uint64_t payload_hash;
+  };
+
+  void Deliver(const Message& m);
+
+  sim::Scheduler* scheduler_;
   std::unique_ptr<sim::LatencyModel> latency_;
-  Rng rng_;
+  uint64_t seed_;
   double loss_probability_ = 0.0;
 
   std::vector<Handler> handlers_;
   std::vector<bool> alive_;
+  std::vector<Rng> peer_rng_;  ///< Stream i: Rng(StreamSeed(seed, i)).
+  bool trace_enabled_ = false;
+  std::vector<std::vector<DeliveryRecord>> trace_;  ///< By dst peer.
+};
+
+/// The single-threaded transport: one statistics block.
+class SimTransport : public TransportBase {
+ public:
+  SimTransport(sim::Scheduler* scheduler,
+               std::unique_ptr<sim::LatencyModel> latency, uint64_t seed)
+      : TransportBase(scheduler, std::move(latency), seed) {}
+
+  TrafficStats stats() const override { return stats_; }
+  void ResetStats() override { stats_ = TrafficStats(); }
+
+ protected:
+  TrafficStats& StatsSlot() override { return stats_; }
+
+ private:
   TrafficStats stats_;
 };
+
+/// Builds the transport matching `scheduler`: ShardedTransport for a
+/// sim::ShardedScheduler, SimTransport otherwise.
+std::unique_ptr<Transport> MakeTransport(
+    sim::Scheduler* scheduler, std::unique_ptr<sim::LatencyModel> latency,
+    uint64_t seed);
 
 }  // namespace net
 }  // namespace unistore

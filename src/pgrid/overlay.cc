@@ -21,11 +21,17 @@ void GenerateBalancedPaths(size_t count, const std::string& prefix,
 }
 
 Overlay::Overlay(OverlayOptions options,
-                 std::unique_ptr<sim::LatencyModel> latency)
+                 std::unique_ptr<sim::LatencyModel> latency,
+                 sim::Scheduler* scheduler)
     : options_(options), rng_(options.seed) {
-  transport_ = std::make_unique<net::Transport>(&simulation_,
-                                                std::move(latency),
-                                                rng_.Next());
+  if (scheduler == nullptr) {
+    owned_scheduler_ = std::make_unique<sim::Simulation>();
+    scheduler_ = owned_scheduler_.get();
+  } else {
+    scheduler_ = scheduler;
+  }
+  transport_ = net::MakeTransport(scheduler_, std::move(latency),
+                                  rng_.Next());
   transport_->set_loss_probability(options_.loss_probability);
 }
 
@@ -115,11 +121,16 @@ void Overlay::RunExchangeRounds(size_t rounds) {
         other = order[rng_.NextBounded(order.size())];
       }
       stagger += 500;  // 0.5 ms apart to avoid artificial collisions.
-      simulation_.Schedule(stagger, [this, initiator, other]() {
-        peers_[initiator]->InitiateExchange(other, [](Status) {});
-      });
+      // Owner = initiator: the sharded engine must run the initiation on
+      // the initiator's shard.
+      scheduler_->ScheduleEvent(scheduler_->Now() + stagger,
+                                sim::kHarnessDomain, initiator,
+                                [this, initiator, other]() {
+                                  peers_[initiator]->InitiateExchange(
+                                      other, [](Status) {});
+                                });
     }
-    simulation_.RunUntilIdle();
+    scheduler_->RunUntilIdle();
   }
 }
 
@@ -177,7 +188,7 @@ Result<LookupResult> Overlay::LookupSync(net::PeerId from, const Key& key,
   std::optional<Result<LookupResult>> out;
   peers_[from]->Lookup(key, mode,
                        [&out](Result<LookupResult> r) { out = std::move(r); });
-  simulation_.RunUntil([&out] { return out.has_value(); });
+  scheduler_->RunUntil([&out] { return out.has_value(); });
   if (!out.has_value()) {
     return Status::Internal("simulation drained before lookup completed");
   }
@@ -188,7 +199,7 @@ Status Overlay::InsertSync(net::PeerId from, Entry entry) {
   std::optional<Status> out;
   peers_[from]->Insert(std::move(entry),
                        [&out](Status s) { out = std::move(s); });
-  simulation_.RunUntil([&out] { return out.has_value(); });
+  scheduler_->RunUntil([&out] { return out.has_value(); });
   if (!out.has_value()) {
     return Status::Internal("simulation drained before insert completed");
   }
@@ -200,7 +211,7 @@ Status Overlay::RemoveSync(net::PeerId from, const Key& key,
   std::optional<Status> out;
   peers_[from]->Remove(key, entry_id, version,
                        [&out](Status s) { out = std::move(s); });
-  simulation_.RunUntil([&out] { return out.has_value(); });
+  scheduler_->RunUntil([&out] { return out.has_value(); });
   if (!out.has_value()) {
     return Status::Internal("simulation drained before remove completed");
   }
@@ -212,7 +223,7 @@ Result<RangeResult> Overlay::RangeSeqSync(net::PeerId from,
   std::optional<Result<RangeResult>> out;
   peers_[from]->RangeScanSeq(
       range, [&out](Result<RangeResult> r) { out = std::move(r); });
-  simulation_.RunUntil([&out] { return out.has_value(); });
+  scheduler_->RunUntil([&out] { return out.has_value(); });
   if (!out.has_value()) {
     return Status::Internal("simulation drained before range scan completed");
   }
@@ -224,7 +235,7 @@ Result<RangeResult> Overlay::RangeShowerSync(net::PeerId from,
   std::optional<Result<RangeResult>> out;
   peers_[from]->RangeScanShower(
       range, [&out](Result<RangeResult> r) { out = std::move(r); });
-  simulation_.RunUntil([&out] { return out.has_value(); });
+  scheduler_->RunUntil([&out] { return out.has_value(); });
   if (!out.has_value()) {
     return Status::Internal("simulation drained before range scan completed");
   }
@@ -235,7 +246,7 @@ Status Overlay::ExchangeSync(net::PeerId initiator, net::PeerId other) {
   std::optional<Status> out;
   peers_[initiator]->InitiateExchange(other,
                                       [&out](Status s) { out = std::move(s); });
-  simulation_.RunUntil([&out] { return out.has_value(); });
+  scheduler_->RunUntil([&out] { return out.has_value(); });
   if (!out.has_value()) {
     return Status::Internal("simulation drained before exchange completed");
   }
@@ -245,7 +256,7 @@ Status Overlay::ExchangeSync(net::PeerId initiator, net::PeerId other) {
 Status Overlay::PullFromReplicaSync(net::PeerId who) {
   std::optional<Status> out;
   peers_[who]->PullFromReplica([&out](Status s) { out = std::move(s); });
-  simulation_.RunUntil([&out] { return out.has_value(); });
+  scheduler_->RunUntil([&out] { return out.has_value(); });
   if (!out.has_value()) {
     return Status::Internal("simulation drained before pull completed");
   }

@@ -30,16 +30,21 @@ struct OverlayOptions {
   double loss_probability = 0.0;
 };
 
-/// \brief Owns a Simulation + Transport + N peers, and provides balanced
-/// construction, decentralized exchange rounds, synchronous operation
-/// wrappers for tests/benchmarks, and churn control.
+/// \brief Owns a Transport + N peers on top of a Scheduler, and provides
+/// balanced construction, decentralized exchange rounds, synchronous
+/// operation wrappers for tests/benchmarks, and churn control.
 ///
 /// This is harness code: the peers never use its global knowledge; all
 /// protocol decisions happen inside pgrid::Peer with local state only.
 class Overlay {
  public:
-  Overlay(OverlayOptions options,
-          std::unique_ptr<sim::LatencyModel> latency);
+  /// With `scheduler == nullptr` the overlay owns a single-threaded
+  /// sim::Simulation (the default engine); otherwise it runs on the given
+  /// engine — core::Cluster passes a sim::ShardedScheduler handle for
+  /// parallel peer execution, and the transport implementation is chosen
+  /// to match (net::MakeTransport).
+  Overlay(OverlayOptions options, std::unique_ptr<sim::LatencyModel> latency,
+          sim::Scheduler* scheduler = nullptr);
 
   /// Convenience: overlay with constant 1 ms latency.
   explicit Overlay(OverlayOptions options = {});
@@ -66,7 +71,10 @@ class Overlay {
   const Peer* peer(net::PeerId id) const { return peers_[id].get(); }
   size_t size() const { return peers_.size(); }
 
-  sim::Simulation& simulation() { return simulation_; }
+  /// The event engine. (Named for the historical single-engine API; all
+  /// callers only use the Scheduler interface.)
+  sim::Scheduler& simulation() { return *scheduler_; }
+  sim::Scheduler& scheduler() { return *scheduler_; }
   net::Transport& transport() { return *transport_; }
   Rng& rng() { return rng_; }
 
@@ -107,7 +115,8 @@ class Overlay {
 
  private:
   OverlayOptions options_;
-  sim::Simulation simulation_;
+  std::unique_ptr<sim::Simulation> owned_scheduler_;  ///< Default engine.
+  sim::Scheduler* scheduler_;
   std::unique_ptr<net::Transport> transport_;
   Rng rng_;
   std::vector<std::unique_ptr<Peer>> peers_;

@@ -415,7 +415,8 @@ void Peer::RangeScanSeq(const KeyRange& range, RangeCallback callback,
   state.callback = std::move(callback);
   seq_scans_.emplace(id, std::move(state));
 
-  transport_->simulation()->Schedule(options_.scan_timeout, [this, id]() {
+  transport_->scheduler()->ScheduleAfter(
+      options_.scan_timeout, id_, id_, [this, id]() {
     auto it = seq_scans_.find(id);
     if (it != seq_scans_.end()) FinishSeqScan(id, /*complete=*/false);
   });
@@ -555,7 +556,8 @@ void Peer::RangeScanShower(const KeyRange& range, RangeCallback callback) {
   state.outstanding = 1;
   shower_scans_.emplace(id, std::move(state));
 
-  transport_->simulation()->Schedule(options_.scan_timeout, [this, id]() {
+  transport_->scheduler()->ScheduleAfter(
+      options_.scan_timeout, id_, id_, [this, id]() {
     auto it = shower_scans_.find(id);
     if (it != shower_scans_.end()) FinishShowerScan(id, /*complete=*/false);
   });
@@ -748,8 +750,8 @@ void Peer::DoInitiateExchange(PeerId other, uint32_t ttl,
           }
           if (!candidates.empty()) {
             PeerId next = candidates[rng_.NextBounded(candidates.size())];
-            transport_->simulation()->Schedule(
-                1000, [this, next, ttl]() {
+            transport_->scheduler()->ScheduleAfter(
+                1000, id_, id_, [this, next, ttl]() {
                   DoInitiateExchange(next, ttl - 1, NoopStatus);
                 });
           }

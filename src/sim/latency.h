@@ -11,7 +11,7 @@
 #include <memory>
 
 #include "common/rng.h"
-#include "sim/simulation.h"
+#include "sim/scheduler.h"
 
 namespace unistore {
 namespace sim {
@@ -26,6 +26,14 @@ class LatencyModel {
 
   /// Returns a one-way delay in virtual microseconds (>= 0).
   virtual SimTime Sample(NodeId src, NodeId dst, Rng* rng) = 0;
+
+  /// A lower bound on message delay (>= 1). The sharded scheduler uses
+  /// this as its conservative lookahead, so tighter bounds mean larger
+  /// parallel windows. The transport clamps every sampled delay up to
+  /// this floor, so models whose Sample() can dip below it (e.g. a
+  /// degenerate zero-latency configuration) stay safe under sharding at
+  /// the cost of a 1 us minimum hop.
+  virtual SimTime MinLatency() const { return 1; }
 };
 
 /// Fixed delay — unit tests and hop-count benchmarks.
@@ -33,6 +41,7 @@ class ConstantLatency : public LatencyModel {
  public:
   explicit ConstantLatency(SimTime delay) : delay_(delay) {}
   SimTime Sample(NodeId, NodeId, Rng*) override { return delay_; }
+  SimTime MinLatency() const override { return delay_ > 1 ? delay_ : 1; }
 
  private:
   SimTime delay_;
@@ -45,6 +54,7 @@ class UniformLatency : public LatencyModel {
   SimTime Sample(NodeId, NodeId, Rng* rng) override {
     return rng->NextInt(lo_, hi_);
   }
+  SimTime MinLatency() const override { return lo_ > 1 ? lo_ : 1; }
 
  private:
   SimTime lo_, hi_;
@@ -70,6 +80,9 @@ class WanLatency : public LatencyModel {
   explicit WanLatency(Options options);
 
   SimTime Sample(NodeId src, NodeId dst, Rng* rng) override;
+  SimTime MinLatency() const override {
+    return options_.min_us > 1 ? options_.min_us : 1;
+  }
 
   /// Deterministic base one-way delay of a pair (no jitter).
   SimTime BaseDelay(NodeId src, NodeId dst) const;

@@ -1,0 +1,25 @@
+#include "sim/scheduler.h"
+
+#include "common/logging.h"
+
+namespace unistore {
+namespace sim {
+
+void Scheduler::Schedule(SimTime delay, std::function<void()> fn) {
+  UNISTORE_CHECK(delay >= 0) << "negative delay " << delay;
+  ScheduleEvent(Now() + delay, kHarnessDomain, kHarnessDomain,
+                std::move(fn));
+}
+
+void Scheduler::ScheduleAt(SimTime when, std::function<void()> fn) {
+  ScheduleEvent(when, kHarnessDomain, kHarnessDomain, std::move(fn));
+}
+
+void Scheduler::ScheduleAfter(SimTime delay, uint32_t domain, uint32_t owner,
+                              std::function<void()> fn) {
+  UNISTORE_CHECK(delay >= 0) << "negative delay " << delay;
+  ScheduleEvent(Now() + delay, domain, owner, std::move(fn));
+}
+
+}  // namespace sim
+}  // namespace unistore

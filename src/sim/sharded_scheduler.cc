@@ -1,0 +1,248 @@
+#include "sim/sharded_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace unistore {
+namespace sim {
+namespace {
+
+// Execution context of the shard currently running on this thread. The
+// owner pointer disambiguates nested/multiple schedulers; outside a window
+// slice both are unset and calls fall through to the harness path.
+thread_local const void* tls_owner = nullptr;
+thread_local uint32_t tls_index = 0;
+
+}  // namespace
+
+ShardedScheduler::ShardedScheduler(Options options) : options_(options) {
+  UNISTORE_CHECK(options_.shards >= 1) << "need at least one shard";
+  UNISTORE_CHECK(options_.lookahead >= 1)
+      << "conservative lookahead must be positive, got "
+      << options_.lookahead;
+  shards_.resize(options_.shards);
+  for (Shard& shard : shards_) shard.outbox.resize(options_.shards);
+  StartWorkers();
+}
+
+ShardedScheduler::~ShardedScheduler() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      pool_shutdown_ = true;
+    }
+    pool_work_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+}
+
+void ShardedScheduler::StartWorkers() {
+  size_t threads =
+      options_.threads == 0 ? shards_.size() : options_.threads;
+  threads = std::min(threads, shards_.size());
+  if (threads <= 1) return;  // Shards run inline on the driver thread.
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+SimTime ShardedScheduler::Now() const {
+  if (tls_owner == this) return shards_[tls_index].now;
+  return global_now_;
+}
+
+uint32_t ShardedScheduler::CurrentShard() const {
+  if (tls_owner == this) return tls_index;
+  return static_cast<uint32_t>(shards_.size());
+}
+
+bool ShardedScheduler::InShardContext() const { return tls_owner == this; }
+
+void ShardedScheduler::RegisterDomain(uint32_t domain) {
+  UNISTORE_CHECK(!running_) << "RegisterDomain during a window";
+  sequencer_.Register(domain);
+}
+
+uint64_t ShardedScheduler::NextSeq(uint32_t domain) {
+  if (domain == kHarnessDomain) {
+    // The harness counter is not sharded; peers must tag events with their
+    // own domain so counters stay shard-owned.
+    UNISTORE_CHECK(tls_owner != this)
+        << "harness-domain event scheduled from inside a shard";
+  } else if (!sequencer_.registered(domain)) {
+    // Growing the counter table is only safe from harness context.
+    UNISTORE_CHECK(!running_ && tls_owner != this)
+        << "unregistered domain " << domain << " used during a window";
+    sequencer_.Register(domain);
+  }
+  return sequencer_.Next(domain);
+}
+
+void ShardedScheduler::ScheduleEvent(SimTime when, uint32_t domain,
+                                     uint32_t owner,
+                                     std::function<void()> fn) {
+  const uint32_t dst = ShardOf(owner);
+  if (tls_owner == this) {
+    Shard& self = shards_[tls_index];
+    UNISTORE_CHECK(when >= self.now)
+        << "scheduling in the past: " << when << " < " << self.now;
+    Event ev{when, domain, NextSeq(domain), std::move(fn)};
+    if (dst == tls_index) {
+      self.queue.push(std::move(ev));
+    } else {
+      // Conservative correctness: a cross-shard event may not land inside
+      // the window still executing (the destination shard may already be
+      // past `when`). The transport guarantees this by construction
+      // (message latency >= lookahead).
+      UNISTORE_CHECK(when >= pool_window_end_)
+          << "cross-shard event at " << when << " violates lookahead "
+          << options_.lookahead << " (window ends " << pool_window_end_
+          << ")";
+      self.outbox[dst].push_back(std::move(ev));
+    }
+    return;
+  }
+  UNISTORE_CHECK(!running_) << "harness scheduling during a window";
+  UNISTORE_CHECK(when >= global_now_)
+      << "scheduling in the past: " << when << " < " << global_now_;
+  shards_[dst].queue.push(Event{when, domain, NextSeq(domain),
+                                std::move(fn)});
+}
+
+void ShardedScheduler::RunShardWindow(Shard* shard, SimTime window_end,
+                                      uint32_t index) {
+  tls_owner = this;
+  tls_index = index;
+  while (!shard->queue.empty() && shard->queue.top().when < window_end) {
+    Event ev = std::move(const_cast<Event&>(shard->queue.top()));
+    shard->queue.pop();
+    shard->now = ev.when;
+    ++shard->processed;
+    ev.fn();
+  }
+  tls_owner = nullptr;
+  tls_index = 0;
+}
+
+void ShardedScheduler::MergeOutboxes() {
+  for (Shard& src : shards_) {
+    for (size_t dst = 0; dst < src.outbox.size(); ++dst) {
+      for (Event& ev : src.outbox[dst]) {
+        shards_[dst].queue.push(std::move(ev));
+      }
+      src.outbox[dst].clear();
+    }
+  }
+}
+
+SimTime ShardedScheduler::NextEventTime() const {
+  SimTime next = kNoEvent;
+  for (const Shard& shard : shards_) {
+    if (!shard.queue.empty()) next = std::min(next, shard.queue.top().when);
+  }
+  return next;
+}
+
+void ShardedScheduler::RunWindowParallel(SimTime window_end) {
+  pool_window_end_ = window_end;
+  running_ = true;
+  if (workers_.empty()) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      RunShardWindow(&shards_[s], window_end, static_cast<uint32_t>(s));
+    }
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      pool_pending_ = workers_.size();
+      ++pool_generation_;
+    }
+    pool_work_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(pool_mu_);
+    pool_done_cv_.wait(lock, [this] { return pool_pending_ == 0; });
+  }
+  running_ = false;
+}
+
+void ShardedScheduler::WorkerLoop(size_t worker_index) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    SimTime window_end;
+    {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      pool_work_cv_.wait(lock, [this, seen_generation] {
+        return pool_shutdown_ || pool_generation_ != seen_generation;
+      });
+      if (pool_shutdown_) return;
+      seen_generation = pool_generation_;
+      window_end = pool_window_end_;
+    }
+    for (size_t s = worker_index; s < shards_.size();
+         s += workers_.size()) {
+      RunShardWindow(&shards_[s], window_end, static_cast<uint32_t>(s));
+    }
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      if (--pool_pending_ == 0) pool_done_cv_.notify_all();
+    }
+  }
+}
+
+size_t ShardedScheduler::RunWindows(const std::function<bool()>* pred,
+                                    SimTime deadline) {
+  const size_t before = processed_events();
+  for (;;) {
+    const SimTime next = NextEventTime();
+    if (next == kNoEvent || next > deadline) break;
+    SimTime window_end = (next > kNoEvent - options_.lookahead)
+                             ? kNoEvent
+                             : next + options_.lookahead;
+    if (deadline != kNoEvent) {
+      window_end = std::min(window_end, deadline + 1);
+    }
+    RunWindowParallel(window_end);
+    MergeOutboxes();
+    for (const Shard& shard : shards_) {
+      global_now_ = std::max(global_now_, shard.now);
+    }
+    ++windows_run_;
+    if (pred != nullptr && (*pred)()) break;
+  }
+  return processed_events() - before;
+}
+
+size_t ShardedScheduler::RunUntilIdle() {
+  return RunWindows(nullptr, kNoEvent);
+}
+
+size_t ShardedScheduler::RunFor(SimTime duration) {
+  const SimTime deadline = global_now_ + duration;
+  const size_t n = RunWindows(nullptr, deadline);
+  global_now_ = deadline;
+  return n;
+}
+
+bool ShardedScheduler::RunUntil(const std::function<bool()>& pred) {
+  if (pred()) return true;
+  RunWindows(&pred, kNoEvent);
+  return pred();
+}
+
+size_t ShardedScheduler::pending_events() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    n += shard.queue.size();
+    for (const auto& box : shard.outbox) n += box.size();
+  }
+  return n;
+}
+
+size_t ShardedScheduler::processed_events() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) n += shard.processed;
+  return n;
+}
+
+}  // namespace sim
+}  // namespace unistore

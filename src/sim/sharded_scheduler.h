@@ -1,0 +1,145 @@
+// ShardedScheduler: deterministic parallel discrete-event engine.
+//
+// Peers are partitioned into K shards (shard = owner % K), each with its
+// own event queue and clock. Execution proceeds in conservative barrier
+// rounds: a window [T, T + lookahead) is processed by all shards in
+// parallel, where `lookahead` is the minimum link latency of the
+// configured sim::LatencyModel. Because every cross-peer interaction is a
+// message with delay >= lookahead, events created inside a window can only
+// land in later windows, so shards never need to roll back.
+//
+// Cross-shard sends append to a per-(src shard, dst shard) mailbox during
+// the window; mailboxes are merged into the destination queues at the
+// barrier. Each destination queue orders events by the canonical
+// (time, domain, seq) key — domain being the originating peer — which is
+// independent of K, so a K-sharded run processes every peer's events in
+// exactly the order the single-queue engine does. See DESIGN.md §2 for the
+// determinism contract.
+#ifndef UNISTORE_SIM_SHARDED_SCHEDULER_H_
+#define UNISTORE_SIM_SHARDED_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace unistore {
+namespace sim {
+
+/// \brief K event queues + conservative barrier synchronization.
+///
+/// With threads > 1 the shards of a window run on a persistent worker
+/// pool; with threads <= 1 they run inline on the calling thread (same
+/// results — useful for determinism tests and single-core machines).
+class ShardedScheduler : public Scheduler {
+ public:
+  struct Options {
+    /// Number of peer partitions (>= 1).
+    size_t shards = 1;
+    /// Worker threads; 0 means one per shard, 1 runs shards inline.
+    size_t threads = 0;
+    /// Conservative window length: must be <= the minimum message latency
+    /// of the transport's latency model (>= 1).
+    SimTime lookahead = 1000;
+  };
+
+  explicit ShardedScheduler(Options options);
+  ~ShardedScheduler() override;
+
+  ShardedScheduler(const ShardedScheduler&) = delete;
+  ShardedScheduler& operator=(const ShardedScheduler&) = delete;
+
+  SimTime Now() const override;
+
+  void ScheduleEvent(SimTime when, uint32_t domain, uint32_t owner,
+                     std::function<void()> fn) override;
+
+  size_t RunUntilIdle() override;
+  size_t RunFor(SimTime duration) override;
+  bool RunUntil(const std::function<bool()>& pred) override;
+
+  size_t pending_events() const override;
+  size_t processed_events() const override;
+
+  size_t shard_count() const override { return shards_.size(); }
+  uint32_t CurrentShard() const override;
+  bool InShardContext() const override;
+  void RegisterDomain(uint32_t domain) override;
+
+  SimTime lookahead() const { return options_.lookahead; }
+  size_t worker_count() const { return workers_.size(); }
+
+  /// Barrier rounds executed so far (observability for tests/benches).
+  uint64_t windows_run() const { return windows_run_; }
+
+ private:
+  using Event = internal::Event;
+
+  struct Shard {
+    std::priority_queue<Event, std::vector<Event>, internal::EventLater>
+        queue;
+    /// Outgoing cross-shard events of the current window, by dst shard.
+    std::vector<std::vector<Event>> outbox;
+    SimTime now = 0;  ///< Timestamp of the last processed event.
+    size_t processed = 0;
+  };
+
+  uint32_t ShardOf(uint32_t owner) const {
+    return owner == kHarnessDomain
+               ? 0u
+               : owner % static_cast<uint32_t>(shards_.size());
+  }
+  uint64_t NextSeq(uint32_t domain);
+
+  /// Runs one shard's slice of the window [*, window_end). Called from a
+  /// worker (or inline); touches only shard-owned state.
+  void RunShardWindow(Shard* shard, SimTime window_end, uint32_t index);
+
+  /// Merges all outboxes into the destination shard queues (barrier step,
+  /// driver thread only).
+  void MergeOutboxes();
+
+  /// Earliest queued event across shards, or kNoEvent.
+  SimTime NextEventTime() const;
+
+  /// Processes windows until `pred` (nullable) is satisfied at a barrier,
+  /// the queues drain, or the next event is past `deadline`. Returns
+  /// events processed.
+  size_t RunWindows(const std::function<bool()>* pred, SimTime deadline);
+
+  /// Dispatches one window to the pool (or runs inline) and waits.
+  void RunWindowParallel(SimTime window_end);
+
+  void StartWorkers();
+  void WorkerLoop(size_t worker_index);
+
+  static constexpr SimTime kNoEvent = INT64_MAX;
+
+  Options options_;
+  std::vector<Shard> shards_;
+  internal::DomainSequencer sequencer_;
+  SimTime global_now_ = 0;
+  uint64_t windows_run_ = 0;
+  bool running_ = false;  ///< True while a window executes on workers.
+
+  // Worker pool (empty when shards run inline).
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_work_cv_;
+  std::condition_variable pool_done_cv_;
+  uint64_t pool_generation_ = 0;
+  size_t pool_pending_ = 0;
+  SimTime pool_window_end_ = 0;
+  bool pool_shutdown_ = false;
+};
+
+}  // namespace sim
+}  // namespace unistore
+
+#endif  // UNISTORE_SIM_SHARDED_SCHEDULER_H_

@@ -5,15 +5,16 @@
 namespace unistore {
 namespace sim {
 
-void Simulation::Schedule(SimTime delay, std::function<void()> fn) {
-  UNISTORE_CHECK(delay >= 0) << "negative delay " << delay;
-  ScheduleAt(now_ + delay, std::move(fn));
+void Simulation::RegisterDomain(uint32_t domain) {
+  sequencer_.Register(domain);
 }
 
-void Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
+void Simulation::ScheduleEvent(SimTime when, uint32_t domain, uint32_t,
+                               std::function<void()> fn) {
   UNISTORE_CHECK(when >= now_) << "scheduling in the past: " << when
                                << " < " << now_;
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  sequencer_.Register(domain);  // Single-threaded: growth is always safe.
+  queue_.push(Event{when, domain, sequencer_.Next(domain), std::move(fn)});
 }
 
 bool Simulation::PopAndRun() {

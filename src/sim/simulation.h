@@ -1,9 +1,11 @@
-// Discrete-event simulation core.
+// Discrete-event simulation core: the single-threaded Scheduler.
 //
 // UniStore's network substrate (the substitution for the paper's PlanetLab
-// testbed, see DESIGN.md §5) is a single-threaded discrete-event simulator:
-// a virtual clock plus an ordered queue of callbacks. Determinism: given the
-// same seed and the same sequence of API calls, every run is identical.
+// testbed, see DESIGN.md §5) is a discrete-event simulator: a virtual clock
+// plus ordered queues of callbacks. This file holds the default
+// single-threaded engine; the sharded parallel engine lives in
+// sim/sharded_scheduler.h. Determinism: given the same seed and the same
+// sequence of API calls, every run is identical.
 #ifndef UNISTORE_SIM_SIMULATION_H_
 #define UNISTORE_SIM_SIMULATION_H_
 
@@ -12,71 +14,46 @@
 #include <queue>
 #include <vector>
 
+#include "sim/scheduler.h"
+
 namespace unistore {
 namespace sim {
 
-/// Virtual time in microseconds since simulation start.
-using SimTime = int64_t;
-
-constexpr SimTime kMicrosPerMilli = 1000;
-constexpr SimTime kMicrosPerSecond = 1000 * 1000;
-
-/// \brief Virtual clock + event queue.
+/// \brief Virtual clock + one global event queue.
 ///
-/// Events scheduled at equal times fire in scheduling order (a tie-break
-/// sequence number guarantees FIFO), which keeps protocol traces stable.
-class Simulation {
+/// Events scheduled at equal times fire in canonical (domain, seq) order;
+/// within one domain that is FIFO, which keeps protocol traces stable.
+class Simulation : public Scheduler {
  public:
   Simulation() = default;
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  /// Current virtual time.
-  SimTime Now() const { return now_; }
+  SimTime Now() const override { return now_; }
 
-  /// Schedules `fn` to run at Now() + delay (delay >= 0).
-  void Schedule(SimTime delay, std::function<void()> fn);
+  void ScheduleEvent(SimTime when, uint32_t domain, uint32_t owner,
+                     std::function<void()> fn) override;
 
-  /// Schedules `fn` at an absolute virtual time (>= Now()).
-  void ScheduleAt(SimTime when, std::function<void()> fn);
+  size_t RunUntilIdle() override;
+  size_t RunFor(SimTime duration) override;
+  bool RunUntil(const std::function<bool()>& pred) override;
 
-  /// Runs events until the queue is empty. Returns events processed.
-  size_t RunUntilIdle();
+  size_t pending_events() const override { return queue_.size(); }
+  size_t processed_events() const override { return processed_; }
 
-  /// Runs events with time <= Now() + duration; advances the clock to
-  /// exactly Now() + duration even if the queue empties earlier.
-  size_t RunFor(SimTime duration);
-
-  /// Runs until `pred()` is true (checked after each event) or the queue is
-  /// empty. Returns true iff the predicate was satisfied.
-  bool RunUntil(const std::function<bool()>& pred);
-
-  /// Number of events currently queued.
-  size_t pending_events() const { return queue_.size(); }
-
-  /// Total events processed since construction.
-  size_t processed_events() const { return processed_; }
+  void RegisterDomain(uint32_t domain) override;
 
  private:
-  struct Event {
-    SimTime when;
-    uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  using Event = internal::Event;
 
   bool PopAndRun();
 
   SimTime now_ = 0;
-  uint64_t next_seq_ = 0;
+  internal::DomainSequencer sequencer_;
   size_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::priority_queue<Event, std::vector<Event>, internal::EventLater>
+      queue_;
 };
 
 }  // namespace sim

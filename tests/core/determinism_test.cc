@@ -1,0 +1,140 @@
+// Cross-engine determinism: the acceptance test of the sharded scheduler.
+//
+// One fixed-seed 64-peer scenario — bulk inserts, VQL queries, message
+// loss, and churn — must produce byte-identical query results, delivery
+// traces, and merged traffic statistics under the single-threaded engine
+// and under ShardedScheduler with K in {1, 2, 4}, inline and threaded.
+// The contract (DESIGN.md §2): runs are compared at quiescent points
+// (after RunUntilIdle), where every engine has processed the same events
+// in the same per-peer order.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/datagen.h"
+#include "sim/sharded_scheduler.h"
+
+namespace unistore {
+namespace core {
+namespace {
+
+struct Capture {
+  std::string ops;        ///< Statuses + serialized query results, in order.
+  std::string stats;      ///< Merged TrafficStats at the end.
+  std::string trace;      ///< Canonical per-peer delivery trace.
+  sim::SimTime final_now; ///< Clock at final quiescence.
+  size_t processed;       ///< Total events processed.
+};
+
+Capture RunScenario(ClusterOptions::Engine engine, size_t shards,
+                    size_t threads) {
+  ClusterOptions options;
+  options.peers = 64;
+  options.replication = 2;
+  options.seed = 20260728;
+  options.loss_probability = 0.01;
+  options.engine = engine;
+  options.shards = shards;
+  options.threads = threads;
+  Cluster cluster(options);
+  cluster.overlay().transport().EnableDeliveryTrace();
+
+  std::ostringstream ops;
+  auto quiesce = [&cluster] { cluster.simulation().RunUntilIdle(); };
+
+  BibliographyOptions data;
+  data.authors = 10;
+  data.publications_per_author = 2;
+  data.seed = 5;
+  auto tuples = GenerateBibliography(data).AllTuples();
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    auto via = static_cast<net::PeerId>(i % cluster.size());
+    ops << "insert " << i << ": "
+        << cluster.InsertTupleSync(via, tuples[i]).ToString() << "\n";
+    quiesce();
+  }
+  cluster.RefreshStats();
+  quiesce();
+
+  const std::vector<std::string> queries = {
+      "SELECT ?a,?n WHERE { (?a,'name',?n) }",
+      "SELECT ?a,?g WHERE { (?a,'age',?g) FILTER ?g >= 40 }",
+      "SELECT ?n,?g WHERE { (?a,'name',?n) (?a,'age',?g) FILTER ?g < 60 }",
+      "SELECT ?g WHERE { (?a,'age',?g) } ORDER BY ?g LIMIT 5",
+  };
+  auto run_queries = [&](const char* phase) {
+    net::PeerId via = 0;
+    for (const auto& q : queries) {
+      auto result = cluster.QuerySync(via, q);
+      ops << phase << " query '" << q << "' via " << via << ": ";
+      if (result.ok()) {
+        ops << result->ToTable();
+      } else {
+        ops << result.status().ToString() << "\n";
+      }
+      quiesce();
+      via = static_cast<net::PeerId>((via + 7) % cluster.size());
+    }
+  };
+  run_queries("pre-churn");
+
+  // Churn: kill every 9th peer (never peer 0, a query entry point), query
+  // through the holes, then revive.
+  std::vector<net::PeerId> downed;
+  for (net::PeerId p = 9; p < cluster.size(); p += 9) downed.push_back(p);
+  for (net::PeerId p : downed) cluster.overlay().Crash(p);
+  run_queries("churn");
+  for (net::PeerId p : downed) cluster.overlay().Revive(p);
+  run_queries("post-churn");
+
+  Capture capture;
+  capture.ops = ops.str();
+  capture.stats = cluster.overlay().transport().stats().ToString();
+  capture.trace = cluster.overlay().transport().DeliveryTrace();
+  capture.final_now = cluster.simulation().Now();
+  capture.processed = cluster.simulation().processed_events();
+  return capture;
+}
+
+void ExpectIdentical(const Capture& a, const Capture& b, const char* label) {
+  EXPECT_EQ(a.ops, b.ops) << label << ": operation outcomes differ";
+  EXPECT_EQ(a.stats, b.stats) << label << ": merged TrafficStats differ";
+  EXPECT_TRUE(a.trace == b.trace)
+      << label << ": delivery traces differ (" << a.trace.size() << " vs "
+      << b.trace.size() << " bytes)";
+  EXPECT_EQ(a.final_now, b.final_now) << label << ": clocks differ";
+  EXPECT_EQ(a.processed, b.processed) << label << ": event counts differ";
+}
+
+TEST(DeterminismTest, SameSeedSameRun) {
+  auto first = RunScenario(ClusterOptions::Engine::kSingleThread, 1, 1);
+  auto second = RunScenario(ClusterOptions::Engine::kSingleThread, 1, 1);
+  ExpectIdentical(first, second, "single-thread repeat");
+  EXPECT_GT(first.processed, 1000u);  // The scenario is non-trivial.
+  EXPECT_NE(first.trace.find("Insert"), std::string::npos);
+}
+
+TEST(DeterminismTest, ShardedEnginesMatchSingleThread) {
+  auto reference = RunScenario(ClusterOptions::Engine::kSingleThread, 1, 1);
+  for (size_t shards : {1u, 2u, 4u}) {
+    auto sharded =
+        RunScenario(ClusterOptions::Engine::kSharded, shards, /*threads=*/1);
+    ExpectIdentical(reference, sharded,
+                    ("sharded K=" + std::to_string(shards)).c_str());
+  }
+}
+
+TEST(DeterminismTest, WorkerThreadsDoNotChangeResults) {
+  auto inline_run =
+      RunScenario(ClusterOptions::Engine::kSharded, 4, /*threads=*/1);
+  auto threaded_run =
+      RunScenario(ClusterOptions::Engine::kSharded, 4, /*threads=*/4);
+  ExpectIdentical(inline_run, threaded_run, "K=4 threaded");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace unistore

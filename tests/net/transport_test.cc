@@ -7,6 +7,7 @@
 
 #include "net/rpc.h"
 #include "sim/latency.h"
+#include "sim/sharded_scheduler.h"
 #include "sim/simulation.h"
 
 namespace unistore {
@@ -20,7 +21,7 @@ struct Fixture {
 
   explicit Fixture(size_t peers, sim::SimTime latency = 1000,
                    uint64_t seed = 7) {
-    transport = std::make_unique<Transport>(
+    transport = std::make_unique<SimTransport>(
         &sim, std::make_unique<sim::ConstantLatency>(latency), seed);
     inboxes.resize(peers);
     for (size_t i = 0; i < peers; ++i) {
@@ -107,6 +108,152 @@ TEST(TransportTest, StatsCountBytesAndTypes) {
   EXPECT_EQ(stats.bytes_sent, 2 * Message::kHeaderBytes + 5);
   EXPECT_EQ(stats.per_type.at(MessageType::kLookup), 1u);
   EXPECT_EQ(stats.per_type.at(MessageType::kLookupReply), 1u);
+}
+
+TEST(TransportTest, InvalidSendsAreCountedAndDropped) {
+  Fixture f(2);
+  f.transport->Send(f.Make(0, 9));   // Unregistered destination.
+  f.transport->Send(f.Make(7, 1));   // Unregistered source.
+  f.transport->Send(f.Make(0, 1));   // Valid.
+  f.sim.RunUntilIdle();
+  const auto stats = f.transport->stats();
+  EXPECT_EQ(stats.messages_invalid, 2u);
+  EXPECT_EQ(stats.messages_sent, 1u);
+  EXPECT_EQ(stats.messages_delivered, 1u);
+  EXPECT_EQ(f.inboxes[1].size(), 1u);
+}
+
+TEST(TransportTest, StatsSinceIncludesPerTypeAndInvalid) {
+  Fixture f(2);
+  f.transport->Send(f.Make(0, 1, MessageType::kLookup));
+  f.sim.RunUntilIdle();
+  TrafficStats before = f.transport->stats();
+  f.transport->Send(f.Make(0, 1, MessageType::kLookup));
+  f.transport->Send(f.Make(0, 1, MessageType::kInsert, "abc"));
+  f.transport->Send(f.Make(1, 0, MessageType::kInsertReply));
+  f.transport->Send(f.Make(0, 42));  // Invalid.
+  f.sim.RunUntilIdle();
+  TrafficStats delta = f.transport->stats().Since(before);
+  EXPECT_EQ(delta.messages_sent, 3u);
+  EXPECT_EQ(delta.messages_invalid, 1u);
+  EXPECT_EQ(delta.per_type.at(MessageType::kLookup), 1u);
+  EXPECT_EQ(delta.per_type.at(MessageType::kInsert), 1u);
+  EXPECT_EQ(delta.per_type.at(MessageType::kInsertReply), 1u);
+  // kPing never sent in the delta window: absent, not zero.
+  EXPECT_EQ(delta.per_type.count(MessageType::kPing), 0u);
+  EXPECT_EQ(delta.bytes_sent,
+            3 * Message::kHeaderBytes + 3);
+}
+
+TEST(TrafficStatsTest, MergeSumsCountersAndTypes) {
+  TrafficStats a, b;
+  a.messages_sent = 3;
+  a.per_type[MessageType::kLookup] = 2;
+  a.per_type[MessageType::kInsert] = 1;
+  b.messages_sent = 4;
+  b.messages_invalid = 1;
+  b.per_type[MessageType::kLookup] = 5;
+  a.Merge(b);
+  EXPECT_EQ(a.messages_sent, 7u);
+  EXPECT_EQ(a.messages_invalid, 1u);
+  EXPECT_EQ(a.per_type.at(MessageType::kLookup), 7u);
+  EXPECT_EQ(a.per_type.at(MessageType::kInsert), 1u);
+}
+
+// Satellite of the sharding work: latency/loss draws come from the source
+// peer's own stream, so interleaving sends of different peers does not
+// change any peer's draws.
+TEST(TransportTest, PerPeerStreamsAreOrderIndependent) {
+  auto deliveries = [](bool interleave) {
+    sim::Simulation sim;
+    SimTransport transport(
+        &sim, std::make_unique<sim::UniformLatency>(1000, 9000), 77);
+    std::vector<std::vector<sim::SimTime>> times(3);
+    for (size_t i = 0; i < 3; ++i) {
+      transport.AddPeer([&times, &sim](const Message& m) {
+        times[m.src].push_back(sim.Now());
+      });
+    }
+    transport.set_loss_probability(0.2);
+    // Per-src sequences of sampled latencies (-1 = lost): these depend
+    // only on the src's own draw stream, never on interleaving.
+    std::vector<std::vector<sim::SimTime>> draws(2);
+    auto send = [&](PeerId src) {
+      Message m;
+      m.type = MessageType::kPing;
+      m.src = src;
+      m.dst = 2;
+      const sim::SimTime start = sim.Now();
+      const size_t before = times[src].size();
+      transport.Send(m);
+      sim.RunUntilIdle();
+      draws[src].push_back(times[src].size() > before
+                               ? times[src].back() - start
+                               : -1);
+    };
+    if (interleave) {
+      for (int i = 0; i < 40; ++i) {
+        send(0);
+        send(1);
+      }
+    } else {
+      for (int i = 0; i < 40; ++i) send(0);
+      for (int i = 0; i < 40; ++i) send(1);
+    }
+    return draws;
+  };
+  auto sequential = deliveries(false);
+  auto interleaved = deliveries(true);
+  EXPECT_EQ(sequential[0], interleaved[0]);
+  EXPECT_EQ(sequential[1], interleaved[1]);
+  // The loss model really fired somewhere in 80 sends at p=0.2.
+  int lost = 0;
+  for (const auto& stream : sequential) {
+    for (sim::SimTime d : stream) lost += (d < 0);
+  }
+  EXPECT_GT(lost, 0);
+}
+
+// A zero-latency model is clamped to LatencyModel::MinLatency() (1 us):
+// delivery still happens, and never undercuts the sharded engine's
+// conservative lookahead.
+TEST(TransportTest, ZeroLatencyModelIsClampedToFloor) {
+  Fixture f(2, /*latency=*/0);
+  f.transport->Send(f.Make(0, 1));
+  f.sim.RunUntilIdle();
+  ASSERT_EQ(f.inboxes[1].size(), 1u);
+  EXPECT_EQ(f.sim.Now(), 1);
+}
+
+TEST(TransportTest, ZeroLatencyIsSafeUnderSharding) {
+  sim::ShardedScheduler::Options options;
+  options.shards = 2;
+  options.threads = 1;
+  options.lookahead = 1;
+  sim::ShardedScheduler sched(options);
+  auto transport = MakeTransport(
+      &sched, std::make_unique<sim::ConstantLatency>(0), 1);
+  int received = 0;
+  transport->AddPeer([](const Message&) {});
+  transport->AddPeer([&received](const Message&) { ++received; });
+  Message m;
+  m.type = MessageType::kPing;
+  m.src = 0;
+  m.dst = 1;
+  transport->Send(m);  // Cross-shard with sampled delay 0: must not abort.
+  sched.RunUntilIdle();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(TransportTest, DeliveryTraceIsStable) {
+  Fixture f(2);
+  f.transport->EnableDeliveryTrace();
+  f.transport->Send(f.Make(0, 1, MessageType::kLookup, "payload"));
+  f.transport->Send(f.Make(1, 0, MessageType::kLookupReply));
+  f.sim.RunUntilIdle();
+  std::string trace = f.transport->DeliveryTrace();
+  EXPECT_NE(trace.find("0->1 Lookup"), std::string::npos);
+  EXPECT_NE(trace.find("1->0 LookupReply"), std::string::npos);
 }
 
 TEST(TransportTest, StatsSinceComputesDelta) {
