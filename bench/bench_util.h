@@ -1,6 +1,6 @@
 // Shared helpers for the experiment benchmarks.
 //
-// Every bench binary regenerates one experiment row of DESIGN.md §4: it
+// Every bench binary regenerates one experiment row of DESIGN.md §5: it
 // prints the paper-style series as a fixed-width table on stdout (the
 // deterministic simulation measurements: virtual latency, messages, hops)
 // and then runs its google-benchmark micro kernels (host wall time).

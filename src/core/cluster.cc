@@ -40,7 +40,11 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   overlay_ = std::make_unique<pgrid::Overlay>(
       overlay_options, std::move(latency), scheduler_.get());
   overlay_->AddPeers(options_.peers);
-  if (options_.balanced_construction) overlay_->BuildBalanced();
+  if (!options_.custom_paths.empty()) {
+    overlay_->BuildWithPaths(options_.custom_paths);
+  } else if (options_.balanced_construction) {
+    overlay_->BuildBalanced();
+  }
   nodes_.reserve(options_.peers);
   for (size_t i = 0; i < options_.peers; ++i) {
     nodes_.push_back(std::make_unique<UniStore>(
@@ -169,6 +173,10 @@ void Cluster::RefreshStats(size_t gossip_rounds) {
 
 void Cluster::SetPlannerOptions(const plan::PlannerOptions& options) {
   for (auto& n : nodes_) n->SetPlannerOptions(options);
+}
+
+void Cluster::SetEnvelopeOptions(const exec::EnvelopeOptions& options) {
+  for (auto& n : nodes_) n->SetEnvelopeOptions(options);
 }
 
 }  // namespace core

@@ -36,6 +36,12 @@ struct ClusterOptions {
   /// overlay().RunExchangeRounds() to let the trie form data-driven
   /// (deep in dense key regions, the paper's adaptive construction).
   bool balanced_construction = true;
+  /// Non-empty: build the trie over exactly these leaf paths (a
+  /// prefix-free cover; peers round-robin across them) instead of the
+  /// balanced one. Benchmarks and tests use it to shape a deep subtree
+  /// under one attribute's partition, so batched envelope walks
+  /// (node.envelope fan-out / chunking knobs) span many peers.
+  std::vector<std::string> custom_paths;
   uint64_t seed = 42;
   double loss_probability = 0;
   /// Latency model: constant LAN-ish delay or PlanetLab-like WAN.
@@ -92,6 +98,9 @@ class Cluster {
 
   /// Applies planner options on every node.
   void SetPlannerOptions(const plan::PlannerOptions& options);
+
+  /// Applies envelope execution knobs on every node (harness context).
+  void SetEnvelopeOptions(const exec::EnvelopeOptions& options);
 
   /// The expected one-way hop latency of the configured model (feeds the
   /// cost model).

@@ -6,11 +6,27 @@
 namespace unistore {
 namespace core {
 
+namespace {
+
+cost::MigrateBatching BatchingFrom(const exec::EnvelopeOptions& envelope) {
+  cost::MigrateBatching batching;
+  batching.fanout = static_cast<double>(envelope.fanout);
+  batching.max_bindings_per_envelope =
+      static_cast<double>(envelope.max_bindings_per_envelope);
+  batching.pipelined = envelope.pipeline && envelope.stream_partials;
+  batching.stream_partials = envelope.stream_partials;
+  batching.visit_cost_us = envelope.join_visit_cost_us;
+  batching.pair_cost_us = envelope.join_pair_cost_us;
+  return batching;
+}
+
+}  // namespace
+
 UniStore::UniStore(pgrid::Peer* peer, NodeOptions options)
     : peer_(peer),
       options_(std::move(options)),
       store_(peer),
-      service_(peer),
+      service_(peer, options_.envelope),
       oid_generator_("oid-" + std::to_string(peer->id()) + "-") {
   SetPlannerOptions(options_.planner);
 }
@@ -21,10 +37,18 @@ void UniStore::SetPlannerOptions(plan::PlannerOptions options) {
       options_.planner.mappings == nullptr) {
     options_.planner.mappings = &mappings_;
   }
+  // The cost model prices Migrate the way the executor will run it.
+  options_.planner.migrate_batching = BatchingFrom(options_.envelope);
   optimizer_ = std::make_unique<plan::Optimizer>(&service_.catalog(),
                                                  options_.planner);
   executor_ =
       std::make_unique<exec::Executor>(&store_, &service_, optimizer_.get());
+}
+
+void UniStore::SetEnvelopeOptions(const exec::EnvelopeOptions& options) {
+  options_.envelope = options;
+  service_.set_envelope_options(options);
+  SetPlannerOptions(options_.planner);
 }
 
 std::string UniStore::NewOid() { return oid_generator_.Next(); }
@@ -123,17 +147,25 @@ void UniStore::Query(const std::string& vql_text, ResultCallback callback) {
 }
 
 void UniStore::QueryParsed(const vql::Query& query, ResultCallback callback) {
+  // Re-merge the gossiped statistics view before planning: the optimizer
+  // reads the merged catalog by reference, and refreshing it at every
+  // query entry (not lazily mid-execution) keeps plans adaptive AND
+  // repeatable — two identical queries over unchanged contributions plan
+  // identically.
+  (void)service_.catalog();
   executor_->Execute(query, std::move(callback));
 }
 
 void UniStore::QueryPlan(const plan::PhysicalPlan& plan,
                          ResultCallback callback) {
+  (void)service_.catalog();
   executor_->ExecutePlan(plan, std::move(callback));
 }
 
 Result<plan::PhysicalPlan> UniStore::PlanOnly(
     const std::string& vql_text) const {
   UNISTORE_ASSIGN_OR_RETURN(vql::Query query, vql::Parse(vql_text));
+  (void)service_.catalog();
   return optimizer_->Plan(query);
 }
 

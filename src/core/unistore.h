@@ -24,6 +24,10 @@ namespace core {
 /// Per-node configuration.
 struct NodeOptions {
   plan::PlannerOptions planner;
+  /// Batched envelope execution knobs (Migrate join fan-out, binding
+  /// chunking, pipelining — DESIGN.md §4). Mirrored into the planner's
+  /// cost model automatically.
+  exec::EnvelopeOptions envelope;
   /// Maintain q-gram postings for string values (enables the q-gram
   /// similarity access path; ~|value| extra index entries per triple).
   bool qgram_index = true;
@@ -93,8 +97,13 @@ class UniStore {
   void GossipStats(size_t fanout) { service_.GossipStats(fanout); }
 
   /// Replaces the planner configuration (forced strategies etc.). The
-  /// mapping set pointer is managed internally.
+  /// mapping set pointer and the Migrate batching mirror are managed
+  /// internally.
   void SetPlannerOptions(plan::PlannerOptions options);
+
+  /// Replaces the envelope execution knobs (harness context only) and
+  /// re-syncs the planner's Migrate cost parameters.
+  void SetEnvelopeOptions(const exec::EnvelopeOptions& options);
 
  private:
   uint64_t NextVersion();

@@ -73,6 +73,49 @@ Cost CostModel::IndexJoinMigrate(double left_cardinality,
               left_cardinality * (peers + 1)};
 }
 
+Cost CostModel::IndexJoinMigrate(double left_cardinality,
+                                 double peers_in_range,
+                                 const MigrateBatching& batching) const {
+  const auto& net = catalog_->network();
+  const double peers = std::max(1.0, peers_in_range);
+  const double route_in = net.ExpectedLookupHops();
+  const double branches =
+      std::min(peers, std::max(1.0, batching.fanout));
+  const double chunks =
+      batching.max_bindings_per_envelope > 0
+          ? std::max(1.0, std::ceil(left_cardinality /
+                                    batching.max_bindings_per_envelope))
+          : 1.0;
+  const double chunk_size = left_cardinality / chunks;
+  const double branch_peers = peers / branches;
+
+  // Per-visit service time: fixed overhead + pair work of one chunk.
+  const double join_us = batching.visit_cost_us +
+                         batching.pair_cost_us * chunk_size *
+                             std::max(1.0, batching.triples_per_peer);
+  // A branch is a (branch_peers)-stage pipeline fed with `chunks`
+  // envelopes: pipelined, each stage overlaps its forward with its join
+  // (stage time = max of the two); serialized, they add.
+  const double stage_us = batching.pipelined
+                              ? std::max(net.hop_latency_us, join_us)
+                              : net.hop_latency_us + join_us;
+  const double latency_us =
+      (route_in + 1) * net.hop_latency_us +
+      (branch_peers + chunks - 1) * stage_us;
+
+  // Envelope hops (route-in per launched walk + one hop per visited peer
+  // per chunk) plus the replies: one streamed partial per visit, or one
+  // terminal per walk in accumulate mode.
+  const double replies =
+      batching.stream_partials ? peers * chunks : branches * chunks;
+  const double messages =
+      branches * chunks * route_in + peers * chunks  // envelope hops
+      + replies;
+  // Each binding rides its branch's slice of the partition once.
+  const double tuples = left_cardinality * (branch_peers + 1);
+  return Cost{messages, latency_us, tuples};
+}
+
 Cost CostModel::SimilarityQGram(double max_distance, double q,
                                 double expected_candidates) const {
   // Pigeonhole gram selection: k*q + 1 posting lookups.

@@ -30,6 +30,24 @@ struct Cost {
   std::string ToString() const;
 };
 
+/// How the batched envelope executor will run a Migrate join (mirrors
+/// exec::EnvelopeOptions; lives here so the plan layer can consult the
+/// cost model without depending on exec).
+struct MigrateBatching {
+  double fanout = 1;                     ///< Parallel sub-range walks.
+  double max_bindings_per_envelope = 0;  ///< 0 = all bindings in one chunk.
+  bool pipelined = false;                ///< Forward before the local join.
+  /// Visited peers stream one partial reply each; false = accumulate into
+  /// the terminal reply (one reply per walk).
+  bool stream_partials = false;
+  /// Simulated local-join cost parameters (exec::EnvelopeOptions).
+  double visit_cost_us = 100.0;
+  double pair_cost_us = 0.5;
+  /// Expected local triples joined per visited peer (from the catalog's
+  /// attribute stats; callers fill it per join).
+  double triples_per_peer = 8.0;
+};
+
 /// \brief Cost formulas for every physical strategy, parameterized by the
 /// catalog's network and data statistics.
 class CostModel {
@@ -59,9 +77,18 @@ class CostModel {
 
   /// Index join, plan-migration strategy (mutant query plan walking the
   /// right attribute's partition of `peers_in_range` peers carrying
-  /// `left_cardinality` bindings).
+  /// `left_cardinality` bindings). The unbatched (v0) shape: one walk, all
+  /// bindings per hop, results accumulated into the terminal reply.
   Cost IndexJoinMigrate(double left_cardinality,
                         double peers_in_range) const;
+
+  /// Batch-aware Migrate cost (DESIGN.md §4): `batching.fanout` parallel
+  /// sub-walks over partition slices, bindings chunked into envelopes of
+  /// `batching.max_bindings_per_envelope`, streamed partial replies, and
+  /// optionally pipelined forwarding that overlaps each hop's network
+  /// latency with the local join.
+  Cost IndexJoinMigrate(double left_cardinality, double peers_in_range,
+                        const MigrateBatching& batching) const;
 
   /// Similarity selection via the q-gram index: the pigeonhole-selected
   /// posting lookups (k*q+1), candidates verified locally.

@@ -92,6 +92,11 @@ class StatsCatalog {
 
   size_t peer_path_sample_size() const { return peer_paths_.size(); }
 
+  /// The sampled peer paths (sorted, deduplicated bit strings). The
+  /// batched envelope executor splits Migrate-join partitions at sampled
+  /// region boundaries, so fan-out follows the actual trie shape.
+  const std::vector<std::string>& peer_paths() const { return peer_paths_; }
+
   /// Total triples across attributes.
   uint64_t TotalTriples() const;
 

@@ -6,6 +6,15 @@
 // locally, mutates the envelope (annotates results, shrinks the remaining
 // range) and forwards it, until the exhausted envelope returns to the
 // initiator.
+//
+// Wire format versioning (DESIGN.md §4): the original (v0) envelope began
+// directly with the initiator peer id, carried all bindings in one message
+// and accumulated every result into the terminal reply. v1 adds batching
+// metadata — walk/branch/chunk identity, flags selecting streamed partial
+// replies and pipelined forwarding, and a visited-peer counter — behind a
+// reserved sentinel (0xFFFFFFFE, never a valid peer id), so v0 payloads
+// still decode: a decoder that does not see the sentinel reads the legacy
+// layout and fills v1 fields with their single-walk defaults.
 #ifndef UNISTORE_EXEC_ENVELOPE_H_
 #define UNISTORE_EXEC_ENVELOPE_H_
 
@@ -20,33 +29,107 @@
 namespace unistore {
 namespace exec {
 
+/// First u32 of a versioned (v1+) envelope encoding. Never a valid
+/// initiator id: peer ids are dense and net::kNoPeer is 0xFFFFFFFF.
+constexpr uint32_t kEnvelopeVersionSentinel = 0xFFFFFFFE;
+/// First u8 of a versioned (v1+) reply encoding. Never a valid v0 status
+/// code (StatusCode values are small).
+constexpr uint8_t kReplyVersionSentinel = 0xFE;
+/// Current envelope/reply wire version.
+constexpr uint8_t kEnvelopeWireVersion = 1;
+
+/// PlanEnvelope::flags bits.
+enum EnvelopeFlags : uint8_t {
+  /// Visited peers stream their local results straight to the initiator
+  /// (kPlanExecPartial) instead of accumulating them into the envelope.
+  kEnvelopeStreamPartials = 1u << 0,
+  /// A visited peer forwards the shrunk envelope before its local join
+  /// completes (only meaningful with kEnvelopeStreamPartials — in
+  /// accumulate mode the results must ride the envelope).
+  kEnvelopePipelined = 1u << 1,
+};
+
 /// The migrating plan fragment.
 struct PlanEnvelope {
   net::PeerId initiator = net::kNoPeer;
+  /// Unique id of this walk instance (observability; retries get fresh
+  /// ones).
+  uint64_t walk_id = 0;
+  /// Fan-out branch index: which disjoint sub-range of the partition this
+  /// walk covers. Stable across retries of the branch.
+  uint32_t branch = 0;
+  /// Binding-chunk index within the walk and the total chunk count.
+  uint32_t chunk_id = 0;
+  uint32_t chunk_count = 1;
+  /// EnvelopeFlags bitset; 0 reproduces the v0 behaviour (accumulate into
+  /// the terminal reply, forward after the local join).
+  uint8_t flags = 0;
+  /// Serving peers visited so far by this envelope instance (accumulate
+  /// mode reports it in the terminal reply).
+  uint32_t visited = 0;
+  /// Where this walk instance entered the branch range (bit string; set at
+  /// launch, preserved along the walk). The terminal reply of an
+  /// accumulate-mode walk covers [segment_lo, its last peer's subtree
+  /// max] — retries after a partial failure resume past it.
+  std::string segment_lo;
   /// The pattern each visited peer matches against its local store.
   vql::TriplePattern pattern;
   /// Optional residual FILTER (VQL text, re-parsed at each peer); applied
   /// to merged bindings. Empty = none.
   std::string filter_vql;
-  /// The key range still to visit (the right attribute's partition).
+  /// The key range still to visit (this branch's slice of the right
+  /// attribute's partition).
   pgrid::KeyRange remaining;
-  /// Left-side input bindings.
+  /// Left-side input bindings (one chunk of them under chunking).
   std::vector<Binding> bindings;
-  /// Join results accumulated by already-visited peers.
+  /// Join results accumulated by already-visited peers (accumulate mode
+  /// only; empty in streaming mode).
   std::vector<Binding> results;
 
+  bool stream_partials() const {
+    return (flags & kEnvelopeStreamPartials) != 0;
+  }
+  bool pipelined() const {
+    return stream_partials() && (flags & kEnvelopePipelined) != 0;
+  }
+
   std::string Encode() const;
+  /// Legacy (v0, pre-chunking) encoding: only the v0 fields. Kept for the
+  /// back-compat codec tests and for talking to pre-batching peers.
+  std::string EncodeV0() const;
   static Result<PlanEnvelope> Decode(std::string_view bytes);
 };
 
-/// Terminal reply of an envelope walk.
+/// A reply of an envelope walk: either a streamed partial (one visited
+/// peer's local results) or the terminal reply of one walk instance.
 struct EnvelopeReply {
   uint8_t status_code = 0;
   std::string error;
+  /// kTerminal: the walk ended at the sending peer (normally or with an
+  /// error). kPartial: one intermediate peer's streamed results.
+  enum class Kind : uint8_t { kTerminal = 0, kPartial = 1 };
+  Kind kind = Kind::kTerminal;
+  net::PeerId origin = net::kNoPeer;
+  uint64_t walk_id = 0;
+  uint32_t branch = 0;
+  uint32_t chunk_id = 0;
+  /// The slice of the branch range whose results this reply carries
+  /// (inclusive, bit strings). Both empty = no coverage (e.g. a routing
+  /// dead end before any peer served). The coordinator assembles these
+  /// intervals into a coverage frontier: a walk is complete when its
+  /// branch range is fully covered, and retries resume at the first gap.
+  std::string covered_lo;
+  std::string covered_hi;
   std::vector<Binding> results;
+  /// Serving peers behind this reply: 1 for a partial, the walk-instance
+  /// visit count for a terminal in accumulate mode.
   uint32_t peers_visited = 0;
 
+  bool has_coverage() const { return !covered_hi.empty(); }
+
   std::string Encode() const;
+  /// Legacy (v0) encoding (back-compat tests).
+  std::string EncodeV0() const;
   static Result<EnvelopeReply> Decode(std::string_view bytes);
 };
 

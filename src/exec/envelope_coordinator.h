@@ -1,0 +1,178 @@
+// EnvelopeCoordinator: the initiator-side state machine of a batched,
+// pipelined Migrate join (DESIGN.md §4).
+//
+// One coordinator owns one logical join. It splits the right attribute's
+// partition into up to `fanout` disjoint sub-ranges (branches), chunks the
+// left bindings into envelopes of at most `max_bindings_per_envelope`
+// rows, and launches one envelope walk per (branch, chunk). Visited peers
+// stream partial replies carrying the key interval they covered; the
+// coordinator assembles those intervals into a per-walk coverage frontier,
+// deduplicates retransmitted intervals, relaunches a stalled or lost walk
+// from the first coverage gap (bounded by a retry budget), and declares
+// the join done when every walk's branch range is fully covered.
+//
+// The class is a pure state machine: it never touches the network or the
+// scheduler. QueryService feeds it decoded replies and timer firings and
+// performs the sends/timers it asks for — which keeps every transition
+// unit-testable and deterministic under any engine.
+#ifndef UNISTORE_EXEC_ENVELOPE_COORDINATOR_H_
+#define UNISTORE_EXEC_ENVELOPE_COORDINATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/envelope.h"
+#include "pgrid/key.h"
+#include "sim/scheduler.h"
+
+namespace unistore {
+namespace exec {
+
+/// Knobs of the batched envelope executor. The initiator stamps the
+/// resulting behaviour into each envelope's flags, so a walk behaves the
+/// same on every peer it visits regardless of the visited peers' own
+/// configuration.
+struct EnvelopeOptions {
+  /// Maximum parallel sub-range walks per join (1 = unsplit).
+  uint32_t fanout = 2;
+  /// Bindings per envelope before the walk is chunked (0 = unlimited).
+  uint32_t max_bindings_per_envelope = 128;
+  /// Visited peers forward the shrunk envelope before their local join
+  /// completes, overlapping network latency with local work. Only takes
+  /// effect together with `stream_partials`.
+  bool pipeline = true;
+  /// Visited peers stream their local results straight to the initiator
+  /// instead of accumulating them into the envelope (v0 behaviour).
+  bool stream_partials = true;
+  /// Simulated local-join cost: fixed per-visit overhead plus a per
+  /// (local triple x binding) pair term. Serving serializes per peer, so
+  /// these model the compute the pipeline overlaps with latency.
+  double join_visit_cost_us = 100.0;
+  double join_pair_cost_us = 0.5;
+  /// Progress deadline of one walk; a walk whose coverage frontier did not
+  /// advance within it is relaunched from the frontier.
+  sim::SimTime walk_timeout = 4 * sim::kMicrosPerSecond;
+  /// Relaunch budget per (branch, chunk) walk.
+  uint32_t walk_retries = 2;
+};
+
+/// What a finished Migrate join returns (rows plus the execution shape,
+/// for traces and benchmarks).
+struct MigrateResult {
+  /// Join results in canonical order (sorted by encoded bytes), so the
+  /// bytes are identical whatever the fan-out, chunking, retry or arrival
+  /// schedule was.
+  std::vector<Binding> rows;
+  /// Serving-peer visits: per branch the maximum over its chunks, summed
+  /// across branches (chunks of one branch revisit the same peers).
+  uint32_t peers_visited = 0;
+  uint32_t branches = 0;
+  uint32_t chunks_per_branch = 0;
+  uint32_t envelopes_launched = 0;  ///< Including relaunches.
+  uint32_t retries = 0;
+  /// Longest single-envelope forwarding chain observed (message hops).
+  uint32_t max_walk_hops = 0;
+};
+
+/// \brief Splits `range` into up to `max_parts` sub-ranges with roughly
+/// equal numbers of *sampled peer regions* each (statistics-informed
+/// fan-out): boundaries fall on the sampled peers' region starts, so an
+/// adaptive trie's deep (data-dense) subtrees split evenly instead of
+/// landing in one branch. With fewer than two intersecting sampled
+/// regions this degrades to the density-blind subtree bisection
+/// (pgrid::SplitRange). `peer_paths` is the catalog's sorted sample.
+std::vector<pgrid::KeyRange> SplitRangeByPathSample(
+    const pgrid::KeyRange& range, const std::vector<std::string>& peer_paths,
+    size_t max_parts, size_t key_width);
+
+class EnvelopeCoordinator {
+ public:
+  /// `walk_id_base` seeds the unique walk-instance ids (the initiator
+  /// passes its request id so ids do not collide across joins).
+  /// `peer_path_sample` (the stats catalog's gossiped path sample) steers
+  /// the fan-out split; pass empty for the density-blind fallback.
+  EnvelopeCoordinator(net::PeerId initiator, vql::TriplePattern pattern,
+                      std::string filter_vql, pgrid::KeyRange range,
+                      std::vector<Binding> bindings,
+                      const EnvelopeOptions& options, size_t key_width,
+                      uint64_t walk_id_base,
+                      const std::vector<std::string>& peer_path_sample = {});
+
+  /// The initial envelope fleet (branches x chunks). Call exactly once.
+  std::vector<PlanEnvelope> Launch();
+
+  struct ReplyOutcome {
+    bool accepted = false;  ///< Coverage was new (not a duplicate).
+    /// Walks to relaunch immediately (error replies with retry budget).
+    std::vector<PlanEnvelope> relaunch;
+  };
+  /// Feeds one decoded reply (partial or terminal), consuming its result
+  /// rows. `msg_hops` is the reply message's hop count (observability
+  /// only).
+  ReplyOutcome OnReply(EnvelopeReply reply, uint32_t msg_hops);
+
+  struct TimerOutcome {
+    enum class Action { kIgnore, kRearm, kRelaunch, kFail };
+    Action action = Action::kIgnore;
+    uint64_t generation = 0;  ///< For kRearm / kRelaunch re-arming.
+    PlanEnvelope envelope;    ///< For kRelaunch.
+    Status failure;           ///< For kFail.
+  };
+  /// A walk timer for (branch, chunk) armed at `generation` fired.
+  TimerOutcome OnTimer(uint32_t branch, uint32_t chunk, uint64_t generation);
+
+  /// True when every walk's branch range is fully covered.
+  bool done() const { return walks_done_ == walks_.size(); }
+  /// Non-OK once a walk exhausted its retry budget; the join failed.
+  const Status& failure() const { return failure_; }
+  /// Requires done(). Moves the merged, canonically sorted result out.
+  MigrateResult TakeResult();
+
+  uint32_t branch_count() const { return static_cast<uint32_t>(branches_.size()); }
+  uint32_t chunk_count() const { return static_cast<uint32_t>(chunks_.size()); }
+  uint64_t generation(uint32_t branch, uint32_t chunk) const;
+
+ private:
+  struct Walk {
+    pgrid::KeyRange range;     ///< The branch sub-range (shared by chunks).
+    pgrid::Key frontier;       ///< First uncovered key; empty = overflow.
+    bool complete = false;
+    uint32_t retries_left = 0;
+    uint64_t generation = 0;   ///< Bumped on progress and relaunch.
+    uint64_t latest_walk_id = 0;  ///< Current instance; stale errors ignored.
+    uint32_t peer_visits = 0;  ///< Sum of accepted replies' peers_visited.
+    /// Accepted but not-yet-contiguous coverage: covered_lo -> covered_hi.
+    std::map<std::string, std::string> pending;
+    /// Every accepted interval: covered_lo -> covered_hi (kept after
+    /// consumption — detects racing instances that extend past it).
+    std::map<std::string, std::string> accepted;
+    /// Results keyed by covered_lo (the dedupe key).
+    std::map<std::string, std::vector<Binding>> results;
+  };
+
+  Walk& walk(uint32_t branch, uint32_t chunk) {
+    return walks_[branch * chunks_.size() + chunk];
+  }
+  PlanEnvelope MakeEnvelope(uint32_t branch, uint32_t chunk);
+  void AdvanceFrontier(Walk* w);
+
+  net::PeerId initiator_;
+  vql::TriplePattern pattern_;
+  std::string filter_vql_;
+  EnvelopeOptions options_;
+  std::vector<pgrid::KeyRange> branches_;
+  std::vector<std::vector<Binding>> chunks_;
+  std::vector<Walk> walks_;
+  size_t walks_done_ = 0;
+  Status failure_;
+  uint64_t next_walk_id_;
+  uint32_t envelopes_launched_ = 0;
+  uint32_t retries_ = 0;
+  uint32_t max_walk_hops_ = 0;
+};
+
+}  // namespace exec
+}  // namespace unistore
+
+#endif  // UNISTORE_EXEC_ENVELOPE_COORDINATOR_H_

@@ -552,8 +552,25 @@ void Executor::ExecJoin(std::shared_ptr<PhysicalOp> node, Trace trace,
       case JoinStrategy::kMigrate:
         self->service_->RunMigrateJoin(
             right.pattern, /*filter_vql=*/"", std::move(*left),
-            [callback](Result<std::vector<Binding>> rows) {
-              callback(std::move(rows));
+            [callback, trace](Result<MigrateResult> migrated) {
+              if (!migrated.ok()) {
+                callback(migrated.status());
+                return;
+              }
+              if (trace) {
+                // Fan-out-accurate accounting: peers_visited sums across
+                // sub-walks (per-branch max over chunks), never
+                // last-walk-wins.
+                trace->push_back(
+                    "Join[Migrate]: branches=" +
+                    std::to_string(migrated->branches) + " chunks=" +
+                    std::to_string(migrated->chunks_per_branch) +
+                    " envelopes=" +
+                    std::to_string(migrated->envelopes_launched) +
+                    " peers_visited=" +
+                    std::to_string(migrated->peers_visited));
+              }
+              callback(std::move(migrated->rows));
             });
         return;
       case JoinStrategy::kLocalHash:

@@ -15,63 +15,183 @@ namespace exec {
 using net::Message;
 using net::MessageType;
 
-QueryService::QueryService(pgrid::Peer* peer) : peer_(peer) {
+QueryService::QueryService(pgrid::Peer* peer, EnvelopeOptions options)
+    : peer_(peer), options_(options) {
   peer_->SetExtensionHandler(
       MessageType::kPlanExec,
       [this](const Message& msg) { OnPlanExec(msg); });
   peer_->SetExtensionHandler(
       MessageType::kPlanExecReply,
-      [this](const Message& msg) { OnPlanExecReply(msg); });
+      [this](const Message& msg) { OnEnvelopeReplyMessage(msg); });
+  peer_->SetExtensionHandler(
+      MessageType::kPlanExecPartial,
+      [this](const Message& msg) { OnEnvelopeReplyMessage(msg); });
   peer_->SetExtensionHandler(
       MessageType::kStatsGossip,
       [this](const Message& msg) { OnStatsGossip(msg); });
 }
 
+// ---------------------------------------------------------------------------
+// Initiator side: coordinator-driven batched walks
+// ---------------------------------------------------------------------------
+
 void QueryService::RunMigrateJoin(const vql::TriplePattern& pattern,
                                   const std::string& filter_vql,
                                   std::vector<Binding> left,
-                                  BindingsCallback callback) {
+                                  MigrateCallback callback) {
   if (pattern.predicate.is_variable ||
       !pattern.predicate.literal.is_string()) {
     callback(Status::InvalidArgument(
         "migrate join needs a literal attribute in the right pattern"));
     return;
   }
-  PlanEnvelope env;
-  env.initiator = peer_->id();
-  env.pattern = pattern;
-  env.filter_vql = filter_vql;
-  env.remaining =
-      triple::AttrRange(pattern.predicate.literal.AsString());
-  env.bindings = std::move(left);
+  const uint64_t id = next_request_id_++;
+  auto [it, inserted] = migrations_.emplace(
+      id,
+      MigrateRun{
+          EnvelopeCoordinator(
+              peer_->id(), pattern, filter_vql,
+              triple::AttrRange(pattern.predicate.literal.AsString()),
+              std::move(left), options_, pgrid::kKeyBits,
+              /*walk_id_base=*/(static_cast<uint64_t>(peer_->id()) << 40) |
+                  (id << 16),
+              // Statistics-informed fan-out: split at the sampled peers'
+              // region boundaries so branches follow the trie shape.
+              catalog().peer_paths()),
+          std::move(callback)});
+  (void)inserted;
 
-  uint64_t id = next_request_id_++;
-  pending_.emplace(id, std::move(callback));
-  // Arm a timeout so a lost envelope cannot hang the query.
+  // Overall deadline: whatever the per-walk retries do, a Migrate join
+  // cannot outlive the scan timeout.
   peer_->transport()->scheduler()->ScheduleAfter(
       peer_->options().scan_timeout, peer_->id(), peer_->id(),
       [this, id]() {
-        FailPending(id, Status::Timeout("plan envelope timed out"));
+        FinishMigration(id, Status::Timeout("plan envelope timed out"));
       });
 
-  if (peer_->IsResponsible(env.remaining.lo)) {
-    ServeEnvelope(std::move(env), id, 0);
-    return;
+  std::vector<EnvelopeReply> undeliverable;
+  for (PlanEnvelope& env : it->second.coordinator.Launch()) {
+    const uint32_t branch = env.branch;
+    const uint32_t chunk = env.chunk_id;
+    ArmWalkTimer(id, branch, chunk, 0);
+    if (auto error = TrySendEnvelope(std::move(env), id)) {
+      undeliverable.push_back(std::move(*error));
+    }
   }
-  net::PeerId next = peer_->RouteNextHop(env.remaining.lo);
-  if (next == net::kNoPeer) {
-    FailPending(id, Status::Unavailable("no route toward join partition"));
-    return;
+  for (EnvelopeReply& error : undeliverable) {
+    HandleEnvelopeReply(id, std::move(error), 0);
+  }
+}
+
+std::optional<EnvelopeReply> QueryService::TrySendEnvelope(
+    PlanEnvelope env, uint64_t request_id) {
+  if (peer_->IsResponsible(env.remaining.lo)) {
+    ServeEnvelope(std::move(env), request_id, 0);
+    return std::nullopt;
+  }
+  const net::PeerId next = peer_->RouteNextHop(env.remaining.lo);
+  if (next == net::kNoPeer || next == peer_->id()) {
+    EnvelopeReply error;
+    error.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
+    error.error = "no route toward join partition";
+    error.walk_id = env.walk_id;
+    error.branch = env.branch;
+    error.chunk_id = env.chunk_id;
+    error.origin = peer_->id();
+    return error;
   }
   Message msg;
   msg.type = MessageType::kPlanExec;
   msg.src = peer_->id();
   msg.dst = next;
-  msg.request_id = id;
+  msg.request_id = request_id;
   msg.hops = 1;
   msg.payload = env.Encode();
   peer_->transport()->Send(std::move(msg));
+  return std::nullopt;
 }
+
+void QueryService::HandleEnvelopeReply(uint64_t request_id,
+                                       EnvelopeReply reply,
+                                       uint32_t msg_hops) {
+  std::vector<EnvelopeReply> queue;
+  queue.push_back(std::move(reply));
+  while (!queue.empty()) {
+    auto it = migrations_.find(request_id);
+    if (it == migrations_.end()) return;
+    EnvelopeReply next = std::move(queue.back());
+    queue.pop_back();
+    auto outcome = it->second.coordinator.OnReply(std::move(next), msg_hops);
+    msg_hops = 0;  // Only the original message has a real hop count.
+    for (PlanEnvelope& env : outcome.relaunch) {
+      // The walk's timer chain (armed at launch) stays alive via kRearm
+      // on generation mismatch — no fresh chain per relaunch.
+      if (auto error = TrySendEnvelope(std::move(env), request_id)) {
+        queue.push_back(std::move(*error));
+      }
+    }
+  }
+  CheckMigrationDone(request_id);
+}
+
+void QueryService::ArmWalkTimer(uint64_t request_id, uint32_t branch,
+                                uint32_t chunk, uint64_t generation) {
+  peer_->transport()->scheduler()->ScheduleAfter(
+      options_.walk_timeout, peer_->id(), peer_->id(),
+      [this, request_id, branch, chunk, generation]() {
+        OnWalkTimer(request_id, branch, chunk, generation);
+      });
+}
+
+void QueryService::OnWalkTimer(uint64_t request_id, uint32_t branch,
+                               uint32_t chunk, uint64_t generation) {
+  auto it = migrations_.find(request_id);
+  if (it == migrations_.end()) return;
+  auto outcome = it->second.coordinator.OnTimer(branch, chunk, generation);
+  using Action = EnvelopeCoordinator::TimerOutcome::Action;
+  switch (outcome.action) {
+    case Action::kIgnore:
+      return;
+    case Action::kRearm:
+      ArmWalkTimer(request_id, branch, chunk, outcome.generation);
+      return;
+    case Action::kRelaunch: {
+      ArmWalkTimer(request_id, branch, chunk, outcome.generation);
+      if (auto error =
+              TrySendEnvelope(std::move(outcome.envelope), request_id)) {
+        HandleEnvelopeReply(request_id, std::move(*error), 0);
+      }
+      return;
+    }
+    case Action::kFail:
+      FinishMigration(request_id, outcome.failure);
+      return;
+  }
+}
+
+void QueryService::CheckMigrationDone(uint64_t request_id) {
+  auto it = migrations_.find(request_id);
+  if (it == migrations_.end()) return;
+  EnvelopeCoordinator& coordinator = it->second.coordinator;
+  if (!coordinator.failure().ok()) {
+    FinishMigration(request_id, coordinator.failure());
+  } else if (coordinator.done()) {
+    FinishMigration(request_id, coordinator.TakeResult());
+  }
+}
+
+void QueryService::FinishMigration(uint64_t request_id,
+                                   Result<MigrateResult> result) {
+  auto it = migrations_.find(request_id);
+  if (it == migrations_.end()) return;
+  MigrateCallback callback = std::move(it->second.callback);
+  migrations_.erase(it);
+  callback(std::move(result));
+}
+
+// ---------------------------------------------------------------------------
+// Server side: serving, forwarding, replying
+// ---------------------------------------------------------------------------
 
 void QueryService::OnPlanExec(const Message& msg) {
   auto env = PlanEnvelope::Decode(msg.payload);
@@ -84,9 +204,14 @@ void QueryService::OnPlanExec(const Message& msg) {
       reply.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
       reply.error = "envelope routing dead end at peer " +
                     std::to_string(peer_->id());
+      reply.walk_id = env->walk_id;
+      reply.branch = env->branch;
+      reply.chunk_id = env->chunk_id;
+      reply.origin = peer_->id();
       reply.results = std::move(env->results);
-      peer_->rpc().ReplyTo(env->initiator, msg.request_id, msg.hops,
-                           MessageType::kPlanExecReply, reply.Encode());
+      reply.peers_visited = env->visited;
+      DeliverReply(env->initiator, msg.request_id, msg.hops, /*delay=*/0,
+                   std::move(reply));
       return;
     }
     Message copy = msg;
@@ -102,6 +227,8 @@ void QueryService::OnPlanExec(const Message& msg) {
 void QueryService::ServeEnvelope(PlanEnvelope env, uint64_t request_id,
                                  uint32_t hops) {
   ++envelopes_processed_;
+  env.visited += 1;
+  if (env.segment_lo.empty()) env.segment_lo = env.remaining.lo.bits();
 
   // Optional residual filter: parsed once per visit (it travelled as VQL
   // text — the "plan" part of the mutant plan).
@@ -112,93 +239,163 @@ void QueryService::ServeEnvelope(PlanEnvelope env, uint64_t request_id,
   }
 
   // Join local entries of the remaining range against the bindings.
+  const pgrid::Key serve_lo = env.remaining.lo;
   const auto local = peer_->store().GetRange(env.remaining);
-  for (const triple::Triple& t : triple::DecodeTriples(local)) {
+  const auto triples = triple::DecodeTriples(local);
+  std::vector<Binding> local_results;
+  for (const triple::Triple& t : triples) {
     for (const Binding& b : env.bindings) {
       auto merged = MatchPattern(env.pattern, t.oid, t.attribute, t.value, b);
       if (!merged.has_value()) continue;
       if (filter && !EvaluatePredicate(*filter, *merged)) continue;
-      env.results.push_back(std::move(*merged));
+      local_results.push_back(std::move(*merged));
     }
   }
 
-  // Walk on (identical structure to the sequential range scan).
+  // Simulated local-join compute: serving serializes on this peer (the
+  // single query executor), so a chunk convoy queues locally while it
+  // pipelines across peers.
+  sim::Scheduler* scheduler = peer_->transport()->scheduler();
+  const sim::SimTime now = scheduler->Now();
+  const sim::SimTime join_us = static_cast<sim::SimTime>(
+      options_.join_visit_cost_us +
+      options_.join_pair_cost_us * static_cast<double>(triples.size()) *
+          static_cast<double>(env.bindings.size()));
+  const sim::SimTime start = std::max(now, busy_until_);
+  busy_until_ = start + join_us;
+  const sim::SimTime finish_delay = busy_until_ - now;
+
+  // Walk on (identical structure to the sequential range scan): the next
+  // subtree after this peer's, as long as the branch range extends past
+  // this peer's region.
   const pgrid::Key subtree_max =
       peer_->path().PadTo(pgrid::kKeyBits, /*ones=*/true);
   bool more =
       env.remaining.hi.Compare(subtree_max) > 0 && !peer_->path().empty();
+  const pgrid::Key covered_hi = more ? subtree_max : env.remaining.hi;
+  net::PeerId next = net::kNoPeer;
+  pgrid::Key next_lo;
+  bool stalled = false;
   if (more) {
-    pgrid::Key next_prefix = peer_->path().Successor();
-    if (next_prefix.empty()) {
+    next_lo = subtree_max.Increment();
+    if (next_lo.empty()) {
       more = false;
     } else {
-      pgrid::Key next_lo =
-          next_prefix.PadTo(pgrid::kKeyBits, /*ones=*/false);
-      net::PeerId next = peer_->RouteNextHop(next_lo);
-      if (next == net::kNoPeer || next == peer_->id()) {
-        EnvelopeReply reply;
-        reply.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
-        reply.error = "envelope walk stalled at peer " +
-                      std::to_string(peer_->id());
-        reply.results = std::move(env.results);
-        reply.peers_visited = hops;
-        peer_->rpc().ReplyTo(env.initiator, request_id, hops,
-                             MessageType::kPlanExecReply, reply.Encode());
-        return;
-      }
-      env.remaining.lo = next_lo;
-      Message msg;
-      msg.type = MessageType::kPlanExec;
-      msg.src = peer_->id();
-      msg.dst = next;
-      msg.request_id = request_id;
-      msg.hops = hops + 1;
-      msg.payload = env.Encode();
-      peer_->transport()->Send(std::move(msg));
-      return;
+      next = peer_->RouteNextHop(next_lo);
+      if (next == net::kNoPeer || next == peer_->id()) stalled = true;
     }
   }
 
+  const bool stream = env.stream_partials();
+  const bool forward = more && !stalled;
+
   EnvelopeReply reply;
-  reply.results = std::move(env.results);
-  reply.peers_visited = hops + 1;
-  if (env.initiator == peer_->id()) {
-    // Initiator-local completion.
-    auto it = pending_.find(request_id);
-    if (it == pending_.end()) return;
-    BindingsCallback cb = std::move(it->second);
-    pending_.erase(it);
-    cb(std::move(reply.results));
-    return;
+  reply.origin = peer_->id();
+  reply.walk_id = env.walk_id;
+  reply.branch = env.branch;
+  reply.chunk_id = env.chunk_id;
+  if (stream) {
+    // This peer's results travel straight back; coverage is exactly this
+    // peer's slice of the branch.
+    reply.kind = forward ? EnvelopeReply::Kind::kPartial
+                         : EnvelopeReply::Kind::kTerminal;
+    reply.covered_lo = serve_lo.bits();
+    reply.covered_hi = covered_hi.bits();
+    reply.results = std::move(local_results);
+    reply.peers_visited = 1;
+  } else {
+    // Accumulate mode (v0 behaviour): results ride the envelope; only a
+    // terminal reply reports back, covering the whole segment walked by
+    // this envelope instance.
+    env.results.insert(env.results.end(),
+                       std::make_move_iterator(local_results.begin()),
+                       std::make_move_iterator(local_results.end()));
+    reply.kind = EnvelopeReply::Kind::kTerminal;
+    if (!forward) {
+      reply.covered_lo = env.segment_lo;
+      reply.covered_hi = covered_hi.bits();
+      reply.results = std::move(env.results);
+      reply.peers_visited = env.visited;
+    }
   }
-  peer_->rpc().ReplyTo(env.initiator, request_id, hops,
-                       MessageType::kPlanExecReply, reply.Encode());
+  if (stalled) {
+    reply.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
+    reply.error =
+        "envelope walk stalled at peer " + std::to_string(peer_->id());
+  }
+
+  if (forward) {
+    env.remaining.lo = next_lo;
+    Message msg;
+    msg.type = MessageType::kPlanExec;
+    msg.src = peer_->id();
+    msg.dst = next;
+    msg.request_id = request_id;
+    msg.hops = hops + 1;
+    msg.payload = env.Encode();
+    if (env.pipelined()) {
+      // Pipelined: the shrunk envelope leaves before the local join
+      // completes — network latency overlaps with local work.
+      peer_->transport()->Send(std::move(msg));
+    } else {
+      scheduler->ScheduleAfter(
+          finish_delay, peer_->id(), peer_->id(),
+          [this, msg = std::move(msg)]() mutable {
+            peer_->transport()->Send(std::move(msg));
+          });
+    }
+    if (!stream) return;  // Nothing to report until the walk terminates.
+  }
+
+  DeliverReply(env.initiator, request_id, hops, finish_delay,
+               std::move(reply));
 }
 
-void QueryService::OnPlanExecReply(const Message& msg) {
-  auto it = pending_.find(msg.request_id);
-  if (it == pending_.end()) return;
-  BindingsCallback cb = std::move(it->second);
-  pending_.erase(it);
+void QueryService::DeliverReply(net::PeerId initiator, uint64_t request_id,
+                                uint32_t hops, sim::SimTime delay,
+                                EnvelopeReply reply) {
+  const MessageType type = reply.kind == EnvelopeReply::Kind::kPartial
+                               ? MessageType::kPlanExecPartial
+                               : MessageType::kPlanExecReply;
+  if (initiator == peer_->id()) {
+    // Initiator-local: feed the coordinator directly (no self-send).
+    peer_->transport()->scheduler()->ScheduleAfter(
+        delay, peer_->id(), peer_->id(),
+        [this, request_id, hops, reply = std::move(reply)]() mutable {
+          HandleEnvelopeReply(request_id, std::move(reply), hops);
+        });
+    return;
+  }
+  if (delay <= 0) {
+    peer_->rpc().ReplyTo(initiator, request_id, hops, type, reply.Encode());
+    return;
+  }
+  peer_->transport()->scheduler()->ScheduleAfter(
+      delay, peer_->id(), peer_->id(),
+      [this, initiator, request_id, hops, type,
+       payload = reply.Encode()]() {
+        peer_->rpc().ReplyTo(initiator, request_id, hops, type, payload);
+      });
+}
+
+void QueryService::OnEnvelopeReplyMessage(const Message& msg) {
   auto reply = EnvelopeReply::Decode(msg.payload);
   if (!reply.ok()) {
-    cb(reply.status());
+    // Drop-and-retry keeps a transiently corrupted reply from failing the
+    // join, but the root cause must not hide behind the eventual walk
+    // timeout.
+    UNISTORE_LOG(kWarning)
+        << "peer " << peer_->id() << ": undecodable envelope reply from "
+        << msg.src << " (request " << msg.request_id
+        << "): " << reply.status().ToString();
     return;
   }
-  if (reply->status_code != 0) {
-    cb(Status(static_cast<StatusCode>(reply->status_code), reply->error));
-    return;
-  }
-  cb(std::move(reply->results));
+  HandleEnvelopeReply(msg.request_id, std::move(*reply), msg.hops);
 }
 
-void QueryService::FailPending(uint64_t request_id, const Status& status) {
-  auto it = pending_.find(request_id);
-  if (it == pending_.end()) return;
-  BindingsCallback cb = std::move(it->second);
-  pending_.erase(it);
-  cb(status);
-}
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
 
 void QueryService::BuildLocalStats(double hop_latency_us) {
   cost::StatsCatalog fresh;

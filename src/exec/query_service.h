@@ -2,19 +2,21 @@
 //
 // Owns the peer's statistics catalog (built locally, spread by gossip) and
 // implements the server side of the distributed operators that are not
-// plain overlay primitives: mutant-query-plan envelopes (Migrate joins)
-// and statistics gossip.
+// plain overlay primitives: mutant-query-plan envelopes (Migrate joins,
+// batched and pipelined — DESIGN.md §4) and statistics gossip.
 #ifndef UNISTORE_EXEC_QUERY_SERVICE_H_
 #define UNISTORE_EXEC_QUERY_SERVICE_H_
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cost/stats.h"
 #include "exec/binding.h"
 #include "exec/envelope.h"
+#include "exec/envelope_coordinator.h"
 #include "pgrid/peer.h"
 
 namespace unistore {
@@ -22,14 +24,20 @@ namespace exec {
 
 class QueryService {
  public:
-  using BindingsCallback =
-      std::function<void(Result<std::vector<Binding>>)>;
+  using MigrateCallback = std::function<void(Result<MigrateResult>)>;
 
-  /// Attaches to `peer` (registers the kPlanExec/kPlanExecReply and
-  /// kStatsGossip extension handlers).
-  explicit QueryService(pgrid::Peer* peer);
+  /// Attaches to `peer` (registers the kPlanExec / kPlanExecPartial /
+  /// kPlanExecReply and kStatsGossip extension handlers).
+  explicit QueryService(pgrid::Peer* peer, EnvelopeOptions options = {});
 
   pgrid::Peer* peer() { return peer_; }
+
+  const EnvelopeOptions& envelope_options() const { return options_; }
+  /// Replaces the envelope knobs (harness context only; applies to joins
+  /// started afterwards).
+  void set_envelope_options(const EnvelopeOptions& options) {
+    options_ = options;
+  }
 
   /// The merged statistics view: this peer's local contribution plus the
   /// latest contribution received from every gossip origin (origin-keyed,
@@ -39,10 +47,13 @@ class QueryService {
   /// \brief Runs a Migrate join: ships `left` through the partition of
   /// `pattern`'s (literal) attribute; every peer joins locally and
   /// forwards the envelope. `filter_vql` optionally prunes merged
-  /// bindings en route (empty = none).
+  /// bindings en route (empty = none). Fan-out, binding chunking,
+  /// streamed partial replies and pipelined forwarding follow the
+  /// configured EnvelopeOptions; results come back in canonical order
+  /// regardless of those knobs.
   void RunMigrateJoin(const vql::TriplePattern& pattern,
                       const std::string& filter_vql,
-                      std::vector<Binding> left, BindingsCallback callback);
+                      std::vector<Binding> left, MigrateCallback callback);
 
   /// Rebuilds this peer's local statistics from its store: per-attribute
   /// triple counts / distinct values / numeric ranges (derived from the
@@ -57,20 +68,48 @@ class QueryService {
   uint64_t envelopes_processed() const { return envelopes_processed_; }
 
  private:
+  struct MigrateRun {
+    EnvelopeCoordinator coordinator;
+    MigrateCallback callback;
+  };
+
   void OnPlanExec(const net::Message& msg);
-  void OnPlanExecReply(const net::Message& msg);
+  void OnEnvelopeReplyMessage(const net::Message& msg);
   void OnStatsGossip(const net::Message& msg);
   void ServeEnvelope(PlanEnvelope env, uint64_t request_id, uint32_t hops);
-  void FailPending(uint64_t request_id, const Status& status);
+
+  /// Routes `env` toward its range (serving locally when responsible).
+  /// Returns a synthesized error reply when no route exists.
+  std::optional<EnvelopeReply> TrySendEnvelope(PlanEnvelope env,
+                                               uint64_t request_id);
+  /// Feeds a reply into the coordinator of `request_id`, performing the
+  /// relaunches it asks for and finishing the join when done/failed.
+  void HandleEnvelopeReply(uint64_t request_id, EnvelopeReply reply,
+                           uint32_t msg_hops);
+  void ArmWalkTimer(uint64_t request_id, uint32_t branch, uint32_t chunk,
+                    uint64_t generation);
+  void OnWalkTimer(uint64_t request_id, uint32_t branch, uint32_t chunk,
+                   uint64_t generation);
+  void CheckMigrationDone(uint64_t request_id);
+  void FinishMigration(uint64_t request_id, Result<MigrateResult> result);
+  /// Delivers a reply to the walk's initiator: over the wire, or straight
+  /// into the local coordinator when this peer is the initiator.
+  void DeliverReply(net::PeerId initiator, uint64_t request_id,
+                    uint32_t hops, sim::SimTime delay, EnvelopeReply reply);
 
   pgrid::Peer* peer_;
+  EnvelopeOptions options_;
   /// Per-origin stats contributions; [self] is the local one.
   std::map<net::PeerId, cost::StatsCatalog> contributions_;
   mutable cost::StatsCatalog merged_;
   mutable bool merged_dirty_ = true;
   uint64_t next_request_id_ = 1;
-  std::map<uint64_t, BindingsCallback> pending_;
+  std::map<uint64_t, MigrateRun> migrations_;
   uint64_t envelopes_processed_ = 0;
+  /// Virtual time until which this peer's (single) query executor is busy
+  /// joining — envelope serving serializes per peer, which is exactly the
+  /// latency the pipelined mode overlaps with forwarding.
+  sim::SimTime busy_until_ = 0;
 };
 
 }  // namespace exec

@@ -24,6 +24,7 @@ std::string_view MessageTypeName(MessageType type) {
     case MessageType::kAntiEntropyReply: return "AntiEntropyReply";
     case MessageType::kPlanExec: return "PlanExec";
     case MessageType::kPlanExecReply: return "PlanExecReply";
+    case MessageType::kPlanExecPartial: return "PlanExecPartial";
     case MessageType::kStatsGossip: return "StatsGossip";
   }
   return "Unknown";

@@ -38,7 +38,8 @@ enum class MessageType : uint16_t {
   kAntiEntropyReply = 42,
   // -- Query processing layer ----------------------------------------------
   kPlanExec = 50,        ///< Mutant query plan envelope.
-  kPlanExecReply = 51,
+  kPlanExecReply = 51,   ///< Terminal (walk-ended) envelope reply.
+  kPlanExecPartial = 52, ///< Streamed partial reply chunk of an envelope walk.
   kStatsGossip = 60,     ///< Cost-model statistics dissemination.
 };
 

@@ -67,6 +67,24 @@ bool Key::IsMax() const {
          bits_.find('0') == std::string::npos;
 }
 
+Key Key::Increment() const {
+  std::string s = bits_;
+  size_t i = s.size();
+  while (i > 0 && s[i - 1] == '1') s[--i] = '0';
+  if (i == 0) return Key();  // All ones: overflow.
+  s[i - 1] = '1';
+  return Key(std::move(s));
+}
+
+Key Key::Decrement() const {
+  std::string s = bits_;
+  size_t i = s.size();
+  while (i > 0 && s[i - 1] == '0') s[--i] = '1';
+  if (i == 0) return Key();  // All zeros: underflow.
+  s[i - 1] = '0';
+  return Key(std::move(s));
+}
+
 bool KeyRange::IntersectsPrefix(const Key& prefix, size_t key_width) const {
   Key sub_lo = prefix.PadTo(key_width, /*ones=*/false);
   Key sub_hi = prefix.PadTo(key_width, /*ones=*/true);
@@ -79,6 +97,34 @@ KeyRange KeyRange::ClampToPrefix(const Key& prefix, size_t key_width) const {
   KeyRange out;
   out.lo = (lo.Compare(sub_lo) >= 0) ? lo : sub_lo;
   out.hi = (hi.Compare(sub_hi) <= 0) ? hi : sub_hi;
+  return out;
+}
+
+namespace {
+
+void SplitRangeInto(const KeyRange& range, size_t parts, size_t key_width,
+                    std::vector<KeyRange>* out) {
+  const size_t diverge = range.lo.CommonPrefixLength(range.hi);
+  if (parts <= 1 || diverge >= key_width ||
+      range.lo.Compare(range.hi) >= 0) {
+    out->push_back(range);
+    return;
+  }
+  // lo has '0' and hi has '1' at the divergence bit (lo < hi), so the two
+  // halves below are disjoint, consecutive and cover [lo, hi] exactly.
+  const Key prefix = range.lo.Prefix(diverge);
+  KeyRange left{range.lo, prefix.Child(false).PadTo(key_width, true)};
+  KeyRange right{prefix.Child(true).PadTo(key_width, false), range.hi};
+  SplitRangeInto(left, (parts + 1) / 2, key_width, out);
+  SplitRangeInto(right, parts / 2, key_width, out);
+}
+
+}  // namespace
+
+std::vector<KeyRange> SplitRange(const KeyRange& range, size_t max_parts,
+                                 size_t key_width) {
+  std::vector<KeyRange> out;
+  SplitRangeInto(range, std::max<size_t>(1, max_parts), key_width, &out);
   return out;
 }
 

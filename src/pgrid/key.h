@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace unistore {
 namespace pgrid {
@@ -68,6 +69,15 @@ class Key {
   /// True for the all-ones key (no successor exists).
   bool IsMax() const;
 
+  /// \brief This fixed-width key plus one ("0110" -> "0111",
+  /// "0111" -> "1000"). Returns an empty key on overflow (all ones) —
+  /// callers use that as the "past the end" marker of a coverage frontier.
+  Key Increment() const;
+
+  /// \brief This fixed-width key minus one ("0111" -> "0110",
+  /// "1000" -> "0111"). Returns an empty key on underflow (all zeros).
+  Key Decrement() const;
+
   const std::string& bits() const { return bits_; }
   std::string ToString() const { return bits_.empty() ? "<root>" : bits_; }
 
@@ -104,6 +114,18 @@ struct KeyRange {
     return "[" + lo.ToString() + ", " + hi.ToString() + "]";
   }
 };
+
+/// \brief Splits `range` into up to `max_parts` disjoint consecutive
+/// sub-ranges whose union is exactly `range` (keys of width `key_width`).
+///
+/// Splits happen on trie-subtree boundaries (the first bit where lo and hi
+/// diverge), recursively, left-heavy — so every sub-range is a union of
+/// whole subtrees and an envelope walk over it terminates at the peer
+/// covering its hi. Returns fewer parts when the range cannot be split
+/// further. The fan-out step of the batched envelope executor
+/// (DESIGN.md §4).
+std::vector<KeyRange> SplitRange(const KeyRange& range, size_t max_parts,
+                                 size_t key_width);
 
 }  // namespace pgrid
 }  // namespace unistore

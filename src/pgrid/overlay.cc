@@ -20,6 +20,21 @@ void GenerateBalancedPaths(size_t count, const std::string& prefix,
   GenerateBalancedPaths(count - left, prefix + "1", out);
 }
 
+std::vector<std::string> PartitionCoverPaths(const KeyRange& range,
+                                             size_t inside_leaves) {
+  const size_t prefix_len = range.lo.CommonPrefixLength(range.hi);
+  const std::string base = range.lo.bits().substr(0, prefix_len);
+  std::vector<std::string> paths;
+  paths.reserve(prefix_len + inside_leaves);
+  for (size_t i = 0; i < prefix_len; ++i) {
+    std::string complement = base.substr(0, i);
+    complement.push_back(base[i] == '0' ? '1' : '0');
+    paths.push_back(std::move(complement));
+  }
+  GenerateBalancedPaths(std::max<size_t>(1, inside_leaves), base, &paths);
+  return paths;
+}
+
 Overlay::Overlay(OverlayOptions options,
                  std::unique_ptr<sim::LatencyModel> latency,
                  sim::Scheduler* scheduler)
@@ -56,6 +71,14 @@ void Overlay::BuildBalanced() {
 
   std::vector<std::string> paths;
   GenerateBalancedPaths(leaves, "", &paths);
+  BuildWithPaths(paths);
+}
+
+void Overlay::BuildWithPaths(const std::vector<std::string>& paths) {
+  UNISTORE_CHECK(!peers_.empty());
+  UNISTORE_CHECK(!paths.empty());
+  const size_t n = peers_.size();
+  const size_t leaves = paths.size();
 
   // Round-robin assignment: peer i -> paths[i % leaves]; peers sharing a
   // path become replicas of each other.

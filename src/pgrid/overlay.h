@@ -61,6 +61,13 @@ class Overlay {
   /// the decentralized path is RunExchangeRounds().
   void BuildBalanced();
 
+  /// Like BuildBalanced() but over the given leaf paths (a prefix-free
+  /// cover of the key space; peers round-robin across them). Lets the
+  /// harness shape skewed tries — e.g. a deep subtree under one
+  /// attribute's partition so envelope walks span many peers — without
+  /// running data-driven construction.
+  void BuildWithPaths(const std::vector<std::string>& paths);
+
   /// Runs `rounds` rounds of random pairwise exchanges (each alive peer
   /// initiates one meeting per round; recursive meetings run to
   /// completion). This is the paper's "pair-wise interactions without
@@ -126,6 +133,19 @@ class Overlay {
 /// non-powers of two). Exposed for tests.
 void GenerateBalancedPaths(size_t count, const std::string& prefix,
                            std::vector<std::string>* out);
+
+/// \brief A prefix-free cover of the whole key space that places
+/// `inside_leaves` balanced leaf paths under the common prefix of `range`
+/// and one complement path per prefix bit outside it.
+///
+/// Feeding the result to BuildWithPaths() yields a trie that is deep
+/// exactly inside `range` — e.g. one attribute's partition spanning
+/// `inside_leaves` peers, the shape the batched envelope executor's
+/// fan-out and pipelining need (DESIGN.md §4). The inside paths are the
+/// last `inside_leaves` entries, so with one peer per path their ids are
+/// the tail of the id range.
+std::vector<std::string> PartitionCoverPaths(const KeyRange& range,
+                                             size_t inside_leaves);
 
 }  // namespace pgrid
 }  // namespace unistore

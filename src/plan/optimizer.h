@@ -31,6 +31,11 @@ namespace plan {
 struct PlannerOptions {
   std::optional<triple::RangeStrategy> force_range_strategy;
   std::optional<JoinStrategy> force_join_strategy;
+  /// How the executor will batch Migrate joins (fan-out, chunking,
+  /// pipelining); the cost model prices the Migrate strategy with it.
+  /// core::UniStore keeps it in sync with the node's
+  /// exec::EnvelopeOptions.
+  cost::MigrateBatching migrate_batching;
   /// Force similarity path: kSimilarityQGram or kSimilarityNaive.
   std::optional<AccessPath> force_similarity_path;
   bool enable_topn_pushdown = true;

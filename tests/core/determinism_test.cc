@@ -15,7 +15,9 @@
 
 #include "core/cluster.h"
 #include "core/datagen.h"
+#include "pgrid/overlay.h"
 #include "sim/sharded_scheduler.h"
+#include "triple/index.h"
 
 namespace unistore {
 namespace core {
@@ -133,6 +135,106 @@ TEST(DeterminismTest, WorkerThreadsDoNotChangeResults) {
   auto threaded_run =
       RunScenario(ClusterOptions::Engine::kSharded, 4, /*threads=*/4);
   ExpectIdentical(inline_run, threaded_run, "K=4 threaded");
+}
+
+// --- Envelope-heavy workload (batched Migrate joins, DESIGN.md §4) ----------
+
+// A trie that is deep under the 'age' partition so Migrate-join envelopes
+// walk many peers, with forced Migrate strategy, fan-out, chunking,
+// pipelining and message loss all enabled: the batched envelope executor
+// must stay byte-identical across engines.
+Capture RunMigrateScenario(ClusterOptions::Engine engine, size_t shards,
+                           size_t threads) {
+  ClusterOptions options;
+  options.custom_paths = pgrid::PartitionCoverPaths(
+      triple::AttrPrefixRange("age", ""), /*inside_leaves=*/16);
+  options.peers = options.custom_paths.size();
+  options.seed = 20260728;
+  options.loss_probability = 0.005;
+  options.engine = engine;
+  options.shards = shards;
+  options.threads = threads;
+  options.node.planner.force_join_strategy = plan::JoinStrategy::kMigrate;
+  options.node.envelope.fanout = 4;
+  options.node.envelope.max_bindings_per_envelope = 8;
+  options.node.envelope.walk_timeout = 500 * sim::kMicrosPerMilli;
+  options.node.envelope.walk_retries = 8;
+  Cluster cluster(options);
+  cluster.overlay().transport().EnableDeliveryTrace();
+
+  std::ostringstream ops;
+  auto quiesce = [&cluster] { cluster.simulation().RunUntilIdle(); };
+
+  for (int i = 0; i < 30; ++i) {
+    const std::string oid = "p" + std::to_string(i);
+    std::string age;
+    age.push_back(static_cast<char>(32 + (i * 37) % 224));
+    age += std::to_string(i);
+    const auto via = static_cast<net::PeerId>(i % cluster.size());
+    ops << "age " << i << ": "
+        << cluster
+               .InsertTripleSync(via, triple::Triple(oid, "age",
+                                                     triple::Value::String(age)))
+               .ToString()
+        << "\n";
+    quiesce();
+    ops << "name " << i << ": "
+        << cluster
+               .InsertTripleSync(
+                   via, triple::Triple(oid, "name",
+                                       triple::Value::String(
+                                           "n" + std::to_string(i))))
+               .ToString()
+        << "\n";
+    quiesce();
+  }
+  cluster.RefreshStats();
+  quiesce();
+
+  const std::vector<std::string> queries = {
+      "SELECT ?a,?n,?g WHERE { (?a,'name',?n) (?a,'age',?g) }",
+      "SELECT ?n,?g WHERE { (?a,'name',?n) (?a,'age',?g) } ORDER BY ?g",
+  };
+  net::PeerId via = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& q : queries) {
+      auto result = cluster.QuerySync(via, q);
+      ops << "query '" << q << "' via " << via << ": ";
+      if (result.ok()) {
+        ops << result->ToTable();
+        for (const auto& line : result->trace) ops << "  " << line << "\n";
+      } else {
+        ops << result.status().ToString() << "\n";
+      }
+      quiesce();
+      via = static_cast<net::PeerId>((via + 11) % cluster.size());
+    }
+  }
+
+  Capture capture;
+  capture.ops = ops.str();
+  capture.stats = cluster.overlay().transport().stats().ToString();
+  capture.trace = cluster.overlay().transport().DeliveryTrace();
+  capture.final_now = cluster.simulation().Now();
+  capture.processed = cluster.simulation().processed_events();
+  return capture;
+}
+
+TEST(DeterminismTest, EnvelopeHeavyWorkloadMatchesAcrossEngines) {
+  auto reference =
+      RunMigrateScenario(ClusterOptions::Engine::kSingleThread, 1, 1);
+  // The workload actually exercised batched Migrate joins.
+  EXPECT_NE(reference.ops.find("Join[Migrate]: branches="),
+            std::string::npos);
+  for (size_t shards : {1u, 2u, 4u}) {
+    auto sharded = RunMigrateScenario(ClusterOptions::Engine::kSharded,
+                                      shards, /*threads=*/1);
+    ExpectIdentical(reference, sharded,
+                    ("migrate sharded K=" + std::to_string(shards)).c_str());
+  }
+  auto threaded =
+      RunMigrateScenario(ClusterOptions::Engine::kSharded, 4, /*threads=*/4);
+  ExpectIdentical(reference, threaded, "migrate K=4 threaded");
 }
 
 }  // namespace

@@ -43,13 +43,14 @@ class QueryServiceTest : public ::testing::Test {
                                            const vql::TriplePattern& pattern,
                                            const std::string& filter,
                                            std::vector<Binding> left) {
-    std::optional<Result<std::vector<Binding>>> out;
+    std::optional<Result<MigrateResult>> out;
     services_[via]->RunMigrateJoin(
         pattern, filter, std::move(left),
-        [&out](Result<std::vector<Binding>> r) { out = std::move(r); });
+        [&out](Result<MigrateResult> r) { out = std::move(r); });
     overlay_->simulation().RunUntil([&out] { return out.has_value(); });
     if (!out.has_value()) return Status::Internal("drained");
-    return std::move(*out);
+    if (!out->ok()) return out->status();
+    return std::move((*out)->rows);
   }
 
   std::unique_ptr<pgrid::Overlay> overlay_;
