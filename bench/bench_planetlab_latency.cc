@@ -2,7 +2,7 @@
 // answer times are still only a couple of seconds".
 //
 // The PlanetLab testbed is substituted by the WAN latency model
-// (DESIGN.md §6): per-pair lognormal one-way delays (median ~40 ms) plus
+// (DESIGN.md §7): per-pair lognormal one-way delays (median ~40 ms) plus
 // jitter. We sweep the network size and report virtual query latencies for
 // a representative query mix. The expected shape: latencies in the
 // 0.1 - few-seconds range, growing slowly (logarithmically) with N — at

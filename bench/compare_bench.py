@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON artifacts and print per-metric deltas.
+
+Usage:
+    bench/compare_bench.py OLD.json NEW.json [--threshold PCT]
+
+Both files are --benchmark_out=...json artifacts (the BENCH_*.json files
+the CI bench job uploads). Benchmarks are matched by name; for each match
+the tool prints real time, CPU time and items/sec with the relative change,
+so the perf trajectory across PRs is trackable without spreadsheet work.
+
+Exit code: 0 always by default (the bench job is non-gating); with
+--threshold PCT, exits 1 if any matched benchmark's CPU time regressed by
+more than PCT percent.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) — compare raw runs.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def fmt_time(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def to_ns(value, unit):
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    return value * scale.get(unit, 1.0)
+
+
+def delta_pct(old, new):
+    if old == 0:
+        return float("inf") if new else 0.0
+    return (new - old) / old * 100.0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="exit 1 if any CPU time regresses by more than PCT percent",
+    )
+    args = parser.parse_args()
+
+    old = load(args.old)
+    new = load(args.new)
+    names = [n for n in new if n in old]
+    missing = sorted(set(old) - set(new))
+    added = sorted(set(new) - set(old))
+
+    if not names:
+        print("no common benchmarks between the two files")
+        return 0
+
+    width = max(len(n) for n in names)
+    print(f"{'benchmark':<{width}}  {'old cpu':>10}  {'new cpu':>10}  "
+          f"{'cpu Δ':>8}  {'real Δ':>8}  {'items/s Δ':>9}")
+    worst = 0.0
+    for name in names:
+        o, n = old[name], new[name]
+        o_cpu = to_ns(o["cpu_time"], o.get("time_unit", "ns"))
+        n_cpu = to_ns(n["cpu_time"], n.get("time_unit", "ns"))
+        o_real = to_ns(o["real_time"], o.get("time_unit", "ns"))
+        n_real = to_ns(n["real_time"], n.get("time_unit", "ns"))
+        d_cpu = delta_pct(o_cpu, n_cpu)
+        d_real = delta_pct(o_real, n_real)
+        worst = max(worst, d_cpu)
+        items = ""
+        if "items_per_second" in o and "items_per_second" in n:
+            d_items = delta_pct(o["items_per_second"], n["items_per_second"])
+            items = f"{d_items:+8.1f}%"
+        print(f"{name:<{width}}  {fmt_time(o_cpu):>10}  {fmt_time(n_cpu):>10}  "
+              f"{d_cpu:+7.1f}%  {d_real:+7.1f}%  {items:>9}")
+
+    for name in missing:
+        print(f"- removed: {name}")
+    for name in added:
+        print(f"+ added:   {name}")
+
+    if args.threshold is not None and worst > args.threshold:
+        print(f"worst CPU regression {worst:+.1f}% exceeds "
+              f"threshold {args.threshold:.1f}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@
 #ifndef UNISTORE_COMMON_CODEC_H_
 #define UNISTORE_COMMON_CODEC_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -19,11 +20,37 @@
 
 namespace unistore {
 
+/// Number of bytes PutVarint emits for `v`.
+inline size_t VarintLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 /// Appends primitive values to a byte buffer. All integers are
 /// little-endian fixed width except PutVarint, which is LEB128.
 class BufferWriter {
  public:
   BufferWriter() = default;
+
+  /// Grows the buffer's capacity by `additional` bytes. Hot encoders call
+  /// this once with a size bound so the per-field appends never reallocate.
+  void Reserve(size_t additional) { buf_.reserve(buf_.size() + additional); }
+
+  /// Ensures room for `need` more bytes, growing at least geometrically
+  /// when a reallocation is needed. Per-field callers (PutString,
+  /// Entry::Encode) must use this rather than Reserve: on standard
+  /// libraries whose string::reserve allocates exactly the requested
+  /// capacity (libc++), an exact per-field reserve would defeat amortized
+  /// growth and turn long streamed encodes quadratic.
+  void EnsureSpace(size_t need) {
+    const size_t size = buf_.size();
+    if (buf_.capacity() - size >= need) return;
+    buf_.reserve(size + std::max(need, size));
+  }
 
   void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
 
@@ -41,17 +68,23 @@ class BufferWriter {
 
   void PutBool(bool v) { PutU8(v ? 1 : 0); }
 
-  /// Unsigned LEB128.
+  /// Unsigned LEB128. Encoded into a scratch array first so the buffer
+  /// sees one append instead of up to ten single-byte pushes.
   void PutVarint(uint64_t v) {
+    char scratch[10];
+    size_t n = 0;
     while (v >= 0x80) {
-      PutU8(static_cast<uint8_t>(v) | 0x80);
+      scratch[n++] = static_cast<char>(static_cast<uint8_t>(v) | 0x80);
       v >>= 7;
     }
-    PutU8(static_cast<uint8_t>(v));
+    scratch[n++] = static_cast<char>(v);
+    buf_.append(scratch, n);
   }
 
-  /// Length-prefixed byte string.
+  /// Length-prefixed byte string. Pre-reserves the encoded size (with
+  /// geometric slack) so the prefix and the body land in one grown buffer.
   void PutString(std::string_view s) {
+    EnsureSpace(VarintLength(s.size()) + s.size());
     PutVarint(s.size());
     buf_.append(s.data(), s.size());
   }
@@ -77,13 +110,15 @@ class BufferWriter {
 };
 
 /// Reads primitives back out of a byte buffer; every getter checks bounds
-/// and reports Corruption on underflow.
+/// and reports Corruption on underflow. Bounds checks compare against
+/// remaining() rather than `pos_ + len` so an adversarial varint length
+/// close to UINT64_MAX cannot wrap the addition and sneak past the check.
 class BufferReader {
  public:
   explicit BufferReader(std::string_view data) : data_(data) {}
 
   Result<uint8_t> GetU8() {
-    if (pos_ + 1 > data_.size()) return Underflow("u8");
+    if (remaining() < 1) return Underflow("u8");
     return static_cast<uint8_t>(data_[pos_++]);
   }
 
@@ -122,9 +157,17 @@ class BufferReader {
   }
 
   Result<std::string> GetString() {
+    UNISTORE_ASSIGN_OR_RETURN(std::string_view s, GetStringView());
+    return std::string(s);
+  }
+
+  /// Zero-copy variant of GetString: the returned view aliases the input
+  /// buffer, which must outlive it. Hot decoders use this to validate or
+  /// re-slice fields without a temporary heap string.
+  Result<std::string_view> GetStringView() {
     UNISTORE_ASSIGN_OR_RETURN(uint64_t len, GetVarint());
-    if (pos_ + len > data_.size()) return Underflow("string body");
-    std::string out(data_.substr(pos_, len));
+    if (len > remaining()) return Underflow("string body");
+    std::string_view out = data_.substr(pos_, len);
     pos_ += len;
     return out;
   }
@@ -136,7 +179,7 @@ class BufferReader {
  private:
   template <typename T>
   Result<T> GetFixed(const char* what) {
-    if (pos_ + sizeof(T) > data_.size()) return Underflow(what);
+    if (remaining() < sizeof(T)) return Underflow(what);
     T v = 0;
     for (size_t i = 0; i < sizeof(T); ++i) {
       v |= static_cast<T>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);

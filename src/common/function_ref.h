@@ -1,0 +1,46 @@
+// A non-owning, non-allocating callable reference.
+//
+// std::function is the wrong tool for visitor-style hot paths: constructing
+// one from a capturing lambda may heap-allocate, which defeats the
+// zero-copy discipline of the storage read path (DESIGN.md § Local storage
+// engine). FunctionRef is two words — a type-erased pointer to the callable
+// plus a trampoline — and never allocates. The referenced callable must
+// outlive the FunctionRef, which visitor calls trivially guarantee (the
+// lambda lives in the caller's frame for the duration of the scan).
+#ifndef UNISTORE_COMMON_FUNCTION_REF_H_
+#define UNISTORE_COMMON_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace unistore {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace unistore
+
+#endif  // UNISTORE_COMMON_FUNCTION_REF_H_

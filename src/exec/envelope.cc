@@ -4,7 +4,7 @@ namespace unistore {
 namespace exec {
 namespace {
 
-Status ValidateBits(const std::string& bits, const char* what) {
+Status ValidateBits(std::string_view bits, const char* what) {
   for (char c : bits) {
     if (c != '0' && c != '1') {
       return Status::Corruption("envelope field ", what,
@@ -15,7 +15,8 @@ Status ValidateBits(const std::string& bits, const char* what) {
 }
 
 Result<pgrid::Key> DecodeKey(BufferReader* r) {
-  UNISTORE_ASSIGN_OR_RETURN(std::string bits, r->GetString());
+  // Zero-copy: validate the view, copy once into the Key.
+  UNISTORE_ASSIGN_OR_RETURN(std::string_view bits, r->GetStringView());
   UNISTORE_RETURN_IF_ERROR(ValidateBits(bits, "key"));
   return pgrid::Key::FromBits(bits);
 }

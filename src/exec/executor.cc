@@ -471,9 +471,10 @@ void Executor::ExecSimilarityQGram(std::shared_ptr<PhysicalOp> node,
   auto self = this;
   auto arrive = [state, self, node](Result<pgrid::LookupResult> result) {
     if (result.ok()) {
-      for (const Triple& t : triple::DecodeTriples(result->entries)) {
-        state->candidates.emplace(t.Identity(), t);
-      }
+      triple::VisitTriples(result->entries, [&state](Triple&& t) {
+        state->candidates.emplace(t.Identity(), std::move(t));
+        return true;
+      });
     }
     if (--state->remaining == 0) {
       std::vector<Triple> triples;

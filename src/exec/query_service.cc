@@ -238,19 +238,25 @@ void QueryService::ServeEnvelope(PlanEnvelope env, uint64_t request_id,
     if (parsed.ok()) filter = *parsed;
   }
 
-  // Join local entries of the remaining range against the bindings.
+  // Join local entries of the remaining range against the bindings. The
+  // store scan visits entries in place (no materialized entry vector) and
+  // each payload decodes exactly once.
   const pgrid::Key serve_lo = env.remaining.lo;
-  const auto local = peer_->store().GetRange(env.remaining);
-  const auto triples = triple::DecodeTriples(local);
+  size_t local_triples = 0;
   std::vector<Binding> local_results;
-  for (const triple::Triple& t : triples) {
+  peer_->store().ScanRange(env.remaining, [&](const pgrid::Entry& entry) {
+    auto t = triple::Triple::DecodeFromString(entry.payload);
+    if (!t.ok()) return true;  // Tolerate foreign payloads in the range.
+    ++local_triples;
     for (const Binding& b : env.bindings) {
-      auto merged = MatchPattern(env.pattern, t.oid, t.attribute, t.value, b);
+      auto merged =
+          MatchPattern(env.pattern, t->oid, t->attribute, t->value, b);
       if (!merged.has_value()) continue;
       if (filter && !EvaluatePredicate(*filter, *merged)) continue;
       local_results.push_back(std::move(*merged));
     }
-  }
+    return true;
+  });
 
   // Simulated local-join compute: serving serializes on this peer (the
   // single query executor), so a chunk convoy queues locally while it
@@ -259,7 +265,7 @@ void QueryService::ServeEnvelope(PlanEnvelope env, uint64_t request_id,
   const sim::SimTime now = scheduler->Now();
   const sim::SimTime join_us = static_cast<sim::SimTime>(
       options_.join_visit_cost_us +
-      options_.join_pair_cost_us * static_cast<double>(triples.size()) *
+      options_.join_pair_cost_us * static_cast<double>(local_triples) *
           static_cast<double>(env.bindings.size()));
   const sim::SimTime start = std::max(now, busy_until_);
   busy_until_ = start + join_us;
@@ -414,11 +420,11 @@ void QueryService::BuildLocalStats(double hop_latency_us) {
     double strlen_sum = 0;
   };
   std::map<std::string, Acc> by_attr;
-  for (const auto& entry : peer_->store().GetAllLive()) {
+  peer_->store().ScanAllLive([&by_attr](const pgrid::Entry& entry) {
     // Count each triple once: only its A#v index copy.
-    if (entry.id.rfind("a#", 0) != 0) continue;
+    if (entry.id.rfind("a#", 0) != 0) return true;
     auto t = triple::Triple::DecodeFromString(entry.payload);
-    if (!t.ok()) continue;
+    if (!t.ok()) return true;
     Acc& acc = by_attr[t->attribute];
     acc.count++;
     acc.distinct.insert(t->value.ToIndexString());
@@ -430,7 +436,8 @@ void QueryService::BuildLocalStats(double hop_latency_us) {
     } else if (t->value.is_string()) {
       acc.strlen_sum += static_cast<double>(t->value.AsString().size());
     }
-  }
+    return true;
+  });
   for (const auto& [attr, acc] : by_attr) {
     cost::AttrStats stats;
     stats.triple_count = acc.count;
@@ -494,7 +501,9 @@ void QueryService::OnStatsGossip(const Message& msg) {
   BufferReader r(msg.payload);
   auto origin = r.GetU32();
   if (!origin.ok()) return;
-  auto body = r.GetString();
+  // View into msg.payload (alive for the whole handler): the catalog blob
+  // decodes without an intermediate copy.
+  auto body = r.GetStringView();
   if (!body.ok() || body->empty()) return;
   auto incoming = cost::StatsCatalog::DecodeFromString(*body);
   if (!incoming.ok()) return;

@@ -1,9 +1,12 @@
 #include "pgrid/entry.h"
 
+#include <algorithm>
+
 namespace unistore {
 namespace pgrid {
 
 void Entry::Encode(BufferWriter* w) const {
+  w->EnsureSpace(EncodedSize());
   w->PutString(key.bits());
   w->PutString(id);
   w->PutString(payload);
@@ -11,9 +14,16 @@ void Entry::Encode(BufferWriter* w) const {
   w->PutBool(deleted);
 }
 
+size_t Entry::EncodedSize() const {
+  return VarintLength(key.bits().size()) + key.bits().size() +
+         VarintLength(id.size()) + id.size() +
+         VarintLength(payload.size()) + payload.size() +
+         VarintLength(version) + 1;
+}
+
 Result<Entry> Entry::Decode(BufferReader* r) {
   Entry e;
-  UNISTORE_ASSIGN_OR_RETURN(std::string bits, r->GetString());
+  UNISTORE_ASSIGN_OR_RETURN(std::string_view bits, r->GetStringView());
   for (char c : bits) {
     if (c != '0' && c != '1') {
       return Status::Corruption("entry key contains non-bit character");
@@ -28,6 +38,9 @@ Result<Entry> Entry::Decode(BufferReader* r) {
 }
 
 void EncodeEntries(const std::vector<Entry>& entries, BufferWriter* w) {
+  size_t total = VarintLength(entries.size());
+  for (const Entry& e : entries) total += e.EncodedSize();
+  w->Reserve(total);
   w->PutVarint(entries.size());
   for (const Entry& e : entries) e.Encode(w);
 }
@@ -35,12 +48,21 @@ void EncodeEntries(const std::vector<Entry>& entries, BufferWriter* w) {
 Result<std::vector<Entry>> DecodeEntries(BufferReader* r) {
   UNISTORE_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
   std::vector<Entry> out;
-  out.reserve(n);
+  // Clamp the pre-reservation: `n` is attacker-controlled wire data and an
+  // entry needs at least 5 bytes, so a huge count fails in the loop below
+  // with Corruption instead of a giant up-front allocation.
+  out.reserve(std::min<uint64_t>(n, 4096));
   for (uint64_t i = 0; i < n; ++i) {
     UNISTORE_ASSIGN_OR_RETURN(Entry e, Entry::Decode(r));
     out.push_back(std::move(e));
   }
   return out;
+}
+
+void EncodeEntryStream(uint64_t count, BufferWriter* w,
+                       FunctionRef<void(BufferWriter*)> emit) {
+  w->PutVarint(count);
+  emit(w);
 }
 
 }  // namespace pgrid

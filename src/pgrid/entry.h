@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/codec.h"
+#include "common/function_ref.h"
 #include "common/result.h"
 #include "pgrid/key.h"
 
@@ -31,6 +32,9 @@ struct Entry {
   void Encode(BufferWriter* w) const;
   static Result<Entry> Decode(BufferReader* r);
 
+  /// Bytes Encode appends for this entry (exact).
+  size_t EncodedSize() const;
+
   bool operator==(const Entry& other) const {
     return key == other.key && id == other.id && payload == other.payload &&
            version == other.version && deleted == other.deleted;
@@ -40,6 +44,14 @@ struct Entry {
 /// Encodes a vector of entries (varint count + entries).
 void EncodeEntries(const std::vector<Entry>& entries, BufferWriter* w);
 Result<std::vector<Entry>> DecodeEntries(BufferReader* r);
+
+/// Streamed variant of EncodeEntries: writes the varint count, then calls
+/// `emit`, which must append exactly `count` encoded entries to the writer
+/// (typically by running a LocalStore scan with Entry::Encode as the
+/// visitor body). Produces bytes identical to EncodeEntries over the same
+/// sequence, without materializing an intermediate std::vector<Entry>.
+void EncodeEntryStream(uint64_t count, BufferWriter* w,
+                       FunctionRef<void(BufferWriter*)> emit);
 
 }  // namespace pgrid
 }  // namespace unistore

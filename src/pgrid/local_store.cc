@@ -1,98 +1,283 @@
 #include "pgrid/local_store.h"
 
+#include <algorithm>
+
 namespace unistore {
 namespace pgrid {
+namespace {
+
+// Slot order of an entry: (key bits, id). Key bit strings compare exactly
+// like Key::Compare, so this reproduces the iteration order of the
+// original nested std::map engine byte for byte.
+bool SlotBefore(const Entry& e, std::string_view bits, std::string_view id) {
+  const int c = std::string_view(e.key.bits()).compare(bits);
+  if (c != 0) return c < 0;
+  return std::string_view(e.id).compare(id) < 0;
+}
+
+bool SameSlot(const Entry& a, const Entry& b) {
+  return a.key.bits() == b.key.bits() && a.id == b.id;
+}
+
+// <0 / 0 / >0 over slot order of two entries.
+int SlotCompare(const Entry& a, const Entry& b) {
+  const int c = a.key.bits().compare(b.key.bits());
+  if (c != 0) return c;
+  return a.id.compare(b.id);
+}
+
+bool StartsWith(const std::string& s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+LocalStore::LocalStore(const LocalStoreOptions& options) : options_(options) {
+  if (options_.memtable_flush_threshold == 0) {
+    options_.memtable_flush_threshold = 1;
+  }
+  options_.max_runs =
+      std::max<size_t>(1, std::min(options_.max_runs,
+                                   LocalStoreOptions::kMaxRuns));
+}
+
+const Entry* LocalStore::FindLatest(const std::string& key_bits,
+                                    const std::string& id) const {
+  auto it = memtable_.find(SlotKey(key_bits, id));
+  if (it != memtable_.end()) return &it->second;
+  for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
+    auto pos = std::lower_bound(
+        run->begin(), run->end(), 0,
+        [&key_bits, &id](const Entry& e, int) {
+          return SlotBefore(e, key_bits, id);
+        });
+    if (pos != run->end() && pos->key.bits() == key_bits && pos->id == id) {
+      return &*pos;
+    }
+  }
+  return nullptr;
+}
 
 bool LocalStore::Apply(const Entry& entry) {
-  auto& slot_map = entries_[entry.key];
-  auto it = slot_map.find(entry.id);
-  if (it == slot_map.end()) {
+  const Entry* cur = FindLatest(entry.key.bits(), entry.id);
+  if (cur == nullptr) {
+    ++slot_count_;
     if (!entry.deleted) ++live_count_;
-    slot_map.emplace(entry.id, entry);
+    memtable_.insert_or_assign(SlotKey(entry.key.bits(), entry.id), entry);
+    MaybeFlush();
     return true;
   }
-  if (entry.version <= it->second.version) return false;
-  if (!it->second.deleted && entry.deleted) --live_count_;
-  if (it->second.deleted && !entry.deleted) ++live_count_;
-  it->second = entry;
+  if (entry.version <= cur->version) return false;
+  if (!cur->deleted && entry.deleted) --live_count_;
+  if (cur->deleted && !entry.deleted) ++live_count_;
+  memtable_.insert_or_assign(SlotKey(entry.key.bits(), entry.id), entry);
+  MaybeFlush();
   return true;
 }
 
-std::vector<Entry> LocalStore::Get(const Key& key) const {
-  std::vector<Entry> out;
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return out;
-  for (const auto& [id, e] : it->second) {
-    if (!e.deleted) out.push_back(e);
+bool LocalStore::ScanMerged(std::string_view lo_bits, ScanBound bound,
+                            std::string_view bound_bits,
+                            bool include_tombstones,
+                            EntryVisitor visit) const {
+  // Cursor 0 is the memtable, then runs newest to oldest: on a slot tie
+  // the lowest cursor index is the newest occurrence and wins. Steady
+  // state has at most kMaxRuns runs, but the compaction triggered by a
+  // flush scans while the just-flushed (kMaxRuns+1)-th run is still in
+  // place — hence the extra slot beyond memtable + kMaxRuns.
+  Cursor cursors[LocalStoreOptions::kMaxRuns + 2];
+  size_t n = 0;
+
+  Cursor& mem = cursors[n++];
+  mem.is_memtable = true;
+  mem.mem_pos = memtable_.lower_bound(lo_bits);
+  mem.mem_end = memtable_.end();
+
+  for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
+    Cursor& c = cursors[n++];
+    const Entry* begin = run->data();
+    const Entry* end = begin + run->size();
+    c.run_pos = std::lower_bound(
+        begin, end, lo_bits, [](const Entry& e, std::string_view lo) {
+          return std::string_view(e.key.bits()).compare(lo) < 0;
+        });
+    c.run_end = end;
   }
+
+  while (true) {
+    // The newest occurrence of the smallest slot across all sources.
+    const Entry* best = nullptr;
+    for (size_t i = 0; i < n; ++i) {
+      const Entry* head = cursors[i].head();
+      if (head == nullptr) continue;
+      if (best == nullptr || SlotCompare(*head, *best) < 0) best = head;
+    }
+    if (best == nullptr) return true;
+
+    switch (bound) {
+      case ScanBound::kRangeHi:
+        if (std::string_view(best->key.bits()).compare(bound_bits) > 0) {
+          return true;
+        }
+        break;
+      case ScanBound::kPrefix:
+        if (!StartsWith(best->key.bits(), bound_bits)) return true;
+        break;
+      case ScanBound::kNone:
+        break;
+    }
+
+    if (include_tombstones || !best->deleted) {
+      if (!visit(*best)) return false;
+    }
+
+    // Advance every source sitting on this slot (shadowed older
+    // occurrences are skipped, newest-wins).
+    for (size_t i = 0; i < n; ++i) {
+      const Entry* head = cursors[i].head();
+      if (head != nullptr && SameSlot(*head, *best)) cursors[i].Advance();
+    }
+  }
+}
+
+bool LocalStore::ScanKey(const Key& key, EntryVisitor visit) const {
+  return ScanMerged(key.bits(), ScanBound::kRangeHi, key.bits(),
+                    /*include_tombstones=*/false, visit);
+}
+
+bool LocalStore::ScanRange(const KeyRange& range, EntryVisitor visit) const {
+  return ScanMerged(range.lo.bits(), ScanBound::kRangeHi, range.hi.bits(),
+                    /*include_tombstones=*/false, visit);
+}
+
+bool LocalStore::ScanPrefix(const Key& prefix, EntryVisitor visit) const {
+  return ScanMerged(prefix.bits(), ScanBound::kPrefix, prefix.bits(),
+                    /*include_tombstones=*/false, visit);
+}
+
+bool LocalStore::ScanAll(EntryVisitor visit) const {
+  return ScanMerged("", ScanBound::kNone, "",
+                    /*include_tombstones=*/true, visit);
+}
+
+bool LocalStore::ScanAllLive(EntryVisitor visit) const {
+  return ScanMerged("", ScanBound::kNone, "",
+                    /*include_tombstones=*/false, visit);
+}
+
+namespace {
+
+std::vector<Entry> Collect(
+    FunctionRef<bool(LocalStore::EntryVisitor)> scan) {
+  std::vector<Entry> out;
+  scan([&out](const Entry& e) {
+    out.push_back(e);
+    return true;
+  });
   return out;
+}
+
+}  // namespace
+
+std::vector<Entry> LocalStore::Get(const Key& key) const {
+  return Collect([&](EntryVisitor v) { return ScanKey(key, v); });
 }
 
 std::vector<Entry> LocalStore::GetRange(const KeyRange& range) const {
-  std::vector<Entry> out;
-  for (auto it = entries_.lower_bound(range.lo);
-       it != entries_.end() && it->first.Compare(range.hi) <= 0; ++it) {
-    for (const auto& [id, e] : it->second) {
-      if (!e.deleted) out.push_back(e);
-    }
-  }
-  return out;
+  return Collect([&](EntryVisitor v) { return ScanRange(range, v); });
 }
 
 std::vector<Entry> LocalStore::GetByPrefix(const Key& prefix) const {
-  std::vector<Entry> out;
-  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
-    if (!prefix.IsPrefixOf(it->first)) break;
-    for (const auto& [id, e] : it->second) {
-      if (!e.deleted) out.push_back(e);
-    }
-  }
-  return out;
+  return Collect([&](EntryVisitor v) { return ScanPrefix(prefix, v); });
 }
 
 std::vector<Entry> LocalStore::GetAll() const {
   std::vector<Entry> out;
-  for (const auto& [key, slot_map] : entries_) {
-    for (const auto& [id, e] : slot_map) out.push_back(e);
-  }
+  out.reserve(slot_count_);
+  ScanAll([&out](const Entry& e) {
+    out.push_back(e);
+    return true;
+  });
   return out;
 }
 
 std::vector<Entry> LocalStore::GetAllLive() const {
   std::vector<Entry> out;
-  for (const auto& [key, slot_map] : entries_) {
-    for (const auto& [id, e] : slot_map) {
-      if (!e.deleted) out.push_back(e);
-    }
-  }
+  out.reserve(live_count_);
+  ScanAllLive([&out](const Entry& e) {
+    out.push_back(e);
+    return true;
+  });
   return out;
 }
 
 std::vector<Entry> LocalStore::ExtractNotMatching(const Key& path) {
+  Run kept;
   std::vector<Entry> removed;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (path.IsPrefixOf(it->first)) {
-      ++it;
-      continue;
-    }
-    for (const auto& [id, e] : it->second) {
-      if (!e.deleted) --live_count_;
+  kept.reserve(slot_count_);
+  ScanAll([&](const Entry& e) {
+    if (path.IsPrefixOf(e.key)) {
+      kept.push_back(e);
+    } else {
       removed.push_back(e);
     }
-    it = entries_.erase(it);
-  }
+    return true;
+  });
+  RebuildFrom(std::move(kept));
   return removed;
 }
 
-size_t LocalStore::total_size() const {
-  size_t n = 0;
-  for (const auto& [key, slot_map] : entries_) n += slot_map.size();
-  return n;
+void LocalStore::Clear() {
+  memtable_.clear();
+  runs_.clear();
+  live_count_ = 0;
+  slot_count_ = 0;
 }
 
-void LocalStore::Clear() {
-  entries_.clear();
+void LocalStore::MaybeFlush() {
+  if (memtable_.size() >= options_.memtable_flush_threshold) Flush();
+}
+
+void LocalStore::Flush() {
+  if (!memtable_.empty()) {
+    Run run;
+    run.reserve(memtable_.size());
+    for (auto& [slot, entry] : memtable_) run.push_back(std::move(entry));
+    memtable_.clear();
+    runs_.push_back(std::move(run));
+  }
+  if (runs_.size() > options_.max_runs) CompactRuns();
+}
+
+void LocalStore::Compact() {
+  Flush();
+  CompactRuns();
+}
+
+void LocalStore::CompactRuns() {
+  if (runs_.size() <= 1) return;
+  Run merged;
+  merged.reserve(slot_count_);
+  // The merge resolves shadowing, so the single surviving run holds the
+  // newest occurrence of every slot — tombstones included, which is what
+  // keeps anti-entropy from resurrecting deleted data after compaction.
+  ScanAll([&merged](const Entry& e) {
+    merged.push_back(e);
+    return true;
+  });
+  runs_.clear();
+  runs_.push_back(std::move(merged));
+}
+
+void LocalStore::RebuildFrom(Run all_slots) {
+  memtable_.clear();
+  runs_.clear();
+  slot_count_ = all_slots.size();
   live_count_ = 0;
+  for (const Entry& e : all_slots) {
+    if (!e.deleted) ++live_count_;
+  }
+  if (!all_slots.empty()) runs_.push_back(std::move(all_slots));
 }
 
 }  // namespace pgrid

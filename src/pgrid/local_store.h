@@ -1,63 +1,196 @@
-// Per-peer ordered key/entry storage.
+// Per-peer ordered key/entry storage: memtable + immutable sorted runs.
 #ifndef UNISTORE_PGRID_LOCAL_STORE_H_
 #define UNISTORE_PGRID_LOCAL_STORE_H_
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/function_ref.h"
 #include "pgrid/entry.h"
 #include "pgrid/key.h"
 
 namespace unistore {
 namespace pgrid {
 
-/// \brief The entries a single peer is responsible for, ordered by key.
+/// Tunables of the two-level storage engine.
+struct LocalStoreOptions {
+  /// Memtable entries at which the memtable is frozen into a sorted run.
+  size_t memtable_flush_threshold = 512;
+
+  /// Sorted runs at which a flush triggers a full merge-compaction (so a
+  /// scan never merges more than this many runs plus the memtable).
+  /// Clamped to kMaxRuns.
+  size_t max_runs = 4;
+
+  /// Hard upper bound on `max_runs`: scans merge through a fixed-size
+  /// cursor array (memtable + kMaxRuns runs, plus one transient run
+  /// during a flush-triggered compaction), which keeps the visitor read
+  /// path free of heap allocation.
+  static constexpr size_t kMaxRuns = 15;
+};
+
+/// \brief The entries a single peer is responsible for, ordered by
+/// (key, id).
 ///
 /// Versioned upserts implement the update semantics of [Datta ICDCS'03]:
 /// an entry with a higher version replaces the stored one; lower or equal
 /// versions are ignored (idempotent re-delivery under rumor spreading).
 /// Deletions are tombstones so anti-entropy cannot resurrect them.
+///
+/// Internally this is a miniature LSM tree (DESIGN.md § Local storage
+/// engine): Apply lands in a small mutable memtable; full memtables freeze
+/// into immutable sorted runs (flat vectors, binary-searched); runs are
+/// merge-compacted once there are more than `max_runs` of them. Because a
+/// version-ordered upsert always lands in the newest structure, reads
+/// resolve a slot to its newest occurrence (memtable, then runs newest to
+/// oldest). Tombstones survive flushes and compactions.
+///
+/// The read API is visitor-based and zero-copy: Scan* walk a k-way merge
+/// of memtable + runs in (key, id) order and hand each winning entry to
+/// the visitor by const reference — no per-entry copy or heap allocation.
+/// The Get* wrappers materialize vectors on top of the scans for tests and
+/// cold paths (exchange data handoff).
 class LocalStore {
  public:
+  /// Visitor for scans; return false to stop the scan early.
+  using EntryVisitor = FunctionRef<bool(const Entry&)>;
+
+  LocalStore() : LocalStore(LocalStoreOptions{}) {}
+  explicit LocalStore(const LocalStoreOptions& options);
+
   /// Applies `entry` (insert, update or tombstone). Returns true iff the
   /// store changed (i.e. the entry was new or newer).
   bool Apply(const Entry& entry);
 
-  /// All live entries with exactly this key.
-  std::vector<Entry> Get(const Key& key) const;
+  // --- Zero-copy visitor scans (live entries unless stated otherwise) ----
 
-  /// All live entries with key in [range.lo, range.hi].
-  std::vector<Entry> GetRange(const KeyRange& range) const;
+  /// Live entries with exactly this key. Returns false iff the visitor
+  /// stopped the scan.
+  bool ScanKey(const Key& key, EntryVisitor visit) const;
 
-  /// All live entries whose key starts with `prefix`.
-  std::vector<Entry> GetByPrefix(const Key& prefix) const;
+  /// Live entries with key in [range.lo, range.hi].
+  bool ScanRange(const KeyRange& range, EntryVisitor visit) const;
+
+  /// Live entries whose key starts with `prefix`.
+  bool ScanPrefix(const Key& prefix, EntryVisitor visit) const;
 
   /// Every entry including tombstones (anti-entropy transfer).
-  std::vector<Entry> GetAll() const;
+  bool ScanAll(EntryVisitor visit) const;
 
   /// Live entries (excluding tombstones), in key order.
+  bool ScanAllLive(EntryVisitor visit) const;
+
+  // --- Materializing wrappers (tests, cold paths) ------------------------
+
+  std::vector<Entry> Get(const Key& key) const;
+  std::vector<Entry> GetRange(const KeyRange& range) const;
+  std::vector<Entry> GetByPrefix(const Key& prefix) const;
+  std::vector<Entry> GetAll() const;
   std::vector<Entry> GetAllLive() const;
 
-  /// Splits off and returns every entry whose key has `path` as a prefix
-  /// is *kept*; entries outside `path` are removed and returned. Used when
-  /// a peer specializes its path during an exchange.
+  /// Splits off and returns every entry whose key does *not* have `path`
+  /// as a prefix (tombstones included); entries under `path` are kept.
+  /// Used when a peer specializes its path during an exchange. Rebuilds
+  /// the kept entries into a single compacted run.
   std::vector<Entry> ExtractNotMatching(const Key& path);
 
   /// Number of live entries.
   size_t live_size() const { return live_count_; }
 
-  /// Number of slots including tombstones.
-  size_t total_size() const;
+  /// Number of distinct (key, id) slots including tombstones.
+  size_t total_size() const { return slot_count_; }
 
   void Clear();
 
+  // --- Engine introspection / control (tests, benchmarks) ----------------
+
+  size_t memtable_size() const { return memtable_.size(); }
+  size_t run_count() const { return runs_.size(); }
+
+  /// Freezes the memtable into a run now (compacting if over max_runs).
+  void Flush();
+
+  /// Merges all runs (and the memtable) into one run now.
+  void Compact();
+
  private:
-  // key -> (entry id -> entry)
-  std::map<Key, std::map<std::string, Entry>> entries_;
+  // A slot is one logical datum: the (key bits, entry id) pair. Key bit
+  // strings compare exactly like Key::Compare, so slot order == the
+  // (key, id) iteration order of the original nested-map engine.
+  using SlotKey = std::pair<std::string, std::string>;
+
+  // Transparent comparator: the string_view overloads compare against the
+  // key bits only, so scans can position at a range's lower bound without
+  // materializing a SlotKey (no allocation on the read path).
+  struct SlotLess {
+    using is_transparent = void;
+    bool operator()(const SlotKey& a, const SlotKey& b) const {
+      return a < b;
+    }
+    bool operator()(const SlotKey& a, std::string_view lo_bits) const {
+      return std::string_view(a.first) < lo_bits;
+    }
+    bool operator()(std::string_view lo_bits, const SlotKey& a) const {
+      return lo_bits < std::string_view(a.first);
+    }
+  };
+  using Memtable = std::map<SlotKey, Entry, SlotLess>;
+
+  // An immutable sorted run: entries ordered by slot, one occurrence per
+  // slot within the run.
+  using Run = std::vector<Entry>;
+
+  // Newest occurrence of the slot across memtable + runs, or nullptr.
+  const Entry* FindLatest(const std::string& key_bits,
+                          const std::string& id) const;
+
+  // One source of the k-way merge (a run segment or the memtable window).
+  struct Cursor {
+    const Entry* run_pos = nullptr;
+    const Entry* run_end = nullptr;
+    Memtable::const_iterator mem_pos;
+    Memtable::const_iterator mem_end;
+    bool is_memtable = false;
+
+    const Entry* head() const {
+      if (is_memtable) {
+        return mem_pos == mem_end ? nullptr : &mem_pos->second;
+      }
+      return run_pos == run_end ? nullptr : run_pos;
+    }
+    void Advance() {
+      if (is_memtable) {
+        ++mem_pos;
+      } else {
+        ++run_pos;
+      }
+    }
+  };
+
+  enum class ScanBound { kRangeHi, kPrefix, kNone };
+
+  // The merge core: walks all sources in slot order starting at the first
+  // slot with key bits >= `lo_bits`, resolves shadowing (newest source
+  // wins per slot), stops once the key leaves the bound, and visits every
+  // winner (skipping tombstones unless `include_tombstones`). No heap
+  // allocation. Returns false iff the visitor stopped the scan.
+  bool ScanMerged(std::string_view lo_bits, ScanBound bound,
+                  std::string_view bound_bits, bool include_tombstones,
+                  EntryVisitor visit) const;
+
+  void MaybeFlush();
+  void CompactRuns();
+  void RebuildFrom(Run all_slots);  // Sorted, deduped, tombstones included.
+
+  LocalStoreOptions options_;
+  Memtable memtable_;
+  std::vector<Run> runs_;  // runs_[0] oldest … runs_.back() newest.
   size_t live_count_ = 0;
+  size_t slot_count_ = 0;
 };
 
 }  // namespace pgrid

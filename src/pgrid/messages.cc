@@ -5,7 +5,8 @@ namespace pgrid {
 namespace {
 
 Result<Key> DecodeKey(BufferReader* r) {
-  UNISTORE_ASSIGN_OR_RETURN(std::string bits, r->GetString());
+  // Zero-copy: validate the bits in place, copy once into the Key.
+  UNISTORE_ASSIGN_OR_RETURN(std::string_view bits, r->GetStringView());
   for (char c : bits) {
     if (c != '0' && c != '1') {
       return Status::Corruption("key contains non-bit character");
@@ -73,10 +74,17 @@ Result<LookupRequest> LookupRequest::Decode(std::string_view bytes) {
 }
 
 std::string LookupReply::Encode() const {
+  return EncodeStreamed(entries.size(), [this](BufferWriter* w) {
+    for (const Entry& e : entries) e.Encode(w);
+  });
+}
+
+std::string LookupReply::EncodeStreamed(uint64_t count,
+                                        EntryStreamFn emit) const {
   BufferWriter w;
   w.PutU8(status_code);
   w.PutString(error);
-  EncodeEntries(entries, &w);
+  EncodeEntryStream(count, &w, emit);
   w.PutString(owner_path);
   w.PutU32(owner);
   return w.Release();
@@ -145,8 +153,15 @@ Result<RangeSeqRequest> RangeSeqRequest::Decode(std::string_view bytes) {
 }
 
 std::string RangeSeqReply::Encode() const {
+  return EncodeStreamed(entries.size(), [this](BufferWriter* w) {
+    for (const Entry& e : entries) e.Encode(w);
+  });
+}
+
+std::string RangeSeqReply::EncodeStreamed(uint64_t count,
+                                          EntryStreamFn emit) const {
   BufferWriter w;
-  EncodeEntries(entries, &w);
+  EncodeEntryStream(count, &w, emit);
   w.PutBool(will_forward);
   w.PutString(peer_path);
   w.PutU8(status_code);
@@ -182,8 +197,15 @@ Result<RangeShowerRequest> RangeShowerRequest::Decode(
 }
 
 std::string RangeShowerReply::Encode() const {
+  return EncodeStreamed(entries.size(), [this](BufferWriter* w) {
+    for (const Entry& e : entries) e.Encode(w);
+  });
+}
+
+std::string RangeShowerReply::EncodeStreamed(uint64_t count,
+                                             EntryStreamFn emit) const {
   BufferWriter w;
-  EncodeEntries(entries, &w);
+  EncodeEntryStream(count, &w, emit);
   w.PutU32(forwards);
   w.PutU32(unreachable);
   w.PutString(peer_path);
@@ -266,8 +288,15 @@ Result<EntryBatch> EntryBatch::Decode(std::string_view bytes) {
 }
 
 std::string AntiEntropyReply::Encode() const {
+  return EncodeStreamed(entries.size(), [this](BufferWriter* w) {
+    for (const Entry& e : entries) e.Encode(w);
+  });
+}
+
+std::string AntiEntropyReply::EncodeStreamed(uint64_t count,
+                                             EntryStreamFn emit) {
   BufferWriter w;
-  EncodeEntries(entries, &w);
+  EncodeEntryStream(count, &w, emit);
   return w.Release();
 }
 

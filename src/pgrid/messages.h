@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/codec.h"
+#include "common/function_ref.h"
 #include "common/result.h"
 #include "net/message.h"
 #include "pgrid/entry.h"
@@ -20,6 +21,12 @@ namespace unistore {
 namespace pgrid {
 
 using net::PeerId;
+
+/// Writes `count` encoded entries straight into a wire buffer (the body of
+/// an EncodeEntryStream call) — replies stream entries out of a LocalStore
+/// scan instead of materializing intermediate vectors (zero-copy read
+/// path, DESIGN.md § Local storage engine).
+using EntryStreamFn = FunctionRef<void(BufferWriter*)>;
 
 /// References grouped by trie level, as shipped in exchange messages.
 struct RefsBlock {
@@ -53,6 +60,9 @@ struct LookupReply {
   PeerId owner = net::kNoPeer;
 
   std::string Encode() const;
+  /// Byte-identical to Encode() with `entries` holding the same sequence,
+  /// but the entries come from `emit` (ignoring the `entries` member).
+  std::string EncodeStreamed(uint64_t count, EntryStreamFn emit) const;
   static Result<LookupReply> Decode(std::string_view bytes);
 };
 
@@ -97,6 +107,8 @@ struct RangeSeqReply {
   std::string error;
 
   std::string Encode() const;
+  /// Streamed-entries variant of Encode() (see LookupReply).
+  std::string EncodeStreamed(uint64_t count, EntryStreamFn emit) const;
   static Result<RangeSeqReply> Decode(std::string_view bytes);
 };
 
@@ -121,6 +133,8 @@ struct RangeShowerReply {
   std::string peer_path;
 
   std::string Encode() const;
+  /// Streamed-entries variant of Encode() (see LookupReply).
+  std::string EncodeStreamed(uint64_t count, EntryStreamFn emit) const;
   static Result<RangeShowerReply> Decode(std::string_view bytes);
 };
 
@@ -175,6 +189,8 @@ struct AntiEntropyReply {
   std::vector<Entry> entries;  ///< Includes tombstones.
 
   std::string Encode() const;
+  /// Streamed-entries variant of Encode() (see LookupReply).
+  static std::string EncodeStreamed(uint64_t count, EntryStreamFn emit);
   static Result<AntiEntropyReply> Decode(std::string_view bytes);
 };
 

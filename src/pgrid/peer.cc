@@ -1,6 +1,7 @@
 #include "pgrid/peer.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/logging.h"
@@ -15,6 +16,21 @@ namespace {
 
 void NoopStatus(Status) {}
 
+// Entries a scan visits. Streamed reply encoders need the varint count
+// before the entry bytes, so serving scans twice: this counting pass is
+// merge-advance only (none of the encode work), which keeps it much
+// cheaper than single-pass alternatives that back-patch a variable-width
+// count prefix into the buffer.
+template <typename ScanFn>  // void(LocalStore::EntryVisitor)
+uint64_t CountEntries(ScanFn&& scan) {
+  uint64_t count = 0;
+  scan([&count](const Entry&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
 }  // namespace
 
 Peer::Peer(net::Transport* transport, uint64_t rng_seed, PeerOptions options)
@@ -22,6 +38,7 @@ Peer::Peer(net::Transport* transport, uint64_t rng_seed, PeerOptions options)
       id_(net::kNoPeer),
       options_(options),
       rng_(rng_seed),
+      store_(options.storage),
       rpc_(net::kNoPeer, transport) {
   id_ = transport_->AddPeer([this](const Message& msg) { OnMessage(msg); });
   // RpcManager was built before the id existed; rebuild in place.
@@ -123,8 +140,15 @@ void Peer::DoLookup(const Key& key, LookupMode mode, int retries_left,
                     LookupCallback callback) {
   if (IsResponsible(key)) {
     LookupResult result;
-    result.entries = (mode == LookupMode::kExact) ? store_.Get(key)
-                                                  : store_.GetByPrefix(key);
+    auto collect = [&result](const Entry& e) {
+      result.entries.push_back(e);
+      return true;
+    };
+    if (mode == LookupMode::kExact) {
+      store_.ScanKey(key, collect);
+    } else {
+      store_.ScanPrefix(key, collect);
+    }
     result.hops = 0;
     result.owner = id_;
     result.owner_path = path_.bits();
@@ -188,14 +212,26 @@ void Peer::DoLookup(const Key& key, LookupMode mode, int retries_left,
 
 void Peer::ServeLookup(const LookupRequest& req, uint64_t request_id,
                        uint32_t hops) {
+  // Zero-copy serving: one counting scan sizes the varint prefix, a second
+  // scan encodes the matching entries straight into the reply buffer. No
+  // intermediate std::vector<Entry>, no per-entry heap allocation.
+  const bool exact = req.mode == LookupMode::kExact;
+  auto run_scan = [this, &req, exact](LocalStore::EntryVisitor v) {
+    exact ? store_.ScanKey(req.key, v) : store_.ScanPrefix(req.key, v);
+  };
+
   LookupReply reply;
-  reply.entries = (req.mode == LookupMode::kExact)
-                      ? store_.Get(req.key)
-                      : store_.GetByPrefix(req.key);
   reply.owner_path = path_.bits();
   reply.owner = id_;
+  std::string payload = reply.EncodeStreamed(
+      CountEntries(run_scan), [&run_scan](BufferWriter* w) {
+        run_scan([w](const Entry& e) {
+          e.Encode(w);
+          return true;
+        });
+      });
   rpc_.ReplyTo(req.initiator, request_id, hops, MessageType::kLookupReply,
-               reply.Encode());
+               std::move(payload));
 }
 
 void Peer::HandleLookup(const Message& msg) {
@@ -375,9 +411,17 @@ void Peer::HandleEntryBatch(const Message& msg) {
 }
 
 void Peer::HandleAntiEntropy(const Message& msg) {
-  AntiEntropyReply reply;
-  reply.entries = store_.GetAll();
-  rpc_.Reply(msg, MessageType::kAntiEntropyReply, reply.Encode());
+  // Anti-entropy ships every distinct slot including tombstones —
+  // total_size() is exactly the number of slots a ScanAll visits, so the
+  // full state streams into the reply buffer without an intermediate copy.
+  rpc_.Reply(msg, MessageType::kAntiEntropyReply,
+             AntiEntropyReply::EncodeStreamed(
+                 store_.total_size(), [this](BufferWriter* w) {
+                   store_.ScanAll([w](const Entry& e) {
+                     e.Encode(w);
+                     return true;
+                   });
+                 }));
 }
 
 void Peer::PullFromReplica(StatusCallback callback) {
@@ -444,21 +488,25 @@ void Peer::RangeScanSeq(const KeyRange& range, RangeCallback callback,
 void Peer::ProcessRangeSeq(const RangeSeqRequest& req, uint64_t request_id,
                            uint32_t hops) {
   RangeSeqReply reply;
-  reply.entries = store_.GetRange(req.range);
   reply.peer_path = path_.bits();
 
-  // Under a limit, trim the local batch to the remaining budget. GetRange
-  // returns entries in key order, so keeping a prefix preserves the
-  // ordered-walk semantics (the smallest keys win).
-  if (req.limit > 0 && req.collected < req.limit) {
-    const size_t budget = req.limit - req.collected;
-    if (reply.entries.size() > budget) reply.entries.resize(budget);
-  } else if (req.limit > 0) {
-    reply.entries.clear();
+  // Under a limit, cap the local batch at the remaining budget. The scan
+  // visits entries in key order, so stopping early preserves the
+  // ordered-walk semantics (the smallest keys win) — and unlike the old
+  // materialize-then-trim, entries past the budget are never even read.
+  uint64_t budget = std::numeric_limits<uint64_t>::max();
+  if (req.limit > 0) {
+    budget = req.collected < req.limit ? req.limit - req.collected : 0;
+  }
+  uint64_t count = 0;
+  if (budget > 0) {
+    store_.ScanRange(req.range, [&count, budget](const Entry&) {
+      return ++count < budget;
+    });
   }
 
   const uint32_t collected_now =
-      req.collected + static_cast<uint32_t>(reply.entries.size());
+      req.collected + static_cast<uint32_t>(count);
 
   // Does the range extend beyond this peer's subtree?
   const Key subtree_max = path_.PadTo(kKeyBits, /*ones=*/true);
@@ -490,7 +538,33 @@ void Peer::ProcessRangeSeq(const RangeSeqRequest& req, uint64_t request_id,
       }
     }
   }
-  DeliverSeqPartial(req.initiator, request_id, hops, reply);
+
+  if (req.initiator == id_) {
+    // Initiator-local partial: the struct is consumed directly, so the
+    // entries must be materialized (they become the caller's result).
+    reply.entries.reserve(count);
+    if (count > 0) {
+      store_.ScanRange(req.range, [&reply, count](const Entry& e) {
+        reply.entries.push_back(e);
+        return reply.entries.size() < count;
+      });
+    }
+    OnSeqPartial(request_id, hops, reply);
+    return;
+  }
+  // Remote partial: encode the scanned entries straight into the wire
+  // buffer (byte-identical to the materialized encoding).
+  std::string payload =
+      reply.EncodeStreamed(count, [this, &req, count](BufferWriter* w) {
+        if (count == 0) return;
+        uint64_t emitted = 0;
+        store_.ScanRange(req.range, [w, &emitted, count](const Entry& e) {
+          e.Encode(w);
+          return ++emitted < count;
+        });
+      });
+  rpc_.ReplyTo(req.initiator, request_id, hops, MessageType::kRangeSeqReply,
+               std::move(payload));
 }
 
 void Peer::HandleRangeSeq(const Message& msg) {
@@ -603,28 +677,39 @@ void Peer::ProcessRangeShower(const RangeShowerRequest& req,
     reply.forwards++;
   }
 
-  if (req.range.IntersectsPrefix(path_, kKeyBits)) {
-    reply.entries =
-        store_.GetRange(req.range.ClampToPrefix(path_, kKeyBits));
+  const bool has_local = req.range.IntersectsPrefix(path_, kKeyBits);
+  const KeyRange clamped =
+      has_local ? req.range.ClampToPrefix(path_, kKeyBits) : KeyRange{};
+  auto run_scan = [this, has_local, &clamped](LocalStore::EntryVisitor v) {
+    if (has_local) store_.ScanRange(clamped, v);
+  };
+  const uint64_t count = CountEntries(run_scan);
+
+  if (req.initiator == id_) {
+    // Initiator-local branch result: consumed as a struct, materialize.
+    reply.entries.reserve(count);
+    run_scan([&reply](const Entry& e) {
+      reply.entries.push_back(e);
+      return true;
+    });
+    OnShowerPartial(request_id, hops, reply);
+    return;
   }
-  DeliverShowerPartial(req.initiator, request_id, hops, reply);
+  std::string payload =
+      reply.EncodeStreamed(count, [&run_scan](BufferWriter* w) {
+        run_scan([w](const Entry& e) {
+          e.Encode(w);
+          return true;
+        });
+      });
+  rpc_.ReplyTo(req.initiator, request_id, hops,
+               MessageType::kRangeShowerReply, std::move(payload));
 }
 
 void Peer::HandleRangeShower(const Message& msg) {
   auto req = RangeShowerRequest::Decode(msg.payload);
   if (!req.ok()) return;
   ProcessRangeShower(*req, msg.request_id, msg.hops);
-}
-
-void Peer::DeliverShowerPartial(PeerId initiator, uint64_t request_id,
-                                uint32_t hops,
-                                const RangeShowerReply& reply) {
-  if (initiator == id_) {
-    OnShowerPartial(request_id, hops, reply);
-    return;
-  }
-  rpc_.ReplyTo(initiator, request_id, hops, MessageType::kRangeShowerReply,
-               reply.Encode());
 }
 
 void Peer::OnShowerPartial(uint64_t request_id, uint32_t hops,

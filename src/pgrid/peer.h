@@ -49,6 +49,10 @@ struct PeerOptions {
 
   /// Recursive meetings an exchange may trigger (construction gossip).
   uint32_t exchange_ttl = 2;
+
+  /// Local storage engine knobs (memtable flush threshold, run
+  /// compaction fan-in — DESIGN.md § Local storage engine).
+  LocalStoreOptions storage;
 };
 
 /// Result of a lookup operation.
@@ -192,8 +196,6 @@ class Peer {
                           uint32_t hops);
   void DeliverSeqPartial(PeerId initiator, uint64_t request_id, uint32_t hops,
                          const RangeSeqReply& reply);
-  void DeliverShowerPartial(PeerId initiator, uint64_t request_id,
-                            uint32_t hops, const RangeShowerReply& reply);
   void OnSeqPartial(uint64_t request_id, uint32_t hops,
                     const RangeSeqReply& reply);
   void OnShowerPartial(uint64_t request_id, uint32_t hops,

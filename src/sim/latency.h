@@ -1,6 +1,6 @@
 // Latency models: how long a message takes between two peers.
 //
-// The PlanetLab substitution (DESIGN.md §6) hinges on these: the paper's
+// The PlanetLab substitution (DESIGN.md §7) hinges on these: the paper's
 // end-to-end numbers ("query answer times ... a couple of seconds" on up to
 // 400 nodes) are compositions of per-hop WAN delays, so we model per-message
 // one-way latency with distributions fitted to typical PlanetLab RTTs.

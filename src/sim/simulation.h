@@ -1,7 +1,7 @@
 // Discrete-event simulation core: the single-threaded Scheduler.
 //
 // UniStore's network substrate (the substitution for the paper's PlanetLab
-// testbed, see DESIGN.md §6) is a discrete-event simulator: a virtual clock
+// testbed, see DESIGN.md §7) is a discrete-event simulator: a virtual clock
 // plus ordered queues of callbacks. This file holds the default
 // single-threaded engine; the sharded parallel engine lives in
 // sim/sharded_scheduler.h. Determinism: given the same seed and the same

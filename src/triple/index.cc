@@ -101,11 +101,20 @@ pgrid::KeyRange ValueRange(const Value& lo, const Value& hi) {
 std::vector<Triple> DecodeTriples(const std::vector<pgrid::Entry>& entries) {
   std::vector<Triple> out;
   out.reserve(entries.size());
+  VisitTriples(entries, [&out](Triple&& t) {
+    out.push_back(std::move(t));
+    return true;
+  });
+  return out;
+}
+
+void VisitTriples(const std::vector<pgrid::Entry>& entries,
+                  FunctionRef<bool(Triple&&)> visit) {
   for (const auto& e : entries) {
     auto t = Triple::DecodeFromString(e.payload);
-    if (t.ok()) out.push_back(std::move(*t));
+    if (!t.ok()) continue;
+    if (!visit(std::move(*t))) return;
   }
-  return out;
 }
 
 }  // namespace triple

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/function_ref.h"
 #include "pgrid/entry.h"
 #include "pgrid/key.h"
 #include "pgrid/ophash.h"
@@ -71,6 +72,12 @@ pgrid::KeyRange ValueRange(const Value& lo, const Value& hi);
 /// Entries produced by EntriesForTriple always decode; this tolerates
 /// foreign payloads sharing the key space.
 std::vector<Triple> DecodeTriples(const std::vector<pgrid::Entry>& entries);
+
+/// Visitor form of DecodeTriples: each decodable triple is handed to
+/// `visit` (by rvalue reference — take ownership with std::move) without
+/// materializing an intermediate vector. Return false to stop early.
+void VisitTriples(const std::vector<pgrid::Entry>& entries,
+                  FunctionRef<bool(Triple&&)> visit);
 
 }  // namespace triple
 }  // namespace unistore

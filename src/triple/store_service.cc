@@ -18,17 +18,25 @@ struct FanIn {
   }
 };
 
-}  // namespace
-
-std::vector<Triple> DedupTriples(std::vector<Triple> triples) {
-  std::set<std::string> seen;
+// Decodes `entries`, keeps the triples `keep` accepts, and dedupes by
+// Identity (first occurrence wins) — all in one pass, without the
+// intermediate decode/filter vectors of the old DecodeTriples +
+// DedupTriples pipeline.
+std::vector<Triple> FilterDedupTriples(
+    const std::vector<pgrid::Entry>& entries,
+    FunctionRef<bool(const Triple&)> keep) {
   std::vector<Triple> out;
-  out.reserve(triples.size());
-  for (auto& t : triples) {
-    if (seen.insert(t.Identity()).second) out.push_back(std::move(t));
-  }
+  std::set<std::string> seen;
+  VisitTriples(entries, [&out, &seen, &keep](Triple&& t) {
+    if (!keep(t)) return true;
+    if (!seen.insert(t.Identity()).second) return true;
+    out.push_back(std::move(t));
+    return true;
+  });
   return out;
 }
+
+}  // namespace
 
 void TripleStore::InsertEntries(std::vector<pgrid::Entry> entries,
                               StatusCallback callback) {
@@ -77,11 +85,9 @@ void TripleStore::GetByOid(const std::string& oid,
           callback(result.status());
           return;
         }
-        std::vector<Triple> triples;
-        for (Triple& t : DecodeTriples(result->entries)) {
-          if (t.oid == oid) triples.push_back(std::move(t));
-        }
-        callback(DedupTriples(std::move(triples)));
+        callback(FilterDedupTriples(
+            result->entries,
+            [&oid](const Triple& t) { return t.oid == oid; }));
       });
 }
 
@@ -95,13 +101,10 @@ void TripleStore::GetByAttrValue(const std::string& attribute,
           callback(result.status());
           return;
         }
-        std::vector<Triple> triples;
-        for (Triple& t : DecodeTriples(result->entries)) {
-          if (t.attribute == attribute && t.value == value) {
-            triples.push_back(std::move(t));
-          }
-        }
-        callback(DedupTriples(std::move(triples)));
+        callback(FilterDedupTriples(
+            result->entries, [&attribute, &value](const Triple& t) {
+              return t.attribute == attribute && t.value == value;
+            }));
       });
 }
 
@@ -120,11 +123,7 @@ void TripleStore::RunRange(const pgrid::KeyRange& range,
           "range scan incomplete: a subtree was unreachable"));
       return;
     }
-    std::vector<Triple> triples;
-    for (Triple& t : DecodeTriples(result->entries)) {
-      if (keep(t)) triples.push_back(std::move(t));
-    }
-    callback(DedupTriples(std::move(triples)));
+    callback(FilterDedupTriples(result->entries, keep));
   };
   if (strategy == RangeStrategy::kSequential) {
     peer_->RangeScanSeq(range, std::move(handler), limit);
@@ -185,11 +184,9 @@ void TripleStore::GetByValue(const Value& value, TriplesCallback callback) {
                     callback(result.status());
                     return;
                   }
-                  std::vector<Triple> triples;
-                  for (Triple& t : DecodeTriples(result->entries)) {
-                    if (t.value == value) triples.push_back(std::move(t));
-                  }
-                  callback(DedupTriples(std::move(triples)));
+                  callback(FilterDedupTriples(
+                      result->entries,
+                      [&value](const Triple& t) { return t.value == value; }));
                 });
 }
 

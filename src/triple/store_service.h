@@ -110,9 +110,6 @@ class TripleStore {
   pgrid::Peer* peer_;
 };
 
-/// Removes duplicate triples (same Identity), preserving first occurrence.
-std::vector<Triple> DedupTriples(std::vector<Triple> triples);
-
 }  // namespace triple
 }  // namespace unistore
 

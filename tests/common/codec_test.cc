@@ -104,6 +104,100 @@ TEST(CodecTest, NegativeAndSpecialDoubles) {
                    std::numeric_limits<double>::lowest());
 }
 
+// --- Adversarial length prefixes (unsigned-overflow regression) ------------
+//
+// The bounds checks used to compute `pos_ + len > data_.size()`: a varint
+// length close to UINT64_MAX wraps the addition and the check passes, after
+// which substr/indexing reads out of bounds. The checks now compare against
+// remaining(), which cannot overflow.
+
+TEST(CodecFuzzTest, OverflowingStringLengthIsCorruption) {
+  for (uint64_t len :
+       {std::numeric_limits<uint64_t>::max(),
+        std::numeric_limits<uint64_t>::max() - 1,
+        std::numeric_limits<uint64_t>::max() - 8,
+        static_cast<uint64_t>(1) << 63, static_cast<uint64_t>(1) << 32}) {
+    BufferWriter w;
+    w.PutVarint(len);
+    w.PutRaw("some trailing bytes");
+    BufferReader r(w.buffer());
+    auto got = r.GetString();
+    ASSERT_FALSE(got.ok()) << "len=" << len;
+    EXPECT_EQ(got.status().code(), StatusCode::kCorruption);
+    BufferReader rv(w.buffer());
+    EXPECT_EQ(rv.GetStringView().status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(CodecFuzzTest, FixedWidthReadsNearTheEnd) {
+  // Every fixed-width getter must fail cleanly at every truncation point.
+  BufferWriter w;
+  w.PutU64(0x1122334455667788ULL);
+  const std::string& full = w.buffer();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    BufferReader r(std::string_view(full).substr(0, cut));
+    EXPECT_EQ(r.GetU64().status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(CodecFuzzTest, GetStringViewAliasesBufferAndRoundTrips) {
+  BufferWriter w;
+  w.PutString("alpha");
+  w.PutString("");
+  w.PutString("beta");
+  const std::string buf = w.Release();
+  BufferReader r(buf);
+  auto a = r.GetStringView();
+  auto empty = r.GetStringView();
+  auto b = r.GetStringView();
+  ASSERT_TRUE(a.ok() && empty.ok() && b.ok());
+  EXPECT_EQ(*a, "alpha");
+  EXPECT_TRUE(empty->empty());
+  EXPECT_EQ(*b, "beta");
+  EXPECT_TRUE(r.AtEnd());
+  // Views alias the input buffer: no copy was made.
+  EXPECT_GE(a->data(), buf.data());
+  EXPECT_LT(a->data(), buf.data() + buf.size());
+}
+
+// Mutation fuzz: flip random bytes in valid encodings and confirm every
+// getter either succeeds or reports Corruption — never crashes or reads
+// out of bounds (the ASan CI job runs this test under sanitizers).
+TEST(CodecFuzzTest, RandomMutationsNeverCrash) {
+  Rng rng(77);
+  for (int iter = 0; iter < 500; ++iter) {
+    BufferWriter w;
+    w.PutVarint(rng.Next());
+    std::string s;
+    const size_t len = rng.NextBounded(40);
+    for (size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    w.PutString(s);
+    w.PutU32(static_cast<uint32_t>(rng.Next()));
+    std::string bytes = w.Release();
+
+    const size_t flips = 1 + rng.NextBounded(4);
+    for (size_t f = 0; f < flips && !bytes.empty(); ++f) {
+      bytes[rng.NextBounded(bytes.size())] =
+          static_cast<char>(rng.NextBounded(256));
+    }
+    if (rng.NextBounded(3) == 0) {
+      bytes.resize(rng.NextBounded(bytes.size() + 1));  // Truncate too.
+    }
+
+    BufferReader r(bytes);
+    (void)r.GetVarint();
+    auto sv = r.GetStringView();
+    if (sv.ok()) {
+      // A successful view must lie entirely inside the buffer.
+      ASSERT_GE(sv->data(), bytes.data());
+      ASSERT_LE(sv->data() + sv->size(), bytes.data() + bytes.size());
+    }
+    (void)r.GetU32();
+  }
+}
+
 // Property: random sequences of typed values round-trip exactly.
 TEST(CodecTest, PropertyRandomRoundTrip) {
   Rng rng(2024);

@@ -2,12 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <vector>
+
+// Allocation-counting hook: the zero-copy discipline of the visitor read
+// path (DESIGN.md §6) is verified by counting global operator new calls
+// around a scan.
+#include "common/alloc_hook.h"
 #include "common/codec.h"
+#include "common/rng.h"
 #include "pgrid/ophash.h"
 
 namespace unistore {
 namespace pgrid {
 namespace {
+
+using alloc_hook::CountCalls;
 
 Entry MakeEntry(const std::string& keybits, const std::string& id,
                 const std::string& payload, uint64_t version = 1,
@@ -19,6 +30,14 @@ Entry MakeEntry(const std::string& keybits, const std::string& id,
   e.version = version;
   e.deleted = deleted;
   return e;
+}
+
+// Small thresholds so a handful of entries exercises flush + compaction.
+LocalStoreOptions TinyEngine() {
+  LocalStoreOptions o;
+  o.memtable_flush_threshold = 4;
+  o.max_runs = 2;
+  return o;
 }
 
 TEST(LocalStoreTest, InsertAndGet) {
@@ -123,10 +142,284 @@ TEST(LocalStoreTest, ClearResets) {
   EXPECT_EQ(store.total_size(), 0u);
 }
 
+// --- Engine mechanics: memtable, runs, compaction --------------------------
+
+TEST(LocalStoreEngineTest, FlushAndCompactionBoundRunCount) {
+  LocalStore store(TinyEngine());
+  for (int i = 0; i < 64; ++i) {
+    std::string bits;
+    for (int b = 5; b >= 0; --b) bits += ((i >> b) & 1) ? '1' : '0';
+    store.Apply(MakeEntry(bits, "id", "p" + std::to_string(i)));
+  }
+  EXPECT_LE(store.run_count(), 2u);
+  EXPECT_LT(store.memtable_size(), 4u);
+  EXPECT_EQ(store.live_size(), 64u);
+  EXPECT_EQ(store.GetAllLive().size(), 64u);
+}
+
+TEST(LocalStoreEngineTest, MaxRunsAtHardCapCompactsSafely) {
+  // Regression: at max_runs == kMaxRuns the compaction triggered by a
+  // flush scans while kMaxRuns + 1 runs exist; the merge cursor array
+  // must accommodate that transient extra source.
+  LocalStoreOptions options;
+  options.memtable_flush_threshold = 1;  // Every Apply flushes a run.
+  options.max_runs = LocalStoreOptions::kMaxRuns;
+  LocalStore store(options);
+  for (int i = 0; i < 64; ++i) {
+    std::string bits;
+    for (int b = 5; b >= 0; --b) bits += ((i >> b) & 1) ? '1' : '0';
+    store.Apply(MakeEntry(bits, "id", "p" + std::to_string(i)));
+  }
+  EXPECT_LE(store.run_count(), LocalStoreOptions::kMaxRuns);
+  EXPECT_EQ(store.live_size(), 64u);
+  EXPECT_EQ(store.GetAllLive().size(), 64u);
+}
+
+TEST(LocalStoreEngineTest, VersionOrderingAcrossFlushBoundaries) {
+  LocalStore store(TinyEngine());
+  // v1 lands in a run, v2 shadows it from the memtable, then from a newer
+  // run after another flush.
+  store.Apply(MakeEntry("0101", "t1", "v1", 1));
+  store.Flush();
+  EXPECT_TRUE(store.Apply(MakeEntry("0101", "t1", "v2", 2)));
+  EXPECT_EQ(store.Get(Key::FromBits("0101"))[0].payload, "v2");
+  store.Flush();
+  EXPECT_EQ(store.run_count(), 2u);
+  EXPECT_EQ(store.Get(Key::FromBits("0101"))[0].payload, "v2");
+  // Stale re-delivery is rejected even though v1 still sits in an old run.
+  EXPECT_FALSE(store.Apply(MakeEntry("0101", "t1", "v1", 1)));
+  store.Compact();
+  EXPECT_EQ(store.run_count(), 1u);
+  EXPECT_EQ(store.Get(Key::FromBits("0101"))[0].payload, "v2");
+  EXPECT_EQ(store.total_size(), 1u);
+  EXPECT_EQ(store.live_size(), 1u);
+}
+
+TEST(LocalStoreEngineTest, TombstoneSurvivesCompaction) {
+  LocalStore store(TinyEngine());
+  store.Apply(MakeEntry("0101", "t1", "x", 1));
+  store.Flush();
+  store.Apply(MakeEntry("0101", "t1", "", 2, /*deleted=*/true));
+  store.Flush();
+  store.Compact();
+  EXPECT_EQ(store.run_count(), 1u);
+  EXPECT_EQ(store.total_size(), 1u);
+  EXPECT_EQ(store.live_size(), 0u);
+  // The compacted run still carries the tombstone: anti-entropy sees it,
+  // reads do not, and the old version cannot resurrect.
+  EXPECT_EQ(store.GetAll().size(), 1u);
+  EXPECT_TRUE(store.GetAll()[0].deleted);
+  EXPECT_FALSE(store.Apply(MakeEntry("0101", "t1", "x", 1)));
+  EXPECT_TRUE(store.Get(Key::FromBits("0101")).empty());
+}
+
+TEST(LocalStoreEngineTest, ExtractNotMatchingAcrossRunsAndMemtable) {
+  LocalStore store(TinyEngine());
+  store.Apply(MakeEntry("0001", "a", "1"));
+  store.Apply(MakeEntry("0100", "b", "2"));
+  store.Flush();
+  store.Apply(MakeEntry("1001", "c", "3"));
+  store.Apply(MakeEntry("0110", "d", "", 2, /*deleted=*/true));
+  // Path specialization to "01": "0001" and "1001" leave; the tombstone
+  // under "0110" stays (tombstones are data too).
+  auto removed = store.ExtractNotMatching(Key::FromBits("01"));
+  ASSERT_EQ(removed.size(), 2u);
+  EXPECT_EQ(removed[0].payload, "1");
+  EXPECT_EQ(removed[1].payload, "3");
+  EXPECT_EQ(store.live_size(), 1u);
+  EXPECT_EQ(store.total_size(), 2u);
+  EXPECT_EQ(store.run_count(), 1u);
+  EXPECT_EQ(store.memtable_size(), 0u);
+}
+
+TEST(LocalStoreEngineTest, ScanEarlyExitStopsMerge) {
+  LocalStore store(TinyEngine());
+  for (int i = 0; i < 16; ++i) {
+    std::string bits;
+    for (int b = 3; b >= 0; --b) bits += ((i >> b) & 1) ? '1' : '0';
+    store.Apply(MakeEntry(bits, "id", "p"));
+  }
+  size_t visited = 0;
+  bool completed = store.ScanAllLive([&visited](const Entry&) {
+    return ++visited < 5;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(visited, 5u);
+}
+
+TEST(LocalStoreEngineTest, VisitorReadPathDoesNotAllocate) {
+  LocalStore store(TinyEngine());
+  // Spread entries across two runs and the memtable so the scan really
+  // merges all sources.
+  for (int i = 0; i < 11; ++i) {
+    std::string bits;
+    for (int b = 3; b >= 0; --b) bits += ((i >> b) & 1) ? '1' : '0';
+    store.Apply(MakeEntry(bits, "id" + std::to_string(i),
+                          "payload-" + std::to_string(i)));
+  }
+  ASSERT_GE(store.run_count(), 1u);
+  ASSERT_GE(store.memtable_size(), 1u);
+
+  const KeyRange range{Key::FromBits("0000"), Key::FromBits("1111")};
+  size_t visited = 0;
+  size_t payload_bytes = 0;
+  const uint64_t allocs = CountCalls([&] {
+    store.ScanRange(range, [&](const Entry& e) {
+      ++visited;
+      payload_bytes += e.payload.size();
+      return true;
+    });
+  });
+  EXPECT_EQ(visited, 11u);
+  EXPECT_GT(payload_bytes, 0u);
+  EXPECT_EQ(allocs, 0u) << "visitor read path must not touch the heap";
+
+  // Point and full scans are allocation-free too.
+  EXPECT_EQ(CountCalls([&] {
+              store.ScanKey(Key::FromBits("0101"), [](const Entry&) {
+                return true;
+              });
+              store.ScanAll([](const Entry&) { return true; });
+            }),
+            0u);
+}
+
+// --- Differential property test against the original nested-map engine ----
+
+// Reference model: the exact pre-rewrite implementation (nested std::map,
+// copy-returning reads).
+class MapStoreModel {
+ public:
+  bool Apply(const Entry& entry) {
+    auto& slot_map = entries_[entry.key];
+    auto it = slot_map.find(entry.id);
+    if (it == slot_map.end()) {
+      if (!entry.deleted) ++live_count_;
+      slot_map.emplace(entry.id, entry);
+      return true;
+    }
+    if (entry.version <= it->second.version) return false;
+    if (!it->second.deleted && entry.deleted) --live_count_;
+    if (it->second.deleted && !entry.deleted) ++live_count_;
+    it->second = entry;
+    return true;
+  }
+
+  std::vector<Entry> GetRange(const KeyRange& range) const {
+    std::vector<Entry> out;
+    for (auto it = entries_.lower_bound(range.lo);
+         it != entries_.end() && it->first.Compare(range.hi) <= 0; ++it) {
+      for (const auto& [id, e] : it->second) {
+        if (!e.deleted) out.push_back(e);
+      }
+    }
+    return out;
+  }
+
+  std::vector<Entry> GetByPrefix(const Key& prefix) const {
+    std::vector<Entry> out;
+    for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+      if (!prefix.IsPrefixOf(it->first)) break;
+      for (const auto& [id, e] : it->second) {
+        if (!e.deleted) out.push_back(e);
+      }
+    }
+    return out;
+  }
+
+  std::vector<Entry> GetAll() const {
+    std::vector<Entry> out;
+    for (const auto& [key, slot_map] : entries_) {
+      for (const auto& [id, e] : slot_map) out.push_back(e);
+    }
+    return out;
+  }
+
+  std::vector<Entry> ExtractNotMatching(const Key& path) {
+    std::vector<Entry> removed;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (path.IsPrefixOf(it->first)) {
+        ++it;
+        continue;
+      }
+      for (const auto& [id, e] : it->second) {
+        if (!e.deleted) --live_count_;
+        removed.push_back(e);
+      }
+      it = entries_.erase(it);
+    }
+    return removed;
+  }
+
+  size_t live_size() const { return live_count_; }
+
+ private:
+  std::map<Key, std::map<std::string, Entry>> entries_;
+  size_t live_count_ = 0;
+};
+
+TEST(LocalStoreDifferentialTest, RandomWorkloadMatchesMapModel) {
+  Rng rng(20260728);
+  for (int round = 0; round < 8; ++round) {
+    LocalStoreOptions options;
+    options.memtable_flush_threshold = 1 + rng.NextBounded(16);
+    options.max_runs = 1 + rng.NextBounded(4);
+    LocalStore store(options);
+    MapStoreModel model;
+
+    for (int op = 0; op < 800; ++op) {
+      Entry e;
+      std::string bits;
+      for (int b = 0; b < 6; ++b) bits += rng.NextBounded(2) ? '1' : '0';
+      e.key = Key::FromBits(bits);
+      e.id = "id" + std::to_string(rng.NextBounded(8));
+      e.version = 1 + rng.NextBounded(12);
+      e.deleted = rng.NextBounded(4) == 0;
+      e.payload = e.deleted ? "" : "p" + std::to_string(op);
+      ASSERT_EQ(store.Apply(e), model.Apply(e)) << "op " << op;
+
+      if (op % 97 == 0) {
+        // Occasional path specialization, as exchanges trigger it.
+        std::string path;
+        for (int b = 0; b < 2; ++b) path += rng.NextBounded(2) ? '1' : '0';
+        auto removed_new = store.ExtractNotMatching(Key::FromBits(path));
+        auto removed_old = model.ExtractNotMatching(Key::FromBits(path));
+        ASSERT_EQ(removed_new, removed_old) << "extract at op " << op;
+      }
+    }
+
+    EXPECT_EQ(store.live_size(), model.live_size());
+    EXPECT_EQ(store.GetAll(), model.GetAll());
+    EXPECT_EQ(store.GetAllLive().size(), store.live_size());
+    EXPECT_EQ(store.total_size(), model.GetAll().size());
+
+    // Random range / prefix probes.
+    for (int probe = 0; probe < 32; ++probe) {
+      std::string lo, hi, prefix;
+      for (int b = 0; b < 6; ++b) lo += rng.NextBounded(2) ? '1' : '0';
+      for (int b = 0; b < 6; ++b) hi += rng.NextBounded(2) ? '1' : '0';
+      const uint64_t prefix_len = rng.NextBounded(5);
+      for (uint64_t b = 0; b < prefix_len; ++b) {
+        prefix += rng.NextBounded(2) ? '1' : '0';
+      }
+      if (lo > hi) std::swap(lo, hi);
+      KeyRange range{Key::FromBits(lo), Key::FromBits(hi)};
+      EXPECT_EQ(store.GetRange(range), model.GetRange(range));
+      EXPECT_EQ(store.GetByPrefix(Key::FromBits(prefix)),
+                model.GetByPrefix(Key::FromBits(prefix)));
+      EXPECT_EQ(store.Get(range.lo),
+                model.GetRange(KeyRange{range.lo, range.lo}));
+    }
+  }
+}
+
+// --- Entry codec -----------------------------------------------------------
+
 TEST(EntryCodecTest, RoundTrip) {
   Entry e = MakeEntry("010101", "triple-7", "payload bytes", 42, true);
   BufferWriter w;
   e.Encode(&w);
+  EXPECT_EQ(w.size(), e.EncodedSize());
   BufferReader r(w.buffer());
   auto back = Entry::Decode(&r);
   ASSERT_TRUE(back.ok());
@@ -146,6 +439,19 @@ TEST(EntryCodecTest, VectorRoundTrip) {
   for (size_t i = 0; i < 3; ++i) EXPECT_EQ((*back)[i], entries[i]);
 }
 
+TEST(EntryCodecTest, StreamedEncodeIsByteIdentical) {
+  std::vector<Entry> entries = {MakeEntry("00", "a", "1"),
+                                MakeEntry("01", "b", "2", 3),
+                                MakeEntry("10", "c", "", 9, true)};
+  BufferWriter materialized;
+  EncodeEntries(entries, &materialized);
+  BufferWriter streamed;
+  EncodeEntryStream(entries.size(), &streamed, [&](BufferWriter* w) {
+    for (const Entry& e : entries) e.Encode(w);
+  });
+  EXPECT_EQ(streamed.buffer(), materialized.buffer());
+}
+
 TEST(EntryCodecTest, CorruptKeyRejected) {
   BufferWriter w;
   w.PutString("01x1");  // Bad bit char.
@@ -155,6 +461,15 @@ TEST(EntryCodecTest, CorruptKeyRejected) {
   w.PutBool(false);
   BufferReader r(w.buffer());
   EXPECT_EQ(Entry::Decode(&r).status().code(), StatusCode::kCorruption);
+}
+
+TEST(EntryCodecTest, AdversarialEntryCountRejectedWithoutHugeReserve) {
+  // A huge varint count must fail with Corruption in the decode loop, not
+  // attempt a multi-exabyte vector reservation up front.
+  BufferWriter w;
+  w.PutVarint(0xFFFFFFFFFFFFFFFFull);
+  BufferReader r(w.buffer());
+  EXPECT_EQ(DecodeEntries(&r).status().code(), StatusCode::kCorruption);
 }
 
 }  // namespace
