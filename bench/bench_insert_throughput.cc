@@ -7,6 +7,9 @@
 // whole simulated pipeline).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+
 #include "bench_util.h"
 #include "core/cluster.h"
 #include "core/datagen.h"
@@ -70,6 +73,77 @@ void PrintInsertCosts() {
               "logarithmically with N.\n");
 }
 
+void PrintBulkIngest() {
+  bench::Banner(
+      "C9b / bulk vs per-tuple ingest",
+      "Population through the routed BulkInsert pipeline "
+      "(Cluster::BulkLoadTuplesSync — entries grouped per hop, owners "
+      "ingest via LocalStore::BulkLoad) vs one routed insert per tuple.");
+  bench::Table table({"peers", "tuples", "path", "wall s", "tuples/s",
+                      "msgs/tuple", "speedup"});
+  bench::GateJson gates;
+  for (size_t peers : {64, 256}) {
+    const auto tuples = core::GenerateContactTuples(2000, 31);
+    double per_tuple_s = 0;
+    for (bool bulk : {false, true}) {
+      core::ClusterOptions options;
+      options.peers = peers;
+      options.seed = 17;
+      options.node.qgram_index = false;
+      core::Cluster cluster(options);
+
+      auto before = cluster.overlay().transport().stats();
+      const auto t0 = std::chrono::steady_clock::now();
+      if (bulk) {
+        // One batch per 256 tuples: the anti-entropy / ingest shape.
+        for (size_t i = 0; i < tuples.size(); i += 256) {
+          std::vector<triple::Tuple> batch(
+              tuples.begin() + static_cast<ptrdiff_t>(i),
+              tuples.begin() +
+                  static_cast<ptrdiff_t>(std::min(tuples.size(), i + 256)));
+          if (!cluster
+                   .BulkLoadTuplesSync(
+                       static_cast<net::PeerId>(i % cluster.size()), batch)
+                   .ok()) {
+            return;
+          }
+        }
+      } else {
+        for (size_t i = 0; i < tuples.size(); ++i) {
+          auto via = static_cast<net::PeerId>(i % cluster.size());
+          if (!cluster.InsertTupleSync(via, tuples[i]).ok()) return;
+        }
+      }
+      cluster.simulation().RunUntilIdle();
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      auto traffic = cluster.overlay().transport().stats().Since(before);
+      const double n = static_cast<double>(tuples.size());
+      double speedup = 0;
+      if (bulk) {
+        speedup = per_tuple_s / wall;
+        gates.Add("bulk_tuple_speedup_" + std::to_string(peers) + "p",
+                  speedup);
+      } else {
+        per_tuple_s = wall;
+      }
+      table.AddRow(
+          {std::to_string(peers), std::to_string(tuples.size()),
+           bulk ? "bulk" : "per-tuple", bench::Fmt("%.2f", wall),
+           bench::Fmt("%.0f", n / wall),
+           bench::Fmt("%.1f", static_cast<double>(traffic.messages_sent) / n),
+           bulk ? bench::Fmt("%.1fx", speedup) : ""});
+    }
+  }
+  table.Print();
+  gates.WriteTo("BENCH_insert_throughput_gates.json");
+  std::printf("expected: bulk population faster and far fewer messages "
+              "per tuple (entries share routed walks instead of one "
+              "request per index entry).\n");
+}
+
 void BM_InsertTuple(benchmark::State& state) {
   const bool qgram = state.range(0) != 0;
   core::ClusterOptions options;
@@ -94,6 +168,25 @@ void BM_InsertTuple(benchmark::State& state) {
 }
 BENCHMARK(BM_InsertTuple)->Arg(0)->Arg(1);
 
+void BM_BulkLoadTuples(benchmark::State& state) {
+  core::ClusterOptions options;
+  options.peers = 64;
+  options.seed = 2;
+  options.node.qgram_index = false;
+  core::Cluster cluster(options);
+  const auto tuples = core::GenerateContactTuples(256, 5);
+  uint64_t round = 0;
+  for (auto _ : state) {
+    // Same tuple identities re-bulk-loaded each round: versions bump, so
+    // every round exercises the full pipeline (routing + BulkLoad).
+    benchmark::DoNotOptimize(cluster.BulkLoadTuplesSync(
+        static_cast<net::PeerId>(round++ % cluster.size()), tuples));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tuples.size()));
+}
+BENCHMARK(BM_BulkLoadTuples);
+
 void BM_TripleDecompose(benchmark::State& state) {
   core::BibliographyOptions data;
   data.authors = 100;
@@ -111,6 +204,7 @@ BENCHMARK(BM_TripleDecompose);
 
 int main(int argc, char** argv) {
   PrintInsertCosts();
+  PrintBulkIngest();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

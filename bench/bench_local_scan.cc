@@ -100,32 +100,10 @@ pgrid::Entry MakeEntry(uint64_t i) {
   return e;
 }
 
-// Order-sensitive FNV-1a over the visited entry stream: equal checksums +
-// equal counts == byte-identical results between engines.
-struct Checksum {
-  uint64_t h = 1469598103934665603ull;
-  uint64_t count = 0;
-
-  void Mix(std::string_view s) {
-    for (char c : s) {
-      h ^= static_cast<uint8_t>(c);
-      h *= 1099511628211ull;
-    }
-  }
-  void Add(const pgrid::Entry& e) {
-    ++count;
-    Mix(e.key.bits());
-    Mix(e.id);
-    Mix(e.payload);
-    h ^= e.version;
-    h *= 1099511628211ull;
-    h ^= e.deleted ? 1 : 0;
-    h *= 1099511628211ull;
-  }
-  bool operator==(const Checksum& o) const {
-    return h == o.h && count == o.count;
-  }
-};
+// Order-sensitive FNV-1a over the visited entry stream (shared with
+// bench_bulk_load): equal checksums + equal counts == byte-identical
+// results between engines.
+using Checksum = bench::StreamChecksum;
 
 struct Metric {
   double seconds = 0;
@@ -213,7 +191,7 @@ EngineResult RunSorted(const std::vector<pgrid::Entry>& entries,
   // Verification pass (untimed): checksum the full visited stream so the
   // engines can be compared byte for byte.
   auto checksum = [](Metric* m) {
-    return [m](const pgrid::Entry& e) {
+    return [m](const pgrid::EntryView& e) {
       m->sum.Add(e);
       return true;
     };
@@ -232,7 +210,7 @@ EngineResult RunSorted(const std::vector<pgrid::Entry>& entries,
   // before the actual encoding work.
   uint64_t sink = 0;
   auto touch = [&sink](Metric* m) {
-    return [&sink, m](const pgrid::Entry& e) {
+    return [&sink, m](const pgrid::EntryView& e) {
       sink += e.version;
       ++m->entries;
       return true;
@@ -398,6 +376,12 @@ void PrintScan() {
       "read-path allocations: %s, results identical: %s\n",
       g_speedup_100k, g_zero_alloc ? "zero" : "NON-ZERO",
       g_identical ? "yes" : "NO");
+
+  bench::GateJson gates;
+  gates.Add("range_scan_speedup_100k", g_speedup_100k);
+  gates.Add("read_path_allocations", g_zero_alloc ? 0 : 1);
+  gates.Add("results_identical", g_identical ? 1 : 0);
+  gates.WriteTo("BENCH_local_scan_gates.json");
 }
 
 // --- google-benchmark micro kernels ----------------------------------------
@@ -428,7 +412,7 @@ void BM_RangeScan_SortedRun(benchmark::State& state) {
   uint64_t visited = 0;
   for (auto _ : state) {
     store.ScanRange(w.ranges[i++ % w.ranges.size()],
-                    [&visited](const pgrid::Entry& e) {
+                    [&visited](const pgrid::EntryView& e) {
                       benchmark::DoNotOptimize(e.version);
                       ++visited;
                       return true;
@@ -464,7 +448,7 @@ void BM_PointScan_SortedRun(benchmark::State& state) {
   size_t i = 0;
   for (auto _ : state) {
     store.ScanKey(w.point_keys[i++ % w.point_keys.size()],
-                  [](const pgrid::Entry& e) {
+                  [](const pgrid::EntryView& e) {
                     benchmark::DoNotOptimize(e.version);
                     return true;
                   });

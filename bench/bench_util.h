@@ -9,10 +9,44 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
+
+#include "pgrid/entry.h"
 
 namespace unistore {
 namespace bench {
+
+/// Order-sensitive FNV-1a over a visited entry stream: equal hashes +
+/// equal counts == byte-identical streams. Shared by the storage-engine
+/// gate benches (bench_local_scan, bench_bulk_load) so both binaries
+/// measure stream identity the same way. Accepts Entry via EntryView's
+/// implicit conversion.
+struct StreamChecksum {
+  uint64_t h = 1469598103934665603ull;
+  uint64_t count = 0;
+
+  void Mix(std::string_view s) {
+    for (char c : s) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+  }
+  void Add(const pgrid::EntryView& e) {
+    ++count;
+    Mix(e.key_bits);
+    Mix(e.id);
+    Mix(e.payload);
+    h ^= e.version;
+    h *= 1099511628211ull;
+    h ^= e.deleted ? 1 : 0;
+    h *= 1099511628211ull;
+  }
+  bool operator==(const StreamChecksum& o) const {
+    return h == o.h && count == o.count;
+  }
+};
 
 /// Fixed-width table printer for experiment series.
 class Table {
@@ -76,6 +110,38 @@ inline std::string FmtInt(uint64_t value) {
 inline void Banner(const char* experiment_id, const char* claim) {
   std::printf("\n=== %s ===\n%s\n\n", experiment_id, claim);
 }
+
+/// \brief Flat `{"metric": value, ...}` JSON artifact writer.
+///
+/// Each gated bench emits its acceptance metrics (speedups, allocation
+/// counts, write-amplification factors) as a BENCH_*_gates.json file next
+/// to the google-benchmark `--benchmark_out` artifact, so the CI bench job
+/// uploads machine-readable gate numbers too. Shared by bench_local_scan,
+/// bench_insert_throughput and bench_bulk_load instead of per-binary
+/// emitters.
+class GateJson {
+ public:
+  void Add(const std::string& name, double value) {
+    entries_.emplace_back(name, value);
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.6g%s\n", entries_[i].first.c_str(),
+                   entries_[i].second,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 }  // namespace bench
 }  // namespace unistore

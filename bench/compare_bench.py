@@ -2,7 +2,8 @@
 """Diff two google-benchmark JSON artifacts and print per-metric deltas.
 
 Usage:
-    bench/compare_bench.py OLD.json NEW.json [--threshold PCT]
+    bench/compare_bench.py OLD.json NEW.json [--fail-over PCT]
+                           [--summary FILE]
 
 Both files are --benchmark_out=...json artifacts (the BENCH_*.json files
 the CI bench job uploads). Benchmarks are matched by name; for each match
@@ -10,12 +11,18 @@ the tool prints real time, CPU time and items/sec with the relative change,
 so the perf trajectory across PRs is trackable without spreadsheet work.
 
 Exit code: 0 always by default (the bench job is non-gating); with
---threshold PCT, exits 1 if any matched benchmark's CPU time regressed by
-more than PCT percent.
+--fail-over PCT (alias: --threshold), exits 1 if any matched benchmark's
+CPU time regressed by more than PCT percent — the CI bench job runs with
+a threshold so drift turns the (continue-on-error) job red instead of
+hiding in an artifact.
+
+With --summary FILE the same report is appended to FILE as Markdown (the
+CI job passes $GITHUB_STEP_SUMMARY so drift shows up in the job summary).
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -52,31 +59,24 @@ def delta_pct(old, new):
     return (new - old) / old * 100.0
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("old", help="baseline BENCH_*.json")
-    parser.add_argument("new", help="candidate BENCH_*.json")
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=None,
-        help="exit 1 if any CPU time regresses by more than PCT percent",
-    )
-    args = parser.parse_args()
-
-    old = load(args.old)
-    new = load(args.new)
+def compare(old, new):
+    """Returns (report_lines, worst_cpu_regression_pct)."""
     names = [n for n in new if n in old]
     missing = sorted(set(old) - set(new))
     added = sorted(set(new) - set(old))
+    lines = []
 
     if not names:
-        print("no common benchmarks between the two files")
-        return 0
+        lines.append("no common benchmarks between the two files")
+        for name in missing:
+            lines.append(f"- removed: {name}")
+        for name in added:
+            lines.append(f"+ added:   {name}")
+        return lines, 0.0
 
     width = max(len(n) for n in names)
-    print(f"{'benchmark':<{width}}  {'old cpu':>10}  {'new cpu':>10}  "
-          f"{'cpu Δ':>8}  {'real Δ':>8}  {'items/s Δ':>9}")
+    lines.append(f"{'benchmark':<{width}}  {'old cpu':>10}  {'new cpu':>10}  "
+                 f"{'cpu Δ':>8}  {'real Δ':>8}  {'items/s Δ':>9}")
     worst = 0.0
     for name in names:
         o, n = old[name], new[name]
@@ -91,19 +91,60 @@ def main():
         if "items_per_second" in o and "items_per_second" in n:
             d_items = delta_pct(o["items_per_second"], n["items_per_second"])
             items = f"{d_items:+8.1f}%"
-        print(f"{name:<{width}}  {fmt_time(o_cpu):>10}  {fmt_time(n_cpu):>10}  "
-              f"{d_cpu:+7.1f}%  {d_real:+7.1f}%  {items:>9}")
+        lines.append(
+            f"{name:<{width}}  {fmt_time(o_cpu):>10}  {fmt_time(n_cpu):>10}  "
+            f"{d_cpu:+7.1f}%  {d_real:+7.1f}%  {items:>9}")
 
     for name in missing:
-        print(f"- removed: {name}")
+        lines.append(f"- removed: {name}")
     for name in added:
-        print(f"+ added:   {name}")
+        lines.append(f"+ added:   {name}")
+    return lines, worst
 
-    if args.threshold is not None and worst > args.threshold:
-        print(f"worst CPU regression {worst:+.1f}% exceeds "
-              f"threshold {args.threshold:.1f}%")
-        return 1
-    return 0
+
+def append_summary(path, title, lines):
+    with open(path, "a") as f:
+        f.write(f"### {title}\n\n```\n")
+        for line in lines:
+            f.write(line + "\n")
+        f.write("```\n\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--fail-over",
+        "--threshold",
+        dest="fail_over",
+        type=float,
+        default=None,
+        help="exit 1 if any CPU time regresses by more than PCT percent",
+    )
+    parser.add_argument(
+        "--summary",
+        default=None,
+        help="append the report to FILE as Markdown "
+             "(e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    args = parser.parse_args()
+
+    lines, worst = compare(load(args.old), load(args.new))
+    for line in lines:
+        print(line)
+
+    failed = args.fail_over is not None and worst > args.fail_over
+    if failed:
+        verdict = (f"worst CPU regression {worst:+.1f}% exceeds "
+                   f"threshold {args.fail_over:.1f}%")
+        lines.append(verdict)
+        print(verdict)
+
+    if args.summary:
+        append_summary(args.summary, os.path.basename(args.new), lines)
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

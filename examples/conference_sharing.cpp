@@ -38,19 +38,27 @@ int main() {
   options.seed = 4;
   core::Cluster cluster(options);
 
-  // Every participant (peer) contributes their own contact tuple plus a
-  // few publications — data enters the system from many different nodes,
-  // as in the live demo.
+  // Every participant (peer) contributes their own batch of tuples —
+  // data enters the system from many different nodes, as in the live
+  // demo, but each participant ships its contribution as one bulk load.
   core::BibliographyOptions data;
   data.authors = 30;
   data.publications_per_author = 2;
   data.typo_probability = 0.25;
   data.seed = 12;
   auto bib = core::GenerateBibliography(data);
-  size_t i = 0;
-  for (const auto& tuple : bib.AllTuples()) {
-    auto via = static_cast<net::PeerId>(i++ % cluster.size());
-    if (!cluster.InsertTupleSync(via, tuple).ok()) return 1;
+  const auto tuples = bib.AllTuples();
+  std::vector<std::vector<triple::Tuple>> batches(cluster.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    batches[i % cluster.size()].push_back(tuples[i]);
+  }
+  for (size_t via = 0; via < batches.size(); ++via) {
+    if (batches[via].empty()) continue;
+    if (!cluster
+             .BulkLoadTuplesSync(static_cast<net::PeerId>(via), batches[via])
+             .ok()) {
+      return 1;
+    }
   }
   cluster.simulation().RunUntilIdle();
   cluster.RefreshStats();

@@ -20,24 +20,23 @@ int main() {
   std::printf("built a %zu-peer P-Grid overlay (trie depth %zu)\n",
               cluster.size(), cluster.overlay().MaxPathDepth());
 
-  // 2. Insert a bibliography dataset following the paper's example schema
-  //    (persons, publications, conferences — typos included).
+  // 2. Bulk-load a bibliography dataset following the paper's example
+  //    schema (persons, publications, conferences — typos included). The
+  //    whole batch travels as one routed BulkInsert walk and the owners
+  //    ingest their slices directly into sorted runs.
   core::BibliographyOptions data;
   data.authors = 20;
   data.publications_per_author = 2;
   data.typo_probability = 0.2;
   auto bib = core::GenerateBibliography(data);
-  size_t i = 0;
-  for (const auto& tuple : bib.AllTuples()) {
-    auto via = static_cast<net::PeerId>(i++ % cluster.size());
-    Status status = cluster.InsertTupleSync(via, tuple);
-    if (!status.ok()) {
-      std::fprintf(stderr, "insert failed: %s\n", status.ToString().c_str());
-      return 1;
-    }
+  Status status = cluster.BulkLoadTuplesSync(/*via=*/0, bib.AllTuples());
+  if (!status.ok()) {
+    std::fprintf(stderr, "bulk load failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
   }
   cluster.simulation().RunUntilIdle();
-  std::printf("inserted %zu logical tuples (%zu triples, x3 indexes)\n",
+  std::printf("bulk-loaded %zu logical tuples (%zu triples, x3 indexes)\n",
               bib.AllTuples().size(), bib.TripleCount());
 
   // 3. Let peers build and gossip statistics (feeds the cost model).

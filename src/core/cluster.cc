@@ -91,6 +91,13 @@ Status Cluster::InsertTupleSync(net::PeerId via, const triple::Tuple& tuple) {
   });
 }
 
+Status Cluster::BulkLoadTuplesSync(net::PeerId via,
+                                   const std::vector<triple::Tuple>& tuples) {
+  return RunSyncStatus([this, via, &tuples](std::function<void(Status)> cb) {
+    node(via).BulkLoadTuples(tuples, std::move(cb));
+  });
+}
+
 Status Cluster::InsertTripleSync(net::PeerId via,
                                  const triple::Triple& triple) {
   return RunSyncStatus([this, via, &triple](std::function<void(Status)> cb) {

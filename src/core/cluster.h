@@ -68,6 +68,12 @@ class Cluster {
   // --- Synchronous operations (drive the virtual clock) -------------------
 
   Status InsertTupleSync(net::PeerId via, const triple::Tuple& tuple);
+
+  /// Bulk-loads a tuple batch through node `via` in one routed
+  /// BulkInsert walk (the population path benches and examples use; see
+  /// UniStore::BulkLoadTuples).
+  Status BulkLoadTuplesSync(net::PeerId via,
+                            const std::vector<triple::Tuple>& tuples);
   Status InsertTripleSync(net::PeerId via, const triple::Triple& triple);
   Status RemoveTripleSync(net::PeerId via, const triple::Triple& triple);
   Status InsertMappingSync(net::PeerId via, const std::string& from,

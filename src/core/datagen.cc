@@ -151,5 +151,26 @@ std::vector<Tuple> Fig2Tuples() {
   return {a12, v34};
 }
 
+std::vector<Tuple> GenerateContactTuples(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> tuples;
+  tuples.reserve(count);
+  const size_t n_first = sizeof(kFirstNames) / sizeof(kFirstNames[0]);
+  const size_t n_last = sizeof(kLastNames) / sizeof(kLastNames[0]);
+  for (size_t i = 0; i < count; ++i) {
+    Tuple t;
+    t.oid = "contact-" + std::to_string(i);
+    t.attributes["name"] = Value::String(
+        std::string(kFirstNames[rng.NextBounded(n_first)]) + "-" +
+        kLastNames[rng.NextBounded(n_last)] + "-" + std::to_string(i));
+    t.attributes["age"] =
+        Value::Int(static_cast<int64_t>(18 + rng.NextBounded(60)));
+    t.attributes["city"] = Value::String(
+        std::string(kLastNames[rng.NextBounded(n_last)]) + "town");
+    tuples.push_back(std::move(t));
+  }
+  return tuples;
+}
+
 }  // namespace core
 }  // namespace unistore

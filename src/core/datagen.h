@@ -56,6 +56,13 @@ std::vector<triple::Tuple> Fig2Tuples();
 /// to `s` (utility for typo injection).
 std::string InjectTypo(const std::string& s, Rng* rng);
 
+/// \brief Uniform synthetic contact tuples for ingest/bulk-load
+/// benchmarks: `count` tuples with name, age and city attributes,
+/// deterministic in `seed` (3 triples per tuple — 9 index entries, plus
+/// q-gram postings when enabled).
+std::vector<triple::Tuple> GenerateContactTuples(size_t count,
+                                                 uint64_t seed);
+
 }  // namespace core
 }  // namespace unistore
 

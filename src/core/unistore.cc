@@ -102,6 +102,30 @@ void UniStore::InsertTuple(const triple::Tuple& tuple,
   store_.InsertEntries(std::move(entries), std::move(callback));
 }
 
+void UniStore::BulkLoadTuples(const std::vector<triple::Tuple>& tuples,
+                              StatusCallback callback) {
+  const uint64_t version = NextVersion();
+  std::vector<pgrid::Entry> entries;
+  for (const triple::Tuple& tuple : tuples) {
+    for (const triple::Triple& t : triple::Decompose(tuple)) {
+      auto triple_entries =
+          triple::EntriesForTriple(t, version, /*deleted=*/false);
+      entries.insert(entries.end(),
+                     std::make_move_iterator(triple_entries.begin()),
+                     std::make_move_iterator(triple_entries.end()));
+      if (options_.qgram_index) {
+        auto postings = qgram::EntriesForTripleQGrams(t, options_.qgram_q,
+                                                      version,
+                                                      /*deleted=*/false);
+        entries.insert(entries.end(),
+                       std::make_move_iterator(postings.begin()),
+                       std::make_move_iterator(postings.end()));
+      }
+    }
+  }
+  store_.InsertEntries(std::move(entries), std::move(callback));
+}
+
 void UniStore::RemoveTriple(const triple::Triple& triple,
                             StatusCallback callback) {
   const uint64_t version = NextVersion();

@@ -57,6 +57,16 @@ class UniStore {
   /// q-gram postings).
   void InsertTuple(const triple::Tuple& tuple, StatusCallback callback);
 
+  /// \brief Bulk-loads a whole tuple batch in one routed BulkInsert walk
+  /// (population / ingest path).
+  ///
+  /// All index entries (and q-gram postings) of all tuples share one
+  /// version and travel as a single batch: the overlay splits it by
+  /// routing hop and the owners ingest their slice via
+  /// LocalStore::BulkLoad, bypassing the per-entry memtable path.
+  void BulkLoadTuples(const std::vector<triple::Tuple>& tuples,
+                      StatusCallback callback);
+
   /// Inserts one triple.
   void InsertTriple(const triple::Triple& triple, StatusCallback callback);
 

@@ -244,7 +244,7 @@ void QueryService::ServeEnvelope(PlanEnvelope env, uint64_t request_id,
   const pgrid::Key serve_lo = env.remaining.lo;
   size_t local_triples = 0;
   std::vector<Binding> local_results;
-  peer_->store().ScanRange(env.remaining, [&](const pgrid::Entry& entry) {
+  peer_->store().ScanRange(env.remaining, [&](const pgrid::EntryView& entry) {
     auto t = triple::Triple::DecodeFromString(entry.payload);
     if (!t.ok()) return true;  // Tolerate foreign payloads in the range.
     ++local_triples;
@@ -420,7 +420,7 @@ void QueryService::BuildLocalStats(double hop_latency_us) {
     double strlen_sum = 0;
   };
   std::map<std::string, Acc> by_attr;
-  peer_->store().ScanAllLive([&by_attr](const pgrid::Entry& entry) {
+  peer_->store().ScanAllLive([&by_attr](const pgrid::EntryView& entry) {
     // Count each triple once: only its A#v index copy.
     if (entry.id.rfind("a#", 0) != 0) return true;
     auto t = triple::Triple::DecodeFromString(entry.payload);

@@ -13,6 +13,8 @@ std::string_view MessageTypeName(MessageType type) {
     case MessageType::kInsertReply: return "InsertReply";
     case MessageType::kRemove: return "Remove";
     case MessageType::kRemoveReply: return "RemoveReply";
+    case MessageType::kBulkInsert: return "BulkInsert";
+    case MessageType::kBulkInsertReply: return "BulkInsertReply";
     case MessageType::kRangeSeq: return "RangeSeq";
     case MessageType::kRangeSeqReply: return "RangeSeqReply";
     case MessageType::kRangeShower: return "RangeShower";

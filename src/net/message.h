@@ -27,6 +27,8 @@ enum class MessageType : uint16_t {
   kInsertReply = 13,
   kRemove = 14,
   kRemoveReply = 15,
+  kBulkInsert = 16,      ///< Routed batch insert (bulk ingest pipeline).
+  kBulkInsertReply = 17,
   kRangeSeq = 20,        ///< Sequential range scan (min-first walk).
   kRangeSeqReply = 21,
   kRangeShower = 22,     ///< Parallel "shower" range multicast.

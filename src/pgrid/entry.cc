@@ -5,21 +5,12 @@
 namespace unistore {
 namespace pgrid {
 
-void Entry::Encode(BufferWriter* w) const {
-  w->EnsureSpace(EncodedSize());
-  w->PutString(key.bits());
-  w->PutString(id);
-  w->PutString(payload);
-  w->PutVarint(version);
-  w->PutBool(deleted);
-}
+// Entry encodes through its view, so the "EntryView::Encode is
+// byte-identical to Entry::Encode" contract the zero-copy reply path
+// relies on holds by construction.
+void Entry::Encode(BufferWriter* w) const { EntryView(*this).Encode(w); }
 
-size_t Entry::EncodedSize() const {
-  return VarintLength(key.bits().size()) + key.bits().size() +
-         VarintLength(id.size()) + id.size() +
-         VarintLength(payload.size()) + payload.size() +
-         VarintLength(version) + 1;
-}
+size_t Entry::EncodedSize() const { return EntryView(*this).EncodedSize(); }
 
 Result<Entry> Entry::Decode(BufferReader* r) {
   Entry e;
@@ -34,6 +25,32 @@ Result<Entry> Entry::Decode(BufferReader* r) {
   UNISTORE_ASSIGN_OR_RETURN(e.payload, r->GetString());
   UNISTORE_ASSIGN_OR_RETURN(e.version, r->GetVarint());
   UNISTORE_ASSIGN_OR_RETURN(e.deleted, r->GetBool());
+  return e;
+}
+
+void EntryView::Encode(BufferWriter* w) const {
+  w->EnsureSpace(EncodedSize());
+  w->PutString(key_bits);
+  w->PutString(id);
+  w->PutString(payload);
+  w->PutVarint(version);
+  w->PutBool(deleted);
+}
+
+size_t EntryView::EncodedSize() const {
+  return VarintLength(key_bits.size()) + key_bits.size() +
+         VarintLength(id.size()) + id.size() +
+         VarintLength(payload.size()) + payload.size() +
+         VarintLength(version) + 1;
+}
+
+Entry EntryView::ToEntry() const {
+  Entry e;
+  e.key = Key::FromBits(key_bits);
+  e.id = std::string(id);
+  e.payload = std::string(payload);
+  e.version = version;
+  e.deleted = deleted;
   return e;
 }
 

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/codec.h"
@@ -39,6 +40,39 @@ struct Entry {
     return key == other.key && id == other.id && payload == other.payload &&
            version == other.version && deleted == other.deleted;
   }
+};
+
+/// \brief A borrowed, non-owning view of one stored entry.
+///
+/// The zero-copy scan path hands visitors EntryViews instead of `const
+/// Entry&`: prefix-compressed runs do not hold materialized Entry objects,
+/// so the view's fields alias either an Entry living in the memtable / an
+/// uncompressed run, or bytes of a compressed run's arena plus the scan
+/// cursor's key-reassembly buffer. A view is valid only for the duration
+/// of the visitor call (the cursor reuses its buffers on advance) — copy
+/// with ToEntry() to retain.
+struct EntryView {
+  std::string_view key_bits;
+  std::string_view id;
+  std::string_view payload;
+  uint64_t version = 1;
+  bool deleted = false;
+
+  EntryView() = default;
+  /// Wraps an owning Entry (memtable / uncompressed-run sources).
+  EntryView(const Entry& e)  // NOLINT(google-explicit-constructor)
+      : key_bits(e.key.bits()),
+        id(e.id),
+        payload(e.payload),
+        version(e.version),
+        deleted(e.deleted) {}
+
+  /// Byte-identical to Entry::Encode of the materialized entry.
+  void Encode(BufferWriter* w) const;
+  size_t EncodedSize() const;
+
+  /// Materializes an owning Entry (allocates; cold paths only).
+  Entry ToEntry() const;
 };
 
 /// Encodes a vector of entries (varint count + entries).

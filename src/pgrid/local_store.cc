@@ -1,79 +1,596 @@
 #include "pgrid/local_store.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
 
 namespace unistore {
 namespace pgrid {
 namespace {
 
-// Slot order of an entry: (key bits, id). Key bit strings compare exactly
-// like Key::Compare, so this reproduces the iteration order of the
-// original nested std::map engine byte for byte.
-bool SlotBefore(const Entry& e, std::string_view bits, std::string_view id) {
-  const int c = std::string_view(e.key.bits()).compare(bits);
-  if (c != 0) return c < 0;
-  return std::string_view(e.id).compare(id) < 0;
-}
-
-bool SameSlot(const Entry& a, const Entry& b) {
-  return a.key.bits() == b.key.bits() && a.id == b.id;
-}
-
-// <0 / 0 / >0 over slot order of two entries.
-int SlotCompare(const Entry& a, const Entry& b) {
-  const int c = a.key.bits().compare(b.key.bits());
+// <0 / 0 / >0 over slot order — (key bits, id) — of two entry views.
+int SlotCompare(const EntryView& a, const EntryView& b) {
+  const int c = a.key_bits.compare(b.key_bits);
   if (c != 0) return c;
   return a.id.compare(b.id);
 }
 
-bool StartsWith(const std::string& s, std::string_view prefix) {
+bool SameSlot(const EntryView& a, const EntryView& b) {
+  return a.key_bits == b.key_bits && a.id == b.id;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() &&
          s.compare(0, prefix.size(), prefix) == 0;
 }
 
-}  // namespace
-
-LocalStore::LocalStore(const LocalStoreOptions& options) : options_(options) {
-  if (options_.memtable_flush_threshold == 0) {
-    options_.memtable_flush_threshold = 1;
-  }
-  options_.max_runs =
-      std::max<size_t>(1, std::min(options_.max_runs,
-                                   LocalStoreOptions::kMaxRuns));
+// Approximate resident footprint of one entry (object + string bytes;
+// ignores allocator slack). Shared by the plain-run accounting and the
+// write-amplification counters so the two are comparable.
+size_t ApproxEntryBytes(size_t key_len, size_t id_len, size_t payload_len) {
+  return sizeof(Entry) + key_len + id_len + payload_len;
 }
 
-const Entry* LocalStore::FindLatest(const std::string& key_bits,
-                                    const std::string& id) const {
-  auto it = memtable_.find(SlotKey(key_bits, id));
-  if (it != memtable_.end()) return &it->second;
-  for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
-    auto pos = std::lower_bound(
-        run->begin(), run->end(), 0,
-        [&key_bits, &id](const Entry& e, int) {
-          return SlotBefore(e, key_bits, id);
-        });
-    if (pos != run->end() && pos->key.bits() == key_bits && pos->id == id) {
-      return &*pos;
+size_t ApproxEntryBytes(const Entry& e) {
+  return ApproxEntryBytes(e.key.bits().size(), e.id.size(),
+                          e.payload.size());
+}
+
+// Raw LEB128 over the run arena. Encoding mirrors BufferWriter::PutVarint;
+// the decoder skips bounds checks (the arena is engine-built, not wire
+// data) so the scan hot loop stays branch-light and allocation-free.
+void AppendVarint(std::string* s, uint64_t v) {
+  char scratch[10];
+  size_t n = 0;
+  while (v >= 0x80) {
+    scratch[n++] = static_cast<char>(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  scratch[n++] = static_cast<char>(v);
+  s->append(scratch, n);
+}
+
+uint64_t ReadVarint(const std::string& s, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    const uint8_t byte = static_cast<uint8_t>(s[*pos]);
+    ++*pos;
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+// The first 64 key chars packed into one integer, bit per '0'/'1' char,
+// zero-padded: for keys agreeing on their packed prefix the full string
+// compare breaks the tie, so ordering by (packed, full compare) equals
+// ordering by the key bits alone — but almost every comparison resolves
+// on the single integer instead of walking two 128-byte strings.
+uint64_t PackKeyPrefix(const std::string& bits) {
+  const size_t n = std::min<size_t>(bits.size(), 64);
+  if (n == 0) return 0;  // Empty key (trie root); a 64-bit shift is UB.
+  uint64_t packed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    packed = (packed << 1) | static_cast<uint64_t>(bits[i] == '1');
+  }
+  return packed << (64 - n);
+}
+
+// Sorts by slot; on slot ties the higher version first and on full ties
+// the original batch position first, so a first-wins dedup pass keeps
+// exactly the entry sequential Apply calls would have kept. Sorts an
+// index array (12-byte records, integer-first comparisons) and permutes
+// the heavy Entry objects once at the end.
+void SortBatchBySlot(std::vector<Entry>* entries) {
+  struct IndexKey {
+    uint64_t packed;
+    uint32_t index;
+  };
+  std::vector<IndexKey> order;
+  order.reserve(entries->size());
+  for (size_t i = 0; i < entries->size(); ++i) {
+    order.push_back({PackKeyPrefix((*entries)[i].key.bits()),
+                     static_cast<uint32_t>(i)});
+  }
+  const std::vector<Entry>& e = *entries;
+  std::sort(order.begin(), order.end(),
+            [&e](const IndexKey& a, const IndexKey& b) {
+              if (a.packed != b.packed) return a.packed < b.packed;
+              const Entry& ea = e[a.index];
+              const Entry& eb = e[b.index];
+              const int c = ea.key.bits().compare(eb.key.bits());
+              if (c != 0) return c < 0;
+              const int ic = ea.id.compare(eb.id);
+              if (ic != 0) return ic < 0;
+              if (ea.version != eb.version) return ea.version > eb.version;
+              return a.index < b.index;  // Stability for exact ties.
+            });
+  std::vector<Entry> sorted;
+  sorted.reserve(entries->size());
+  for (const IndexKey& k : order) {
+    sorted.push_back(std::move((*entries)[k.index]));
+  }
+  *entries = std::move(sorted);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LocalStoreOptions
+// ---------------------------------------------------------------------------
+
+LocalStoreOptions LocalStoreOptions::Sanitized(
+    std::vector<std::string>* warnings) const {
+  LocalStoreOptions o = *this;
+  auto warn = [warnings](std::string message) {
+    if (warnings != nullptr) warnings->push_back(std::move(message));
+  };
+  if (o.memtable_flush_threshold == 0) {
+    o.memtable_flush_threshold = 1;
+    warn("memtable_flush_threshold 0 is invalid; clamped to 1");
+  }
+  if (o.max_runs == 0) {
+    o.max_runs = 1;
+    warn("max_runs 0 is invalid; clamped to 1");
+  } else if (o.max_runs > kMaxRuns) {
+    warn("max_runs " + std::to_string(o.max_runs) +
+         " exceeds the fixed scan-cursor bound; clamped to kMaxRuns = " +
+         std::to_string(kMaxRuns));
+    o.max_runs = kMaxRuns;
+  }
+  if (o.tier_fanin < 2) {
+    warn("tier_fanin " + std::to_string(o.tier_fanin) +
+         " below minimum; clamped to 2");
+    o.tier_fanin = 2;
+  }
+  if (o.tier_growth < 2) {
+    warn("tier_growth " + std::to_string(o.tier_growth) +
+         " below minimum; clamped to 2");
+    o.tier_growth = 2;
+  }
+  if (o.restart_interval == 0) {
+    o.restart_interval = 1;
+    warn("restart_interval 0 is invalid; clamped to 1");
+  }
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// SortedRun
+// ---------------------------------------------------------------------------
+
+SortedRun SortedRun::BuildPlain(std::vector<Entry> entries) {
+  SortedRun run;
+  run.count_ = entries.size();
+  run.resident_bytes_ = sizeof(SortedRun);
+  for (const Entry& e : entries) run.resident_bytes_ += ApproxEntryBytes(e);
+  run.plain_ = std::move(entries);
+  run.plain_.shrink_to_fit();
+  return run;
+}
+
+SortedRun SortedRun::Build(std::vector<Entry> entries, bool compress,
+                           size_t restart_interval) {
+  if (compress) {
+    for (const Entry& e : entries) {
+      if (e.key.bits().size() > kMaxCompressedKeyBits) {
+        compress = false;
+        break;
+      }
     }
   }
-  return nullptr;
+  if (!compress) return BuildPlain(std::move(entries));
+
+  size_t estimate = 0;
+  for (const Entry& e : entries) estimate += ApproxEntryBytes(e) / 2;
+  Builder builder(/*compress=*/true, restart_interval, entries.size(),
+                  estimate);
+  for (const Entry& e : entries) builder.Add(EntryView(e));
+  return builder.Finish();
+}
+
+SortedRun::Builder::Builder(bool compress, size_t restart_interval,
+                            size_t expected_entries, size_t expected_bytes)
+    : compress_(compress) {
+  run_.restart_interval_ =
+      static_cast<uint32_t>(std::max<size_t>(1, restart_interval));
+  if (compress_) {
+    run_.compressed_ = true;
+    run_.arena_.reserve(expected_bytes);
+    run_.restarts_.reserve(expected_entries / run_.restart_interval_ + 1);
+    prev_key_.reserve(kMaxCompressedKeyBits);
+  } else {
+    run_.plain_.reserve(expected_entries);
+  }
+}
+
+void SortedRun::Builder::Add(const EntryView& e) {
+  approx_bytes_ +=
+      ApproxEntryBytes(e.key_bits.size(), e.id.size(), e.payload.size());
+  if (!compress_) {
+    run_.plain_.push_back(e.ToEntry());
+    ++index_;
+    return;
+  }
+  size_t shared = 0;
+  if (index_ % run_.restart_interval_ == 0) {
+    run_.restarts_.push_back(static_cast<uint32_t>(run_.arena_.size()));
+  } else {
+    const size_t limit = std::min(prev_key_.size(), e.key_bits.size());
+    while (shared < limit && prev_key_[shared] == e.key_bits[shared]) {
+      ++shared;
+    }
+  }
+  std::string& arena = run_.arena_;
+  AppendVarint(&arena, shared);
+  AppendVarint(&arena, e.key_bits.size() - shared);
+  arena.append(e.key_bits.data() + shared, e.key_bits.size() - shared);
+  AppendVarint(&arena, e.id.size());
+  arena.append(e.id.data(), e.id.size());
+  AppendVarint(&arena, e.payload.size());
+  arena.append(e.payload.data(), e.payload.size());
+  AppendVarint(&arena, e.version);
+  arena.push_back(e.deleted ? '\1' : '\0');
+  prev_key_.assign(e.key_bits.data(), e.key_bits.size());
+  ++index_;
+}
+
+SortedRun SortedRun::Builder::Finish() {
+  run_.count_ = index_;
+  if (compress_) {
+    run_.compressed_ = index_ > 0;
+    run_.arena_.shrink_to_fit();
+    run_.resident_bytes_ = sizeof(SortedRun) + run_.arena_.size() +
+                           run_.restarts_.size() * sizeof(uint32_t);
+  } else {
+    run_.plain_.shrink_to_fit();
+    run_.resident_bytes_ = sizeof(SortedRun) + approx_bytes_;
+  }
+  return std::move(run_);
+}
+
+// Full key bits of the restart record `index` (restart records store the
+// whole key, so the view aliases the arena directly).
+std::string_view SortedRun::RestartKey(size_t index) const {
+  size_t pos = restarts_[index];
+  ReadVarint(arena_, &pos);  // shared == 0 at restarts.
+  const uint64_t suffix = ReadVarint(arena_, &pos);
+  return std::string_view(arena_.data() + pos, suffix);
+}
+
+void SortedRun::Cursor::DecodeCompressed() {
+  const std::string& arena = run_->arena_;
+  size_t pos = offset_;
+  const uint64_t shared = ReadVarint(arena, &pos);
+  const uint64_t suffix = ReadVarint(arena, &pos);
+  std::memcpy(key_buf_ + shared, arena.data() + pos, suffix);
+  pos += suffix;
+  key_len_ = shared + suffix;
+  view_.key_bits = std::string_view(key_buf_, key_len_);
+  const uint64_t id_len = ReadVarint(arena, &pos);
+  view_.id = std::string_view(arena.data() + pos, id_len);
+  pos += id_len;
+  const uint64_t payload_len = ReadVarint(arena, &pos);
+  view_.payload = std::string_view(arena.data() + pos, payload_len);
+  pos += payload_len;
+  view_.version = ReadVarint(arena, &pos);
+  view_.deleted = arena[pos++] != '\0';
+  next_offset_ = pos;
+}
+
+void SortedRun::Cursor::Seek(const SortedRun* run, std::string_view lo_bits) {
+  run_ = run;
+  valid_ = run != nullptr && run->count_ > 0;
+  if (!valid_) return;
+
+  if (!run->compressed_) {
+    const Entry* begin = run->plain_.data();
+    end_ = begin + run->plain_.size();
+    pos_ = std::lower_bound(
+        begin, end_, lo_bits, [](const Entry& e, std::string_view lo) {
+          return std::string_view(e.key.bits()).compare(lo) < 0;
+        });
+    if (pos_ == end_) {
+      valid_ = false;
+      return;
+    }
+    view_ = EntryView(*pos_);
+    return;
+  }
+
+  // Binary-search the restart index for the first restart key >= lo_bits,
+  // then decode forward from the preceding restart (the target may sit
+  // mid-block).
+  size_t lo = 0;
+  size_t hi = run->restarts_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (run->RestartKey(mid) < lo_bits) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  offset_ = run->restarts_[lo > 0 ? lo - 1 : 0];
+  DecodeCompressed();
+  while (view_.key_bits < lo_bits) {
+    if (next_offset_ >= run->arena_.size()) {
+      valid_ = false;
+      return;
+    }
+    offset_ = next_offset_;
+    DecodeCompressed();
+  }
+}
+
+void SortedRun::Cursor::Advance() {
+  if (!valid_) return;
+  if (run_->compressed_) {
+    if (next_offset_ >= run_->arena_.size()) {
+      valid_ = false;
+      return;
+    }
+    offset_ = next_offset_;
+    DecodeCompressed();
+    return;
+  }
+  ++pos_;
+  if (pos_ == end_) {
+    valid_ = false;
+  } else {
+    view_ = EntryView(*pos_);
+  }
+}
+
+void SortedRun::Cursor::JumpToRestart(const SortedRun* run,
+                                      size_t restart_index) {
+  run_ = run;
+  offset_ = run->restarts_[restart_index];
+  valid_ = true;
+  DecodeCompressed();
+}
+
+SortedRun::Prober::Prober(const SortedRun* run) : run_(run) {
+  if (run_->compressed_ && run_->count_ > 0) {
+    cursor_.Seek(run_, "");
+  }
+}
+
+bool SortedRun::Prober::FindForward(std::string_view key_bits,
+                                    std::string_view id, uint64_t* version,
+                                    bool* deleted) {
+  if (run_->count_ == 0) return false;
+
+  if (!run_->compressed_) {
+    const Entry* base = run_->plain_.data();
+    const size_t n = run_->plain_.size();
+    auto before = [&](size_t i) {
+      const int c = std::string_view(base[i].key.bits()).compare(key_bits);
+      if (c != 0) return c < 0;
+      return std::string_view(base[i].id).compare(id) < 0;
+    };
+    if (pos_ >= n) return false;
+    if (before(pos_)) {
+      // Gallop to bracket the target, then binary-search the window.
+      size_t lo = pos_;
+      size_t step = 1;
+      while (lo + step < n && before(lo + step)) {
+        lo += step;
+        step <<= 1;
+      }
+      size_t hi = std::min(n, lo + step);
+      ++lo;  // before(lo - 1) held; search (lo - 1, hi].
+      while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (before(mid)) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      pos_ = lo;
+    }
+    if (pos_ >= n) return false;
+    const Entry& e = base[pos_];
+    if (e.key.bits() == key_bits && e.id == id) {
+      *version = e.version;
+      *deleted = e.deleted;
+      return true;
+    }
+    return false;
+  }
+
+  // Compressed: jump forward by whole restart blocks while the target key
+  // is past the next restart's key, then decode linearly within the
+  // block. Jumps only ever move the cursor forward.
+  const auto& restarts = run_->restarts_;
+  if (restart_ + 1 < restarts.size() &&
+      run_->RestartKey(restart_ + 1) < key_bits) {
+    size_t lo = restart_ + 1;
+    size_t step = 1;
+    while (lo + step < restarts.size() &&
+           run_->RestartKey(lo + step) < key_bits) {
+      lo += step;
+      step <<= 1;
+    }
+    size_t hi = std::min(restarts.size(), lo + step);
+    ++lo;  // RestartKey(lo - 1) < key held; search (lo - 1, hi].
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (run_->RestartKey(mid) < key_bits) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    const size_t target_restart = lo - 1;
+    if (restarts[target_restart] > cursor_.arena_offset()) {
+      restart_ = target_restart;
+      cursor_.JumpToRestart(run_, restart_);
+    }
+  }
+  while (cursor_.valid()) {
+    const EntryView& v = cursor_.view();
+    const int c = v.key_bits.compare(key_bits);
+    if (c > 0) return false;
+    if (c == 0) {
+      const int ic = v.id.compare(id);
+      if (ic == 0) {
+        *version = v.version;
+        *deleted = v.deleted;
+        return true;
+      }
+      if (ic > 0) return false;
+    }
+    cursor_.Advance();
+  }
+  return false;
+}
+
+bool SortedRun::FindSlot(std::string_view key_bits, std::string_view id,
+                         uint64_t* version, bool* deleted) const {
+  Cursor c;
+  c.Seek(this, key_bits);
+  while (c.valid()) {
+    const EntryView& v = c.view();
+    if (v.key_bits != key_bits) return false;
+    const int ic = v.id.compare(id);
+    if (ic == 0) {
+      *version = v.version;
+      *deleted = v.deleted;
+      return true;
+    }
+    if (ic > 0) return false;
+    c.Advance();
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// LocalStore
+// ---------------------------------------------------------------------------
+
+LocalStore::LocalStore(const LocalStoreOptions& options) {
+  std::vector<std::string> warnings;
+  options_ = options.Sanitized(&warnings);
+  for (const std::string& w : warnings) {
+    UNISTORE_LOG(kWarning) << "LocalStoreOptions: " << w;
+  }
+}
+
+LocalStore::SlotInfo LocalStore::FindLatest(std::string_view key_bits,
+                                            std::string_view id) const {
+  SlotInfo info;
+  auto it = memtable_.find(SlotRef{key_bits, id});
+  if (it != memtable_.end()) {
+    info.found = true;
+    info.version = it->second.version;
+    info.deleted = it->second.deleted;
+    return info;
+  }
+  for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
+    if (run->FindSlot(key_bits, id, &info.version, &info.deleted)) {
+      info.found = true;
+      return info;
+    }
+  }
+  return info;
 }
 
 bool LocalStore::Apply(const Entry& entry) {
-  const Entry* cur = FindLatest(entry.key.bits(), entry.id);
-  if (cur == nullptr) {
+  const SlotInfo cur = FindLatest(entry.key.bits(), entry.id);
+  if (cur.found && entry.version <= cur.version) return false;
+  if (!cur.found) {
     ++slot_count_;
     if (!entry.deleted) ++live_count_;
-    memtable_.insert_or_assign(SlotKey(entry.key.bits(), entry.id), entry);
-    MaybeFlush();
-    return true;
+  } else {
+    if (!cur.deleted && entry.deleted) --live_count_;
+    if (cur.deleted && !entry.deleted) ++live_count_;
   }
-  if (entry.version <= cur->version) return false;
-  if (!cur->deleted && entry.deleted) --live_count_;
-  if (cur->deleted && !entry.deleted) ++live_count_;
+  ++stats_.ingested_entries;
+  stats_.ingested_bytes += ApproxEntryBytes(entry);
   memtable_.insert_or_assign(SlotKey(entry.key.bits(), entry.id), entry);
   MaybeFlush();
   return true;
+}
+
+size_t LocalStore::BulkLoad(std::vector<Entry> entries) {
+  if (entries.empty()) return 0;
+  SortBatchBySlot(&entries);
+  // Within-batch dedup: slots arrive grouped, newest occurrence first.
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const Entry& a, const Entry& b) {
+                              return a.key.bits() == b.key.bits() &&
+                                     a.id == b.id;
+                            }),
+                entries.end());
+
+  std::vector<Entry> fresh;
+  fresh.reserve(entries.size());
+  std::vector<Entry> updates;
+  size_t changed = 0;
+  {
+    // The batch is sorted, so every run is probed with non-decreasing
+    // slots: forward probers gallop from their previous position instead
+    // of binary-searching the whole run per entry. Probers borrow the
+    // runs, so conflicting entries are only collected here and applied
+    // after the probe loop (Apply can flush + compact, which would
+    // invalidate the probers).
+    std::vector<SortedRun::Prober> probers;
+    probers.reserve(runs_.size());
+    for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
+      probers.emplace_back(&*run);
+    }
+    const bool check_memtable = !memtable_.empty();
+    for (Entry& e : entries) {
+      SlotInfo cur;
+      if (check_memtable) {
+        auto it = memtable_.find(SlotRef{e.key.bits(), e.id});
+        if (it != memtable_.end()) {
+          cur.found = true;
+          cur.version = it->second.version;
+          cur.deleted = it->second.deleted;
+        }
+      }
+      if (!cur.found) {
+        // Newest run first: the first hit is the slot's latest version.
+        for (auto& prober : probers) {
+          if (prober.FindForward(e.key.bits(), e.id, &cur.version,
+                                 &cur.deleted)) {
+            cur.found = true;
+            break;
+          }
+        }
+      }
+      if (!cur.found) {
+        ++slot_count_;
+        if (!e.deleted) ++live_count_;
+        ++changed;
+        ++stats_.ingested_entries;
+        stats_.ingested_bytes += ApproxEntryBytes(e);
+        fresh.push_back(std::move(e));
+      } else if (e.version > cur.version) {
+        // Known slot: preserve exact versioned-upsert semantics through
+        // the memtable path (Apply counts its own stats).
+        updates.push_back(std::move(e));
+      }
+    }
+  }
+  for (Entry& e : updates) {
+    if (Apply(e)) ++changed;
+  }
+
+  if (!fresh.empty()) {
+    stats_.bulk_loaded_entries += fresh.size();
+    for (const Entry& e : fresh) {
+      stats_.bulk_loaded_bytes += ApproxEntryBytes(e);
+    }
+    runs_.push_back(BuildRun(std::move(fresh)));
+    MaybeCompact();
+  }
+  return changed;
 }
 
 bool LocalStore::ScanMerged(std::string_view lo_bits, ScanBound bound,
@@ -83,8 +600,8 @@ bool LocalStore::ScanMerged(std::string_view lo_bits, ScanBound bound,
   // Cursor 0 is the memtable, then runs newest to oldest: on a slot tie
   // the lowest cursor index is the newest occurrence and wins. Steady
   // state has at most kMaxRuns runs, but the compaction triggered by a
-  // flush scans while the just-flushed (kMaxRuns+1)-th run is still in
-  // place — hence the extra slot beyond memtable + kMaxRuns.
+  // flush or bulk load scans while the transient (kMaxRuns+1)-th run is
+  // still in place — hence the extra slot beyond memtable + kMaxRuns.
   Cursor cursors[LocalStoreOptions::kMaxRuns + 2];
   size_t n = 0;
 
@@ -94,34 +611,29 @@ bool LocalStore::ScanMerged(std::string_view lo_bits, ScanBound bound,
   mem.mem_end = memtable_.end();
 
   for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
-    Cursor& c = cursors[n++];
-    const Entry* begin = run->data();
-    const Entry* end = begin + run->size();
-    c.run_pos = std::lower_bound(
-        begin, end, lo_bits, [](const Entry& e, std::string_view lo) {
-          return std::string_view(e.key.bits()).compare(lo) < 0;
-        });
-    c.run_end = end;
+    cursors[n++].run.Seek(&*run, lo_bits);
   }
 
   while (true) {
     // The newest occurrence of the smallest slot across all sources.
-    const Entry* best = nullptr;
+    const EntryView* best = nullptr;
+    size_t best_i = 0;
     for (size_t i = 0; i < n; ++i) {
-      const Entry* head = cursors[i].head();
+      const EntryView* head = cursors[i].head();
       if (head == nullptr) continue;
-      if (best == nullptr || SlotCompare(*head, *best) < 0) best = head;
+      if (best == nullptr || SlotCompare(*head, *best) < 0) {
+        best = head;
+        best_i = i;
+      }
     }
     if (best == nullptr) return true;
 
     switch (bound) {
       case ScanBound::kRangeHi:
-        if (std::string_view(best->key.bits()).compare(bound_bits) > 0) {
-          return true;
-        }
+        if (best->key_bits.compare(bound_bits) > 0) return true;
         break;
       case ScanBound::kPrefix:
-        if (!StartsWith(best->key.bits(), bound_bits)) return true;
+        if (!StartsWith(best->key_bits, bound_bits)) return true;
         break;
       case ScanBound::kNone:
         break;
@@ -132,11 +644,16 @@ bool LocalStore::ScanMerged(std::string_view lo_bits, ScanBound bound,
     }
 
     // Advance every source sitting on this slot (shadowed older
-    // occurrences are skipped, newest-wins).
+    // occurrences are skipped, newest-wins). The winning cursor advances
+    // LAST: `best` may alias its key-reassembly buffer, which its own
+    // Advance overwrites, while the other cursors' advances cannot
+    // touch it.
     for (size_t i = 0; i < n; ++i) {
-      const Entry* head = cursors[i].head();
+      if (i == best_i) continue;
+      const EntryView* head = cursors[i].head();
       if (head != nullptr && SameSlot(*head, *best)) cursors[i].Advance();
     }
+    cursors[best_i].Advance();
   }
 }
 
@@ -170,8 +687,8 @@ namespace {
 std::vector<Entry> Collect(
     FunctionRef<bool(LocalStore::EntryVisitor)> scan) {
   std::vector<Entry> out;
-  scan([&out](const Entry& e) {
-    out.push_back(e);
+  scan([&out](const EntryView& e) {
+    out.push_back(e.ToEntry());
     return true;
   });
   return out;
@@ -194,8 +711,8 @@ std::vector<Entry> LocalStore::GetByPrefix(const Key& prefix) const {
 std::vector<Entry> LocalStore::GetAll() const {
   std::vector<Entry> out;
   out.reserve(slot_count_);
-  ScanAll([&out](const Entry& e) {
-    out.push_back(e);
+  ScanAll([&out](const EntryView& e) {
+    out.push_back(e.ToEntry());
     return true;
   });
   return out;
@@ -204,22 +721,22 @@ std::vector<Entry> LocalStore::GetAll() const {
 std::vector<Entry> LocalStore::GetAllLive() const {
   std::vector<Entry> out;
   out.reserve(live_count_);
-  ScanAllLive([&out](const Entry& e) {
-    out.push_back(e);
+  ScanAllLive([&out](const EntryView& e) {
+    out.push_back(e.ToEntry());
     return true;
   });
   return out;
 }
 
 std::vector<Entry> LocalStore::ExtractNotMatching(const Key& path) {
-  Run kept;
+  std::vector<Entry> kept;
   std::vector<Entry> removed;
   kept.reserve(slot_count_);
-  ScanAll([&](const Entry& e) {
-    if (path.IsPrefixOf(e.key)) {
-      kept.push_back(e);
+  ScanAll([&](const EntryView& e) {
+    if (StartsWith(e.key_bits, path.bits())) {
+      kept.push_back(e.ToEntry());
     } else {
-      removed.push_back(e);
+      removed.push_back(e.ToEntry());
     }
     return true;
   });
@@ -232,6 +749,19 @@ void LocalStore::Clear() {
   runs_.clear();
   live_count_ = 0;
   slot_count_ = 0;
+  stats_ = LocalStoreWriteStats{};
+}
+
+size_t LocalStore::resident_bytes() const {
+  // Rough std::map node overhead per memtable entry (three pointers,
+  // color, the SlotKey strings).
+  size_t bytes = 0;
+  for (const auto& [slot, e] : memtable_) {
+    bytes += ApproxEntryBytes(e) + slot.first.size() + slot.second.size() +
+             4 * sizeof(void*);
+  }
+  for (const SortedRun& run : runs_) bytes += run.resident_bytes();
+  return bytes;
 }
 
 void LocalStore::MaybeFlush() {
@@ -240,36 +770,133 @@ void LocalStore::MaybeFlush() {
 
 void LocalStore::Flush() {
   if (!memtable_.empty()) {
-    Run run;
-    run.reserve(memtable_.size());
-    for (auto& [slot, entry] : memtable_) run.push_back(std::move(entry));
+    std::vector<Entry> entries;
+    entries.reserve(memtable_.size());
+    for (auto& [slot, entry] : memtable_) {
+      stats_.flushed_bytes += ApproxEntryBytes(entry);
+      entries.push_back(std::move(entry));
+    }
+    stats_.flushed_entries += entries.size();
     memtable_.clear();
-    runs_.push_back(std::move(run));
+    runs_.push_back(BuildRun(std::move(entries)));
   }
-  if (runs_.size() > options_.max_runs) CompactRuns();
+  MaybeCompact();
 }
 
 void LocalStore::Compact() {
   Flush();
-  CompactRuns();
+  if (runs_.size() > 1) MergeRuns(0, runs_.size());
 }
 
-void LocalStore::CompactRuns() {
-  if (runs_.size() <= 1) return;
-  Run merged;
-  merged.reserve(slot_count_);
-  // The merge resolves shadowing, so the single surviving run holds the
-  // newest occurrence of every slot — tombstones included, which is what
-  // keeps anti-entropy from resurrecting deleted data after compaction.
-  ScanAll([&merged](const Entry& e) {
-    merged.push_back(e);
-    return true;
-  });
-  runs_.clear();
-  runs_.push_back(std::move(merged));
+void LocalStore::MaybeCompact() {
+  if (options_.compaction == LocalStoreOptions::CompactionPolicy::kTiered) {
+    TierCompact();
+  } else if (runs_.size() > options_.max_runs) {
+    MergeRuns(0, runs_.size());
+    return;
+  }
+  // Hard bound (also the tiered policy's backstop when run sizes
+  // interleave so no same-class group forms): fold the oldest runs
+  // together until the store fits the fixed scan-cursor budget.
+  if (runs_.size() > options_.max_runs) {
+    MergeRuns(0, runs_.size() - options_.max_runs + 1);
+  }
 }
 
-void LocalStore::RebuildFrom(Run all_slots) {
+void LocalStore::TierCompact() {
+  // Size class c: run size in (threshold * growth^(c-1), threshold *
+  // growth^c]; class 0 holds runs up to one memtable flush.
+  auto size_class = [this](size_t n) {
+    size_t c = 0;
+    uint64_t bound = options_.memtable_flush_threshold;
+    while (n > bound) {
+      ++c;
+      bound *= options_.tier_growth;
+    }
+    return c;
+  };
+
+  // Merge every contiguous recency-order group of >= tier_fanin
+  // same-class runs, newest groups first; repeat until stable (a merged
+  // group lands in a higher class and may complete a group there).
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    size_t end = runs_.size();
+    while (end > 0) {
+      const size_t cls = size_class(runs_[end - 1].size());
+      size_t start = end - 1;
+      while (start > 0 && size_class(runs_[start - 1].size()) == cls) {
+        --start;
+      }
+      if (end - start >= options_.tier_fanin) {
+        MergeRuns(start, end - start);
+        merged = true;
+        break;
+      }
+      end = start;
+    }
+  }
+}
+
+void LocalStore::MergeRuns(size_t first, size_t n) {
+  if (n < 2) return;
+  // K-way merge of the group only. Within the group a slot's newest
+  // occurrence lives in the run with the highest index (recency order),
+  // so ties resolve toward the latest cursor. Winning views stream
+  // straight into a run Builder — compressed inputs merge arena to
+  // arena without materializing an Entry per slot.
+  SortedRun::Cursor cursors[LocalStoreOptions::kMaxRuns + 2];
+  bool all_compressed = true;
+  size_t expected = 0;
+  size_t expected_bytes = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const SortedRun& run = runs_[first + i];
+    cursors[i].Seek(&run, "");
+    if (!run.compressed()) all_compressed = false;
+    expected += run.size();
+    expected_bytes += run.resident_bytes();
+  }
+  // Compressed output requires every key to fit the cursor buffer, which
+  // compressed inputs guarantee; any plain input may carry longer keys.
+  SortedRun::Builder builder(options_.compress_runs && all_compressed,
+                             options_.restart_interval, expected,
+                             expected_bytes);
+  while (true) {
+    const EntryView* best = nullptr;
+    size_t best_i = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!cursors[i].valid()) continue;
+      const EntryView& head = cursors[i].view();
+      if (best == nullptr || SlotCompare(head, *best) <= 0) {
+        best = &head;
+        best_i = i;
+      }
+    }
+    if (best == nullptr) break;
+    builder.Add(*best);
+    // Winning cursor advances last (its Advance invalidates `best`).
+    for (size_t i = 0; i < n; ++i) {
+      if (i == best_i || !cursors[i].valid()) continue;
+      if (SameSlot(cursors[i].view(), *best)) cursors[i].Advance();
+    }
+    cursors[best_i].Advance();
+  }
+  SortedRun merged = builder.Finish();
+  ++stats_.compactions;
+  stats_.compacted_entries += merged.size();
+  stats_.compacted_bytes += builder.approx_bytes();
+  runs_.erase(runs_.begin() + static_cast<ptrdiff_t>(first + 1),
+              runs_.begin() + static_cast<ptrdiff_t>(first + n));
+  runs_[first] = std::move(merged);
+}
+
+SortedRun LocalStore::BuildRun(std::vector<Entry> entries) {
+  return SortedRun::Build(std::move(entries), options_.compress_runs,
+                          options_.restart_interval);
+}
+
+void LocalStore::RebuildFrom(std::vector<Entry> all_slots) {
   memtable_.clear();
   runs_.clear();
   slot_count_ = all_slots.size();
@@ -277,7 +904,14 @@ void LocalStore::RebuildFrom(Run all_slots) {
   for (const Entry& e : all_slots) {
     if (!e.deleted) ++live_count_;
   }
-  if (!all_slots.empty()) runs_.push_back(std::move(all_slots));
+  if (!all_slots.empty()) {
+    ++stats_.compactions;
+    stats_.compacted_entries += all_slots.size();
+    for (const Entry& e : all_slots) {
+      stats_.compacted_bytes += ApproxEntryBytes(e);
+    }
+    runs_.push_back(BuildRun(std::move(all_slots)));
+  }
 }
 
 }  // namespace pgrid

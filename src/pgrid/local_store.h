@@ -16,21 +16,239 @@
 namespace unistore {
 namespace pgrid {
 
-/// Tunables of the two-level storage engine.
+/// Tunables of the storage engine.
 struct LocalStoreOptions {
   /// Memtable entries at which the memtable is frozen into a sorted run.
   size_t memtable_flush_threshold = 512;
 
-  /// Sorted runs at which a flush triggers a full merge-compaction (so a
-  /// scan never merges more than this many runs plus the memtable).
-  /// Clamped to kMaxRuns.
-  size_t max_runs = 4;
+  /// Hard cap on the number of resident runs (scan fan-in bound). When the
+  /// compaction policy leaves more runs than this, the oldest runs are
+  /// merged down until the store fits. Clamped to kMaxRuns.
+  size_t max_runs = 10;
+
+  /// How runs are compacted.
+  enum class CompactionPolicy : uint8_t {
+    /// Size-tiered: only runs of similar size merge (amortized O(log N)
+    /// write amplification). The default.
+    kTiered = 0,
+    /// The pre-tiering behaviour: every compaction merges ALL runs into
+    /// one (O(store) rewritten per compaction). Kept as the
+    /// write-amplification baseline for bench_bulk_load.
+    kFullMerge = 1,
+  };
+  CompactionPolicy compaction = CompactionPolicy::kTiered;
+
+  /// Tiered policy: contiguous same-size-class runs at which the group
+  /// merges into one (the tier fan-in). Minimum 2.
+  size_t tier_fanin = 4;
+
+  /// Tiered policy: size-class growth factor — runs a and b share a class
+  /// iff floor(log_growth(size/flush_threshold)) matches. Minimum 2.
+  size_t tier_growth = 4;
+
+  /// Build runs in the prefix-compressed format (shared-prefix truncation
+  /// of key bits per block, restart points every `restart_interval`
+  /// entries). Scans stay zero-copy/allocation-free; runs shrink by the
+  /// shared key prefixes (bench_bulk_load gates the resident-byte
+  /// savings).
+  bool compress_runs = true;
+
+  /// Entries per restart block of a compressed run. Minimum 1.
+  size_t restart_interval = 16;
 
   /// Hard upper bound on `max_runs`: scans merge through a fixed-size
   /// cursor array (memtable + kMaxRuns runs, plus one transient run
   /// during a flush-triggered compaction), which keeps the visitor read
   /// path free of heap allocation.
   static constexpr size_t kMaxRuns = 15;
+
+  /// \brief Returns a copy with every out-of-range knob clamped to its
+  /// nearest valid value, appending one human-readable line per clamped
+  /// knob to `warnings` (when non-null).
+  ///
+  /// LocalStore's constructor sanitizes through this and LOGs each
+  /// warning, so a mis-tuned `PeerOptions.storage` surfaces at
+  /// Cluster/Peer construction instead of silently clamping.
+  LocalStoreOptions Sanitized(std::vector<std::string>* warnings) const;
+};
+
+/// Cumulative write-path accounting (write-amplification measurements).
+/// "Bytes" are the approximate resident footprint of the entries moved
+/// (key + id + payload + fixed overhead), not wire bytes.
+struct LocalStoreWriteStats {
+  uint64_t ingested_entries = 0;  ///< Entries accepted by Apply/BulkLoad.
+  uint64_t ingested_bytes = 0;
+  uint64_t flushed_entries = 0;   ///< Entries written by memtable flushes.
+  uint64_t flushed_bytes = 0;
+  uint64_t compacted_entries = 0; ///< Entries rewritten by compactions.
+  uint64_t compacted_bytes = 0;
+  uint64_t bulk_loaded_entries = 0;  ///< Entries written by BulkLoad runs.
+  uint64_t bulk_loaded_bytes = 0;
+  uint64_t compactions = 0;       ///< Merge operations performed.
+
+  /// Total bytes the engine wrote to runs, divided by the bytes ingested:
+  /// the write-amplification factor bench_bulk_load gates on.
+  double WriteAmplification() const {
+    const uint64_t written = flushed_bytes + compacted_bytes +
+                             bulk_loaded_bytes;
+    return ingested_bytes
+               ? static_cast<double>(written) /
+                     static_cast<double>(ingested_bytes)
+               : 0.0;
+  }
+};
+
+/// \brief An immutable sorted run of entries, ordered by (key bits, id)
+/// with one occurrence per slot.
+///
+/// Two storage formats behind one cursor interface:
+/// - *plain*: a flat `std::vector<Entry>`, binary-searched.
+/// - *compressed*: one byte arena holding per-entry records whose key bits
+///   are shared-prefix-truncated against the previous entry, with restart
+///   points (full key) every `restart_interval` entries. Ids and payloads
+///   are stored raw, so cursor views alias the arena; only the key is
+///   reassembled — into the cursor's fixed buffer, never the heap.
+class SortedRun {
+ public:
+  /// Longest key bits a compressed run can hold (the cursor's fixed
+  /// reassembly buffer). Data keys are kKeyBits = 128 wide; entries with
+  /// longer keys force the run to fall back to the plain format.
+  static constexpr size_t kMaxCompressedKeyBits = 192;
+
+  SortedRun() = default;
+
+  /// Builds a run from entries already sorted by slot (key bits, id),
+  /// deduplicated. Uses the compressed format when `compress` is set and
+  /// every key fits kMaxCompressedKeyBits.
+  static SortedRun Build(std::vector<Entry> entries, bool compress,
+                         size_t restart_interval);
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool compressed() const { return compressed_; }
+
+  /// Approximate resident footprint in bytes (entry data + index
+  /// structures; excludes malloc overhead).
+  size_t resident_bytes() const { return resident_bytes_; }
+
+  /// Newest-occurrence probe: fills version/deleted of the slot if the
+  /// run contains it. No heap allocation.
+  bool FindSlot(std::string_view key_bits, std::string_view id,
+                uint64_t* version, bool* deleted) const;
+
+  /// \brief A forward cursor over the run in slot order.
+  ///
+  /// After Seek(), while valid(), view() exposes the current entry; the
+  /// view's key aliases the cursor's own buffer for compressed runs and
+  /// is invalidated by Advance(). Cursors never allocate.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    /// Positions at the first entry with key bits >= `lo_bits`.
+    void Seek(const SortedRun* run, std::string_view lo_bits);
+
+    /// Repositions at an arbitrary restart record of a compressed run
+    /// (the Prober's block jumps).
+    void JumpToRestart(const SortedRun* run, size_t restart_index);
+
+    bool valid() const { return valid_; }
+    const EntryView& view() const { return view_; }
+    /// Arena offset of the current record (compressed runs only).
+    size_t arena_offset() const { return offset_; }
+    void Advance();
+
+   private:
+    void DecodeCompressed();
+
+    const SortedRun* run_ = nullptr;
+    bool valid_ = false;
+    EntryView view_;
+    // Plain format.
+    const Entry* pos_ = nullptr;
+    const Entry* end_ = nullptr;
+    // Compressed format.
+    size_t offset_ = 0;     // Arena offset of the current record.
+    size_t next_offset_ = 0;
+    size_t key_len_ = 0;
+    char key_buf_[kMaxCompressedKeyBits];
+  };
+
+  /// \brief Forward-only slot prober for sorted probe sequences.
+  ///
+  /// BulkLoad probes a sorted batch against every run; because the probe
+  /// slots are non-decreasing, the prober remembers its position and
+  /// gallops forward instead of re-running a full binary search per
+  /// entry — O(log gap) amortized instead of O(log run).
+  class Prober {
+   public:
+    explicit Prober(const SortedRun* run);
+
+    /// Like FindSlot, but `(key_bits, id)` must be >= every slot probed
+    /// before on this prober.
+    bool FindForward(std::string_view key_bits, std::string_view id,
+                     uint64_t* version, bool* deleted);
+
+   private:
+    const SortedRun* run_ = nullptr;
+    size_t pos_ = 0;      // Plain: index of the current search frontier.
+    size_t restart_ = 0;  // Compressed: restart block of `cursor_`.
+    Cursor cursor_;       // Compressed: decode position.
+  };
+
+  class Builder;  // Streaming run construction (defined below).
+
+ private:
+  static SortedRun BuildPlain(std::vector<Entry> entries);
+
+  /// Full key bits of restart record `index` (aliases the arena).
+  std::string_view RestartKey(size_t index) const;
+
+  size_t count_ = 0;
+  size_t resident_bytes_ = 0;
+  bool compressed_ = false;
+
+  // Plain format (empty when compressed).
+  std::vector<Entry> plain_;
+
+  // Compressed format. Record layout, back to back in `arena_`:
+  //   varint shared_key_len   (0 at restart points)
+  //   varint key_suffix_len, key suffix bytes
+  //   varint id_len, id bytes
+  //   varint payload_len, payload bytes
+  //   varint version
+  //   u8 flags               (bit 0: deleted)
+  std::string arena_;
+  std::vector<uint32_t> restarts_;  // Arena offsets of restart records.
+  uint32_t restart_interval_ = 16;
+};
+
+/// \brief Streaming run construction from entry views in slot order.
+///
+/// Compactions merge runs through cursors; feeding the winning views
+/// straight into a Builder writes the merged run's arena directly — no
+/// intermediate Entry materialization (3 heap strings per entry) on the
+/// merge path. `compress` must only be set when every input key fits
+/// kMaxCompressedKeyBits (true whenever the inputs are themselves
+/// compressed runs).
+class SortedRun::Builder {
+ public:
+  Builder(bool compress, size_t restart_interval, size_t expected_entries,
+          size_t expected_bytes);
+
+  void Add(const EntryView& e);  // Slots must arrive in increasing order.
+  SortedRun Finish();
+
+  /// Approximate resident bytes of the entries added so far (the
+  /// write-amplification accounting unit, same as ApproxEntryBytes).
+  size_t approx_bytes() const { return approx_bytes_; }
+
+ private:
+  SortedRun run_;
+  std::string prev_key_;
+  size_t index_ = 0;
+  size_t approx_bytes_ = 0;
+  bool compress_ = false;
 };
 
 /// \brief The entries a single peer is responsible for, ordered by
@@ -43,28 +261,43 @@ struct LocalStoreOptions {
 ///
 /// Internally this is a miniature LSM tree (DESIGN.md § Local storage
 /// engine): Apply lands in a small mutable memtable; full memtables freeze
-/// into immutable sorted runs (flat vectors, binary-searched); runs are
-/// merge-compacted once there are more than `max_runs` of them. Because a
-/// version-ordered upsert always lands in the newest structure, reads
-/// resolve a slot to its newest occurrence (memtable, then runs newest to
-/// oldest). Tombstones survive flushes and compactions.
+/// into immutable sorted runs; runs compact under a size-tiered policy
+/// (only similar-size runs merge — amortized O(log N) write
+/// amplification), bounded by `max_runs` via an oldest-first fallback
+/// merge. BulkLoad turns a pre-sorted batch directly into a run,
+/// bypassing the memtable. Because a version-ordered upsert always lands
+/// in the newest structure, reads resolve a slot to its newest occurrence
+/// (memtable, then runs newest to oldest). Tombstones survive flushes and
+/// compactions.
 ///
 /// The read API is visitor-based and zero-copy: Scan* walk a k-way merge
 /// of memtable + runs in (key, id) order and hand each winning entry to
-/// the visitor by const reference — no per-entry copy or heap allocation.
-/// The Get* wrappers materialize vectors on top of the scans for tests and
-/// cold paths (exchange data handoff).
+/// the visitor as an EntryView — no per-entry copy or heap allocation,
+/// for plain and compressed runs alike. The Get* wrappers materialize
+/// vectors on top of the scans for tests and cold paths (exchange data
+/// handoff).
 class LocalStore {
  public:
   /// Visitor for scans; return false to stop the scan early.
-  using EntryVisitor = FunctionRef<bool(const Entry&)>;
+  using EntryVisitor = FunctionRef<bool(const EntryView&)>;
 
   LocalStore() : LocalStore(LocalStoreOptions{}) {}
   explicit LocalStore(const LocalStoreOptions& options);
 
+  const LocalStoreOptions& options() const { return options_; }
+
   /// Applies `entry` (insert, update or tombstone). Returns true iff the
   /// store changed (i.e. the entry was new or newer).
   bool Apply(const Entry& entry);
+
+  /// \brief Bulk ingest: turns `entries` directly into a sorted run,
+  /// bypassing the per-entry memtable path.
+  ///
+  /// The batch is sorted and deduplicated by slot (highest version wins
+  /// within the batch); entries whose slot already exists in the store
+  /// fall back to the Apply path so versioned-upsert/tombstone semantics
+  /// stay exact. Returns the number of entries that changed the store.
+  size_t BulkLoad(std::vector<Entry> entries);
 
   // --- Zero-copy visitor scans (live entries unless stated otherwise) ----
 
@@ -111,7 +344,14 @@ class LocalStore {
   size_t memtable_size() const { return memtable_.size(); }
   size_t run_count() const { return runs_.size(); }
 
-  /// Freezes the memtable into a run now (compacting if over max_runs).
+  /// Approximate resident footprint of memtable + runs in bytes
+  /// (bench_bulk_load gates the compressed-run savings on this).
+  size_t resident_bytes() const;
+
+  /// Cumulative write-path accounting since construction/Clear.
+  const LocalStoreWriteStats& write_stats() const { return stats_; }
+
+  /// Freezes the memtable into a run now (compacting per policy).
   void Flush();
 
   /// Merges all runs (and the memtable) into one run now.
@@ -123,9 +363,17 @@ class LocalStore {
   // (key, id) iteration order of the original nested-map engine.
   using SlotKey = std::pair<std::string, std::string>;
 
+  // Borrowed full-slot probe key (allocation-free memtable lookups).
+  struct SlotRef {
+    std::string_view key_bits;
+    std::string_view id;
+  };
+
   // Transparent comparator: the string_view overloads compare against the
   // key bits only, so scans can position at a range's lower bound without
-  // materializing a SlotKey (no allocation on the read path).
+  // materializing a SlotKey; the SlotRef overloads compare whole slots so
+  // point probes (FindLatest, BulkLoad) skip the two-string SlotKey
+  // materialization.
   struct SlotLess {
     using is_transparent = void;
     bool operator()(const SlotKey& a, const SlotKey& b) const {
@@ -137,36 +385,46 @@ class LocalStore {
     bool operator()(std::string_view lo_bits, const SlotKey& a) const {
       return lo_bits < std::string_view(a.first);
     }
+    bool operator()(const SlotKey& a, const SlotRef& b) const {
+      if (a.first != b.key_bits) return std::string_view(a.first) < b.key_bits;
+      return std::string_view(a.second) < b.id;
+    }
+    bool operator()(const SlotRef& b, const SlotKey& a) const {
+      if (b.key_bits != a.first) return b.key_bits < std::string_view(a.first);
+      return b.id < std::string_view(a.second);
+    }
   };
   using Memtable = std::map<SlotKey, Entry, SlotLess>;
 
-  // An immutable sorted run: entries ordered by slot, one occurrence per
-  // slot within the run.
-  using Run = std::vector<Entry>;
+  // Newest occurrence of the slot across memtable + runs.
+  struct SlotInfo {
+    bool found = false;
+    uint64_t version = 0;
+    bool deleted = false;
+  };
+  SlotInfo FindLatest(std::string_view key_bits, std::string_view id) const;
 
-  // Newest occurrence of the slot across memtable + runs, or nullptr.
-  const Entry* FindLatest(const std::string& key_bits,
-                          const std::string& id) const;
-
-  // One source of the k-way merge (a run segment or the memtable window).
+  // One source of the k-way merge (a run cursor or the memtable window).
   struct Cursor {
-    const Entry* run_pos = nullptr;
-    const Entry* run_end = nullptr;
+    SortedRun::Cursor run;
     Memtable::const_iterator mem_pos;
     Memtable::const_iterator mem_end;
+    EntryView mem_view;
     bool is_memtable = false;
 
-    const Entry* head() const {
+    const EntryView* head() {
       if (is_memtable) {
-        return mem_pos == mem_end ? nullptr : &mem_pos->second;
+        if (mem_pos == mem_end) return nullptr;
+        mem_view = EntryView(mem_pos->second);
+        return &mem_view;
       }
-      return run_pos == run_end ? nullptr : run_pos;
+      return run.valid() ? &run.view() : nullptr;
     }
     void Advance() {
       if (is_memtable) {
         ++mem_pos;
       } else {
-        ++run_pos;
+        run.Advance();
       }
     }
   };
@@ -183,14 +441,26 @@ class LocalStore {
                   EntryVisitor visit) const;
 
   void MaybeFlush();
-  void CompactRuns();
-  void RebuildFrom(Run all_slots);  // Sorted, deduped, tombstones included.
+  // Applies the configured compaction policy, then enforces max_runs by
+  // merging oldest runs first.
+  void MaybeCompact();
+  // One pass of the size-tiered policy: merges every contiguous group of
+  // >= tier_fanin same-size-class runs, repeating until stable.
+  void TierCompact();
+  // Merges runs_[first, first+n) into one run placed at `first`
+  // (preserves recency order: within the group the newer run wins a slot
+  // tie). Counts the rewrite into stats_.
+  void MergeRuns(size_t first, size_t n);
+  // Builds a run from sorted+deduped entries and counts `written` stats.
+  SortedRun BuildRun(std::vector<Entry> entries);
+  void RebuildFrom(std::vector<Entry> all_slots);  // Sorted, deduped.
 
   LocalStoreOptions options_;
   Memtable memtable_;
-  std::vector<Run> runs_;  // runs_[0] oldest … runs_.back() newest.
+  std::vector<SortedRun> runs_;  // runs_[0] oldest … runs_.back() newest.
   size_t live_count_ = 0;
   size_t slot_count_ = 0;
+  LocalStoreWriteStats stats_;
 };
 
 }  // namespace pgrid

@@ -133,6 +133,40 @@ Result<InsertReply> InsertReply::Decode(std::string_view bytes) {
   return reply;
 }
 
+std::string BulkInsertRequest::Encode() const {
+  BufferWriter w;
+  w.PutU32(initiator);
+  EncodeEntries(entries, &w);
+  return w.Release();
+}
+
+Result<BulkInsertRequest> BulkInsertRequest::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  BulkInsertRequest req;
+  UNISTORE_ASSIGN_OR_RETURN(req.initiator, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(req.entries, DecodeEntries(&r));
+  return req;
+}
+
+std::string BulkInsertReply::Encode() const {
+  BufferWriter w;
+  w.PutU32(applied);
+  w.PutU32(dead_ends);
+  w.PutU32(forwards);
+  w.PutString(peer_path);
+  return w.Release();
+}
+
+Result<BulkInsertReply> BulkInsertReply::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  BulkInsertReply reply;
+  UNISTORE_ASSIGN_OR_RETURN(reply.applied, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(reply.dead_ends, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(reply.forwards, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(reply.peer_path, r.GetString());
+  return reply;
+}
+
 std::string RangeSeqRequest::Encode() const {
   BufferWriter w;
   w.PutU32(initiator);

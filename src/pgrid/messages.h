@@ -83,6 +83,37 @@ struct InsertReply {
   static Result<InsertReply> Decode(std::string_view bytes);
 };
 
+/// \brief Routed batch insert — the wire unit of the bulk ingest pipeline.
+///
+/// The initiator groups a batch by next routing hop and sends one
+/// BulkInsertRequest per group, all sharing the initiator's request id. A
+/// receiving peer splits the batch again: entries it is responsible for
+/// are BulkLoad-ed (and replica-pushed) locally, the rest re-group by
+/// *their* next hop and forward under the same request id. Every received
+/// BulkInsert produces exactly one reply to the initiator carrying how
+/// many entries were applied here, how many hit a routing dead end, and
+/// how many sub-requests were spawned — the initiator runs
+/// shower-scan-style accounting (outstanding += forwards - 1) until all
+/// sub-walks report, then retries the whole (idempotent, versioned) batch
+/// if anything failed.
+struct BulkInsertRequest {
+  PeerId initiator = net::kNoPeer;
+  std::vector<Entry> entries;
+
+  std::string Encode() const;
+  static Result<BulkInsertRequest> Decode(std::string_view bytes);
+};
+
+struct BulkInsertReply {
+  uint32_t applied = 0;     ///< Entries stored at this peer.
+  uint32_t dead_ends = 0;   ///< Entries dropped for lack of a route.
+  uint32_t forwards = 0;    ///< Sub-requests this peer spawned.
+  std::string peer_path;
+
+  std::string Encode() const;
+  static Result<BulkInsertReply> Decode(std::string_view bytes);
+};
+
 struct RangeSeqRequest {
   PeerId initiator = net::kNoPeer;
   KeyRange range;

@@ -229,6 +229,19 @@ Status Overlay::InsertSync(net::PeerId from, Entry entry) {
   return *out;
 }
 
+Status Overlay::InsertBatchSync(net::PeerId from,
+                                std::vector<Entry> entries) {
+  std::optional<Status> out;
+  peers_[from]->InsertBatch(std::move(entries),
+                            [&out](Status s) { out = std::move(s); });
+  scheduler_->RunUntil([&out] { return out.has_value(); });
+  if (!out.has_value()) {
+    return Status::Internal(
+        "simulation drained before batch insert completed");
+  }
+  return *out;
+}
+
 Status Overlay::RemoveSync(net::PeerId from, const Key& key,
                            const std::string& entry_id, uint64_t version) {
   std::optional<Status> out;

@@ -105,6 +105,7 @@ class Overlay {
   Result<LookupResult> LookupSync(net::PeerId from, const Key& key,
                                   LookupMode mode = LookupMode::kExact);
   Status InsertSync(net::PeerId from, Entry entry);
+  Status InsertBatchSync(net::PeerId from, std::vector<Entry> entries);
   Status RemoveSync(net::PeerId from, const Key& key,
                     const std::string& entry_id, uint64_t version);
   Result<RangeResult> RangeSeqSync(net::PeerId from, const KeyRange& range);

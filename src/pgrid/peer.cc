@@ -24,7 +24,7 @@ void NoopStatus(Status) {}
 template <typename ScanFn>  // void(LocalStore::EntryVisitor)
 uint64_t CountEntries(ScanFn&& scan) {
   uint64_t count = 0;
-  scan([&count](const Entry&) {
+  scan([&count](const EntryView&) {
     ++count;
     return true;
   });
@@ -67,6 +67,14 @@ void Peer::OnMessage(const Message& msg) {
     case MessageType::kInsert:
       HandleInsert(msg);
       return;
+    case MessageType::kBulkInsert:
+      HandleBulkInsert(msg);
+      return;
+    case MessageType::kBulkInsertReply: {
+      auto reply = BulkInsertReply::Decode(msg.payload);
+      if (reply.ok()) OnBulkInsertReply(msg.request_id, *reply);
+      return;
+    }
     case MessageType::kRangeSeq:
       HandleRangeSeq(msg);
       return;
@@ -140,8 +148,8 @@ void Peer::DoLookup(const Key& key, LookupMode mode, int retries_left,
                     LookupCallback callback) {
   if (IsResponsible(key)) {
     LookupResult result;
-    auto collect = [&result](const Entry& e) {
-      result.entries.push_back(e);
+    auto collect = [&result](const EntryView& e) {
+      result.entries.push_back(e.ToEntry());
       return true;
     };
     if (mode == LookupMode::kExact) {
@@ -225,7 +233,7 @@ void Peer::ServeLookup(const LookupRequest& req, uint64_t request_id,
   reply.owner = id_;
   std::string payload = reply.EncodeStreamed(
       CountEntries(run_scan), [&run_scan](BufferWriter* w) {
-        run_scan([w](const Entry& e) {
+        run_scan([w](const EntryView& e) {
           e.Encode(w);
           return true;
         });
@@ -351,6 +359,135 @@ void Peer::HandleInsert(const Message& msg) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched insert (bulk ingest pipeline)
+// ---------------------------------------------------------------------------
+
+void Peer::InsertBatch(std::vector<Entry> entries, StatusCallback callback) {
+  DoInsertBatch(std::move(entries), options_.request_retries,
+                std::move(callback));
+}
+
+void Peer::DoInsertBatch(std::vector<Entry> entries, int retries_left,
+                         StatusCallback callback) {
+  if (entries.empty()) {
+    callback(Status::OK());
+    return;
+  }
+  const uint64_t id = next_scan_id_++;
+  BulkState state;
+  state.callback = std::move(callback);
+  state.entries = entries;  // Copy retained for idempotent retries.
+  state.retries_left = retries_left;
+  bulk_inserts_.emplace(id, std::move(state));
+
+  transport_->scheduler()->ScheduleAfter(
+      options_.scan_timeout, id_, id_, [this, id]() {
+        auto it = bulk_inserts_.find(id);
+        if (it != bulk_inserts_.end()) {
+          FinishBulkInsert(id, /*complete=*/false);
+        }
+      });
+
+  const BulkDispatch d = DispatchBulk(std::move(entries), id_, id, 0);
+  BulkState& s = bulk_inserts_.find(id)->second;
+  s.outstanding = d.forwards;
+  s.dead_ends = d.dead_ends;
+  if (s.outstanding == 0) FinishBulkInsert(id, /*complete=*/true);
+}
+
+Peer::BulkDispatch Peer::DispatchBulk(std::vector<Entry> entries,
+                                      PeerId initiator, uint64_t request_id,
+                                      uint32_t hops) {
+  BulkDispatch d;
+  std::vector<Entry> mine;
+  std::map<PeerId, std::vector<Entry>> groups;
+  for (Entry& e : entries) {
+    if (IsResponsible(e.key)) {
+      mine.push_back(std::move(e));
+      continue;
+    }
+    const PeerId next = NextHop(e.key);
+    if (next == net::kNoPeer || next == id_) {
+      ++d.dead_ends;
+      continue;
+    }
+    groups[next].push_back(std::move(e));
+  }
+
+  if (!mine.empty()) {
+    d.applied = static_cast<uint32_t>(mine.size());
+    // One rumor batch to the replica group instead of per-entry pushes.
+    PushBatchToReplicas(mine);
+    store_.BulkLoad(std::move(mine));
+  }
+
+  for (auto& [next, group] : groups) {
+    BulkInsertRequest sub;
+    sub.initiator = initiator;
+    sub.entries = std::move(group);
+    Message msg;
+    msg.type = MessageType::kBulkInsert;
+    msg.src = id_;
+    msg.dst = next;
+    msg.request_id = request_id;
+    msg.hops = hops + 1;
+    msg.payload = sub.Encode();
+    transport_->Send(std::move(msg));
+    ++d.forwards;
+  }
+  return d;
+}
+
+void Peer::HandleBulkInsert(const Message& msg) {
+  auto req = BulkInsertRequest::Decode(msg.payload);
+  if (!req.ok()) return;
+  const BulkDispatch d =
+      DispatchBulk(std::move(req->entries), req->initiator, msg.request_id,
+                   msg.hops);
+  BulkInsertReply reply;
+  reply.applied = d.applied;
+  reply.dead_ends = d.dead_ends;
+  reply.forwards = d.forwards;
+  reply.peer_path = path_.bits();
+  rpc_.ReplyTo(req->initiator, msg.request_id, msg.hops,
+               MessageType::kBulkInsertReply, reply.Encode());
+}
+
+void Peer::OnBulkInsertReply(uint64_t request_id,
+                             const BulkInsertReply& reply) {
+  auto it = bulk_inserts_.find(request_id);
+  if (it == bulk_inserts_.end()) return;  // Finished or already retried.
+  BulkState& state = it->second;
+  state.dead_ends += reply.dead_ends;
+  state.outstanding += reply.forwards;
+  state.outstanding -= 1;
+  if (state.outstanding == 0) {
+    FinishBulkInsert(request_id, /*complete=*/true);
+  }
+}
+
+void Peer::FinishBulkInsert(uint64_t request_id, bool complete) {
+  auto it = bulk_inserts_.find(request_id);
+  if (it == bulk_inserts_.end()) return;
+  BulkState state = std::move(it->second);
+  bulk_inserts_.erase(it);
+  if (complete && state.dead_ends == 0) {
+    state.callback(Status::OK());
+    return;
+  }
+  if (state.retries_left > 0) {
+    // Versioned upserts make re-delivery idempotent, so the whole batch
+    // retries (stragglers of the first walk are absorbed as no-ops).
+    DoInsertBatch(std::move(state.entries), state.retries_left - 1,
+                  std::move(state.callback));
+    return;
+  }
+  state.callback(Status::Unavailable(
+      "peer ", id_, ": bulk insert incomplete (", state.dead_ends,
+      " dead ends", complete ? "" : ", timed out", ")"));
+}
+
+// ---------------------------------------------------------------------------
 // Replica maintenance
 // ---------------------------------------------------------------------------
 
@@ -362,6 +499,18 @@ void Peer::PushToReplicas(const Entry& entry) {
   size_t fanout = std::min(options_.gossip_fanout, targets.size());
   for (size_t i = 0; i < fanout; ++i) {
     SendEntries(targets[i], {entry}, /*reroute_if_foreign=*/false,
+                /*gossip=*/true);
+  }
+}
+
+void Peer::PushBatchToReplicas(const std::vector<Entry>& entries) {
+  const auto& replicas = routing_.replicas();
+  if (replicas.empty() || entries.empty()) return;
+  std::vector<PeerId> targets = replicas;
+  rng_.Shuffle(&targets);
+  size_t fanout = std::min(options_.gossip_fanout, targets.size());
+  for (size_t i = 0; i < fanout; ++i) {
+    SendEntries(targets[i], entries, /*reroute_if_foreign=*/false,
                 /*gossip=*/true);
   }
 }
@@ -395,19 +544,26 @@ void Peer::ApplyOrReroute(const std::vector<Entry>& entries) {
 void Peer::HandleEntryBatch(const Message& msg) {
   auto batch = EntryBatch::Decode(msg.payload);
   if (!batch.ok()) return;
-  for (const Entry& e : batch->entries) {
+  std::vector<Entry> mine;
+  std::vector<Entry> fresh;
+  for (Entry& e : batch->entries) {
     if (batch->reroute_if_foreign && !IsResponsible(e.key)) {
       ++rerouted_entries_;
       DoInsert(e, options_.request_retries, NoopStatus);
       continue;
     }
-    bool fresh = store_.Apply(e);
-    if (fresh && batch->gossip) {
+    if (batch->gossip) {
       // Rumor spreading with damping: only freshly learned updates are
       // forwarded, so the rumor dies once the replica group has it.
-      PushToReplicas(e);
+      if (store_.Apply(e)) fresh.push_back(std::move(e));
+    } else {
+      mine.push_back(std::move(e));
     }
   }
+  // Non-gossip handoffs (exchange data migration) land as one bulk run
+  // instead of per-entry memtable churn.
+  if (!mine.empty()) store_.BulkLoad(std::move(mine));
+  if (!fresh.empty()) PushBatchToReplicas(fresh);
 }
 
 void Peer::HandleAntiEntropy(const Message& msg) {
@@ -417,7 +573,7 @@ void Peer::HandleAntiEntropy(const Message& msg) {
   rpc_.Reply(msg, MessageType::kAntiEntropyReply,
              AntiEntropyReply::EncodeStreamed(
                  store_.total_size(), [this](BufferWriter* w) {
-                   store_.ScanAll([w](const Entry& e) {
+                   store_.ScanAll([w](const EntryView& e) {
                      e.Encode(w);
                      return true;
                    });
@@ -443,7 +599,10 @@ void Peer::PullFromReplica(StatusCallback callback) {
           callback(reply.status());
           return;
         }
-        for (const Entry& e : reply->entries) store_.Apply(e);
+        // Anti-entropy merges arrive as one sorted batch: slots this
+        // replica has never seen become a run directly (no per-entry
+        // memtable churn); known slots keep exact upsert semantics.
+        store_.BulkLoad(std::move(reply->entries));
         callback(Status::OK());
       });
 }
@@ -500,7 +659,7 @@ void Peer::ProcessRangeSeq(const RangeSeqRequest& req, uint64_t request_id,
   }
   uint64_t count = 0;
   if (budget > 0) {
-    store_.ScanRange(req.range, [&count, budget](const Entry&) {
+    store_.ScanRange(req.range, [&count, budget](const EntryView&) {
       return ++count < budget;
     });
   }
@@ -544,8 +703,8 @@ void Peer::ProcessRangeSeq(const RangeSeqRequest& req, uint64_t request_id,
     // entries must be materialized (they become the caller's result).
     reply.entries.reserve(count);
     if (count > 0) {
-      store_.ScanRange(req.range, [&reply, count](const Entry& e) {
-        reply.entries.push_back(e);
+      store_.ScanRange(req.range, [&reply, count](const EntryView& e) {
+        reply.entries.push_back(e.ToEntry());
         return reply.entries.size() < count;
       });
     }
@@ -558,7 +717,7 @@ void Peer::ProcessRangeSeq(const RangeSeqRequest& req, uint64_t request_id,
       reply.EncodeStreamed(count, [this, &req, count](BufferWriter* w) {
         if (count == 0) return;
         uint64_t emitted = 0;
-        store_.ScanRange(req.range, [w, &emitted, count](const Entry& e) {
+        store_.ScanRange(req.range, [w, &emitted, count](const EntryView& e) {
           e.Encode(w);
           return ++emitted < count;
         });
@@ -688,8 +847,8 @@ void Peer::ProcessRangeShower(const RangeShowerRequest& req,
   if (req.initiator == id_) {
     // Initiator-local branch result: consumed as a struct, materialize.
     reply.entries.reserve(count);
-    run_scan([&reply](const Entry& e) {
-      reply.entries.push_back(e);
+    run_scan([&reply](const EntryView& e) {
+      reply.entries.push_back(e.ToEntry());
       return true;
     });
     OnShowerPartial(request_id, hops, reply);
@@ -697,7 +856,7 @@ void Peer::ProcessRangeShower(const RangeShowerRequest& req,
   }
   std::string payload =
       reply.EncodeStreamed(count, [&run_scan](BufferWriter* w) {
-        run_scan([w](const Entry& e) {
+        run_scan([w](const EntryView& e) {
           e.Encode(w);
           return true;
         });

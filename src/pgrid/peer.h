@@ -129,6 +129,18 @@ class Peer {
   /// Routes `entry` to its owner, stores it, pushes to replicas.
   void Insert(Entry entry, StatusCallback callback);
 
+  /// \brief Routes a whole batch of entries to their owners (bulk ingest
+  /// pipeline).
+  ///
+  /// The batch is grouped by next routing hop and travels as BulkInsert
+  /// messages that split recursively at each peer; responsible peers
+  /// ingest their group through LocalStore::BulkLoad (bypassing the
+  /// per-entry memtable path) and push it to replicas as one rumor batch.
+  /// The callback fires once every sub-walk reported back; on loss or a
+  /// routing dead end the whole batch retries (versioned upserts make
+  /// re-delivery idempotent) before giving up with Unavailable.
+  void InsertBatch(std::vector<Entry> entries, StatusCallback callback);
+
   /// Deletes by writing a tombstone (id under `key` with higher version).
   void Remove(const Key& key, const std::string& entry_id, uint64_t version,
               StatusCallback callback);
@@ -167,6 +179,8 @@ class Peer {
   void DoLookup(const Key& key, LookupMode mode, int retries_left,
                 LookupCallback callback);
   void DoInsert(Entry entry, int retries_left, StatusCallback callback);
+  void DoInsertBatch(std::vector<Entry> entries, int retries_left,
+                     StatusCallback callback);
   void DoInitiateExchange(PeerId other, uint32_t ttl, StatusCallback callback);
 
   // Routing.
@@ -179,6 +193,7 @@ class Peer {
   // this peer is already responsible).
   void HandleLookup(const net::Message& msg);
   void HandleInsert(const net::Message& msg);
+  void HandleBulkInsert(const net::Message& msg);
   void HandleRangeSeq(const net::Message& msg);
   void HandleRangeShower(const net::Message& msg);
   void HandleExchange(const net::Message& msg);
@@ -209,8 +224,23 @@ class Peer {
                  PeerId sender);
   void AddPeerByPath(PeerId peer, const Key& peer_path);
 
+  // Bulk ingest pipeline: applies the responsible subset of `entries`
+  // here (BulkLoad + batch replica push), groups the rest by next hop and
+  // forwards each group under `request_id`. Returns the accounting the
+  // initiator needs.
+  struct BulkDispatch {
+    uint32_t applied = 0;
+    uint32_t dead_ends = 0;
+    uint32_t forwards = 0;
+  };
+  BulkDispatch DispatchBulk(std::vector<Entry> entries, PeerId initiator,
+                            uint64_t request_id, uint32_t hops);
+  void OnBulkInsertReply(uint64_t request_id, const BulkInsertReply& reply);
+  void FinishBulkInsert(uint64_t request_id, bool complete);
+
   // Replica maintenance.
   void PushToReplicas(const Entry& entry);
+  void PushBatchToReplicas(const std::vector<Entry>& entries);
   void ApplyOrReroute(const std::vector<Entry>& entries);
   void SendEntries(PeerId dst, std::vector<Entry> entries,
                    bool reroute_if_foreign, bool gossip);
@@ -238,6 +268,16 @@ class Peer {
   uint64_t next_scan_id_ = 1;
   std::map<uint64_t, ScanState> seq_scans_;
   std::map<uint64_t, ScanState> shower_scans_;
+
+  // Initiator-side state of in-flight batch inserts, keyed by request id.
+  struct BulkState {
+    StatusCallback callback;
+    std::vector<Entry> entries;  ///< Retained for idempotent retries.
+    int retries_left = 0;
+    uint32_t outstanding = 0;
+    uint32_t dead_ends = 0;
+  };
+  std::map<uint64_t, BulkState> bulk_inserts_;
 
   void FinishSeqScan(uint64_t request_id, bool complete);
   void FinishShowerScan(uint64_t request_id, bool complete);

@@ -6,18 +6,6 @@ namespace unistore {
 namespace triple {
 namespace {
 
-// Fan-in state for N parallel operations sharing one callback.
-struct FanIn {
-  size_t remaining;
-  Status first_error;
-  TripleStore::StatusCallback callback;
-
-  void Arrive(const Status& status) {
-    if (!status.ok() && first_error.ok()) first_error = status;
-    if (--remaining == 0) callback(first_error);
-  }
-};
-
 // Decodes `entries`, keeps the triples `keep` accepts, and dedupes by
 // Identity (first occurrence wins) — all in one pass, without the
 // intermediate decode/filter vectors of the old DecodeTriples +
@@ -40,16 +28,11 @@ std::vector<Triple> FilterDedupTriples(
 
 void TripleStore::InsertEntries(std::vector<pgrid::Entry> entries,
                               StatusCallback callback) {
-  if (entries.empty()) {
-    callback(Status::OK());
-    return;
-  }
-  auto fan = std::make_shared<FanIn>();
-  fan->remaining = entries.size();
-  fan->callback = std::move(callback);
-  for (auto& e : entries) {
-    peer_->Insert(std::move(e), [fan](Status s) { fan->Arrive(s); });
-  }
+  // One logical write travels as one routed batch: the overlay groups the
+  // index entries by next hop (BulkInsert pipeline) instead of issuing a
+  // routed insert per entry, and responsible peers ingest their group via
+  // LocalStore::BulkLoad.
+  peer_->InsertBatch(std::move(entries), std::move(callback));
 }
 
 void TripleStore::InsertTriple(const Triple& triple, uint64_t version,

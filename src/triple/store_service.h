@@ -40,10 +40,12 @@ class TripleStore {
 
   // --- Writes -------------------------------------------------------------
 
-  /// Routes a batch of prepared entries into the overlay; the callback
-  /// fires once all inserts complete (first failure wins). Used by the
-  /// higher layers to combine triple-index and q-gram-posting entries in
-  /// one logical write.
+  /// Routes a batch of prepared entries into the overlay as one
+  /// BulkInsert walk (grouped by next hop, BulkLoad-ingested at the
+  /// owners); the callback fires once the whole batch is accounted for.
+  /// Used by the higher layers to combine triple-index and
+  /// q-gram-posting entries in one logical write, and by the bulk-load
+  /// path to ship many tuples at once.
   void InsertEntries(std::vector<pgrid::Entry> entries,
                      StatusCallback callback);
 

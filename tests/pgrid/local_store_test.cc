@@ -240,7 +240,7 @@ TEST(LocalStoreEngineTest, ScanEarlyExitStopsMerge) {
     store.Apply(MakeEntry(bits, "id", "p"));
   }
   size_t visited = 0;
-  bool completed = store.ScanAllLive([&visited](const Entry&) {
+  bool completed = store.ScanAllLive([&visited](const EntryView&) {
     return ++visited < 5;
   });
   EXPECT_FALSE(completed);
@@ -264,7 +264,7 @@ TEST(LocalStoreEngineTest, VisitorReadPathDoesNotAllocate) {
   size_t visited = 0;
   size_t payload_bytes = 0;
   const uint64_t allocs = CountCalls([&] {
-    store.ScanRange(range, [&](const Entry& e) {
+    store.ScanRange(range, [&](const EntryView& e) {
       ++visited;
       payload_bytes += e.payload.size();
       return true;
@@ -276,10 +276,10 @@ TEST(LocalStoreEngineTest, VisitorReadPathDoesNotAllocate) {
 
   // Point and full scans are allocation-free too.
   EXPECT_EQ(CountCalls([&] {
-              store.ScanKey(Key::FromBits("0101"), [](const Entry&) {
+              store.ScanKey(Key::FromBits("0101"), [](const EntryView&) {
                 return true;
               });
-              store.ScanAll([](const Entry&) { return true; });
+              store.ScanAll([](const EntryView&) { return true; });
             }),
             0u);
 }
@@ -409,6 +409,333 @@ TEST(LocalStoreDifferentialTest, RandomWorkloadMatchesMapModel) {
                 model.GetByPrefix(Key::FromBits(prefix)));
       EXPECT_EQ(store.Get(range.lo),
                 model.GetRange(KeyRange{range.lo, range.lo}));
+    }
+  }
+}
+
+// --- Options validation ----------------------------------------------------
+
+TEST(LocalStoreOptionsTest, SanitizedPassesValidKnobsThrough) {
+  LocalStoreOptions o;
+  o.memtable_flush_threshold = 64;
+  o.max_runs = 6;
+  o.tier_fanin = 3;
+  o.tier_growth = 2;
+  o.restart_interval = 8;
+  std::vector<std::string> warnings;
+  LocalStoreOptions s = o.Sanitized(&warnings);
+  EXPECT_TRUE(warnings.empty());
+  EXPECT_EQ(s.memtable_flush_threshold, 64u);
+  EXPECT_EQ(s.max_runs, 6u);
+  EXPECT_EQ(s.tier_fanin, 3u);
+  EXPECT_EQ(s.tier_growth, 2u);
+  EXPECT_EQ(s.restart_interval, 8u);
+}
+
+TEST(LocalStoreOptionsTest, SanitizedClampsEveryBadKnobWithAWarning) {
+  LocalStoreOptions o;
+  o.memtable_flush_threshold = 0;
+  o.max_runs = 0;
+  o.tier_fanin = 0;
+  o.tier_growth = 1;
+  o.restart_interval = 0;
+  std::vector<std::string> warnings;
+  LocalStoreOptions s = o.Sanitized(&warnings);
+  EXPECT_EQ(warnings.size(), 5u);
+  EXPECT_EQ(s.memtable_flush_threshold, 1u);
+  EXPECT_EQ(s.max_runs, 1u);
+  EXPECT_EQ(s.tier_fanin, 2u);
+  EXPECT_EQ(s.tier_growth, 2u);
+  EXPECT_EQ(s.restart_interval, 1u);
+}
+
+TEST(LocalStoreOptionsTest, SanitizedClampsMaxRunsToHardCap) {
+  LocalStoreOptions o;
+  o.max_runs = 64;
+  std::vector<std::string> warnings;
+  LocalStoreOptions s = o.Sanitized(&warnings);
+  EXPECT_EQ(s.max_runs, LocalStoreOptions::kMaxRuns);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("max_runs"), std::string::npos);
+}
+
+TEST(LocalStoreOptionsTest, ConstructorAppliesSanitizedOptions) {
+  LocalStoreOptions o;
+  o.max_runs = 64;
+  o.memtable_flush_threshold = 0;
+  LocalStore store(o);  // Logs warnings; must not crash or keep bad knobs.
+  EXPECT_EQ(store.options().max_runs, LocalStoreOptions::kMaxRuns);
+  EXPECT_EQ(store.options().memtable_flush_threshold, 1u);
+}
+
+// --- Bulk load -------------------------------------------------------------
+
+TEST(LocalStoreBulkTest, BulkLoadIntoEmptyStoreBypassesMemtable) {
+  LocalStore store;
+  std::vector<Entry> batch;
+  for (int i = 15; i >= 0; --i) {  // Unsorted on purpose.
+    std::string bits;
+    for (int b = 3; b >= 0; --b) bits += ((i >> b) & 1) ? '1' : '0';
+    batch.push_back(MakeEntry(bits, "id", "p" + std::to_string(i)));
+  }
+  EXPECT_EQ(store.BulkLoad(batch), 16u);
+  EXPECT_EQ(store.memtable_size(), 0u);
+  EXPECT_EQ(store.run_count(), 1u);
+  EXPECT_EQ(store.live_size(), 16u);
+  // Sorted (key, id) iteration order.
+  auto all = store.GetAllLive();
+  ASSERT_EQ(all.size(), 16u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].key.bits(), all[i].key.bits());
+  }
+}
+
+TEST(LocalStoreBulkTest, BulkLoadDedupesWithinBatchHighestVersionWins) {
+  LocalStore store;
+  std::vector<Entry> batch = {
+      MakeEntry("0101", "t1", "v1", 1),
+      MakeEntry("0101", "t1", "v3", 3),
+      MakeEntry("0101", "t1", "v2", 2),
+  };
+  EXPECT_EQ(store.BulkLoad(batch), 1u);
+  auto got = store.Get(Key::FromBits("0101"));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].payload, "v3");
+  EXPECT_EQ(store.total_size(), 1u);
+}
+
+TEST(LocalStoreBulkTest, BulkLoadRespectsExistingVersions) {
+  LocalStore store(TinyEngine());
+  store.Apply(MakeEntry("0101", "t1", "new", 5));
+  store.Apply(MakeEntry("0110", "t2", "", 4, /*deleted=*/true));
+  store.Flush();
+
+  std::vector<Entry> batch = {
+      MakeEntry("0101", "t1", "stale", 3),    // Older: ignored.
+      MakeEntry("0110", "t2", "zombie", 2),   // Tombstoned newer: ignored.
+      MakeEntry("0111", "t3", "fresh", 1),    // New slot: bulk run.
+      MakeEntry("0101", "t2", "fresh2", 1),   // New id under known key.
+  };
+  EXPECT_EQ(store.BulkLoad(batch), 2u);
+  EXPECT_EQ(store.Get(Key::FromBits("0101")).size(), 2u);
+  EXPECT_EQ(store.Get(Key::FromBits("0101"))[0].payload, "new");
+  EXPECT_TRUE(store.Get(Key::FromBits("0110")).empty());
+  EXPECT_EQ(store.Get(Key::FromBits("0111"))[0].payload, "fresh");
+}
+
+TEST(LocalStoreBulkTest, BulkLoadNewerVersionOverridesThroughApplyPath) {
+  LocalStore store(TinyEngine());
+  store.Apply(MakeEntry("0101", "t1", "old", 1));
+  store.Flush();
+  std::vector<Entry> batch = {MakeEntry("0101", "t1", "newer", 7)};
+  EXPECT_EQ(store.BulkLoad(batch), 1u);
+  auto got = store.Get(Key::FromBits("0101"));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].payload, "newer");
+  EXPECT_EQ(store.total_size(), 1u);
+}
+
+TEST(LocalStoreBulkTest, BulkLoadStreamMatchesApplyStream) {
+  // The acceptance gate in miniature: identical data through the
+  // memtable path and the bulk path yields byte-identical scan streams.
+  std::vector<Entry> entries;
+  for (int i = 0; i < 200; ++i) {
+    std::string bits;
+    for (int b = 7; b >= 0; --b) bits += ((i >> b) & 1) ? '1' : '0';
+    entries.push_back(MakeEntry(bits, "id" + std::to_string(i % 3),
+                                "payload-" + std::to_string(i),
+                                1 + (i % 4), i % 7 == 0));
+  }
+  LocalStore applied(TinyEngine());
+  for (const auto& e : entries) applied.Apply(e);
+  LocalStore bulked(TinyEngine());
+  bulked.BulkLoad(entries);
+  EXPECT_EQ(applied.GetAll(), bulked.GetAll());
+  EXPECT_EQ(applied.live_size(), bulked.live_size());
+  EXPECT_EQ(applied.total_size(), bulked.total_size());
+}
+
+// --- Prefix-compressed runs ------------------------------------------------
+
+LocalStoreOptions CompressedEngine(bool compress) {
+  LocalStoreOptions o;
+  o.memtable_flush_threshold = 8;
+  o.max_runs = 4;
+  o.compress_runs = compress;
+  o.restart_interval = 4;
+  return o;
+}
+
+TEST(LocalStoreCompressionTest, CompressedAndPlainScanIdentically) {
+  std::vector<Entry> entries;
+  Rng rng(99);
+  for (int i = 0; i < 150; ++i) {
+    std::string bits = "0101";  // Shared peer-path prefix.
+    for (int b = 0; b < 12; ++b) bits += rng.NextBounded(2) ? '1' : '0';
+    entries.push_back(MakeEntry(bits, "a#id" + std::to_string(i),
+                                "payload-" + std::to_string(i),
+                                1 + rng.NextBounded(3),
+                                rng.NextBounded(8) == 0));
+  }
+  LocalStore plain(CompressedEngine(false));
+  LocalStore packed(CompressedEngine(true));
+  for (const auto& e : entries) {
+    plain.Apply(e);
+    packed.Apply(e);
+  }
+  EXPECT_EQ(plain.GetAll(), packed.GetAll());
+  EXPECT_EQ(plain.Get(entries[7].key), packed.Get(entries[7].key));
+  EXPECT_EQ(plain.GetByPrefix(Key::FromBits("01010")),
+            packed.GetByPrefix(Key::FromBits("01010")));
+  // The compressed engine's runs must actually be compressed and smaller.
+  plain.Compact();
+  packed.Compact();
+  EXPECT_LT(packed.resident_bytes(), plain.resident_bytes());
+}
+
+TEST(LocalStoreCompressionTest, CompressedScanIsAllocationFree) {
+  LocalStore store(CompressedEngine(true));
+  for (int i = 0; i < 64; ++i) {
+    std::string bits = "10";
+    for (int b = 5; b >= 0; --b) bits += ((i >> b) & 1) ? '1' : '0';
+    store.Apply(MakeEntry(bits, "id" + std::to_string(i), "pp"));
+  }
+  store.Compact();
+  ASSERT_EQ(store.run_count(), 1u);
+  size_t visited = 0;
+  const uint64_t allocs = CountCalls([&] {
+    store.ScanAll([&visited](const EntryView& e) {
+      visited += e.key_bits.size() > 0 ? 1 : 0;
+      return true;
+    });
+  });
+  EXPECT_EQ(visited, 64u);
+  EXPECT_EQ(allocs, 0u) << "compressed-run scans must not touch the heap";
+}
+
+TEST(LocalStoreCompressionTest, OverlongKeysFallBackToPlainRuns) {
+  LocalStore store(CompressedEngine(true));
+  std::string long_bits(SortedRun::kMaxCompressedKeyBits + 8, '0');
+  store.Apply(MakeEntry(long_bits, "id", "p"));
+  store.Flush();
+  auto got = store.Get(Key::FromBits(long_bits));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].payload, "p");
+}
+
+// --- Size-tiered compaction ------------------------------------------------
+
+TEST(LocalStoreTierTest, TieredCompactionBoundsRunsAndKeepsData) {
+  LocalStoreOptions o;
+  o.memtable_flush_threshold = 4;
+  o.max_runs = 8;
+  o.tier_fanin = 2;
+  o.tier_growth = 2;
+  LocalStore store(o);
+  for (int i = 0; i < 512; ++i) {
+    std::string bits;
+    for (int b = 8; b >= 0; --b) bits += ((i >> b) & 1) ? '1' : '0';
+    store.Apply(MakeEntry(bits, "id", "p" + std::to_string(i)));
+  }
+  EXPECT_LE(store.run_count(), 8u);
+  EXPECT_EQ(store.live_size(), 512u);
+  EXPECT_EQ(store.GetAllLive().size(), 512u);
+}
+
+TEST(LocalStoreTierTest, TieredWritesLessThanFullMerge) {
+  auto run_workload = [](LocalStoreOptions::CompactionPolicy policy) {
+    LocalStoreOptions o;
+    o.memtable_flush_threshold = 8;
+    o.max_runs = 8;
+    o.compaction = policy;
+    LocalStore store(o);
+    for (int i = 0; i < 2048; ++i) {
+      std::string bits;
+      for (int b = 11; b >= 0; --b) bits += ((i >> b) & 1) ? '1' : '0';
+      store.Apply(MakeEntry(bits, "id", "payload-" + std::to_string(i)));
+    }
+    return store.write_stats();
+  };
+  const auto tiered =
+      run_workload(LocalStoreOptions::CompactionPolicy::kTiered);
+  const auto full =
+      run_workload(LocalStoreOptions::CompactionPolicy::kFullMerge);
+  EXPECT_LT(tiered.WriteAmplification(), full.WriteAmplification());
+  EXPECT_GT(tiered.WriteAmplification(), 0.0);
+}
+
+// --- Compaction under churn: the full write-path property test -------------
+
+TEST(LocalStoreChurnTest, InterleavedApplyBulkLoadExtractMatchesModel) {
+  Rng rng(20260729);
+  for (int round = 0; round < 6; ++round) {
+    LocalStoreOptions options;
+    options.memtable_flush_threshold = 1 + rng.NextBounded(12);
+    options.max_runs = 2 + rng.NextBounded(8);
+    options.tier_fanin = 2 + rng.NextBounded(3);
+    options.tier_growth = 2 + rng.NextBounded(3);
+    options.compress_runs = rng.NextBounded(2) == 0;
+    options.restart_interval = 1 + rng.NextBounded(8);
+    LocalStore store(options);
+    MapStoreModel model;
+
+    auto random_entry = [&rng](int op) {
+      Entry e;
+      std::string bits;
+      for (int b = 0; b < 6; ++b) bits += rng.NextBounded(2) ? '1' : '0';
+      e.key = Key::FromBits(bits);
+      e.id = "id" + std::to_string(rng.NextBounded(6));
+      e.version = 1 + rng.NextBounded(16);
+      e.deleted = rng.NextBounded(5) == 0;
+      e.payload = e.deleted ? "" : "p" + std::to_string(op);
+      return e;
+    };
+
+    for (int op = 0; op < 600; ++op) {
+      const uint64_t dice = rng.NextBounded(100);
+      if (dice < 70) {
+        Entry e = random_entry(op);
+        ASSERT_EQ(store.Apply(e), model.Apply(e)) << "op " << op;
+      } else if (dice < 85) {
+        // Bulk batch (anti-entropy / ingest shape): may collide with
+        // existing slots and itself.
+        std::vector<Entry> batch;
+        const uint64_t n = 1 + rng.NextBounded(24);
+        for (uint64_t i = 0; i < n; ++i) {
+          batch.push_back(random_entry(op * 100 + static_cast<int>(i)));
+        }
+        store.BulkLoad(batch);
+        for (const Entry& e : batch) model.Apply(e);
+      } else if (dice < 95) {
+        store.Flush();  // Triggers tier compaction.
+      } else {
+        std::string path;
+        const uint64_t len = rng.NextBounded(3);
+        for (uint64_t b = 0; b < len; ++b) {
+          path += rng.NextBounded(2) ? '1' : '0';
+        }
+        auto removed_new = store.ExtractNotMatching(Key::FromBits(path));
+        auto removed_old = model.ExtractNotMatching(Key::FromBits(path));
+        ASSERT_EQ(removed_new, removed_old) << "extract at op " << op;
+      }
+
+      if (op % 151 == 0) {
+        ASSERT_EQ(store.GetAll(), model.GetAll()) << "state at op " << op;
+      }
+    }
+
+    EXPECT_LE(store.run_count(), options.Sanitized(nullptr).max_runs);
+    EXPECT_EQ(store.live_size(), model.live_size());
+    EXPECT_EQ(store.GetAll(), model.GetAll());
+    EXPECT_EQ(store.total_size(), model.GetAll().size());
+
+    for (int probe = 0; probe < 16; ++probe) {
+      std::string lo, hi;
+      for (int b = 0; b < 6; ++b) lo += rng.NextBounded(2) ? '1' : '0';
+      for (int b = 0; b < 6; ++b) hi += rng.NextBounded(2) ? '1' : '0';
+      if (lo > hi) std::swap(lo, hi);
+      KeyRange range{Key::FromBits(lo), Key::FromBits(hi)};
+      EXPECT_EQ(store.GetRange(range), model.GetRange(range));
     }
   }
 }
