@@ -10,6 +10,14 @@ the CI bench job uploads). Benchmarks are matched by name; for each match
 the tool prints real time, CPU time and items/sec with the relative change,
 so the perf trajectory across PRs is trackable without spreadsheet work.
 
+Gate artifacts (the flat {"gate_name": value} dicts the benches emit next
+to their timing JSON, which the CI BENCH_*.json glob also matches) are
+diffed key by key instead; unknown or newly added keys are reported, never
+a traceback.
+
+A missing or unreadable input is a reported skip with exit 0 — the first
+run on a branch has no baseline artifact, and that must not fail the job.
+
 Exit code: 0 always by default (the bench job is non-gating); with
 --fail-over PCT (alias: --threshold), exits 1 if any matched benchmark's
 CPU time regressed by more than PCT percent — the CI bench job runs with
@@ -27,15 +35,35 @@ import sys
 
 
 def load(path):
-    with open(path) as f:
-        data = json.load(f)
-    out = {}
-    for b in data.get("benchmarks", []):
-        # Skip aggregate rows (mean/median/stddev) — compare raw runs.
-        if b.get("run_type") == "aggregate":
-            continue
-        out[b["name"]] = b
-    return out
+    """Returns (kind, mapping) — kind is 'bench', 'gates', or None with a
+    skip reason in mapping."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        return None, f"cannot read {path}: {e.strerror or e}"
+    except ValueError as e:
+        return None, f"cannot parse {path}: {e}"
+    if isinstance(data, dict) and isinstance(data.get("benchmarks"), list):
+        out = {}
+        for b in data["benchmarks"]:
+            if not isinstance(b, dict) or "name" not in b:
+                continue
+            # Skip aggregate rows (mean/median/stddev) — compare raw runs.
+            if b.get("run_type") == "aggregate":
+                continue
+            out[b["name"]] = b
+        return "bench", out
+    if isinstance(data, dict):
+        # A flat gate dict: keep the numeric (and numeric-like) entries.
+        out = {}
+        for key, value in data.items():
+            if isinstance(value, bool):
+                out[key] = float(value)
+            elif isinstance(value, (int, float)):
+                out[key] = float(value)
+        return "gates", out
+    return None, f"{path}: unrecognized JSON shape ({type(data).__name__})"
 
 
 def fmt_time(ns):
@@ -78,12 +106,17 @@ def compare(old, new):
     lines.append(f"{'benchmark':<{width}}  {'old cpu':>10}  {'new cpu':>10}  "
                  f"{'cpu Δ':>8}  {'real Δ':>8}  {'items/s Δ':>9}")
     worst = 0.0
+    skipped = []
     for name in names:
         o, n = old[name], new[name]
-        o_cpu = to_ns(o["cpu_time"], o.get("time_unit", "ns"))
-        n_cpu = to_ns(n["cpu_time"], n.get("time_unit", "ns"))
-        o_real = to_ns(o["real_time"], o.get("time_unit", "ns"))
-        n_real = to_ns(n["real_time"], n.get("time_unit", "ns"))
+        try:
+            o_cpu = to_ns(o["cpu_time"], o.get("time_unit", "ns"))
+            n_cpu = to_ns(n["cpu_time"], n.get("time_unit", "ns"))
+            o_real = to_ns(o["real_time"], o.get("time_unit", "ns"))
+            n_real = to_ns(n["real_time"], n.get("time_unit", "ns"))
+        except (KeyError, TypeError):
+            skipped.append(name)
+            continue
         d_cpu = delta_pct(o_cpu, n_cpu)
         d_real = delta_pct(o_real, n_real)
         worst = max(worst, d_cpu)
@@ -95,11 +128,38 @@ def compare(old, new):
             f"{name:<{width}}  {fmt_time(o_cpu):>10}  {fmt_time(n_cpu):>10}  "
             f"{d_cpu:+7.1f}%  {d_real:+7.1f}%  {items:>9}")
 
+    for name in skipped:
+        lines.append(f"? skipped (no timing fields): {name}")
     for name in missing:
         lines.append(f"- removed: {name}")
     for name in added:
         lines.append(f"+ added:   {name}")
     return lines, worst
+
+
+def compare_gates(old, new):
+    """Key-by-key diff of two flat gate dicts. Gates carry their own
+    pass/fail semantics inside the bench binaries, so they never trip the
+    --fail-over threshold here — the report is informational."""
+    names = sorted(n for n in new if n in old)
+    missing = sorted(set(old) - set(new))
+    added = sorted(set(new) - set(old))
+    lines = []
+    if names:
+        width = max(len(n) for n in names)
+        lines.append(f"{'gate':<{width}}  {'old':>12}  {'new':>12}  "
+                     f"{'Δ':>8}")
+        for name in names:
+            d = delta_pct(old[name], new[name])
+            lines.append(f"{name:<{width}}  {old[name]:>12.4g}  "
+                         f"{new[name]:>12.4g}  {d:+7.1f}%")
+    else:
+        lines.append("no common gate keys between the two files")
+    for name in missing:
+        lines.append(f"- removed gate: {name}")
+    for name in added:
+        lines.append(f"+ added gate:   {name} = {new[name]:.4g}")
+    return lines
 
 
 def append_summary(path, title, lines):
@@ -130,7 +190,27 @@ def main():
     )
     args = parser.parse_args()
 
-    lines, worst = compare(load(args.old), load(args.new))
+    old_kind, old_data = load(args.old)
+    new_kind, new_data = load(args.new)
+    for kind, data in ((old_kind, old_data), (new_kind, new_data)):
+        if kind is None:
+            print(f"skipped: {data}")
+            if args.summary:
+                append_summary(args.summary, os.path.basename(args.new),
+                               [f"skipped: {data}"])
+            return 0
+    if old_kind != new_kind:
+        line = (f"skipped: artifact kinds differ "
+                f"({args.old}: {old_kind}, {args.new}: {new_kind})")
+        print(line)
+        if args.summary:
+            append_summary(args.summary, os.path.basename(args.new), [line])
+        return 0
+
+    if old_kind == "gates":
+        lines, worst = compare_gates(old_data, new_data), 0.0
+    else:
+        lines, worst = compare(old_data, new_data)
     for line in lines:
         print(line)
 

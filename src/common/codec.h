@@ -143,12 +143,25 @@ class BufferReader {
     return b != 0;
   }
 
+  /// Canonical unsigned LEB128 only: rejects encodings longer than ten
+  /// bytes, ten-byte encodings whose final group overflows 64 bits, and
+  /// padded encodings (a zero continuation group, e.g. 0x80 0x00 for 0).
+  /// PutVarint never produces any of these; accepting them would let one
+  /// logical value arrive as distinct byte strings — and the overflow
+  /// form silently drop bits — which matters for checksummed/persisted
+  /// records.
   Result<uint64_t> GetVarint() {
     uint64_t v = 0;
     int shift = 0;
     while (true) {
       if (shift > 63) return Status::Corruption("varint too long");
       UNISTORE_ASSIGN_OR_RETURN(uint8_t byte, GetU8());
+      if (shift == 63 && (byte & 0x7F) > 1) {
+        return Status::Corruption("varint overflows 64 bits");
+      }
+      if (byte == 0 && shift != 0) {
+        return Status::Corruption("non-canonical varint padding");
+      }
       v |= static_cast<uint64_t>(byte & 0x7F) << shift;
       if ((byte & 0x80) == 0) break;
       shift += 7;

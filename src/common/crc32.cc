@@ -1,0 +1,48 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace unistore {
+namespace {
+
+// CRC-32C reflected polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t crc) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  const auto& table = Table();
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t MaskedCrc32c(std::string_view s) {
+  const uint32_t crc = Crc32c(s);
+  // Rotate + offset (the LevelDB/RocksDB masking trick): a stored masked
+  // CRC never equals the raw CRC of the same bytes, so re-checksumming a
+  // region that embeds its own checksum cannot accidentally validate.
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8u;
+}
+
+}  // namespace unistore

@@ -1,0 +1,31 @@
+// CRC-32C (Castagnoli) checksums for persistent storage artifacts.
+//
+// The durable storage backend checksums every on-disk block and every
+// manifest record so torn writes and bit rot surface as detected
+// corruption instead of silently wrong query results (DESIGN.md § Durable
+// storage backend). Software table implementation — fast enough for the
+// block sizes involved and dependency-free.
+#ifndef UNISTORE_COMMON_CRC32_H_
+#define UNISTORE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace unistore {
+
+/// CRC-32C of `data`, optionally chained from a previous value.
+uint32_t Crc32c(const void* data, size_t n, uint32_t crc = 0);
+
+inline uint32_t Crc32c(std::string_view s, uint32_t crc = 0) {
+  return Crc32c(s.data(), s.size(), crc);
+}
+
+/// Crc32c xor-folded with a constant so that a buffer of zeros does not
+/// checksum to the checksum of the empty string (an all-zero torn block
+/// must not validate against an all-zero stored CRC).
+uint32_t MaskedCrc32c(std::string_view s);
+
+}  // namespace unistore
+
+#endif  // UNISTORE_COMMON_CRC32_H_

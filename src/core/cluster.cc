@@ -169,6 +169,14 @@ Result<Cluster::Measured> Cluster::QueryPlanMeasured(
   return measured;
 }
 
+Status Cluster::StorageStatus() const {
+  for (const auto& n : nodes_) {
+    Status s = n->StorageStatus();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
 void Cluster::RefreshStats(size_t gossip_rounds) {
   const double hop_latency = ExpectedHopLatencyUs();
   for (auto& n : nodes_) n->RefreshStats(hop_latency);

@@ -98,6 +98,10 @@ class Cluster {
 
   // --- Maintenance ---------------------------------------------------------
 
+  /// First storage I/O error across all nodes' local stores (a disk
+  /// backend wedge), or OK.
+  Status StorageStatus() const;
+
   /// Rebuilds every node's local statistics and runs `gossip_rounds`
   /// rounds of statistics gossip.
   void RefreshStats(size_t gossip_rounds = 2);

@@ -193,6 +193,10 @@ Result<plan::PhysicalPlan> UniStore::PlanOnly(
   return optimizer_->Plan(query);
 }
 
+Status UniStore::StorageStatus() const {
+  return peer_->store().io_status();
+}
+
 void UniStore::RefreshStats(double hop_latency_us) {
   service_.BuildLocalStats(hop_latency_us);
 }

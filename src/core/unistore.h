@@ -99,6 +99,12 @@ class UniStore {
 
   // --- Maintenance ---------------------------------------------------------
 
+  /// First storage I/O error of this node's local store (a disk-backed
+  /// store wedges on write failure and stops persisting), or OK. Deploys
+  /// should poll this: a wedged node keeps answering queries from its
+  /// resident state but silently stops accepting writes.
+  Status StorageStatus() const;
+
   /// Rebuilds local statistics (hop latency estimate feeds the cost
   /// model's latency predictions).
   void RefreshStats(double hop_latency_us);

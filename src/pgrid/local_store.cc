@@ -4,64 +4,20 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "pgrid/run_merge.h"
+#include "pgrid/sorted_run.h"
+#include "pgrid/storage_backend.h"
 
 namespace unistore {
 namespace pgrid {
 namespace {
 
-// <0 / 0 / >0 over slot order — (key bits, id) — of two entry views.
-int SlotCompare(const EntryView& a, const EntryView& b) {
-  const int c = a.key_bits.compare(b.key_bits);
-  if (c != 0) return c;
-  return a.id.compare(b.id);
-}
-
-bool SameSlot(const EntryView& a, const EntryView& b) {
-  return a.key_bits == b.key_bits && a.id == b.id;
-}
-
-bool StartsWith(std::string_view s, std::string_view prefix) {
-  return s.size() >= prefix.size() &&
-         s.compare(0, prefix.size(), prefix) == 0;
-}
-
-// Approximate resident footprint of one entry (object + string bytes;
-// ignores allocator slack). Shared by the plain-run accounting and the
-// write-amplification counters so the two are comparable.
-size_t ApproxEntryBytes(size_t key_len, size_t id_len, size_t payload_len) {
-  return sizeof(Entry) + key_len + id_len + payload_len;
-}
-
-size_t ApproxEntryBytes(const Entry& e) {
-  return ApproxEntryBytes(e.key.bits().size(), e.id.size(),
-                          e.payload.size());
-}
-
-// Raw LEB128 over the run arena. Encoding mirrors BufferWriter::PutVarint;
-// the decoder skips bounds checks (the arena is engine-built, not wire
-// data) so the scan hot loop stays branch-light and allocation-free.
-void AppendVarint(std::string* s, uint64_t v) {
-  char scratch[10];
-  size_t n = 0;
-  while (v >= 0x80) {
-    scratch[n++] = static_cast<char>(static_cast<uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  scratch[n++] = static_cast<char>(v);
-  s->append(scratch, n);
-}
-
-uint64_t ReadVarint(const std::string& s, size_t* pos) {
-  uint64_t v = 0;
-  int shift = 0;
-  while (true) {
-    const uint8_t byte = static_cast<uint8_t>(s[*pos]);
-    ++*pos;
-    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) return v;
-    shift += 7;
-  }
-}
+// Both backends merge through fixed cursor arrays of kMaxMergeFanIn = 16;
+// the policy layer must never ask them to merge a wider group. The widest
+// group possible is every run plus the transient one a flush-triggered
+// compaction sees.
+static_assert(LocalStoreOptions::kMaxRuns + 1 <= 16,
+              "merge fan-in exceeds the backends' fixed cursor arrays");
 
 // The first 64 key chars packed into one integer, bit per '0'/'1' char,
 // zero-padded: for keys agreeing on their packed prefix the full string
@@ -154,318 +110,16 @@ LocalStoreOptions LocalStoreOptions::Sanitized(
     o.restart_interval = 1;
     warn("restart_interval 0 is invalid; clamped to 1");
   }
+  if (o.backend == Backend::kDisk && o.data_dir.empty()) {
+    o.backend = Backend::kMemory;
+    warn("backend kDisk requires a data_dir; falling back to kMemory");
+  }
+  if (o.block_bytes < 128) {
+    warn("block_bytes " + std::to_string(o.block_bytes) +
+         " below minimum; clamped to 128");
+    o.block_bytes = 128;
+  }
   return o;
-}
-
-// ---------------------------------------------------------------------------
-// SortedRun
-// ---------------------------------------------------------------------------
-
-SortedRun SortedRun::BuildPlain(std::vector<Entry> entries) {
-  SortedRun run;
-  run.count_ = entries.size();
-  run.resident_bytes_ = sizeof(SortedRun);
-  for (const Entry& e : entries) run.resident_bytes_ += ApproxEntryBytes(e);
-  run.plain_ = std::move(entries);
-  run.plain_.shrink_to_fit();
-  return run;
-}
-
-SortedRun SortedRun::Build(std::vector<Entry> entries, bool compress,
-                           size_t restart_interval) {
-  if (compress) {
-    for (const Entry& e : entries) {
-      if (e.key.bits().size() > kMaxCompressedKeyBits) {
-        compress = false;
-        break;
-      }
-    }
-  }
-  if (!compress) return BuildPlain(std::move(entries));
-
-  size_t estimate = 0;
-  for (const Entry& e : entries) estimate += ApproxEntryBytes(e) / 2;
-  Builder builder(/*compress=*/true, restart_interval, entries.size(),
-                  estimate);
-  for (const Entry& e : entries) builder.Add(EntryView(e));
-  return builder.Finish();
-}
-
-SortedRun::Builder::Builder(bool compress, size_t restart_interval,
-                            size_t expected_entries, size_t expected_bytes)
-    : compress_(compress) {
-  run_.restart_interval_ =
-      static_cast<uint32_t>(std::max<size_t>(1, restart_interval));
-  if (compress_) {
-    run_.compressed_ = true;
-    run_.arena_.reserve(expected_bytes);
-    run_.restarts_.reserve(expected_entries / run_.restart_interval_ + 1);
-    prev_key_.reserve(kMaxCompressedKeyBits);
-  } else {
-    run_.plain_.reserve(expected_entries);
-  }
-}
-
-void SortedRun::Builder::Add(const EntryView& e) {
-  approx_bytes_ +=
-      ApproxEntryBytes(e.key_bits.size(), e.id.size(), e.payload.size());
-  if (!compress_) {
-    run_.plain_.push_back(e.ToEntry());
-    ++index_;
-    return;
-  }
-  size_t shared = 0;
-  if (index_ % run_.restart_interval_ == 0) {
-    run_.restarts_.push_back(static_cast<uint32_t>(run_.arena_.size()));
-  } else {
-    const size_t limit = std::min(prev_key_.size(), e.key_bits.size());
-    while (shared < limit && prev_key_[shared] == e.key_bits[shared]) {
-      ++shared;
-    }
-  }
-  std::string& arena = run_.arena_;
-  AppendVarint(&arena, shared);
-  AppendVarint(&arena, e.key_bits.size() - shared);
-  arena.append(e.key_bits.data() + shared, e.key_bits.size() - shared);
-  AppendVarint(&arena, e.id.size());
-  arena.append(e.id.data(), e.id.size());
-  AppendVarint(&arena, e.payload.size());
-  arena.append(e.payload.data(), e.payload.size());
-  AppendVarint(&arena, e.version);
-  arena.push_back(e.deleted ? '\1' : '\0');
-  prev_key_.assign(e.key_bits.data(), e.key_bits.size());
-  ++index_;
-}
-
-SortedRun SortedRun::Builder::Finish() {
-  run_.count_ = index_;
-  if (compress_) {
-    run_.compressed_ = index_ > 0;
-    run_.arena_.shrink_to_fit();
-    run_.resident_bytes_ = sizeof(SortedRun) + run_.arena_.size() +
-                           run_.restarts_.size() * sizeof(uint32_t);
-  } else {
-    run_.plain_.shrink_to_fit();
-    run_.resident_bytes_ = sizeof(SortedRun) + approx_bytes_;
-  }
-  return std::move(run_);
-}
-
-// Full key bits of the restart record `index` (restart records store the
-// whole key, so the view aliases the arena directly).
-std::string_view SortedRun::RestartKey(size_t index) const {
-  size_t pos = restarts_[index];
-  ReadVarint(arena_, &pos);  // shared == 0 at restarts.
-  const uint64_t suffix = ReadVarint(arena_, &pos);
-  return std::string_view(arena_.data() + pos, suffix);
-}
-
-void SortedRun::Cursor::DecodeCompressed() {
-  const std::string& arena = run_->arena_;
-  size_t pos = offset_;
-  const uint64_t shared = ReadVarint(arena, &pos);
-  const uint64_t suffix = ReadVarint(arena, &pos);
-  std::memcpy(key_buf_ + shared, arena.data() + pos, suffix);
-  pos += suffix;
-  key_len_ = shared + suffix;
-  view_.key_bits = std::string_view(key_buf_, key_len_);
-  const uint64_t id_len = ReadVarint(arena, &pos);
-  view_.id = std::string_view(arena.data() + pos, id_len);
-  pos += id_len;
-  const uint64_t payload_len = ReadVarint(arena, &pos);
-  view_.payload = std::string_view(arena.data() + pos, payload_len);
-  pos += payload_len;
-  view_.version = ReadVarint(arena, &pos);
-  view_.deleted = arena[pos++] != '\0';
-  next_offset_ = pos;
-}
-
-void SortedRun::Cursor::Seek(const SortedRun* run, std::string_view lo_bits) {
-  run_ = run;
-  valid_ = run != nullptr && run->count_ > 0;
-  if (!valid_) return;
-
-  if (!run->compressed_) {
-    const Entry* begin = run->plain_.data();
-    end_ = begin + run->plain_.size();
-    pos_ = std::lower_bound(
-        begin, end_, lo_bits, [](const Entry& e, std::string_view lo) {
-          return std::string_view(e.key.bits()).compare(lo) < 0;
-        });
-    if (pos_ == end_) {
-      valid_ = false;
-      return;
-    }
-    view_ = EntryView(*pos_);
-    return;
-  }
-
-  // Binary-search the restart index for the first restart key >= lo_bits,
-  // then decode forward from the preceding restart (the target may sit
-  // mid-block).
-  size_t lo = 0;
-  size_t hi = run->restarts_.size();
-  while (lo < hi) {
-    const size_t mid = lo + (hi - lo) / 2;
-    if (run->RestartKey(mid) < lo_bits) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  offset_ = run->restarts_[lo > 0 ? lo - 1 : 0];
-  DecodeCompressed();
-  while (view_.key_bits < lo_bits) {
-    if (next_offset_ >= run->arena_.size()) {
-      valid_ = false;
-      return;
-    }
-    offset_ = next_offset_;
-    DecodeCompressed();
-  }
-}
-
-void SortedRun::Cursor::Advance() {
-  if (!valid_) return;
-  if (run_->compressed_) {
-    if (next_offset_ >= run_->arena_.size()) {
-      valid_ = false;
-      return;
-    }
-    offset_ = next_offset_;
-    DecodeCompressed();
-    return;
-  }
-  ++pos_;
-  if (pos_ == end_) {
-    valid_ = false;
-  } else {
-    view_ = EntryView(*pos_);
-  }
-}
-
-void SortedRun::Cursor::JumpToRestart(const SortedRun* run,
-                                      size_t restart_index) {
-  run_ = run;
-  offset_ = run->restarts_[restart_index];
-  valid_ = true;
-  DecodeCompressed();
-}
-
-SortedRun::Prober::Prober(const SortedRun* run) : run_(run) {
-  if (run_->compressed_ && run_->count_ > 0) {
-    cursor_.Seek(run_, "");
-  }
-}
-
-bool SortedRun::Prober::FindForward(std::string_view key_bits,
-                                    std::string_view id, uint64_t* version,
-                                    bool* deleted) {
-  if (run_->count_ == 0) return false;
-
-  if (!run_->compressed_) {
-    const Entry* base = run_->plain_.data();
-    const size_t n = run_->plain_.size();
-    auto before = [&](size_t i) {
-      const int c = std::string_view(base[i].key.bits()).compare(key_bits);
-      if (c != 0) return c < 0;
-      return std::string_view(base[i].id).compare(id) < 0;
-    };
-    if (pos_ >= n) return false;
-    if (before(pos_)) {
-      // Gallop to bracket the target, then binary-search the window.
-      size_t lo = pos_;
-      size_t step = 1;
-      while (lo + step < n && before(lo + step)) {
-        lo += step;
-        step <<= 1;
-      }
-      size_t hi = std::min(n, lo + step);
-      ++lo;  // before(lo - 1) held; search (lo - 1, hi].
-      while (lo < hi) {
-        const size_t mid = lo + (hi - lo) / 2;
-        if (before(mid)) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
-        }
-      }
-      pos_ = lo;
-    }
-    if (pos_ >= n) return false;
-    const Entry& e = base[pos_];
-    if (e.key.bits() == key_bits && e.id == id) {
-      *version = e.version;
-      *deleted = e.deleted;
-      return true;
-    }
-    return false;
-  }
-
-  // Compressed: jump forward by whole restart blocks while the target key
-  // is past the next restart's key, then decode linearly within the
-  // block. Jumps only ever move the cursor forward.
-  const auto& restarts = run_->restarts_;
-  if (restart_ + 1 < restarts.size() &&
-      run_->RestartKey(restart_ + 1) < key_bits) {
-    size_t lo = restart_ + 1;
-    size_t step = 1;
-    while (lo + step < restarts.size() &&
-           run_->RestartKey(lo + step) < key_bits) {
-      lo += step;
-      step <<= 1;
-    }
-    size_t hi = std::min(restarts.size(), lo + step);
-    ++lo;  // RestartKey(lo - 1) < key held; search (lo - 1, hi].
-    while (lo < hi) {
-      const size_t mid = lo + (hi - lo) / 2;
-      if (run_->RestartKey(mid) < key_bits) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    const size_t target_restart = lo - 1;
-    if (restarts[target_restart] > cursor_.arena_offset()) {
-      restart_ = target_restart;
-      cursor_.JumpToRestart(run_, restart_);
-    }
-  }
-  while (cursor_.valid()) {
-    const EntryView& v = cursor_.view();
-    const int c = v.key_bits.compare(key_bits);
-    if (c > 0) return false;
-    if (c == 0) {
-      const int ic = v.id.compare(id);
-      if (ic == 0) {
-        *version = v.version;
-        *deleted = v.deleted;
-        return true;
-      }
-      if (ic > 0) return false;
-    }
-    cursor_.Advance();
-  }
-  return false;
-}
-
-bool SortedRun::FindSlot(std::string_view key_bits, std::string_view id,
-                         uint64_t* version, bool* deleted) const {
-  Cursor c;
-  c.Seek(this, key_bits);
-  while (c.valid()) {
-    const EntryView& v = c.view();
-    if (v.key_bits != key_bits) return false;
-    const int ic = v.id.compare(id);
-    if (ic == 0) {
-      *version = v.version;
-      *deleted = v.deleted;
-      return true;
-    }
-    if (ic > 0) return false;
-    c.Advance();
-  }
-  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -478,6 +132,62 @@ LocalStore::LocalStore(const LocalStoreOptions& options) {
   for (const std::string& w : warnings) {
     UNISTORE_LOG(kWarning) << "LocalStoreOptions: " << w;
   }
+  if (options_.backend == LocalStoreOptions::Backend::kDisk) {
+    DiskBackendOptions dbo;
+    dbo.data_dir = options_.data_dir;
+    dbo.env = options_.env;
+    dbo.block_bytes = options_.block_bytes;
+    dbo.block_cache_bytes = options_.block_cache_bytes;
+    Result<std::unique_ptr<DiskBackend>> opened = DiskBackend::Open(dbo);
+    if (opened.ok()) {
+      backend_ = std::move(opened).value();
+    } else {
+      // The store stays constructible so the peer can keep serving its
+      // in-memory state; the wedge records why nothing persists.
+      UNISTORE_LOG(kError) << "LocalStore: disk backend open failed ("
+                           << opened.status().message()
+                           << "); wedged with an empty in-memory run set";
+      io_status_ = opened.status();
+    }
+  }
+  if (backend_ == nullptr) {
+    backend_ = std::make_unique<MemoryBackend>(options_.compress_runs,
+                                               options_.restart_interval);
+  }
+  if (backend_->run_count() > 0) RecountFromBackend();
+}
+
+LocalStore::~LocalStore() = default;
+LocalStore::LocalStore(LocalStore&&) noexcept = default;
+LocalStore& LocalStore::operator=(LocalStore&&) noexcept = default;
+
+Status LocalStore::io_status() const {
+  if (!io_status_.ok()) return io_status_;
+  return backend_->status();
+}
+
+void LocalStore::Wedge(const Status& status) {
+  if (!io_status_.ok()) return;
+  io_status_ = status;
+  UNISTORE_LOG(kError) << "LocalStore wedged: " << status.message();
+}
+
+size_t LocalStore::run_count() const { return backend_->run_count(); }
+
+void LocalStore::RecountFromBackend() {
+  // A disk store reopened over an existing data_dir recovers its run set
+  // but not the counters; one merged pass over the recovered runs (the
+  // memtable is empty at construction) rebuilds them.
+  size_t slots = 0;
+  size_t live = 0;
+  ScanMerged("", ScanBound::kNone, "", /*include_tombstones=*/true,
+             [&slots, &live](const EntryView& e) {
+               ++slots;
+               if (!e.deleted) ++live;
+               return true;
+             });
+  slot_count_ = slots;
+  live_count_ = live;
 }
 
 LocalStore::SlotInfo LocalStore::FindLatest(std::string_view key_bits,
@@ -490,16 +200,12 @@ LocalStore::SlotInfo LocalStore::FindLatest(std::string_view key_bits,
     info.deleted = it->second.deleted;
     return info;
   }
-  for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
-    if (run->FindSlot(key_bits, id, &info.version, &info.deleted)) {
-      info.found = true;
-      return info;
-    }
-  }
+  info.found = backend_->FindSlot(key_bits, id, &info.version, &info.deleted);
   return info;
 }
 
 bool LocalStore::Apply(const Entry& entry) {
+  if (!io_status_.ok()) return false;  // Wedged: mutations no-op.
   const SlotInfo cur = FindLatest(entry.key.bits(), entry.id);
   if (cur.found && entry.version <= cur.version) return false;
   if (!cur.found) {
@@ -517,7 +223,7 @@ bool LocalStore::Apply(const Entry& entry) {
 }
 
 size_t LocalStore::BulkLoad(std::vector<Entry> entries) {
-  if (entries.empty()) return 0;
+  if (entries.empty() || !io_status_.ok()) return 0;
   SortBatchBySlot(&entries);
   // Within-batch dedup: slots arrive grouped, newest occurrence first.
   entries.erase(std::unique(entries.begin(), entries.end(),
@@ -532,17 +238,13 @@ size_t LocalStore::BulkLoad(std::vector<Entry> entries) {
   std::vector<Entry> updates;
   size_t changed = 0;
   {
-    // The batch is sorted, so every run is probed with non-decreasing
-    // slots: forward probers gallop from their previous position instead
-    // of binary-searching the whole run per entry. Probers borrow the
-    // runs, so conflicting entries are only collected here and applied
-    // after the probe loop (Apply can flush + compact, which would
-    // invalidate the probers).
-    std::vector<SortedRun::Prober> probers;
-    probers.reserve(runs_.size());
-    for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
-      probers.emplace_back(&*run);
-    }
+    // The batch is sorted, so the backend prober sees non-decreasing
+    // slots: per-run forward cursors gallop from their previous position
+    // instead of binary-searching the whole run per entry. The prober
+    // borrows the run set, so conflicting entries are only collected here
+    // and applied after the probe loop (Apply can flush + compact, which
+    // would invalidate the prober).
+    std::unique_ptr<SlotProber> prober = backend_->NewProber();
     const bool check_memtable = !memtable_.empty();
     for (Entry& e : entries) {
       SlotInfo cur;
@@ -555,14 +257,8 @@ size_t LocalStore::BulkLoad(std::vector<Entry> entries) {
         }
       }
       if (!cur.found) {
-        // Newest run first: the first hit is the slot's latest version.
-        for (auto& prober : probers) {
-          if (prober.FindForward(e.key.bits(), e.id, &cur.version,
-                                 &cur.deleted)) {
-            cur.found = true;
-            break;
-          }
-        }
+        cur.found =
+            prober->FindNewest(e.key.bits(), e.id, &cur.version, &cur.deleted);
       }
       if (!cur.found) {
         ++slot_count_;
@@ -583,11 +279,7 @@ size_t LocalStore::BulkLoad(std::vector<Entry> entries) {
   }
 
   if (!fresh.empty()) {
-    stats_.bulk_loaded_entries += fresh.size();
-    for (const Entry& e : fresh) {
-      stats_.bulk_loaded_bytes += ApproxEntryBytes(e);
-    }
-    runs_.push_back(BuildRun(std::move(fresh)));
+    AppendRun(std::move(fresh), static_cast<uint8_t>(RunOrigin::kBulkLoad));
     MaybeCompact();
   }
   return changed;
@@ -597,21 +289,48 @@ bool LocalStore::ScanMerged(std::string_view lo_bits, ScanBound bound,
                             std::string_view bound_bits,
                             bool include_tombstones,
                             EntryVisitor visit) const {
-  // Cursor 0 is the memtable, then runs newest to oldest: on a slot tie
-  // the lowest cursor index is the newest occurrence and wins. Steady
+  // One source: the memtable, iterated in slot order with views built on
+  // demand (the map stores whole Entries, not views).
+  struct Source {
+    bool is_memtable = false;
+    Memtable::const_iterator mem_pos;
+    Memtable::const_iterator mem_end;
+    EntryView mem_view;
+    RunCursor run;
+
+    const EntryView* head() {
+      if (is_memtable) {
+        if (mem_pos == mem_end) return nullptr;
+        mem_view = EntryView(mem_pos->second);
+        return &mem_view;
+      }
+      return run.valid() ? &run.view() : nullptr;
+    }
+    void Advance() {
+      if (is_memtable) {
+        ++mem_pos;
+      } else {
+        run.Advance();
+      }
+    }
+  };
+
+  // Source 0 is the memtable, then runs newest to oldest: on a slot tie
+  // the lowest source index is the newest occurrence and wins. Steady
   // state has at most kMaxRuns runs, but the compaction triggered by a
   // flush or bulk load scans while the transient (kMaxRuns+1)-th run is
   // still in place — hence the extra slot beyond memtable + kMaxRuns.
-  Cursor cursors[LocalStoreOptions::kMaxRuns + 2];
+  Source cursors[LocalStoreOptions::kMaxRuns + 2];
   size_t n = 0;
 
-  Cursor& mem = cursors[n++];
+  Source& mem = cursors[n++];
   mem.is_memtable = true;
   mem.mem_pos = memtable_.lower_bound(lo_bits);
   mem.mem_end = memtable_.end();
 
-  for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
-    cursors[n++].run.Seek(&*run, lo_bits);
+  const size_t run_count = backend_->run_count();
+  for (size_t i = 0; i < run_count; ++i) {
+    backend_->SeekCursor(i, lo_bits, &cursors[n++].run);
   }
 
   while (true) {
@@ -745,8 +464,13 @@ std::vector<Entry> LocalStore::ExtractNotMatching(const Key& path) {
 }
 
 void LocalStore::Clear() {
+  if (!io_status_.ok()) return;  // Wedged: mutations no-op.
+  const Status s = backend_->ResetTo({});
+  if (!s.ok()) {
+    Wedge(s);
+    return;
+  }
   memtable_.clear();
-  runs_.clear();
   live_count_ = 0;
   slot_count_ = 0;
   stats_ = LocalStoreWriteStats{};
@@ -760,8 +484,7 @@ size_t LocalStore::resident_bytes() const {
     bytes += ApproxEntryBytes(e) + slot.first.size() + slot.second.size() +
              4 * sizeof(void*);
   }
-  for (const SortedRun& run : runs_) bytes += run.resident_bytes();
-  return bytes;
+  return bytes + backend_->resident_bytes();
 }
 
 void LocalStore::MaybeFlush() {
@@ -769,37 +492,38 @@ void LocalStore::MaybeFlush() {
 }
 
 void LocalStore::Flush() {
+  if (!io_status_.ok()) return;
   if (!memtable_.empty()) {
     std::vector<Entry> entries;
     entries.reserve(memtable_.size());
     for (auto& [slot, entry] : memtable_) {
-      stats_.flushed_bytes += ApproxEntryBytes(entry);
       entries.push_back(std::move(entry));
     }
-    stats_.flushed_entries += entries.size();
     memtable_.clear();
-    runs_.push_back(BuildRun(std::move(entries)));
+    AppendRun(std::move(entries), static_cast<uint8_t>(RunOrigin::kFlush));
   }
   MaybeCompact();
 }
 
 void LocalStore::Compact() {
   Flush();
-  if (runs_.size() > 1) MergeRuns(0, runs_.size());
+  const size_t runs = backend_->run_count();
+  if (runs > 1) MergeRuns(0, runs);
 }
 
 void LocalStore::MaybeCompact() {
+  if (!io_status_.ok()) return;
   if (options_.compaction == LocalStoreOptions::CompactionPolicy::kTiered) {
     TierCompact();
-  } else if (runs_.size() > options_.max_runs) {
-    MergeRuns(0, runs_.size());
+  } else if (backend_->run_count() > options_.max_runs) {
+    MergeRuns(0, backend_->run_count());
     return;
   }
   // Hard bound (also the tiered policy's backstop when run sizes
   // interleave so no same-class group forms): fold the oldest runs
   // together until the store fits the fixed scan-cursor budget.
-  if (runs_.size() > options_.max_runs) {
-    MergeRuns(0, runs_.size() - options_.max_runs + 1);
+  if (backend_->run_count() > options_.max_runs) {
+    MergeRuns(0, backend_->run_count() - options_.max_runs + 1);
   }
 }
 
@@ -820,13 +544,14 @@ void LocalStore::TierCompact() {
   // same-class runs, newest groups first; repeat until stable (a merged
   // group lands in a higher class and may complete a group there).
   bool merged = true;
-  while (merged) {
+  while (merged && io_status_.ok()) {
     merged = false;
-    size_t end = runs_.size();
+    size_t end = backend_->run_count();
     while (end > 0) {
-      const size_t cls = size_class(runs_[end - 1].size());
+      const size_t cls = size_class(backend_->run_entries(end - 1));
       size_t start = end - 1;
-      while (start > 0 && size_class(runs_[start - 1].size()) == cls) {
+      while (start > 0 &&
+             size_class(backend_->run_entries(start - 1)) == cls) {
         --start;
       }
       if (end - start >= options_.tier_fanin) {
@@ -840,77 +565,71 @@ void LocalStore::TierCompact() {
 }
 
 void LocalStore::MergeRuns(size_t first, size_t n) {
-  if (n < 2) return;
-  // K-way merge of the group only. Within the group a slot's newest
-  // occurrence lives in the run with the highest index (recency order),
-  // so ties resolve toward the latest cursor. Winning views stream
-  // straight into a run Builder — compressed inputs merge arena to
-  // arena without materializing an Entry per slot.
-  SortedRun::Cursor cursors[LocalStoreOptions::kMaxRuns + 2];
-  bool all_compressed = true;
-  size_t expected = 0;
-  size_t expected_bytes = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const SortedRun& run = runs_[first + i];
-    cursors[i].Seek(&run, "");
-    if (!run.compressed()) all_compressed = false;
-    expected += run.size();
-    expected_bytes += run.resident_bytes();
+  if (n < 2 || !io_status_.ok()) return;
+  MergeStats merged;
+  const Status s = backend_->MergeRuns(first, n, &merged);
+  if (!s.ok()) {
+    Wedge(s);
+    return;
   }
-  // Compressed output requires every key to fit the cursor buffer, which
-  // compressed inputs guarantee; any plain input may carry longer keys.
-  SortedRun::Builder builder(options_.compress_runs && all_compressed,
-                             options_.restart_interval, expected,
-                             expected_bytes);
-  while (true) {
-    const EntryView* best = nullptr;
-    size_t best_i = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (!cursors[i].valid()) continue;
-      const EntryView& head = cursors[i].view();
-      if (best == nullptr || SlotCompare(head, *best) <= 0) {
-        best = &head;
-        best_i = i;
-      }
-    }
-    if (best == nullptr) break;
-    builder.Add(*best);
-    // Winning cursor advances last (its Advance invalidates `best`).
-    for (size_t i = 0; i < n; ++i) {
-      if (i == best_i || !cursors[i].valid()) continue;
-      if (SameSlot(cursors[i].view(), *best)) cursors[i].Advance();
-    }
-    cursors[best_i].Advance();
-  }
-  SortedRun merged = builder.Finish();
   ++stats_.compactions;
-  stats_.compacted_entries += merged.size();
-  stats_.compacted_bytes += builder.approx_bytes();
-  runs_.erase(runs_.begin() + static_cast<ptrdiff_t>(first + 1),
-              runs_.begin() + static_cast<ptrdiff_t>(first + n));
-  runs_[first] = std::move(merged);
+  stats_.compacted_entries += merged.entries;
+  stats_.compacted_bytes += merged.bytes;
 }
 
-SortedRun LocalStore::BuildRun(std::vector<Entry> entries) {
-  return SortedRun::Build(std::move(entries), options_.compress_runs,
-                          options_.restart_interval);
+void LocalStore::AppendRun(std::vector<Entry> entries, uint8_t origin_raw) {
+  if (entries.empty() || !io_status_.ok()) return;
+  const auto origin = static_cast<RunOrigin>(origin_raw);
+  size_t bytes = 0;
+  for (const Entry& e : entries) bytes += ApproxEntryBytes(e);
+  const size_t count = entries.size();
+  const Status s = backend_->AppendRun(std::move(entries), origin);
+  if (!s.ok()) {
+    // The entries are lost from the run set; the wedge keeps the store
+    // from diverging further. A durable backend recovers the last
+    // acknowledged state on reopen.
+    Wedge(s);
+    return;
+  }
+  switch (origin) {
+    case RunOrigin::kFlush:
+      stats_.flushed_entries += count;
+      stats_.flushed_bytes += bytes;
+      break;
+    case RunOrigin::kBulkLoad:
+      stats_.bulk_loaded_entries += count;
+      stats_.bulk_loaded_bytes += bytes;
+      break;
+    case RunOrigin::kCompaction:
+    case RunOrigin::kRebuild:
+      stats_.compacted_entries += count;
+      stats_.compacted_bytes += bytes;
+      break;
+  }
 }
 
 void LocalStore::RebuildFrom(std::vector<Entry> all_slots) {
-  memtable_.clear();
-  runs_.clear();
-  slot_count_ = all_slots.size();
-  live_count_ = 0;
+  if (!io_status_.ok()) return;
+  size_t live = 0;
+  size_t bytes = 0;
   for (const Entry& e : all_slots) {
-    if (!e.deleted) ++live_count_;
+    if (!e.deleted) ++live;
+    bytes += ApproxEntryBytes(e);
   }
-  if (!all_slots.empty()) {
+  const size_t slots = all_slots.size();
+  const Status s = backend_->ResetTo(std::move(all_slots));
+  if (!s.ok()) {
+    Wedge(s);
+    return;
+  }
+  memtable_.clear();
+  slot_count_ = slots;
+  live_count_ = live;
+  if (slots > 0) {
     ++stats_.compactions;
-    stats_.compacted_entries += all_slots.size();
-    for (const Entry& e : all_slots) {
-      stats_.compacted_bytes += ApproxEntryBytes(e);
-    }
-    runs_.push_back(BuildRun(std::move(all_slots)));
+    // ResetTo rebuilt every kept slot into one run.
+    stats_.compacted_entries += slots;
+    stats_.compacted_bytes += bytes;
   }
 }
 

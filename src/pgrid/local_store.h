@@ -4,17 +4,25 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/function_ref.h"
+#include "common/status.h"
 #include "pgrid/entry.h"
 #include "pgrid/key.h"
 
 namespace unistore {
 namespace pgrid {
+
+class StorageBackend;
+
+namespace storage {
+class Env;
+}  // namespace storage
 
 /// Tunables of the storage engine.
 struct LocalStoreOptions {
@@ -55,6 +63,36 @@ struct LocalStoreOptions {
 
   /// Entries per restart block of a compressed run. Minimum 1.
   size_t restart_interval = 16;
+
+  /// Which engine owns the run set.
+  enum class Backend : uint8_t {
+    /// In-process SortedRun vector (the default; the determinism oracle).
+    kMemory = 0,
+    /// Durable run files + manifest under `data_dir`; the store recovers
+    /// its acknowledged run set on reopen (DESIGN.md § Durable storage
+    /// backend).
+    kDisk = 1,
+  };
+  Backend backend = Backend::kMemory;
+
+  /// Directory of the disk backend's run files and manifest. Required
+  /// for Backend::kDisk (an empty dir falls back to kMemory with a
+  /// warning); each Peer appends "/peer-<id>" so sharded peers never
+  /// share a directory.
+  std::string data_dir;
+
+  /// Disk backend: capacity of the per-store LRU block cache. A soft
+  /// bound — cursors pin the blocks they stand on.
+  size_t block_cache_bytes = 4 << 20;
+
+  /// Disk backend: target (uncompressed payload) size of one run-file
+  /// block, the unit of checksumming and cache residency. Minimum 128.
+  size_t block_bytes = 4096;
+
+  /// Disk backend: filesystem to write through. Null selects the real
+  /// (POSIX) filesystem; tests inject a MemEnv to simulate crashes and
+  /// I/O faults.
+  storage::Env* env = nullptr;
 
   /// Hard upper bound on `max_runs`: scans merge through a fixed-size
   /// cursor array (memtable + kMaxRuns runs, plus one transient run
@@ -98,159 +136,6 @@ struct LocalStoreWriteStats {
   }
 };
 
-/// \brief An immutable sorted run of entries, ordered by (key bits, id)
-/// with one occurrence per slot.
-///
-/// Two storage formats behind one cursor interface:
-/// - *plain*: a flat `std::vector<Entry>`, binary-searched.
-/// - *compressed*: one byte arena holding per-entry records whose key bits
-///   are shared-prefix-truncated against the previous entry, with restart
-///   points (full key) every `restart_interval` entries. Ids and payloads
-///   are stored raw, so cursor views alias the arena; only the key is
-///   reassembled — into the cursor's fixed buffer, never the heap.
-class SortedRun {
- public:
-  /// Longest key bits a compressed run can hold (the cursor's fixed
-  /// reassembly buffer). Data keys are kKeyBits = 128 wide; entries with
-  /// longer keys force the run to fall back to the plain format.
-  static constexpr size_t kMaxCompressedKeyBits = 192;
-
-  SortedRun() = default;
-
-  /// Builds a run from entries already sorted by slot (key bits, id),
-  /// deduplicated. Uses the compressed format when `compress` is set and
-  /// every key fits kMaxCompressedKeyBits.
-  static SortedRun Build(std::vector<Entry> entries, bool compress,
-                         size_t restart_interval);
-
-  size_t size() const { return count_; }
-  bool empty() const { return count_ == 0; }
-  bool compressed() const { return compressed_; }
-
-  /// Approximate resident footprint in bytes (entry data + index
-  /// structures; excludes malloc overhead).
-  size_t resident_bytes() const { return resident_bytes_; }
-
-  /// Newest-occurrence probe: fills version/deleted of the slot if the
-  /// run contains it. No heap allocation.
-  bool FindSlot(std::string_view key_bits, std::string_view id,
-                uint64_t* version, bool* deleted) const;
-
-  /// \brief A forward cursor over the run in slot order.
-  ///
-  /// After Seek(), while valid(), view() exposes the current entry; the
-  /// view's key aliases the cursor's own buffer for compressed runs and
-  /// is invalidated by Advance(). Cursors never allocate.
-  class Cursor {
-   public:
-    Cursor() = default;
-
-    /// Positions at the first entry with key bits >= `lo_bits`.
-    void Seek(const SortedRun* run, std::string_view lo_bits);
-
-    /// Repositions at an arbitrary restart record of a compressed run
-    /// (the Prober's block jumps).
-    void JumpToRestart(const SortedRun* run, size_t restart_index);
-
-    bool valid() const { return valid_; }
-    const EntryView& view() const { return view_; }
-    /// Arena offset of the current record (compressed runs only).
-    size_t arena_offset() const { return offset_; }
-    void Advance();
-
-   private:
-    void DecodeCompressed();
-
-    const SortedRun* run_ = nullptr;
-    bool valid_ = false;
-    EntryView view_;
-    // Plain format.
-    const Entry* pos_ = nullptr;
-    const Entry* end_ = nullptr;
-    // Compressed format.
-    size_t offset_ = 0;     // Arena offset of the current record.
-    size_t next_offset_ = 0;
-    size_t key_len_ = 0;
-    char key_buf_[kMaxCompressedKeyBits];
-  };
-
-  /// \brief Forward-only slot prober for sorted probe sequences.
-  ///
-  /// BulkLoad probes a sorted batch against every run; because the probe
-  /// slots are non-decreasing, the prober remembers its position and
-  /// gallops forward instead of re-running a full binary search per
-  /// entry — O(log gap) amortized instead of O(log run).
-  class Prober {
-   public:
-    explicit Prober(const SortedRun* run);
-
-    /// Like FindSlot, but `(key_bits, id)` must be >= every slot probed
-    /// before on this prober.
-    bool FindForward(std::string_view key_bits, std::string_view id,
-                     uint64_t* version, bool* deleted);
-
-   private:
-    const SortedRun* run_ = nullptr;
-    size_t pos_ = 0;      // Plain: index of the current search frontier.
-    size_t restart_ = 0;  // Compressed: restart block of `cursor_`.
-    Cursor cursor_;       // Compressed: decode position.
-  };
-
-  class Builder;  // Streaming run construction (defined below).
-
- private:
-  static SortedRun BuildPlain(std::vector<Entry> entries);
-
-  /// Full key bits of restart record `index` (aliases the arena).
-  std::string_view RestartKey(size_t index) const;
-
-  size_t count_ = 0;
-  size_t resident_bytes_ = 0;
-  bool compressed_ = false;
-
-  // Plain format (empty when compressed).
-  std::vector<Entry> plain_;
-
-  // Compressed format. Record layout, back to back in `arena_`:
-  //   varint shared_key_len   (0 at restart points)
-  //   varint key_suffix_len, key suffix bytes
-  //   varint id_len, id bytes
-  //   varint payload_len, payload bytes
-  //   varint version
-  //   u8 flags               (bit 0: deleted)
-  std::string arena_;
-  std::vector<uint32_t> restarts_;  // Arena offsets of restart records.
-  uint32_t restart_interval_ = 16;
-};
-
-/// \brief Streaming run construction from entry views in slot order.
-///
-/// Compactions merge runs through cursors; feeding the winning views
-/// straight into a Builder writes the merged run's arena directly — no
-/// intermediate Entry materialization (3 heap strings per entry) on the
-/// merge path. `compress` must only be set when every input key fits
-/// kMaxCompressedKeyBits (true whenever the inputs are themselves
-/// compressed runs).
-class SortedRun::Builder {
- public:
-  Builder(bool compress, size_t restart_interval, size_t expected_entries,
-          size_t expected_bytes);
-
-  void Add(const EntryView& e);  // Slots must arrive in increasing order.
-  SortedRun Finish();
-
-  /// Approximate resident bytes of the entries added so far (the
-  /// write-amplification accounting unit, same as ApproxEntryBytes).
-  size_t approx_bytes() const { return approx_bytes_; }
-
- private:
-  SortedRun run_;
-  std::string prev_key_;
-  size_t index_ = 0;
-  size_t approx_bytes_ = 0;
-  bool compress_ = false;
-};
-
 /// \brief The entries a single peer is responsible for, ordered by
 /// (key, id).
 ///
@@ -270,12 +155,25 @@ class SortedRun::Builder {
 /// (memtable, then runs newest to oldest). Tombstones survive flushes and
 /// compactions.
 ///
+/// The run set itself lives behind a pluggable StorageBackend
+/// (storage_backend.h): the in-memory engine keeps the original SortedRun
+/// vector; the disk engine persists runs as checksummed block files with
+/// an append-only manifest, and a store constructed over an existing
+/// data_dir recovers its acknowledged contents. Both engines produce
+/// byte-identical scan streams for the same operation history.
+///
+/// I/O failures wedge the store instead of aborting: the failed and all
+/// subsequent mutations become no-ops, io_status() reports the first
+/// error, and reads keep serving whatever the backend still has. The
+/// durable contents are whatever the backend acknowledged — reopen a
+/// disk-backed store to recover them.
+///
 /// The read API is visitor-based and zero-copy: Scan* walk a k-way merge
 /// of memtable + runs in (key, id) order and hand each winning entry to
-/// the visitor as an EntryView — no per-entry copy or heap allocation,
-/// for plain and compressed runs alike. The Get* wrappers materialize
-/// vectors on top of the scans for tests and cold paths (exchange data
-/// handoff).
+/// the visitor as an EntryView — no per-entry copy and, for the in-memory
+/// backend, no heap allocation, for plain and compressed runs alike. The
+/// Get* wrappers materialize vectors on top of the scans for tests and
+/// cold paths (exchange data handoff).
 class LocalStore {
  public:
   /// Visitor for scans; return false to stop the scan early.
@@ -283,8 +181,18 @@ class LocalStore {
 
   LocalStore() : LocalStore(LocalStoreOptions{}) {}
   explicit LocalStore(const LocalStoreOptions& options);
+  ~LocalStore();
+
+  // Defined in the .cc (StorageBackend is incomplete here).
+  LocalStore(LocalStore&&) noexcept;
+  LocalStore& operator=(LocalStore&&) noexcept;
 
   const LocalStoreOptions& options() const { return options_; }
+
+  /// First storage I/O error (disk backend), or OK. Once non-OK the
+  /// store is wedged: mutations no-op. The in-memory backend never
+  /// fails.
+  Status io_status() const;
 
   /// Applies `entry` (insert, update or tombstone). Returns true iff the
   /// store changed (i.e. the entry was new or newer).
@@ -342,7 +250,10 @@ class LocalStore {
   // --- Engine introspection / control (tests, benchmarks) ----------------
 
   size_t memtable_size() const { return memtable_.size(); }
-  size_t run_count() const { return runs_.size(); }
+  size_t run_count() const;
+
+  /// The run-set engine (tests; e.g. downcast to MemoryBackend).
+  const StorageBackend& backend() const { return *backend_; }
 
   /// Approximate resident footprint of memtable + runs in bytes
   /// (bench_bulk_load gates the compressed-run savings on this).
@@ -404,41 +315,20 @@ class LocalStore {
   };
   SlotInfo FindLatest(std::string_view key_bits, std::string_view id) const;
 
-  // One source of the k-way merge (a run cursor or the memtable window).
-  struct Cursor {
-    SortedRun::Cursor run;
-    Memtable::const_iterator mem_pos;
-    Memtable::const_iterator mem_end;
-    EntryView mem_view;
-    bool is_memtable = false;
-
-    const EntryView* head() {
-      if (is_memtable) {
-        if (mem_pos == mem_end) return nullptr;
-        mem_view = EntryView(mem_pos->second);
-        return &mem_view;
-      }
-      return run.valid() ? &run.view() : nullptr;
-    }
-    void Advance() {
-      if (is_memtable) {
-        ++mem_pos;
-      } else {
-        run.Advance();
-      }
-    }
-  };
-
   enum class ScanBound { kRangeHi, kPrefix, kNone };
 
   // The merge core: walks all sources in slot order starting at the first
   // slot with key bits >= `lo_bits`, resolves shadowing (newest source
   // wins per slot), stops once the key leaves the bound, and visits every
   // winner (skipping tombstones unless `include_tombstones`). No heap
-  // allocation. Returns false iff the visitor stopped the scan.
+  // allocation on the in-memory backend. Returns false iff the visitor
+  // stopped the scan.
   bool ScanMerged(std::string_view lo_bits, ScanBound bound,
                   std::string_view bound_bits, bool include_tombstones,
                   EntryVisitor visit) const;
+
+  // Recounts live/slot totals from the backend (disk recovery).
+  void RecountFromBackend();
 
   void MaybeFlush();
   // Applies the configured compaction policy, then enforces max_runs by
@@ -447,20 +337,24 @@ class LocalStore {
   // One pass of the size-tiered policy: merges every contiguous group of
   // >= tier_fanin same-size-class runs, repeating until stable.
   void TierCompact();
-  // Merges runs_[first, first+n) into one run placed at `first`
-  // (preserves recency order: within the group the newer run wins a slot
-  // tie). Counts the rewrite into stats_.
+  // Merges runs [first, first+n) through the backend and counts the
+  // rewrite into stats_; wedges on backend failure.
   void MergeRuns(size_t first, size_t n);
-  // Builds a run from sorted+deduped entries and counts `written` stats.
-  SortedRun BuildRun(std::vector<Entry> entries);
+  // Hands sorted+deduped entries to the backend as a new run, counting
+  // `origin` stats; wedges on failure.
+  void AppendRun(std::vector<Entry> entries, uint8_t origin);
   void RebuildFrom(std::vector<Entry> all_slots);  // Sorted, deduped.
+
+  // Records a backend failure, wedging the store.
+  void Wedge(const Status& status);
 
   LocalStoreOptions options_;
   Memtable memtable_;
-  std::vector<SortedRun> runs_;  // runs_[0] oldest … runs_.back() newest.
+  std::unique_ptr<StorageBackend> backend_;
   size_t live_count_ = 0;
   size_t slot_count_ = 0;
   LocalStoreWriteStats stats_;
+  Status io_status_;
 };
 
 }  // namespace pgrid

@@ -38,11 +38,23 @@ Peer::Peer(net::Transport* transport, uint64_t rng_seed, PeerOptions options)
       id_(net::kNoPeer),
       options_(options),
       rng_(rng_seed),
-      store_(options.storage),
+      // A disk-backed store needs the peer id (per-peer data_dir), which
+      // only exists after AddPeer below: start with a cheap default store
+      // and build the real one in the body.
+      store_(options.storage.backend == LocalStoreOptions::Backend::kDisk
+                 ? LocalStoreOptions{}
+                 : options.storage),
       rpc_(net::kNoPeer, transport) {
   id_ = transport_->AddPeer([this](const Message& msg) { OnMessage(msg); });
   // RpcManager was built before the id existed; rebuild in place.
   rpc_ = net::RpcManager(id_, transport_);
+  if (options_.storage.backend == LocalStoreOptions::Backend::kDisk) {
+    LocalStoreOptions storage = options_.storage;
+    if (!storage.data_dir.empty()) {
+      storage.data_dir += "/peer-" + std::to_string(id_);
+    }
+    store_ = LocalStore(storage);
+  }
 }
 
 void Peer::SetPath(const Key& path) {

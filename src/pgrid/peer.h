@@ -51,7 +51,10 @@ struct PeerOptions {
   uint32_t exchange_ttl = 2;
 
   /// Local storage engine knobs (memtable flush threshold, run
-  /// compaction fan-in — DESIGN.md § Local storage engine).
+  /// compaction fan-in, storage backend — DESIGN.md § Local storage
+  /// engine). With Backend::kDisk the peer stores its runs under
+  /// `storage.data_dir + "/peer-<id>"`, so peers sharing one transport
+  /// (a simulated cluster) get disjoint directories from one base dir.
   LocalStoreOptions storage;
 };
 

@@ -1,0 +1,70 @@
+// Slot-order helpers shared by the scan merge, the compaction merges of
+// both storage backends, and the bulk-load dedup pass.
+#ifndef UNISTORE_PGRID_RUN_MERGE_H_
+#define UNISTORE_PGRID_RUN_MERGE_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "pgrid/entry.h"
+
+namespace unistore {
+namespace pgrid {
+
+/// <0 / 0 / >0 over slot order — (key bits, id) — of two entry views.
+inline int SlotCompare(const EntryView& a, const EntryView& b) {
+  const int c = a.key_bits.compare(b.key_bits);
+  if (c != 0) return c;
+  return a.id.compare(b.id);
+}
+
+inline bool SameSlot(const EntryView& a, const EntryView& b) {
+  return a.key_bits == b.key_bits && a.id == b.id;
+}
+
+inline bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// \brief K-way merge of run cursors in slot order, newest-wins.
+///
+/// `cursors[0..n)` must be positioned at their first entry and ordered
+/// oldest first: on a slot tie the highest cursor index is the newest
+/// occurrence and wins (`SlotCompare <= 0` keeps replacing `best` while
+/// scanning cursors in ascending order). Every winning view is handed to
+/// `emit`; shadowed older occurrences are skipped. The winning cursor
+/// advances LAST — its view may alias a key-reassembly buffer that its
+/// own Advance overwrites, while the other cursors' advances cannot
+/// touch it.
+///
+/// CursorT needs valid() / view() / Advance(); both SortedRun::Cursor and
+/// the disk backend's block cursor qualify, so each backend's compaction
+/// runs this exact loop and the merged entry streams stay byte-identical
+/// across backends.
+template <typename CursorT, typename EmitFn>
+void MergeCursorStreams(CursorT* cursors, size_t n, EmitFn emit) {
+  while (true) {
+    const EntryView* best = nullptr;
+    size_t best_i = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!cursors[i].valid()) continue;
+      const EntryView& head = cursors[i].view();
+      if (best == nullptr || SlotCompare(head, *best) <= 0) {
+        best = &head;
+        best_i = i;
+      }
+    }
+    if (best == nullptr) return;
+    emit(*best);
+    for (size_t i = 0; i < n; ++i) {
+      if (i == best_i || !cursors[i].valid()) continue;
+      if (SameSlot(cursors[i].view(), *best)) cursors[i].Advance();
+    }
+    cursors[best_i].Advance();
+  }
+}
+
+}  // namespace pgrid
+}  // namespace unistore
+
+#endif  // UNISTORE_PGRID_RUN_MERGE_H_

@@ -1,0 +1,221 @@
+// Immutable sorted runs of entries: the unit of storage below the
+// memtable, shared by every storage backend (in-memory run vectors, and
+// the record format the disk backend persists inside its blocks).
+#ifndef UNISTORE_PGRID_SORTED_RUN_H_
+#define UNISTORE_PGRID_SORTED_RUN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pgrid/entry.h"
+#include "pgrid/key.h"
+
+namespace unistore {
+namespace pgrid {
+
+/// Approximate resident footprint of one entry (object + string bytes;
+/// ignores allocator slack). Shared by run accounting and the
+/// write-amplification counters so the two are comparable.
+inline size_t ApproxEntryBytes(size_t key_len, size_t id_len,
+                               size_t payload_len) {
+  return sizeof(Entry) + key_len + id_len + payload_len;
+}
+
+inline size_t ApproxEntryBytes(const Entry& e) {
+  return ApproxEntryBytes(e.key.bits().size(), e.id.size(), e.payload.size());
+}
+
+inline size_t ApproxEntryBytes(const EntryView& e) {
+  return ApproxEntryBytes(e.key_bits.size(), e.id.size(), e.payload.size());
+}
+
+namespace run_format {
+
+/// Raw LEB128 append, identical encoding to BufferWriter::PutVarint. The
+/// run formats use these unchecked helpers on engine-built byte arenas;
+/// bytes that cross a trust boundary (disk blocks, manifest records) are
+/// validated once on load instead of per read.
+inline void AppendVarint(std::string* s, uint64_t v) {
+  char scratch[10];
+  size_t n = 0;
+  while (v >= 0x80) {
+    scratch[n++] = static_cast<char>(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  scratch[n++] = static_cast<char>(v);
+  s->append(scratch, n);
+}
+
+inline uint64_t ReadVarint(std::string_view s, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    const uint8_t byte = static_cast<uint8_t>(s[*pos]);
+    ++*pos;
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+}  // namespace run_format
+
+/// \brief An immutable sorted run of entries, ordered by (key bits, id)
+/// with one occurrence per slot.
+///
+/// Two storage formats behind one cursor interface:
+/// - *plain*: a flat `std::vector<Entry>`, binary-searched.
+/// - *compressed*: one byte arena holding per-entry records whose key bits
+///   are shared-prefix-truncated against the previous entry, with restart
+///   points (full key) every `restart_interval` entries. Ids and payloads
+///   are stored raw, so cursor views alias the arena; only the key is
+///   reassembled — into the cursor's fixed buffer, never the heap.
+class SortedRun {
+ public:
+  /// Longest key bits a compressed run can hold (the cursor's fixed
+  /// reassembly buffer). Data keys are kKeyBits = 128 wide; entries with
+  /// longer keys force the run to fall back to the plain format.
+  static constexpr size_t kMaxCompressedKeyBits = 192;
+
+  SortedRun() = default;
+
+  /// Builds a run from entries already sorted by slot (key bits, id),
+  /// deduplicated. Uses the compressed format when `compress` is set and
+  /// every key fits kMaxCompressedKeyBits.
+  static SortedRun Build(std::vector<Entry> entries, bool compress,
+                         size_t restart_interval);
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool compressed() const { return compressed_; }
+
+  /// Approximate resident footprint in bytes (entry data + index
+  /// structures; excludes malloc overhead).
+  size_t resident_bytes() const { return resident_bytes_; }
+
+  /// Newest-occurrence probe: fills version/deleted of the slot if the
+  /// run contains it. No heap allocation.
+  bool FindSlot(std::string_view key_bits, std::string_view id,
+                uint64_t* version, bool* deleted) const;
+
+  /// \brief A forward cursor over the run in slot order.
+  ///
+  /// After Seek(), while valid(), view() exposes the current entry; the
+  /// view's key aliases the cursor's own buffer for compressed runs and
+  /// is invalidated by Advance(). Cursors never allocate.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    /// Positions at the first entry with key bits >= `lo_bits`.
+    void Seek(const SortedRun* run, std::string_view lo_bits);
+
+    /// Repositions at an arbitrary restart record of a compressed run
+    /// (the Prober's block jumps).
+    void JumpToRestart(const SortedRun* run, size_t restart_index);
+
+    bool valid() const { return valid_; }
+    const EntryView& view() const { return view_; }
+    /// Arena offset of the current record (compressed runs only).
+    size_t arena_offset() const { return offset_; }
+    void Advance();
+
+   private:
+    void DecodeCompressed();
+
+    const SortedRun* run_ = nullptr;
+    bool valid_ = false;
+    EntryView view_;
+    // Plain format.
+    const Entry* pos_ = nullptr;
+    const Entry* end_ = nullptr;
+    // Compressed format.
+    size_t offset_ = 0;     // Arena offset of the current record.
+    size_t next_offset_ = 0;
+    size_t key_len_ = 0;
+    char key_buf_[kMaxCompressedKeyBits];
+  };
+
+  /// \brief Forward-only slot prober for sorted probe sequences.
+  ///
+  /// BulkLoad probes a sorted batch against every run; because the probe
+  /// slots are non-decreasing, the prober remembers its position and
+  /// gallops forward instead of re-running a full binary search per
+  /// entry — O(log gap) amortized instead of O(log run).
+  class Prober {
+   public:
+    explicit Prober(const SortedRun* run);
+
+    /// Like FindSlot, but `(key_bits, id)` must be >= every slot probed
+    /// before on this prober.
+    bool FindForward(std::string_view key_bits, std::string_view id,
+                     uint64_t* version, bool* deleted);
+
+   private:
+    const SortedRun* run_ = nullptr;
+    size_t pos_ = 0;      // Plain: index of the current search frontier.
+    size_t restart_ = 0;  // Compressed: restart block of `cursor_`.
+    Cursor cursor_;       // Compressed: decode position.
+  };
+
+  class Builder;  // Streaming run construction (defined below).
+
+ private:
+  static SortedRun BuildPlain(std::vector<Entry> entries);
+
+  /// Full key bits of restart record `index` (aliases the arena).
+  std::string_view RestartKey(size_t index) const;
+
+  size_t count_ = 0;
+  size_t resident_bytes_ = 0;
+  bool compressed_ = false;
+
+  // Plain format (empty when compressed).
+  std::vector<Entry> plain_;
+
+  // Compressed format. Record layout, back to back in `arena_`:
+  //   varint shared_key_len   (0 at restart points)
+  //   varint key_suffix_len, key suffix bytes
+  //   varint id_len, id bytes
+  //   varint payload_len, payload bytes
+  //   varint version
+  //   u8 flags               (bit 0: deleted)
+  std::string arena_;
+  std::vector<uint32_t> restarts_;  // Arena offsets of restart records.
+  uint32_t restart_interval_ = 16;
+};
+
+/// \brief Streaming run construction from entry views in slot order.
+///
+/// Compactions merge runs through cursors; feeding the winning views
+/// straight into a Builder writes the merged run's arena directly — no
+/// intermediate Entry materialization (3 heap strings per entry) on the
+/// merge path. `compress` must only be set when every input key fits
+/// kMaxCompressedKeyBits (true whenever the inputs are themselves
+/// compressed runs).
+class SortedRun::Builder {
+ public:
+  Builder(bool compress, size_t restart_interval, size_t expected_entries,
+          size_t expected_bytes);
+
+  void Add(const EntryView& e);  // Slots must arrive in increasing order.
+  SortedRun Finish();
+
+  /// Approximate resident bytes of the entries added so far (the
+  /// write-amplification accounting unit, same as ApproxEntryBytes).
+  size_t approx_bytes() const { return approx_bytes_; }
+
+ private:
+  SortedRun run_;
+  std::string prev_key_;
+  size_t index_ = 0;
+  size_t approx_bytes_ = 0;
+  bool compress_ = false;
+};
+
+}  // namespace pgrid
+}  // namespace unistore
+
+#endif  // UNISTORE_PGRID_SORTED_RUN_H_

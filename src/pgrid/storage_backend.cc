@@ -1,0 +1,119 @@
+#include "pgrid/storage_backend.h"
+
+#include <utility>
+
+#include "pgrid/run_merge.h"
+
+namespace unistore {
+namespace pgrid {
+
+namespace {
+
+// One beyond the transient (kMaxRuns + 1)-run state a flush-triggered
+// compaction can merge; mirrors LocalStoreOptions::kMaxRuns without a
+// header cycle (static_asserted against it in local_store.cc).
+constexpr size_t kMaxMergeFanIn = 16;
+
+class MemorySlotProber : public SlotProber {
+ public:
+  explicit MemorySlotProber(const std::vector<SortedRun>& runs) {
+    probers_.reserve(runs.size());
+    for (auto run = runs.rbegin(); run != runs.rend(); ++run) {
+      probers_.emplace_back(&*run);
+    }
+  }
+
+  bool FindNewest(std::string_view key_bits, std::string_view id,
+                  uint64_t* version, bool* deleted) override {
+    // Newest run first: the first hit is the slot's latest version.
+    for (auto& prober : probers_) {
+      if (prober.FindForward(key_bits, id, version, deleted)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<SortedRun::Prober> probers_;
+};
+
+}  // namespace
+
+size_t MemoryBackend::resident_bytes() const {
+  size_t bytes = 0;
+  for (const SortedRun& run : runs_) bytes += run.resident_bytes();
+  return bytes;
+}
+
+Status MemoryBackend::AppendRun(std::vector<Entry> entries,
+                                RunOrigin /*origin*/) {
+  if (entries.empty()) return Status::OK();
+  runs_.push_back(
+      SortedRun::Build(std::move(entries), compress_runs_, restart_interval_));
+  return Status::OK();
+}
+
+Status MemoryBackend::MergeRuns(size_t first, size_t n, MergeStats* stats) {
+  *stats = MergeStats{};
+  if (n < 2) return Status::OK();
+  if (first + n > runs_.size() || n > kMaxMergeFanIn) {
+    return Status::Internal("MergeRuns group out of range: first=", first,
+                            " n=", n, " runs=", runs_.size());
+  }
+  // K-way merge of the group only (run_merge.h). Winning views stream
+  // straight into a run Builder — compressed inputs merge arena to arena
+  // without materializing an Entry per slot.
+  SortedRun::Cursor cursors[kMaxMergeFanIn];
+  bool all_compressed = true;
+  size_t expected = 0;
+  size_t expected_bytes = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const SortedRun& run = runs_[first + i];
+    cursors[i].Seek(&run, "");
+    if (!run.compressed()) all_compressed = false;
+    expected += run.size();
+    expected_bytes += run.resident_bytes();
+  }
+  // Compressed output requires every key to fit the cursor buffer, which
+  // compressed inputs guarantee; any plain input may carry longer keys.
+  SortedRun::Builder builder(compress_runs_ && all_compressed,
+                             restart_interval_, expected, expected_bytes);
+  MergeCursorStreams(cursors, n,
+                     [&builder](const EntryView& v) { builder.Add(v); });
+  SortedRun merged = builder.Finish();
+  stats->entries = merged.size();
+  stats->bytes = builder.approx_bytes();
+  runs_.erase(runs_.begin() + static_cast<ptrdiff_t>(first + 1),
+              runs_.begin() + static_cast<ptrdiff_t>(first + n));
+  runs_[first] = std::move(merged);
+  return Status::OK();
+}
+
+Status MemoryBackend::ResetTo(std::vector<Entry> entries) {
+  runs_.clear();
+  if (!entries.empty()) {
+    runs_.push_back(SortedRun::Build(std::move(entries), compress_runs_,
+                                     restart_interval_));
+  }
+  return Status::OK();
+}
+
+bool MemoryBackend::FindSlot(std::string_view key_bits, std::string_view id,
+                             uint64_t* version, bool* deleted) const {
+  for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
+    if (run->FindSlot(key_bits, id, version, deleted)) return true;
+  }
+  return false;
+}
+
+void MemoryBackend::SeekCursor(size_t newest_first_index,
+                               std::string_view lo_bits,
+                               RunCursor* cursor) const {
+  cursor->mem().Seek(&runs_[runs_.size() - 1 - newest_first_index], lo_bits);
+}
+
+std::unique_ptr<SlotProber> MemoryBackend::NewProber() const {
+  return std::make_unique<MemorySlotProber>(runs_);
+}
+
+}  // namespace pgrid
+}  // namespace unistore

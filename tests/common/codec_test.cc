@@ -160,6 +160,70 @@ TEST(CodecFuzzTest, GetStringViewAliasesBufferAndRoundTrips) {
   EXPECT_LT(a->data(), buf.data() + buf.size());
 }
 
+// --- Canonical-varint enforcement ------------------------------------------
+//
+// GetVarint used to accept padded encodings (a zero continuation group)
+// and ten-byte encodings whose final group spills past bit 63, so one
+// logical value could arrive as several distinct byte strings — poison for
+// checksummed and persisted records. These are the regression cases.
+
+TEST(CodecFuzzTest, PaddedVarintEncodingsAreCorruption) {
+  const std::string padded[] = {
+      std::string("\x80\x00", 2),      // 0 stretched to two bytes.
+      std::string("\x81\x00", 2),      // 1 stretched to two bytes.
+      std::string("\xFF\x00", 2),      // 127 stretched to two bytes.
+      std::string("\x80\x80\x00", 3),  // 0 stretched to three bytes.
+      std::string("\x85\x80\x00", 3),  // 5 stretched to three bytes.
+  };
+  for (const std::string& bad : padded) {
+    BufferReader r(bad);
+    EXPECT_EQ(r.GetVarint().status().code(), StatusCode::kCorruption)
+        << "bytes: " << bad.size();
+  }
+}
+
+TEST(CodecFuzzTest, TenByteVarintOverflowIsCorruption) {
+  // Nine continuation groups leave two value bits for the tenth: 0x01 is
+  // the top of uint64 range, anything above silently drops bits.
+  for (uint8_t last : {0x02, 0x03, 0x7F}) {
+    std::string bad(9, static_cast<char>(0xFF));
+    bad.push_back(static_cast<char>(last));
+    BufferReader r(bad);
+    EXPECT_EQ(r.GetVarint().status().code(), StatusCode::kCorruption)
+        << "last=" << static_cast<int>(last);
+  }
+  std::string max_form(9, static_cast<char>(0xFF));
+  max_form.push_back('\x01');
+  BufferReader r(max_form);
+  EXPECT_EQ(r.GetVarint().value(), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(CodecFuzzTest, AcceptedVarintsReencodeByteIdentically) {
+  // The canonicality property itself: any byte string GetVarint accepts
+  // re-encodes to exactly the bytes consumed. Random bit flips either
+  // produce Corruption or another canonical encoding — never a second
+  // spelling of the same value.
+  Rng rng(123);
+  for (int iter = 0; iter < 5000; ++iter) {
+    BufferWriter w;
+    w.PutVarint(rng.Next() >> rng.NextBounded(64));
+    std::string buf = w.Release();
+    const size_t byte = rng.NextBounded(buf.size());
+    buf[byte] = static_cast<char>(
+        static_cast<uint8_t>(buf[byte]) ^ (1u << rng.NextBounded(8)));
+    BufferReader r(buf);
+    auto got = r.GetVarint();
+    if (!got.ok()) {
+      EXPECT_EQ(got.status().code(), StatusCode::kCorruption);
+      continue;
+    }
+    const size_t consumed = buf.size() - r.remaining();
+    BufferWriter again;
+    again.PutVarint(*got);
+    EXPECT_EQ(again.buffer(), buf.substr(0, consumed)) << "iter=" << iter;
+  }
+}
+
 // Mutation fuzz: flip random bytes in valid encodings and confirm every
 // getter either succeeds or reports Corruption — never crashes or reads
 // out of bounds (the ASan CI job runs this test under sanitizers).

@@ -13,6 +13,8 @@
 #include "common/codec.h"
 #include "common/rng.h"
 #include "pgrid/ophash.h"
+#include "pgrid/sorted_run.h"
+#include "pgrid/storage_backend.h"
 
 namespace unistore {
 namespace pgrid {
@@ -459,6 +461,41 @@ TEST(LocalStoreOptionsTest, SanitizedClampsMaxRunsToHardCap) {
   EXPECT_NE(warnings[0].find("max_runs"), std::string::npos);
 }
 
+TEST(LocalStoreOptionsTest, SanitizedToleratesNullWarningsVector) {
+  LocalStoreOptions o;
+  o.memtable_flush_threshold = 0;
+  o.max_runs = 64;
+  o.tier_growth = 0;
+  LocalStoreOptions s = o.Sanitized(nullptr);  // Must not crash.
+  EXPECT_EQ(s.memtable_flush_threshold, 1u);
+  EXPECT_EQ(s.max_runs, LocalStoreOptions::kMaxRuns);
+  EXPECT_EQ(s.tier_growth, 2u);
+}
+
+TEST(LocalStoreOptionsTest, SanitizedDiskWithoutDataDirFallsBackToMemory) {
+  LocalStoreOptions o;
+  o.backend = LocalStoreOptions::Backend::kDisk;
+  o.data_dir.clear();
+  std::vector<std::string> warnings;
+  LocalStoreOptions s = o.Sanitized(&warnings);
+  EXPECT_EQ(s.backend, LocalStoreOptions::Backend::kMemory);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("data_dir"), std::string::npos);
+}
+
+TEST(LocalStoreOptionsTest, SanitizedClampsTinyBlockBytes) {
+  LocalStoreOptions o;
+  o.backend = LocalStoreOptions::Backend::kDisk;
+  o.data_dir = "db";
+  o.block_bytes = 1;
+  std::vector<std::string> warnings;
+  LocalStoreOptions s = o.Sanitized(&warnings);
+  EXPECT_EQ(s.backend, LocalStoreOptions::Backend::kDisk);
+  EXPECT_EQ(s.block_bytes, 128u);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("block_bytes"), std::string::npos);
+}
+
 TEST(LocalStoreOptionsTest, ConstructorAppliesSanitizedOptions) {
   LocalStoreOptions o;
   o.max_runs = 64;
@@ -621,6 +658,67 @@ TEST(LocalStoreCompressionTest, OverlongKeysFallBackToPlainRuns) {
   auto got = store.Get(Key::FromBits(long_bits));
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0].payload, "p");
+}
+
+TEST(LocalStoreCompressionTest, MixedFormatRunGroupCompactsCorrectly) {
+  // An overlong key forces one run into the plain fallback format; tiered
+  // compaction then merges that run with compressed neighbors. The merged
+  // run must carry every entry byte-identically and must stay plain — a
+  // compressed output would overflow the cursor's fixed key buffer on the
+  // overlong key. Later flushes of short keys still compress.
+  LocalStoreOptions o;
+  o.memtable_flush_threshold = 4;
+  o.max_runs = 8;
+  o.tier_fanin = 3;
+  o.tier_growth = 4;
+  o.compress_runs = true;
+  o.restart_interval = 4;
+  LocalStore packed(o);
+  LocalStoreOptions plain_opts = o;
+  plain_opts.compress_runs = false;
+  LocalStore plain(plain_opts);
+
+  const std::string long_bits(SortedRun::kMaxCompressedKeyBits + 8, '1');
+  std::vector<Entry> entries;
+  for (int i = 0; i < 11; ++i) {
+    std::string bits = "0";
+    for (int b = 4; b >= 0; --b) bits += ((i >> b) & 1) ? '1' : '0';
+    entries.push_back(MakeEntry(bits, "id", "p" + std::to_string(i)));
+  }
+  // Lands in the third flush group: runs 0 and 1 are compressed, run 2
+  // falls back to plain, and its arrival completes a tier_fanin == 3
+  // same-class group, so the flush-triggered compaction merges all three.
+  entries.push_back(MakeEntry(long_bits, "id", "overlong"));
+  for (const Entry& e : entries) {
+    packed.Apply(e);
+    plain.Apply(e);
+  }
+  ASSERT_EQ(packed.run_count(), 1u);
+  const auto& backend = static_cast<const MemoryBackend&>(packed.backend());
+  EXPECT_FALSE(backend.run(0).compressed())
+      << "a merged run holding an overlong key must not be compressed";
+  EXPECT_EQ(packed.GetAll(), plain.GetAll());
+  ASSERT_EQ(packed.Get(Key::FromBits(long_bits)).size(), 1u);
+  EXPECT_EQ(packed.Get(Key::FromBits(long_bits))[0].payload, "overlong");
+
+  // A fresh flush of short keys re-enters the compressed path even though
+  // the merged plain run sits below it.
+  for (int i = 16; i < 20; ++i) {
+    std::string bits = "1";
+    for (int b = 4; b >= 0; --b) bits += ((i >> b) & 1) ? '1' : '0';
+    packed.Apply(MakeEntry(bits, "id", "q" + std::to_string(i)));
+    plain.Apply(MakeEntry(bits, "id", "q" + std::to_string(i)));
+  }
+  ASSERT_EQ(packed.run_count(), 2u);
+  EXPECT_TRUE(backend.run(1).compressed());
+
+  // A full compaction folds the mixed pair again: still plain, no data
+  // lost, streams still identical to the never-compressed engine.
+  packed.Compact();
+  plain.Compact();
+  ASSERT_EQ(packed.run_count(), 1u);
+  EXPECT_FALSE(backend.run(0).compressed());
+  EXPECT_EQ(packed.GetAll(), plain.GetAll());
 }
 
 // --- Size-tiered compaction ------------------------------------------------
