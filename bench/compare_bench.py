@@ -137,10 +137,19 @@ def compare(old, new):
     return lines, worst
 
 
+def gate_verdict(name, value):
+    """Keys ending `_ok` are boolean gates: non-zero means PASS. Other
+    keys are plain metrics with no verdict."""
+    if not name.endswith("_ok"):
+        return ""
+    return "PASS" if value else "FAIL"
+
+
 def compare_gates(old, new):
-    """Key-by-key diff of two flat gate dicts. Gates carry their own
-    pass/fail semantics inside the bench binaries, so they never trip the
-    --fail-over threshold here — the report is informational."""
+    """Key-by-key diff of two flat gate dicts with a pass/fail column for
+    the boolean `_ok` gates. Gates carry their own pass/fail semantics
+    inside the bench binaries, so they never trip the --fail-over
+    threshold here — the report is informational."""
     names = sorted(n for n in new if n in old)
     missing = sorted(set(old) - set(new))
     added = sorted(set(new) - set(old))
@@ -148,17 +157,26 @@ def compare_gates(old, new):
     if names:
         width = max(len(n) for n in names)
         lines.append(f"{'gate':<{width}}  {'old':>12}  {'new':>12}  "
-                     f"{'Δ':>8}")
+                     f"{'Δ':>8}  {'verdict':>7}")
         for name in names:
             d = delta_pct(old[name], new[name])
             lines.append(f"{name:<{width}}  {old[name]:>12.4g}  "
-                         f"{new[name]:>12.4g}  {d:+7.1f}%")
+                         f"{new[name]:>12.4g}  {d:+7.1f}%  "
+                         f"{gate_verdict(name, new[name]):>7}")
     else:
         lines.append("no common gate keys between the two files")
     for name in missing:
         lines.append(f"- removed gate: {name}")
     for name in added:
-        lines.append(f"+ added gate:   {name} = {new[name]:.4g}")
+        verdict = gate_verdict(name, new[name])
+        suffix = f"  {verdict}" if verdict else ""
+        lines.append(f"+ added gate:   {name} = {new[name]:.4g}{suffix}")
+    failing = sorted(n for n in new
+                     if n.endswith("_ok") and not new[n])
+    if failing:
+        lines.append(f"failing gates: {', '.join(failing)}")
+    else:
+        lines.append("all boolean gates pass")
     return lines
 
 

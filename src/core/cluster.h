@@ -112,6 +112,22 @@ class Cluster {
   /// Applies envelope execution knobs on every node (harness context).
   void SetEnvelopeOptions(const exec::EnvelopeOptions& options);
 
+  /// Cluster-wide hot-path serving-layer counters (DESIGN.md §8), summed
+  /// over every node's result cache, admission control and peer fan-out
+  /// state. Benchmarks and tests gate on these.
+  struct HotPathStats {
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t cache_invalidations = 0;
+    uint64_t cache_probes = 0;
+    uint64_t sheds = 0;
+    uint64_t deferred_relaunches = 0;
+    uint64_t lookups_served = 0;
+    uint64_t hot_adverts = 0;
+    uint64_t fanout_redirects = 0;
+  };
+  HotPathStats AggregateHotPathStats();
+
   /// The expected one-way hop latency of the configured model (feeds the
   /// cost model).
   double ExpectedHopLatencyUs() const;

@@ -1,5 +1,8 @@
 #include "core/datagen.h"
 
+#include <algorithm>
+#include <cstdio>
+
 namespace unistore {
 namespace core {
 namespace {
@@ -170,6 +173,33 @@ std::vector<Tuple> GenerateContactTuples(size_t count, uint64_t seed) {
     tuples.push_back(std::move(t));
   }
   return tuples;
+}
+
+std::vector<ZipfQuery> GenerateZipfQueries(const ZipfQueryOptions& options) {
+  Rng rng(options.seed);
+  ZipfGenerator zipf(std::max<size_t>(1, options.value_universe),
+                     options.theta);
+  const size_t flash_lo = options.flash_crowd
+      ? static_cast<size_t>(options.flash_crowd_start *
+                            static_cast<double>(options.count))
+      : options.count;
+  const size_t flash_hi = options.flash_crowd
+      ? static_cast<size_t>(options.flash_crowd_end *
+                            static_cast<double>(options.count))
+      : options.count;
+  std::vector<ZipfQuery> queries;
+  queries.reserve(options.count);
+  for (size_t i = 0; i < options.count; ++i) {
+    ZipfQuery q;
+    q.is_read = rng.NextBernoulli(options.read_ratio);
+    q.rank = zipf.Sample(&rng);
+    if (i >= flash_lo && i < flash_hi) q.rank = 0;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "val-%05zu", q.rank);
+    q.value = buf;
+    queries.push_back(std::move(q));
+  }
+  return queries;
 }
 
 }  // namespace core

@@ -63,6 +63,39 @@ std::string InjectTypo(const std::string& s, Rng* rng);
 std::vector<triple::Tuple> GenerateContactTuples(size_t count,
                                                  uint64_t seed);
 
+/// One operation of a Zipf-skewed read/write workload (hot-path serving
+/// layer benches and tests, DESIGN.md §8).
+struct ZipfQuery {
+  bool is_read = true;
+  size_t rank = 0;     ///< Popularity rank of the target value (0 = hottest).
+  std::string value;   ///< Attribute value targeted ("val-<rank>").
+};
+
+struct ZipfQueryOptions {
+  size_t count = 1000;
+  /// Zipf exponent: 0 = uniform, ~0.99 = classic web-cache skew, >1 =
+  /// extreme hot spot.
+  double theta = 0.99;
+  /// Fraction of operations that are reads (the rest are writes against
+  /// the same skewed value distribution — they churn the hot partitions).
+  double read_ratio = 0.9;
+  /// Distinct target values, ranked by popularity.
+  size_t value_universe = 256;
+  /// Flash-crowd mode: every operation whose index falls in
+  /// [flash_crowd_start, flash_crowd_end) (as a fraction of `count`)
+  /// targets rank 0 regardless of the Zipf draw — a sudden synchronized
+  /// hot spot that exercises hot-key advertisement and admission control.
+  bool flash_crowd = false;
+  double flash_crowd_start = 0.5;
+  double flash_crowd_end = 0.75;
+  uint64_t seed = 99;
+};
+
+/// Generates a deterministic Zipf-skewed operation sequence. Ranks follow
+/// ZipfGenerator(value_universe, theta); values are "val-" + zero-padded
+/// rank so lexicographic order matches rank order.
+std::vector<ZipfQuery> GenerateZipfQueries(const ZipfQueryOptions& options);
+
 }  // namespace core
 }  // namespace unistore
 

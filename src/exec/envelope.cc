@@ -145,6 +145,8 @@ std::string EnvelopeReply::Encode() const {
   w.PutString(covered_hi);
   EncodeBindings(results, &w);
   w.PutU32(peers_visited);
+  w.PutU64(store_version);
+  w.PutU32(retry_after_us);
   return w.Release();
 }
 
@@ -161,8 +163,9 @@ Result<EnvelopeReply> EnvelopeReply::Decode(std::string_view bytes) {
   BufferReader r(bytes);
   EnvelopeReply reply;
   UNISTORE_ASSIGN_OR_RETURN(uint8_t head, r.GetU8());
+  uint8_t version = 0;
   if (head == kReplyVersionSentinel) {
-    UNISTORE_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+    UNISTORE_ASSIGN_OR_RETURN(version, r.GetU8());
     if (version == 0 || version > kEnvelopeWireVersion) {
       return Status::Corruption("unsupported envelope reply version ",
                                 static_cast<int>(version));
@@ -191,6 +194,10 @@ Result<EnvelopeReply> EnvelopeReply::Decode(std::string_view bytes) {
   }
   UNISTORE_ASSIGN_OR_RETURN(reply.results, DecodeBindings(&r));
   UNISTORE_ASSIGN_OR_RETURN(reply.peers_visited, r.GetU32());
+  if (version >= 2) {
+    UNISTORE_ASSIGN_OR_RETURN(reply.store_version, r.GetU64());
+    UNISTORE_ASSIGN_OR_RETURN(reply.retry_after_us, r.GetU32());
+  }
   return reply;
 }
 

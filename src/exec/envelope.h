@@ -35,8 +35,11 @@ constexpr uint32_t kEnvelopeVersionSentinel = 0xFFFFFFFE;
 /// First u8 of a versioned (v1+) reply encoding. Never a valid v0 status
 /// code (StatusCode values are small).
 constexpr uint8_t kReplyVersionSentinel = 0xFE;
-/// Current envelope/reply wire version.
-constexpr uint8_t kEnvelopeWireVersion = 1;
+/// Current envelope/reply wire version. v2 appends the serving peer's
+/// store-range version and an overload retry-after hint to the reply
+/// (hot-path serving layer, DESIGN.md §8); v1 payloads still decode with
+/// both defaulted to 0.
+constexpr uint8_t kEnvelopeWireVersion = 2;
 
 /// PlanEnvelope::flags bits.
 enum EnvelopeFlags : uint8_t {
@@ -124,6 +127,14 @@ struct EnvelopeReply {
   /// Serving peers behind this reply: 1 for a partial, the walk-instance
   /// visit count for a terminal in accumulate mode.
   uint32_t peers_visited = 0;
+  /// The serving peer's LocalStore::VersionForRange over the covered
+  /// slice, sampled when the local join ran (v2+). Coordinators tag
+  /// cached results with it and re-probe before serving from cache.
+  uint64_t store_version = 0;
+  /// For a kOverloaded shed (v2+): how long the coordinator should wait
+  /// before relaunching, derived from the shedding peer's busy horizon.
+  /// 0 for non-overloaded replies.
+  uint32_t retry_after_us = 0;
 
   bool has_coverage() const { return !covered_hi.empty(); }
 

@@ -1,6 +1,7 @@
 #include "exec/envelope_coordinator.h"
 
 #include <algorithm>
+#include <tuple>
 
 namespace unistore {
 namespace exec {
@@ -148,6 +149,8 @@ EnvelopeCoordinator::ReplyOutcome EnvelopeCoordinator::OnReply(
       w.pending[lo] = reply.covered_hi;
       w.accepted[lo] = reply.covered_hi;
       w.peer_visits += std::max<uint32_t>(1, reply.peers_visited);
+      contributors_.push_back(CacheContributor{
+          reply.origin, lo, reply.covered_hi, reply.store_version});
       AdvanceFrontier(&w);
       ++w.generation;  // Progress: the walk timer re-arms.
       out.accepted = true;
@@ -172,7 +175,18 @@ EnvelopeCoordinator::ReplyOutcome EnvelopeCoordinator::OnReply(
   // from superseded instances are ignored.
   if (reply.status_code != 0 && !w.complete &&
       (reply.walk_id == 0 || reply.walk_id == w.latest_walk_id)) {
-    if (w.retries_left == 0) {
+    if (reply.status_code == static_cast<uint8_t>(StatusCode::kOverloaded)) {
+      // Shed-or-defer: the serving peer's admission queue was full.
+      // Relaunch after its retry-after horizon without spending the retry
+      // budget — deferral is flow control, not failure, so a query is
+      // never dropped for hitting a busy peer (the initiator's overall
+      // migration deadline still bounds the join).
+      ++deferrals_;
+      ++w.generation;
+      out.relaunch.push_back(MakeEnvelope(reply.branch, reply.chunk_id));
+      out.relaunch_after_us =
+          std::max<sim::SimTime>(1, reply.retry_after_us);
+    } else if (w.retries_left == 0) {
       failure_ = Status(static_cast<StatusCode>(reply.status_code),
                         reply.error.empty() ? "envelope walk failed"
                                             : reply.error);
@@ -229,7 +243,26 @@ MigrateResult EnvelopeCoordinator::TakeResult() {
   result.chunks_per_branch = static_cast<uint32_t>(chunks_.size());
   result.envelopes_launched = envelopes_launched_;
   result.retries = retries_;
+  result.deferrals = deferrals_;
   result.max_walk_hops = max_walk_hops_;
+
+  // Contributor tags, deduplicated to one entry per (peer, slice) keeping
+  // the lowest version: chunks of one branch revisit the same peers, and
+  // any mutation after the *earliest* serve must invalidate the cache.
+  std::sort(contributors_.begin(), contributors_.end(),
+            [](const CacheContributor& a, const CacheContributor& b) {
+              return std::tie(a.peer, a.lo_bits, a.hi_bits, a.version) <
+                     std::tie(b.peer, b.lo_bits, b.hi_bits, b.version);
+            });
+  for (const CacheContributor& c : contributors_) {
+    if (!result.contributors.empty() &&
+        result.contributors.back().peer == c.peer &&
+        result.contributors.back().lo_bits == c.lo_bits &&
+        result.contributors.back().hi_bits == c.hi_bits) {
+      continue;  // Same slice, higher version: the earliest tag wins.
+    }
+    result.contributors.push_back(c);
+  }
 
   size_t total = 0;
   for (uint32_t b = 0; b < branches_.size(); ++b) {

@@ -55,6 +55,31 @@ struct EnvelopeOptions {
   sim::SimTime walk_timeout = 4 * sim::kMicrosPerSecond;
   /// Relaunch budget per (branch, chunk) walk.
   uint32_t walk_retries = 2;
+
+  // --- Hot-path serving layer (DESIGN.md §8) -----------------------------
+
+  /// Byte budget of the coordinator-side versioned result cache. 0
+  /// disables caching (the default: results are always recomputed).
+  /// Cached results are served only after every contributing peer
+  /// re-confirms its store-range version, so results stay byte-identical
+  /// with the cache on or off.
+  size_t cache_bytes = 0;
+  /// Bounded per-peer serving queue: when this many local joins are
+  /// already queued behind `busy_until_`, further envelopes are shed with
+  /// a kOverloaded reply carrying a retry-after hint instead of queueing.
+  /// 0 disables admission control (unbounded queue, the default).
+  uint32_t admission_queue_depth = 0;
+};
+
+/// One serving peer behind a completed walk: the key slice it covered and
+/// its store-range version sampled when its local join ran. The result
+/// cache tags memoized results with these and re-probes the peers before
+/// serving from cache (DESIGN.md §8).
+struct CacheContributor {
+  net::PeerId peer = net::kNoPeer;
+  std::string lo_bits;
+  std::string hi_bits;
+  uint64_t version = 0;
 };
 
 /// What a finished Migrate join returns (rows plus the execution shape,
@@ -71,8 +96,15 @@ struct MigrateResult {
   uint32_t chunks_per_branch = 0;
   uint32_t envelopes_launched = 0;  ///< Including relaunches.
   uint32_t retries = 0;
+  /// Overload sheds answered with a deferred relaunch (admission control).
+  uint32_t deferrals = 0;
   /// Longest single-envelope forwarding chain observed (message hops).
   uint32_t max_walk_hops = 0;
+  /// Serving peers with their covered slices and store-range versions
+  /// (deduplicated; min version per (peer, slice) so any later mutation
+  /// invalidates). Complete only in stream-partials mode — accumulate-mode
+  /// terminals name just the last peer, so the cache skips those runs.
+  std::vector<CacheContributor> contributors;
 };
 
 /// \brief Splits `range` into up to `max_parts` sub-ranges with roughly
@@ -106,6 +138,9 @@ class EnvelopeCoordinator {
     bool accepted = false;  ///< Coverage was new (not a duplicate).
     /// Walks to relaunch immediately (error replies with retry budget).
     std::vector<PlanEnvelope> relaunch;
+    /// Non-zero for an overload shed: delay the relaunch by this many
+    /// simulated microseconds (the shedding peer's retry-after hint).
+    sim::SimTime relaunch_after_us = 0;
   };
   /// Feeds one decoded reply (partial or terminal), consuming its result
   /// rows. `msg_hops` is the reply message's hop count (observability
@@ -169,7 +204,9 @@ class EnvelopeCoordinator {
   uint64_t next_walk_id_;
   uint32_t envelopes_launched_ = 0;
   uint32_t retries_ = 0;
+  uint32_t deferrals_ = 0;
   uint32_t max_walk_hops_ = 0;
+  std::vector<CacheContributor> contributors_;
 };
 
 }  // namespace exec

@@ -16,7 +16,7 @@ using net::Message;
 using net::MessageType;
 
 QueryService::QueryService(pgrid::Peer* peer, EnvelopeOptions options)
-    : peer_(peer), options_(options) {
+    : peer_(peer), options_(options), cache_(options.cache_bytes) {
   peer_->SetExtensionHandler(
       MessageType::kPlanExec,
       [this](const Message& msg) { OnPlanExec(msg); });
@@ -29,6 +29,12 @@ QueryService::QueryService(pgrid::Peer* peer, EnvelopeOptions options)
   peer_->SetExtensionHandler(
       MessageType::kStatsGossip,
       [this](const Message& msg) { OnStatsGossip(msg); });
+  peer_->SetExtensionHandler(
+      MessageType::kVersionProbe,
+      [this](const Message& msg) { OnVersionProbe(msg); });
+  peer_->SetExtensionHandler(
+      MessageType::kVersionProbeReply,
+      [this](const Message& msg) { peer_->rpc().HandleReply(msg); });
 }
 
 // ---------------------------------------------------------------------------
@@ -45,6 +51,38 @@ void QueryService::RunMigrateJoin(const vql::TriplePattern& pattern,
         "migrate join needs a literal attribute in the right pattern"));
     return;
   }
+  // Versioned result cache (DESIGN.md §8). Only in stream-partials mode:
+  // accumulate-mode terminals name just the last serving peer, so their
+  // contributor set is incomplete and the freshness check unsound.
+  if (cache_.enabled() && options_.stream_partials) {
+    std::string key = ResultCache::Fingerprint(
+        pattern, filter_vql,
+        triple::AttrRange(pattern.predicate.literal.AsString()), left);
+    if (const MigrateResult* hit = cache_.Lookup(key)) {
+      auto state = std::make_shared<CacheVerify>();
+      state->key = std::move(key);
+      state->result = *hit;
+      state->pattern = pattern;
+      state->filter_vql = filter_vql;
+      state->left = std::move(left);
+      state->callback = std::move(callback);
+      VerifyCacheEntry(std::move(state));
+      return;
+    }
+    ++cache_.mutable_stats()->misses;
+    StartMigrateJoin(pattern, filter_vql, std::move(left),
+                     std::move(callback), std::move(key));
+    return;
+  }
+  StartMigrateJoin(pattern, filter_vql, std::move(left), std::move(callback),
+                   std::string());
+}
+
+void QueryService::StartMigrateJoin(const vql::TriplePattern& pattern,
+                                    const std::string& filter_vql,
+                                    std::vector<Binding> left,
+                                    MigrateCallback callback,
+                                    std::string cache_key) {
   const uint64_t id = next_request_id_++;
   auto [it, inserted] = migrations_.emplace(
       id,
@@ -58,7 +96,7 @@ void QueryService::RunMigrateJoin(const vql::TriplePattern& pattern,
               // Statistics-informed fan-out: split at the sampled peers'
               // region boundaries so branches follow the trie shape.
               catalog().peer_paths()),
-          std::move(callback)});
+          std::move(callback), std::move(cache_key)});
   (void)inserted;
 
   // Overall deadline: whatever the per-walk retries do, a Migrate join
@@ -81,6 +119,75 @@ void QueryService::RunMigrateJoin(const vql::TriplePattern& pattern,
   for (EnvelopeReply& error : undeliverable) {
     HandleEnvelopeReply(id, std::move(error), 0);
   }
+}
+
+void QueryService::VerifyCacheEntry(std::shared_ptr<CacheVerify> state) {
+  // Local contributions check synchronously against our own store; remote
+  // contributors get a one-hop kVersionProbe each. Any mismatch, probe
+  // timeout or undecodable reply fails the verification — the entry is
+  // dropped and the join re-executes, so a cached result can never be
+  // staler than a completed mutation on any contributing peer.
+  std::vector<const CacheContributor*> remote;
+  for (const CacheContributor& c : state->result.contributors) {
+    if (c.peer == peer_->id()) {
+      const pgrid::KeyRange range{pgrid::Key::FromBits(c.lo_bits),
+                                  pgrid::Key::FromBits(c.hi_bits)};
+      if (peer_->store().VersionForRange(range) != c.version) {
+        state->mismatch = true;
+      }
+    } else {
+      remote.push_back(&c);
+    }
+  }
+  if (state->mismatch || remote.empty()) {
+    FinishCacheVerify(state);
+    return;
+  }
+  state->remaining = remote.size();
+  for (const CacheContributor* c : remote) {
+    VersionProbeRequest req;
+    req.lo_bits = c->lo_bits;
+    req.hi_bits = c->hi_bits;
+    ++cache_.mutable_stats()->probes;
+    const uint64_t expect = c->version;
+    peer_->rpc().SendRequest(
+        c->peer, MessageType::kVersionProbe, req.Encode(),
+        peer_->options().request_timeout,
+        [this, state, expect](const Status& status, const Message& msg) {
+          if (!status.ok()) {
+            state->mismatch = true;
+          } else {
+            auto reply = VersionProbeReply::Decode(msg.payload);
+            if (!reply.ok() || reply->version != expect) {
+              state->mismatch = true;
+            }
+          }
+          if (--state->remaining == 0) FinishCacheVerify(state);
+        });
+  }
+}
+
+void QueryService::FinishCacheVerify(
+    const std::shared_ptr<CacheVerify>& state) {
+  if (!state->mismatch) {
+    ++cache_.mutable_stats()->hits;
+    state->callback(std::move(state->result));
+    return;
+  }
+  cache_.Invalidate(state->key);
+  ++cache_.mutable_stats()->misses;
+  StartMigrateJoin(state->pattern, state->filter_vql, std::move(state->left),
+                   std::move(state->callback), std::move(state->key));
+}
+
+void QueryService::OnVersionProbe(const Message& msg) {
+  auto req = VersionProbeRequest::Decode(msg.payload);
+  if (!req.ok()) return;
+  VersionProbeReply reply;
+  reply.version = peer_->store().VersionForRange(
+      pgrid::KeyRange{pgrid::Key::FromBits(req->lo_bits),
+                      pgrid::Key::FromBits(req->hi_bits)});
+  peer_->rpc().Reply(msg, MessageType::kVersionProbeReply, reply.Encode());
 }
 
 std::optional<EnvelopeReply> QueryService::TrySendEnvelope(
@@ -123,6 +230,22 @@ void QueryService::HandleEnvelopeReply(uint64_t request_id,
     queue.pop_back();
     auto outcome = it->second.coordinator.OnReply(std::move(next), msg_hops);
     msg_hops = 0;  // Only the original message has a real hop count.
+    if (outcome.relaunch_after_us > 0) {
+      // Overload backoff: the serving peer shed the envelope, so hold the
+      // relaunch for its retry-after horizon instead of hammering it.
+      for (PlanEnvelope& env : outcome.relaunch) {
+        ++deferred_relaunches_;
+        peer_->transport()->scheduler()->ScheduleAfter(
+            outcome.relaunch_after_us, peer_->id(), peer_->id(),
+            [this, request_id, env = std::move(env)]() mutable {
+              if (migrations_.find(request_id) == migrations_.end()) return;
+              if (auto error = TrySendEnvelope(std::move(env), request_id)) {
+                HandleEnvelopeReply(request_id, std::move(*error), 0);
+              }
+            });
+      }
+      continue;
+    }
     for (PlanEnvelope& env : outcome.relaunch) {
       // The walk's timer chain (armed at launch) stays alive via kRearm
       // on generation mismatch — no fresh chain per relaunch.
@@ -176,7 +299,11 @@ void QueryService::CheckMigrationDone(uint64_t request_id) {
   if (!coordinator.failure().ok()) {
     FinishMigration(request_id, coordinator.failure());
   } else if (coordinator.done()) {
-    FinishMigration(request_id, coordinator.TakeResult());
+    MigrateResult result = coordinator.TakeResult();
+    if (!it->second.cache_key.empty()) {
+      cache_.Insert(it->second.cache_key, result);
+    }
+    FinishMigration(request_id, std::move(result));
   }
 }
 
@@ -226,6 +353,30 @@ void QueryService::OnPlanExec(const Message& msg) {
 
 void QueryService::ServeEnvelope(PlanEnvelope env, uint64_t request_id,
                                  uint32_t hops) {
+  // Admission control (DESIGN.md §8): bounded serving queue on top of the
+  // busy_until_ compute model. A full queue sheds the envelope with a
+  // retry-after hint instead of queueing unboundedly — the coordinator
+  // defers and relaunches, so overload degrades latency, never loses the
+  // query.
+  if (options_.admission_queue_depth > 0 &&
+      serving_queue_depth_ >= options_.admission_queue_depth) {
+    ++sheds_;
+    const sim::SimTime now = peer_->transport()->scheduler()->Now();
+    EnvelopeReply shed;
+    shed.status_code = static_cast<uint8_t>(StatusCode::kOverloaded);
+    shed.error = "peer " + std::to_string(peer_->id()) + " overloaded";
+    shed.origin = peer_->id();
+    shed.walk_id = env.walk_id;
+    shed.branch = env.branch;
+    shed.chunk_id = env.chunk_id;
+    shed.retry_after_us = static_cast<uint32_t>(std::max<sim::SimTime>(
+        busy_until_ > now ? busy_until_ - now : 0,
+        static_cast<sim::SimTime>(options_.join_visit_cost_us)));
+    DeliverReply(env.initiator, request_id, hops, /*delay=*/0,
+                 std::move(shed));
+    return;
+  }
+
   ++envelopes_processed_;
   env.visited += 1;
   if (env.segment_lo.empty()) env.segment_lo = env.remaining.lo.bits();
@@ -270,6 +421,10 @@ void QueryService::ServeEnvelope(PlanEnvelope env, uint64_t request_id,
   const sim::SimTime start = std::max(now, busy_until_);
   busy_until_ = start + join_us;
   const sim::SimTime finish_delay = busy_until_ - now;
+  // This join occupies a queue slot until its simulated compute finishes.
+  ++serving_queue_depth_;
+  scheduler->ScheduleAfter(finish_delay, peer_->id(), peer_->id(),
+                           [this]() { --serving_queue_depth_; });
 
   // Walk on (identical structure to the sequential range scan): the next
   // subtree after this peer's, as long as the branch range extends past
@@ -300,6 +455,10 @@ void QueryService::ServeEnvelope(PlanEnvelope env, uint64_t request_id,
   reply.walk_id = env.walk_id;
   reply.branch = env.branch;
   reply.chunk_id = env.chunk_id;
+  // Freshness tag for the coordinator's result cache: this peer's
+  // store-range version over the slice it served, sampled at scan time.
+  reply.store_version = peer_->store().VersionForRange(
+      pgrid::KeyRange{serve_lo, covered_hi});
   if (stream) {
     // This peer's results travel straight back; coverage is exactly this
     // peer's slice of the branch.

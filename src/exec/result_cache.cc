@@ -1,0 +1,114 @@
+#include "exec/result_cache.h"
+
+#include <utility>
+
+#include "common/codec.h"
+#include "exec/envelope.h"
+
+namespace unistore {
+namespace exec {
+
+std::string VersionProbeRequest::Encode() const {
+  BufferWriter w;
+  w.PutString(lo_bits);
+  w.PutString(hi_bits);
+  return w.Release();
+}
+
+Result<VersionProbeRequest> VersionProbeRequest::Decode(
+    std::string_view bytes) {
+  BufferReader r(bytes);
+  VersionProbeRequest req;
+  UNISTORE_ASSIGN_OR_RETURN(req.lo_bits, r.GetString());
+  UNISTORE_ASSIGN_OR_RETURN(req.hi_bits, r.GetString());
+  return req;
+}
+
+std::string VersionProbeReply::Encode() const {
+  BufferWriter w;
+  w.PutU64(version);
+  return w.Release();
+}
+
+Result<VersionProbeReply> VersionProbeReply::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  VersionProbeReply reply;
+  UNISTORE_ASSIGN_OR_RETURN(reply.version, r.GetU64());
+  return reply;
+}
+
+std::string ResultCache::Fingerprint(const vql::TriplePattern& pattern,
+                                     const std::string& filter_vql,
+                                     const pgrid::KeyRange& range,
+                                     const std::vector<Binding>& bindings) {
+  // The full canonical encoding, not a hash: a collision would serve one
+  // query another query's rows, so the key must be injective.
+  BufferWriter w;
+  EncodePattern(pattern, &w);
+  w.PutString(filter_vql);
+  w.PutString(range.lo.bits());
+  w.PutString(range.hi.bits());
+  EncodeBindings(bindings, &w);
+  return w.Release();
+}
+
+size_t ResultCache::ApproxResultBytes(const MigrateResult& result) {
+  BufferWriter w;
+  EncodeBindings(result.rows, &w);
+  size_t bytes = w.Release().size();
+  for (const CacheContributor& c : result.contributors) {
+    bytes += c.lo_bits.size() + c.hi_bits.size() + sizeof(CacheContributor);
+  }
+  return bytes + sizeof(MigrateResult);
+}
+
+const MigrateResult* ResultCache::Lookup(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return &it->second.result;
+}
+
+void ResultCache::Insert(const std::string& key, MigrateResult result) {
+  if (!enabled()) return;
+  Erase(key);
+  const size_t entry_bytes = key.size() + ApproxResultBytes(result);
+  if (entry_bytes > max_bytes_) return;
+  while (bytes_ + entry_bytes > max_bytes_ && !lru_.empty()) {
+    auto victim = entries_.find(lru_.back());
+    bytes_ -= victim->second.bytes;
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  CacheEntry entry;
+  entry.result = std::move(result);
+  entry.bytes = entry_bytes;
+  entry.lru_pos = lru_.begin();
+  entries_.insert_or_assign(key, std::move(entry));
+  bytes_ += entry_bytes;
+  ++stats_.insertions;
+}
+
+void ResultCache::Invalidate(const std::string& key) {
+  if (Erase(key)) ++stats_.invalidations;
+}
+
+bool ResultCache::Erase(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  return true;
+}
+
+void ResultCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace exec
+}  // namespace unistore

@@ -1,0 +1,119 @@
+// Coordinator-side versioned result cache for Migrate joins (DESIGN.md
+// §8, after UStore's version-checked caching): completed range-walk
+// results are memoized keyed by (pattern, filter, range, input bindings)
+// and tagged with the store-range versions of every contributing peer.
+// A cached entry is only served after each contributor re-confirms its
+// version (kVersionProbe); any mismatch or probe failure invalidates the
+// entry and the join re-executes — so results are byte-identical with
+// the cache on or off, and never older than a completed mutation on any
+// contributing peer.
+#ifndef UNISTORE_EXEC_RESULT_CACHE_H_
+#define UNISTORE_EXEC_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "exec/envelope_coordinator.h"
+#include "pgrid/key.h"
+#include "vql/ast.h"
+
+namespace unistore {
+namespace exec {
+
+/// kVersionProbe payload: "what is your current store version for this
+/// key range?" Sent directly (one hop) to a cache entry's contributors.
+struct VersionProbeRequest {
+  std::string lo_bits;
+  std::string hi_bits;
+
+  std::string Encode() const;
+  static Result<VersionProbeRequest> Decode(std::string_view bytes);
+};
+
+/// kVersionProbeReply payload.
+struct VersionProbeReply {
+  uint64_t version = 0;
+
+  std::string Encode() const;
+  static Result<VersionProbeReply> Decode(std::string_view bytes);
+};
+
+/// Cache observability (tests, benches, Cluster stats surface).
+struct ResultCacheStats {
+  uint64_t hits = 0;           ///< Served from cache after version match.
+  uint64_t misses = 0;         ///< No entry; the join ran in full.
+  uint64_t invalidations = 0;  ///< Entries dropped on a version mismatch.
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;      ///< LRU evictions under the byte budget.
+  uint64_t probes = 0;         ///< kVersionProbe requests sent.
+};
+
+/// \brief Bounded LRU of completed MigrateResults.
+///
+/// Keys are the full canonical encoding of the query shape — no hashing,
+/// so distinct queries can never collide into each other's results. The
+/// byte budget counts keys plus an approximation of the stored rows;
+/// least-recently-used entries are evicted when an insert overflows it.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  bool enabled() const { return max_bytes_ > 0; }
+
+  /// Canonical cache key of one Migrate join.
+  static std::string Fingerprint(const vql::TriplePattern& pattern,
+                                 const std::string& filter_vql,
+                                 const pgrid::KeyRange& range,
+                                 const std::vector<Binding>& bindings);
+
+  /// The cached result for `key`, or null. Refreshes the entry's LRU
+  /// position. The pointer is invalidated by any mutating call.
+  const MigrateResult* Lookup(const std::string& key);
+
+  /// Memoizes `result` (evicting LRU entries past the byte budget). An
+  /// entry larger than the whole budget is not stored.
+  void Insert(const std::string& key, MigrateResult result);
+
+  /// Drops the entry (version mismatch, contributor probe failure).
+  void Invalidate(const std::string& key);
+
+  void Clear();
+
+  size_t bytes() const { return bytes_; }
+  size_t entries() const { return entries_.size(); }
+  const ResultCacheStats& stats() const { return stats_; }
+  ResultCacheStats* mutable_stats() { return &stats_; }
+
+  /// Test hook: the per-result byte accounting behind the budget.
+  static size_t ApproxBytesForTest(const MigrateResult& result) {
+    return ApproxResultBytes(result);
+  }
+
+ private:
+  struct CacheEntry {
+    MigrateResult result;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  static size_t ApproxResultBytes(const MigrateResult& result);
+
+  /// Removes `key` without counting an invalidation (overwrites). Returns
+  /// true iff an entry existed.
+  bool Erase(const std::string& key);
+
+  size_t max_bytes_;
+  size_t bytes_ = 0;
+  /// Most-recently-used first.
+  std::list<std::string> lru_;
+  std::map<std::string, CacheEntry> entries_;
+  ResultCacheStats stats_;
+};
+
+}  // namespace exec
+}  // namespace unistore
+
+#endif  // UNISTORE_EXEC_RESULT_CACHE_H_

@@ -87,6 +87,9 @@ std::string LookupReply::EncodeStreamed(uint64_t count,
   EncodeEntryStream(count, &w, emit);
   w.PutString(owner_path);
   w.PutU32(owner);
+  w.PutU8(hot ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(replicas.size()));
+  for (PeerId p : replicas) w.PutU32(p);
   return w.Release();
 }
 
@@ -98,6 +101,14 @@ Result<LookupReply> LookupReply::Decode(std::string_view bytes) {
   UNISTORE_ASSIGN_OR_RETURN(reply.entries, DecodeEntries(&r));
   UNISTORE_ASSIGN_OR_RETURN(reply.owner_path, r.GetString());
   UNISTORE_ASSIGN_OR_RETURN(reply.owner, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(uint8_t hot, r.GetU8());
+  reply.hot = hot != 0;
+  UNISTORE_ASSIGN_OR_RETURN(uint32_t replica_count, r.GetU32());
+  reply.replicas.reserve(replica_count);
+  for (uint32_t i = 0; i < replica_count; ++i) {
+    UNISTORE_ASSIGN_OR_RETURN(PeerId p, r.GetU32());
+    reply.replicas.push_back(p);
+  }
   return reply;
 }
 

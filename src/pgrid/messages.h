@@ -58,6 +58,12 @@ struct LookupReply {
   std::vector<Entry> entries;
   std::string owner_path;   ///< Path of the responsible peer.
   PeerId owner = net::kNoPeer;
+  /// Hot-key advertisement (DESIGN.md §8): the serving peer's sliding
+  /// window request rate crossed its threshold, so initiators should
+  /// round-robin further lookups for this partition across `replicas`
+  /// (serving peer included) instead of re-routing to the single owner.
+  bool hot = false;
+  std::vector<PeerId> replicas;
 
   std::string Encode() const;
   /// Byte-identical to Encode() with `entries` holding the same sequence,

@@ -159,6 +159,7 @@ void Peer::Lookup(const Key& key, LookupMode mode, LookupCallback callback) {
 void Peer::DoLookup(const Key& key, LookupMode mode, int retries_left,
                     LookupCallback callback) {
   if (IsResponsible(key)) {
+    RecordLookupServe();
     LookupResult result;
     auto collect = [&result](const EntryView& e) {
       result.entries.push_back(e.ToEntry());
@@ -208,6 +209,7 @@ void Peer::DoLookup(const Key& key, LookupMode mode, int retries_left,
           }
           return;
         }
+        UpdateHotOwner(*reply);
         LookupResult result;
         result.entries = std::move(reply->entries);
         result.hops = msg.hops;
@@ -219,15 +221,80 @@ void Peer::DoLookup(const Key& key, LookupMode mode, int retries_left,
   Message msg;
   msg.type = MessageType::kLookup;
   msg.src = id_;
-  msg.dst = id_;  // Overwritten by Forward.
+  msg.dst = id_;  // Overwritten by Forward / replica fan-out.
   msg.request_id = rid;
   msg.hops = 0;
   msg.payload = req.Encode();
+  // Hot-partition fan-out: under a live advertisement, skip greedy routing
+  // and hit the next round-robin replica directly. Replicas share the
+  // owner's path, so IsResponsible holds at the receiver; if the replica
+  // died, the normal timeout/retry path re-routes (and the advertisement
+  // expires by TTL).
+  PeerId replica = PickHotReplica(key);
+  if (replica != net::kNoPeer) {
+    ++fanout_redirects_;
+    msg.dst = replica;
+    msg.hops = 1;
+    transport_->Send(std::move(msg));
+    return;
+  }
   if (!Forward(msg, key)) {
     rpc_.Cancel(rid);
     callback(Status::Unavailable("peer ", id_, ": no route toward key ",
                                  key.ToString()));
   }
+}
+
+void Peer::RecordLookupServe() {
+  ++lookups_served_;
+  if (options_.hot_key_qps_threshold <= 0) return;
+  const sim::SimTime now = transport_->scheduler()->Now();
+  recent_serves_.push_back(now);
+  const sim::SimTime cutoff =
+      now > options_.hot_key_window ? now - options_.hot_key_window : 0;
+  while (!recent_serves_.empty() && recent_serves_.front() < cutoff) {
+    recent_serves_.pop_front();
+  }
+}
+
+bool Peer::LookupRateHot() const {
+  if (options_.hot_key_qps_threshold <= 0) return false;
+  if (routing_.replicas().empty()) return false;  // Nothing to fan out to.
+  const double window_seconds =
+      static_cast<double>(options_.hot_key_window) / sim::kMicrosPerSecond;
+  return static_cast<double>(recent_serves_.size()) >=
+         options_.hot_key_qps_threshold * window_seconds;
+}
+
+void Peer::UpdateHotOwner(const LookupReply& reply) {
+  if (!reply.hot || reply.owner_path.empty()) return;
+  HotOwner& hot = hot_owners_[reply.owner_path];
+  if (hot.replicas != reply.replicas) {
+    hot.replicas = reply.replicas;
+    hot.next = 0;
+  }
+  hot.expires_at =
+      transport_->scheduler()->Now() + options_.hot_key_advert_ttl;
+}
+
+PeerId Peer::PickHotReplica(const Key& key) {
+  if (hot_owners_.empty()) return net::kNoPeer;
+  const sim::SimTime now = transport_->scheduler()->Now();
+  for (auto it = hot_owners_.begin(); it != hot_owners_.end();) {
+    it = it->second.expires_at <= now ? hot_owners_.erase(it) : std::next(it);
+  }
+  for (auto& [path_bits, hot] : hot_owners_) {
+    if (hot.replicas.empty()) continue;
+    if (!Key::FromBits(path_bits).IsPrefixOf(key)) continue;
+    // Round-robin over the advertised group, skipping ourselves (a local
+    // serve would already have taken the fast path in DoLookup).
+    for (size_t i = 0; i < hot.replicas.size(); ++i) {
+      PeerId candidate = hot.replicas[hot.next];
+      hot.next = (hot.next + 1) % hot.replicas.size();
+      if (candidate != id_ && candidate != net::kNoPeer) return candidate;
+    }
+  }
+  return net::kNoPeer;
 }
 
 void Peer::ServeLookup(const LookupRequest& req, uint64_t request_id,
@@ -240,9 +307,22 @@ void Peer::ServeLookup(const LookupRequest& req, uint64_t request_id,
     exact ? store_.ScanKey(req.key, v) : store_.ScanPrefix(req.key, v);
   };
 
+  RecordLookupServe();
   LookupReply reply;
   reply.owner_path = path_.bits();
   reply.owner = id_;
+  if (LookupRateHot()) {
+    // Advertise replica-serve: this peer plus its replica group, capped.
+    // Initiators spread subsequent lookups for the partition round-robin
+    // across the set, splitting a Zipf hot spot R ways.
+    reply.hot = true;
+    reply.replicas.push_back(id_);
+    for (PeerId r : routing_.replicas()) {
+      if (reply.replicas.size() >= options_.hot_key_max_replicas) break;
+      reply.replicas.push_back(r);
+    }
+    ++hot_adverts_;
+  }
   std::string payload = reply.EncodeStreamed(
       CountEntries(run_scan), [&run_scan](BufferWriter* w) {
         run_scan([w](const EntryView& e) {

@@ -3,6 +3,7 @@
 #define UNISTORE_PGRID_PEER_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -49,6 +50,24 @@ struct PeerOptions {
 
   /// Recursive meetings an exchange may trigger (construction gossip).
   uint32_t exchange_ttl = 2;
+
+  // --- Hot-key replica fan-out (DESIGN.md §8) ----------------------------
+
+  /// Served-lookup rate (requests/second over `hot_key_window`) at which
+  /// this peer advertises replica-serve in its lookup replies, steering
+  /// initiators to round-robin across the replica group instead of
+  /// hammering the single owner. 0 disables fan-out (the default).
+  double hot_key_qps_threshold = 0.0;
+
+  /// Sliding window of the served-lookup rate estimate.
+  sim::SimTime hot_key_window = 1 * sim::kMicrosPerSecond;
+
+  /// How long an initiator honours a hot advertisement before falling
+  /// back to normal owner routing.
+  sim::SimTime hot_key_advert_ttl = 2 * sim::kMicrosPerSecond;
+
+  /// Cap on the advertised replica group (serving peer included).
+  size_t hot_key_max_replicas = 4;
 
   /// Local storage engine knobs (memtable flush threshold, run
   /// compaction fan-in, storage backend — DESIGN.md § Local storage
@@ -174,6 +193,19 @@ class Peer {
   /// peer's path after an exchange (observability for tests).
   uint64_t rerouted_entries() const { return rerouted_entries_; }
 
+  // --- Hot-key fan-out observability (DESIGN.md §8) ----------------------
+
+  /// Lookups this peer answered from its own store (as owner or replica),
+  /// including the initiator-local fast path.
+  uint64_t lookups_served() const { return lookups_served_; }
+
+  /// Lookup replies that carried a hot-partition advertisement.
+  uint64_t hot_adverts() const { return hot_adverts_; }
+
+  /// Lookups this peer, as initiator, sent straight to a round-robin
+  /// replica instead of routing to the owner.
+  uint64_t fanout_redirects() const { return fanout_redirects_; }
+
  private:
   // Message pump.
   void OnMessage(const net::Message& msg);
@@ -202,6 +234,19 @@ class Peer {
   void HandleExchange(const net::Message& msg);
   void HandleEntryBatch(const net::Message& msg);
   void HandleAntiEntropy(const net::Message& msg);
+
+  // Hot-key fan-out (DESIGN.md §8).
+  // Owner side: notes one served lookup in the sliding window and prunes
+  // stale timestamps.
+  void RecordLookupServe();
+  // Owner side: true iff the windowed serve rate crossed the threshold
+  // and this peer has replicas to advertise.
+  bool LookupRateHot() const;
+  // Initiator side: folds a reply's advertisement into `hot_owners_`.
+  void UpdateHotOwner(const LookupReply& reply);
+  // Initiator side: next round-robin replica for `key` under a live
+  // advertisement, or kNoPeer to use normal routing.
+  PeerId PickHotReplica(const Key& key);
 
   // Shared protocol steps.
   void ServeLookup(const LookupRequest& req, uint64_t request_id,
@@ -260,6 +305,21 @@ class Peer {
   uint64_t rerouted_entries_ = 0;
 
   std::map<net::MessageType, ExtensionHandler> extensions_;
+
+  // Hot-key fan-out state (DESIGN.md §8).
+  std::deque<sim::SimTime> recent_serves_;  ///< Served-lookup timestamps.
+  uint64_t lookups_served_ = 0;
+  uint64_t hot_adverts_ = 0;
+  uint64_t fanout_redirects_ = 0;
+  // Initiator-side table of live hot advertisements, keyed by the
+  // advertised owner path (deterministic iteration order matters for the
+  // simulation contract). Entries expire after hot_key_advert_ttl.
+  struct HotOwner {
+    std::vector<PeerId> replicas;  ///< Serving peer + its replica group.
+    size_t next = 0;               ///< Round-robin cursor.
+    sim::SimTime expires_at = 0;
+  };
+  std::map<std::string, HotOwner> hot_owners_;
 
   // Initiator-side state of in-flight range scans, keyed by request id.
   struct ScanState {

@@ -1,0 +1,119 @@
+// Distribution-shape tests of the Zipf query workload generator
+// (DESIGN.md §8: the hot-path serving layer is gated on Zipf-skewed
+// traffic, so the generator itself must be trustworthy).
+#include "core/datagen.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace unistore {
+namespace core {
+namespace {
+
+std::vector<size_t> RankCounts(const std::vector<ZipfQuery>& queries,
+                               size_t universe) {
+  std::vector<size_t> counts(universe, 0);
+  for (const auto& q : queries) {
+    EXPECT_LT(q.rank, universe);
+    ++counts[q.rank];
+  }
+  return counts;
+}
+
+TEST(ZipfQueriesTest, SkewConcentratesOnLowRanks) {
+  ZipfQueryOptions options;
+  options.count = 20000;
+  options.theta = 1.2;
+  options.value_universe = 64;
+  auto queries = GenerateZipfQueries(options);
+  ASSERT_EQ(queries.size(), options.count);
+  auto counts = RankCounts(queries, options.value_universe);
+
+  // Rank 0 dominates every other rank and captures a large share.
+  for (size_t r = 1; r < counts.size(); ++r) {
+    EXPECT_GE(counts[0], counts[r]) << "rank " << r;
+  }
+  EXPECT_GT(counts[0], options.count / 5)
+      << "theta=1.2 should send >20% of traffic to the hottest value";
+  // The head beats the tail by a wide margin (monotone shape, smoothed
+  // over halves to tolerate sampling noise).
+  size_t head = 0;
+  size_t tail = 0;
+  for (size_t r = 0; r < counts.size(); ++r) {
+    (r < counts.size() / 2 ? head : tail) += counts[r];
+  }
+  EXPECT_GT(head, 4 * tail);
+  // Values are zero-padded so lexicographic order == rank order.
+  EXPECT_EQ(queries[0].value.size(), std::string("val-00000").size());
+}
+
+TEST(ZipfQueriesTest, ThetaZeroIsRoughlyUniform) {
+  ZipfQueryOptions options;
+  options.count = 20000;
+  options.theta = 0.0;
+  options.value_universe = 64;
+  auto counts = RankCounts(GenerateZipfQueries(options),
+                           options.value_universe);
+  const double expected =
+      static_cast<double>(options.count) / options.value_universe;
+  for (size_t r = 0; r < counts.size(); ++r) {
+    EXPECT_GT(counts[r], expected * 0.6) << "rank " << r;
+    EXPECT_LT(counts[r], expected * 1.4) << "rank " << r;
+  }
+}
+
+TEST(ZipfQueriesTest, ReadRatioIsHonoured) {
+  ZipfQueryOptions options;
+  options.count = 20000;
+  options.read_ratio = 0.7;
+  auto queries = GenerateZipfQueries(options);
+  size_t reads = 0;
+  for (const auto& q : queries) reads += q.is_read ? 1 : 0;
+  const double ratio = static_cast<double>(reads) / queries.size();
+  EXPECT_NEAR(ratio, options.read_ratio, 0.03);
+}
+
+TEST(ZipfQueriesTest, FlashCrowdWindowPinsTheHottestValue) {
+  ZipfQueryOptions options;
+  options.count = 1000;
+  options.theta = 0.5;
+  options.value_universe = 64;
+  options.flash_crowd = true;
+  options.flash_crowd_start = 0.5;
+  options.flash_crowd_end = 0.75;
+  auto queries = GenerateZipfQueries(options);
+  size_t outside_nonzero = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (i >= 500 && i < 750) {
+      EXPECT_EQ(queries[i].rank, 0u) << "op " << i << " inside the crowd";
+    } else if (queries[i].rank != 0) {
+      ++outside_nonzero;
+    }
+  }
+  EXPECT_GT(outside_nonzero, 100u)
+      << "outside the window the Zipf draw should still vary";
+}
+
+TEST(ZipfQueriesTest, DeterministicInSeed) {
+  ZipfQueryOptions options;
+  options.count = 500;
+  auto a = GenerateZipfQueries(options);
+  auto b = GenerateZipfQueries(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].value, b[i].value);
+    EXPECT_EQ(a[i].is_read, b[i].is_read);
+  }
+  options.seed += 1;
+  auto c = GenerateZipfQueries(options);
+  size_t diffs = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diffs += (a[i].value != c[i].value || a[i].is_read != c[i].is_read);
+  }
+  EXPECT_GT(diffs, 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace unistore

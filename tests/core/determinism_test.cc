@@ -31,6 +31,7 @@ struct Capture {
   std::string trace;      ///< Canonical per-peer delivery trace.
   sim::SimTime final_now; ///< Clock at final quiescence.
   size_t processed;       ///< Total events processed.
+  uint64_t cache_hits = 0;  ///< Result-cache hits (envelope scenario only).
 };
 
 Capture RunScenario(ClusterOptions::Engine engine, size_t shards,
@@ -180,13 +181,15 @@ TEST(DeterminismTest, DiskBackendMatchesMemoryAcrossEngines) {
 // pipelining and message loss all enabled: the batched envelope executor
 // must stay byte-identical across engines.
 Capture RunMigrateScenario(ClusterOptions::Engine engine, size_t shards,
-                           size_t threads) {
+                           size_t threads, bool cache_on = false,
+                           double loss_probability = 0.005) {
   ClusterOptions options;
   options.custom_paths = pgrid::PartitionCoverPaths(
       triple::AttrPrefixRange("age", ""), /*inside_leaves=*/16);
   options.peers = options.custom_paths.size();
   options.seed = 20260728;
-  options.loss_probability = 0.005;
+  options.loss_probability = loss_probability;
+  if (cache_on) options.node.envelope.cache_bytes = 1 << 20;
   options.engine = engine;
   options.shards = shards;
   options.threads = threads;
@@ -231,8 +234,10 @@ Capture RunMigrateScenario(ClusterOptions::Engine engine, size_t shards,
       "SELECT ?a,?n,?g WHERE { (?a,'name',?n) (?a,'age',?g) }",
       "SELECT ?n,?g WHERE { (?a,'name',?n) (?a,'age',?g) } ORDER BY ?g",
   };
-  net::PeerId via = 0;
   for (int round = 0; round < 2; ++round) {
+    // Rounds repeat the same (initiator, query) pairs, so with the result
+    // cache enabled the second round is served from memoized results.
+    net::PeerId via = 0;
     for (const auto& q : queries) {
       auto result = cluster.QuerySync(via, q);
       ops << "query '" << q << "' via " << via << ": ";
@@ -253,6 +258,7 @@ Capture RunMigrateScenario(ClusterOptions::Engine engine, size_t shards,
   capture.trace = cluster.overlay().transport().DeliveryTrace();
   capture.final_now = cluster.simulation().Now();
   capture.processed = cluster.simulation().processed_events();
+  capture.cache_hits = cluster.AggregateHotPathStats().cache_hits;
   return capture;
 }
 
@@ -271,6 +277,39 @@ TEST(DeterminismTest, EnvelopeHeavyWorkloadMatchesAcrossEngines) {
   auto threaded =
       RunMigrateScenario(ClusterOptions::Engine::kSharded, 4, /*threads=*/4);
   ExpectIdentical(reference, threaded, "migrate K=4 threaded");
+}
+
+// The hot-path serving contract (DESIGN.md §8): turning the result cache
+// on changes no observable query output — rows, tables, and executor
+// trace counters stay byte-identical to the cache-off run — while the
+// cached run provably serves repeats from memory. Lossless so a fresh
+// re-execution reports the same walk counters a memoized serve replays.
+TEST(DeterminismTest, ResultCacheOnOffAndAcrossEnginesByteIdentical) {
+  auto off = RunMigrateScenario(ClusterOptions::Engine::kSingleThread, 1, 1,
+                                /*cache_on=*/false, /*loss_probability=*/0);
+  auto on = RunMigrateScenario(ClusterOptions::Engine::kSingleThread, 1, 1,
+                               /*cache_on=*/true, /*loss_probability=*/0);
+  EXPECT_EQ(off.ops, on.ops) << "cache changed observable results";
+  EXPECT_EQ(off.cache_hits, 0u);
+  EXPECT_GT(on.cache_hits, 0u) << "second round should hit the cache";
+  EXPECT_LT(on.processed, off.processed)
+      << "cache hits should skip envelope walks, not re-run them";
+
+  // The cached run itself is engine-invariant: K in {1, 2, 4} inline and
+  // K=4 threaded replay the identical event history, probes included.
+  for (size_t shards : {1u, 2u, 4u}) {
+    auto sharded =
+        RunMigrateScenario(ClusterOptions::Engine::kSharded, shards,
+                           /*threads=*/1, /*cache_on=*/true,
+                           /*loss_probability=*/0);
+    ExpectIdentical(on, sharded,
+                    ("cached sharded K=" + std::to_string(shards)).c_str());
+    EXPECT_EQ(sharded.cache_hits, on.cache_hits);
+  }
+  auto threaded =
+      RunMigrateScenario(ClusterOptions::Engine::kSharded, 4, /*threads=*/4,
+                         /*cache_on=*/true, /*loss_probability=*/0);
+  ExpectIdentical(on, threaded, "cached K=4 threaded");
 }
 
 }  // namespace
