@@ -22,8 +22,10 @@ std::string_view MessageTypeName(MessageType type) {
     case MessageType::kExchange: return "Exchange";
     case MessageType::kExchangeReply: return "ExchangeReply";
     case MessageType::kReplicaPush: return "ReplicaPush";
-    case MessageType::kAntiEntropy: return "AntiEntropy";
-    case MessageType::kAntiEntropyReply: return "AntiEntropyReply";
+    case MessageType::kManifestPull: return "ManifestPull";
+    case MessageType::kManifestPullReply: return "ManifestPullReply";
+    case MessageType::kRunFetch: return "RunFetch";
+    case MessageType::kRunFetchReply: return "RunFetchReply";
     case MessageType::kPlanExec: return "PlanExec";
     case MessageType::kPlanExecReply: return "PlanExecReply";
     case MessageType::kPlanExecPartial: return "PlanExecPartial";

@@ -36,8 +36,10 @@ enum class MessageType : uint16_t {
   kExchange = 30,        ///< Pairwise construction / refinement.
   kExchangeReply = 31,
   kReplicaPush = 40,     ///< Rumor-spreading update push.
-  kAntiEntropy = 41,     ///< Pull synchronization with a replica.
-  kAntiEntropyReply = 42,
+  kManifestPull = 41,    ///< Anti-entropy: request a replica's run manifest.
+  kManifestPullReply = 42,  ///< Run summaries (id, entry count, checksum).
+  kRunFetch = 43,        ///< Fetch one chunk of a missing run's entries.
+  kRunFetchReply = 44,   ///< Checksummed chunk of run (or memtable) entries.
   // -- Query processing layer ----------------------------------------------
   kPlanExec = 50,        ///< Mutant query plan envelope.
   kPlanExecReply = 51,   ///< Terminal (walk-ended) envelope reply.

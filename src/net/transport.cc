@@ -36,6 +36,13 @@ TrafficStats TrafficStats::Since(const TrafficStats& other) const {
     uint64_t base = (it == other.per_type.end()) ? 0 : it->second;
     if (count > base) d.per_type[type] = count - base;
   }
+  for (const auto& [type, bytes] : per_type_bytes) {
+    auto it = other.per_type_bytes.find(type);
+    uint64_t base = (it == other.per_type_bytes.end()) ? 0 : it->second;
+    if (bytes > base) d.per_type_bytes[type] = bytes - base;
+  }
+  // Whole-history maximum, not an interval delta (see header).
+  d.per_type_max_bytes = per_type_max_bytes;
   return d;
 }
 
@@ -48,6 +55,13 @@ void TrafficStats::Merge(const TrafficStats& other) {
   bytes_sent += other.bytes_sent;
   for (const auto& [type, count] : other.per_type) {
     per_type[type] += count;
+  }
+  for (const auto& [type, bytes] : other.per_type_bytes) {
+    per_type_bytes[type] += bytes;
+  }
+  for (const auto& [type, max_bytes] : other.per_type_max_bytes) {
+    uint64_t& slot = per_type_max_bytes[type];
+    if (max_bytes > slot) slot = max_bytes;
   }
 }
 
@@ -101,8 +115,12 @@ void TransportBase::Send(Message msg) {
   }
 
   stats.messages_sent++;
-  stats.bytes_sent += msg.WireSize();
+  const uint64_t wire = msg.WireSize();
+  stats.bytes_sent += wire;
   stats.per_type[msg.type]++;
+  stats.per_type_bytes[msg.type] += wire;
+  uint64_t& max_slot = stats.per_type_max_bytes[msg.type];
+  if (wire > max_slot) max_slot = wire;
 
   // All stochastic draws of this message come from the *source* peer's
   // stream: the draw sequence depends only on the src's own send history,

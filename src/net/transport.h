@@ -37,6 +37,12 @@ struct TrafficStats {
   uint64_t messages_invalid = 0;    ///< Dropped: src/dst not registered.
   uint64_t bytes_sent = 0;
   std::map<MessageType, uint64_t> per_type;
+  std::map<MessageType, uint64_t> per_type_bytes;  ///< Wire bytes per type.
+  /// Largest single message (wire bytes) seen per type over the whole
+  /// history — `Since` copies it unchanged rather than differencing, since
+  /// a maximum cannot be attributed to an interval. Used to assert chunk
+  /// budgets (no repair reply may exceed the configured chunk size).
+  std::map<MessageType, uint64_t> per_type_max_bytes;
 
   /// Difference `*this - other` (for measuring a single operation).
   TrafficStats Since(const TrafficStats& other) const;

@@ -745,6 +745,7 @@ Status DiskBackend::WriteRunFile(const std::vector<Entry>& entries,
 }
 
 void DiskBackend::DeleteRunFile(uint64_t file_number) {
+  run_crc_.erase(file_number);
   const std::string name = RunFileName(file_number);
   const Status st = env_->DeleteFile(PathOf(name));
   if (!st.ok()) {
@@ -902,6 +903,37 @@ void DiskBackend::SeekCursor(size_t newest_first_index,
 
 std::unique_ptr<SlotProber> DiskBackend::NewProber() const {
   return std::make_unique<DiskSlotProber>(runs_);
+}
+
+RunSummary DiskBackend::RunSummaryAt(size_t index) const {
+  const storage::DiskRun& run = *runs_[index];
+  auto it = run_crc_.find(run.file_number());
+  if (it == run_crc_.end()) {
+    // One sequential pass through the (block-cached) run. Run files are
+    // immutable, so the result is cached for every later manifest pull.
+    RunChecksum sum;
+    storage::DiskRunCursor cursor;
+    for (cursor.Seek(&run, ""); cursor.valid(); cursor.Advance()) {
+      sum.Add(cursor.view());
+    }
+    if (!run.status().ok()) {
+      // A read error truncated the pass; report the partial CRC (the
+      // repairer's re-verification rejects it) but do not cache it.
+      return RunSummary{run.file_number(), run.entry_count(), sum.crc};
+    }
+    it = run_crc_.emplace(run.file_number(), sum.crc).first;
+  }
+  return RunSummary{run.file_number(), run.entry_count(), it->second};
+}
+
+bool DiskBackend::FindRunIndexById(uint64_t run_id, size_t* index) const {
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i]->file_number() == run_id) {
+      *index = i;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace pgrid

@@ -403,6 +403,59 @@ bool LocalStore::ScanAllLive(EntryVisitor visit) const {
                     /*include_tombstones=*/false, visit);
 }
 
+std::vector<RunSummary> LocalStore::RunSummaries() const {
+  std::vector<RunSummary> out;
+  const size_t n = backend_->run_count();
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(backend_->RunSummaryAt(i));
+  return out;
+}
+
+bool LocalStore::RunSummaryById(uint64_t run_id, RunSummary* out) const {
+  size_t index = 0;
+  if (!backend_->FindRunIndexById(run_id, &index)) return false;
+  *out = backend_->RunSummaryAt(index);
+  return true;
+}
+
+bool LocalStore::ScanRunById(uint64_t run_id, uint64_t start_entry,
+                             EntryVisitor visit) const {
+  size_t index = 0;
+  if (!backend_->FindRunIndexById(run_id, &index)) return false;
+  const size_t newest_first = backend_->run_count() - 1 - index;
+  RunCursor cursor;
+  backend_->SeekCursor(newest_first, "", &cursor);
+  // Chunk resume: skip to the requested offset. O(start_entry), which a
+  // resumed fetch pays once per retried chunk — not per entry shipped.
+  for (uint64_t i = 0; i < start_entry && cursor.valid(); ++i) {
+    cursor.Advance();
+  }
+  for (; cursor.valid(); cursor.Advance()) {
+    if (!visit(cursor.view())) break;
+  }
+  return true;
+}
+
+bool LocalStore::ScanMemtableFrom(uint64_t start_entry,
+                                  EntryVisitor visit) const {
+  uint64_t i = 0;
+  for (const auto& [slot, entry] : memtable_) {
+    if (i++ < start_entry) continue;
+    if (!visit(EntryView(entry))) break;
+  }
+  return true;
+}
+
+size_t LocalStore::SpliceRun(std::vector<Entry> entries) {
+  // BulkLoad is already the correct splice primitive: fresh slots land as
+  // one AppendRun'd immutable run, known slots keep upsert semantics, and
+  // every effective mutation bumps store_version_/bucket_versions_ — the
+  // invalidation signal the exec-layer result caches key on. Kept as a
+  // named wrapper so the repair path's cache-invalidation contract is
+  // explicit and testable rather than incidental.
+  return BulkLoad(std::move(entries));
+}
+
 namespace {
 
 std::vector<Entry> Collect(

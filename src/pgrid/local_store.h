@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "pgrid/entry.h"
 #include "pgrid/key.h"
+#include "pgrid/run_summary.h"
 
 namespace unistore {
 namespace pgrid {
@@ -232,6 +233,37 @@ class LocalStore {
   std::vector<Entry> GetByPrefix(const Key& prefix) const;
   std::vector<Entry> GetAll() const;
   std::vector<Entry> GetAllLive() const;
+
+  // --- Replica repair surface (anti-entropy snapshot shipping) -----------
+
+  /// Summaries (id, entry count, content CRC) of every immutable run,
+  /// oldest first — what a donor ships in a kManifestPullReply.
+  std::vector<RunSummary> RunSummaries() const;
+
+  /// Summary of the run identified by `run_id`. Returns false if the run
+  /// no longer exists (compacted or reset away since the manifest pull).
+  bool RunSummaryById(uint64_t run_id, RunSummary* out) const;
+
+  /// Visits the entries of run `run_id` in run order, starting at entry
+  /// index `start_entry` (chunk resume offset). Returns false iff the run
+  /// no longer exists; the visitor may stop early (chunk budget).
+  bool ScanRunById(uint64_t run_id, uint64_t start_entry,
+                   EntryVisitor visit) const;
+
+  /// Visits memtable entries (tombstones included) in slot order starting
+  /// at index `start_entry` — the fallback entry-stream path for state
+  /// that has no run file yet.
+  bool ScanMemtableFrom(uint64_t start_entry, EntryVisitor visit) const;
+
+  /// \brief Splices a fetched run into the store during replica repair.
+  ///
+  /// Delegates to BulkLoad: fresh slots become a new immutable run via
+  /// StorageBackend::AppendRun, already-known slots keep versioned-upsert
+  /// semantics, and — critically for the hot-path result caches — every
+  /// effective mutation bumps the range version counters, so cached query
+  /// results covering the spliced keys re-probe and miss (DESIGN.md §8).
+  /// Returns the number of entries that changed the store.
+  size_t SpliceRun(std::vector<Entry> entries);
 
   /// Splits off and returns every entry whose key does *not* have `path`
   /// as a prefix (tombstones included); entries under `path` are kept.

@@ -332,23 +332,79 @@ Result<EntryBatch> EntryBatch::Decode(std::string_view bytes) {
   return batch;
 }
 
-std::string AntiEntropyReply::Encode() const {
-  return EncodeStreamed(entries.size(), [this](BufferWriter* w) {
-    for (const Entry& e : entries) e.Encode(w);
-  });
-}
-
-std::string AntiEntropyReply::EncodeStreamed(uint64_t count,
-                                             EntryStreamFn emit) {
+std::string ManifestPullReply::Encode() const {
   BufferWriter w;
-  EncodeEntryStream(count, &w, emit);
+  w.PutVarint(runs.size());
+  for (const RunSummary& run : runs) {
+    w.PutVarint(run.run_id);
+    w.PutVarint(run.entry_count);
+    w.PutU32(run.checksum);
+  }
+  w.PutVarint(memtable_entries);
+  w.PutString(donor_path);
   return w.Release();
 }
 
-Result<AntiEntropyReply> AntiEntropyReply::Decode(std::string_view bytes) {
+Result<ManifestPullReply> ManifestPullReply::Decode(std::string_view bytes) {
   BufferReader r(bytes);
-  AntiEntropyReply reply;
-  UNISTORE_ASSIGN_OR_RETURN(reply.entries, DecodeEntries(&r));
+  ManifestPullReply reply;
+  UNISTORE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  if (count > bytes.size()) return Status::Corruption("bad run count");
+  reply.runs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    RunSummary run;
+    UNISTORE_ASSIGN_OR_RETURN(run.run_id, r.GetVarint());
+    UNISTORE_ASSIGN_OR_RETURN(run.entry_count, r.GetVarint());
+    UNISTORE_ASSIGN_OR_RETURN(run.checksum, r.GetU32());
+    reply.runs.push_back(run);
+  }
+  UNISTORE_ASSIGN_OR_RETURN(reply.memtable_entries, r.GetVarint());
+  UNISTORE_ASSIGN_OR_RETURN(reply.donor_path, r.GetString());
+  return reply;
+}
+
+std::string RunFetchRequest::Encode() const {
+  BufferWriter w;
+  w.PutVarint(run_id);
+  w.PutU32(expected_checksum);
+  w.PutVarint(start_entry);
+  w.PutVarint(max_bytes);
+  return w.Release();
+}
+
+Result<RunFetchRequest> RunFetchRequest::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  RunFetchRequest req;
+  UNISTORE_ASSIGN_OR_RETURN(req.run_id, r.GetVarint());
+  UNISTORE_ASSIGN_OR_RETURN(req.expected_checksum, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(req.start_entry, r.GetVarint());
+  UNISTORE_ASSIGN_OR_RETURN(req.max_bytes, r.GetVarint());
+  return req;
+}
+
+std::string RunFetchReply::Encode() const {
+  BufferWriter w;
+  w.PutU8(code);
+  w.PutVarint(run_id);
+  w.PutVarint(start_entry);
+  w.PutVarint(total_entries);
+  w.PutBool(done);
+  w.PutU32(chunk_crc);
+  w.PutString(block);
+  return w.Release();
+}
+
+Result<RunFetchReply> RunFetchReply::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  RunFetchReply reply;
+  UNISTORE_ASSIGN_OR_RETURN(reply.code, r.GetU8());
+  if (reply.code > kGone) return Status::Corruption("bad run-fetch code");
+  UNISTORE_ASSIGN_OR_RETURN(reply.run_id, r.GetVarint());
+  UNISTORE_ASSIGN_OR_RETURN(reply.start_entry, r.GetVarint());
+  UNISTORE_ASSIGN_OR_RETURN(reply.total_entries, r.GetVarint());
+  UNISTORE_ASSIGN_OR_RETURN(reply.done, r.GetBool());
+  UNISTORE_ASSIGN_OR_RETURN(reply.chunk_crc, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(reply.block, r.GetString());
   return reply;
 }
 

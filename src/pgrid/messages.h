@@ -16,6 +16,7 @@
 #include "net/message.h"
 #include "pgrid/entry.h"
 #include "pgrid/key.h"
+#include "pgrid/run_summary.h"
 
 namespace unistore {
 namespace pgrid {
@@ -222,13 +223,65 @@ struct EntryBatch {
   static Result<EntryBatch> Decode(std::string_view bytes);
 };
 
-struct AntiEntropyReply {
-  std::vector<Entry> entries;  ///< Includes tombstones.
+// --- Replica repair: manifest-delta anti-entropy (DESIGN.md §9) ----------
+//
+// A repairing peer no longer pulls a donor's whole store in one message.
+// It pulls the donor's run manifest (kManifestPull), matches the donor's
+// runs against its own by (entry_count, checksum), and then fetches only
+// the missing runs — plus the donor's memtable as a pseudo run
+// (kMemtableRunId) — as bounded, checksummed chunks (kRunFetch).
+
+/// Donor's state description: one RunSummary per immutable run (oldest
+/// first) plus the count of memtable-resident entries only reachable via
+/// the fallback entry-stream fetch.
+struct ManifestPullReply {
+  std::vector<RunSummary> runs;   ///< Oldest first.
+  uint64_t memtable_entries = 0;  ///< Entries with no run file yet.
+  std::string donor_path;         ///< Donor's trie path (diagnostics).
 
   std::string Encode() const;
-  /// Streamed-entries variant of Encode() (see LookupReply).
-  static std::string EncodeStreamed(uint64_t count, EntryStreamFn emit);
-  static Result<AntiEntropyReply> Decode(std::string_view bytes);
+  static Result<ManifestPullReply> Decode(std::string_view bytes);
+};
+
+/// One chunk request against a donor run (or its memtable when `run_id`
+/// is kMemtableRunId). `start_entry` is the resume offset: after a lost
+/// or timed-out chunk the repairer re-requests the same offset, so a
+/// transfer resumes where it left off instead of restarting.
+struct RunFetchRequest {
+  uint64_t run_id = 0;
+  uint32_t expected_checksum = 0;  ///< 0 for the memtable pseudo run.
+  uint64_t start_entry = 0;        ///< First entry index of this chunk.
+  uint64_t max_bytes = 0;          ///< Chunk payload budget (>=1 entry ships).
+
+  std::string Encode() const;
+  static Result<RunFetchRequest> Decode(std::string_view bytes);
+};
+
+/// One bounded chunk of a run's entry stream.
+struct RunFetchReply {
+  /// Why a fetch carried no data.
+  enum Code : uint8_t {
+    kOk = 0,
+    /// The run no longer exists on the donor (compacted/reset since the
+    /// manifest pull) or its checksum no longer matches the request —
+    /// the repairer must restart from a fresh manifest.
+    kGone = 1,
+  };
+
+  uint8_t code = kOk;
+  uint64_t run_id = 0;
+  uint64_t start_entry = 0;    ///< Echoed request offset.
+  uint64_t total_entries = 0;  ///< Run size (memtable size for fallback).
+  bool done = false;           ///< This chunk reaches the end of the run.
+  uint32_t chunk_crc = 0;      ///< CRC-32C over `block`.
+  /// Concatenated Entry encodings — no count prefix; the receiver decodes
+  /// until the block is exhausted (its boundary is length-prefixed by the
+  /// reply codec). Unless `done`, a non-error chunk carries >= 1 entry
+  /// even when a single entry exceeds `max_bytes` (progress guarantee).
+  std::string block;
+
+  std::string Encode() const;
+  static Result<RunFetchReply> Decode(std::string_view bytes);
 };
 
 }  // namespace pgrid

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
 #include <utility>
 
+#include "common/crc32.h"
 #include "common/logging.h"
 
 namespace unistore {
@@ -99,8 +101,11 @@ void Peer::OnMessage(const Message& msg) {
     case MessageType::kReplicaPush:
       HandleEntryBatch(msg);
       return;
-    case MessageType::kAntiEntropy:
-      HandleAntiEntropy(msg);
+    case MessageType::kManifestPull:
+      HandleManifestPull(msg);
+      return;
+    case MessageType::kRunFetch:
+      HandleRunFetch(msg);
       return;
     case MessageType::kRangeSeqReply: {
       auto reply = RangeSeqReply::Decode(msg.payload);
@@ -115,7 +120,8 @@ void Peer::OnMessage(const Message& msg) {
     case MessageType::kLookupReply:
     case MessageType::kInsertReply:
     case MessageType::kExchangeReply:
-    case MessageType::kAntiEntropyReply:
+    case MessageType::kManifestPullReply:
+    case MessageType::kRunFetchReply:
       rpc_.HandleReply(msg);
       return;
     default: {
@@ -658,18 +664,76 @@ void Peer::HandleEntryBatch(const Message& msg) {
   if (!fresh.empty()) PushBatchToReplicas(fresh);
 }
 
-void Peer::HandleAntiEntropy(const Message& msg) {
-  // Anti-entropy ships every distinct slot including tombstones —
-  // total_size() is exactly the number of slots a ScanAll visits, so the
-  // full state streams into the reply buffer without an intermediate copy.
-  rpc_.Reply(msg, MessageType::kAntiEntropyReply,
-             AntiEntropyReply::EncodeStreamed(
-                 store_.total_size(), [this](BufferWriter* w) {
-                   store_.ScanAll([w](const EntryView& e) {
-                     e.Encode(w);
-                     return true;
-                   });
-                 }));
+// ---------------------------------------------------------------------------
+// Replica repair: manifest-delta anti-entropy (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+//
+// Donor side is stateless: HandleManifestPull describes the run set,
+// HandleRunFetch serves one bounded chunk of one run's entry stream. All
+// transfer state (which runs are missing, the resume offset, the running
+// checksum) lives at the repairer, so a donor crash mid-transfer costs
+// nothing but the repairer's failover.
+
+void Peer::HandleManifestPull(const Message& msg) {
+  ManifestPullReply reply;
+  reply.runs = store_.RunSummaries();
+  reply.memtable_entries = store_.memtable_size();
+  reply.donor_path = path_.bits();
+  rpc_.Reply(msg, MessageType::kManifestPullReply, reply.Encode());
+}
+
+void Peer::HandleRunFetch(const Message& msg) {
+  auto req = RunFetchRequest::Decode(msg.payload);
+  if (!req.ok()) return;
+
+  RunFetchReply reply;
+  reply.run_id = req->run_id;
+  reply.start_entry = req->start_entry;
+
+  uint64_t total = 0;
+  bool exists = false;
+  if (req->run_id == kMemtableRunId) {
+    total = store_.memtable_size();
+    exists = true;
+  } else {
+    RunSummary summary;
+    // The run must still exist AND still hold the content the repairer
+    // saw in the manifest — a compaction may have reused nothing but the
+    // id is monotonic, so a matching id with a different checksum means
+    // a stale manifest either way.
+    exists = store_.RunSummaryById(req->run_id, &summary) &&
+             summary.checksum == req->expected_checksum;
+    total = summary.entry_count;
+  }
+  if (!exists) {
+    reply.code = RunFetchReply::kGone;
+    rpc_.Reply(msg, MessageType::kRunFetchReply, reply.Encode());
+    return;
+  }
+
+  // One pass from the resume offset: entries append to the block until
+  // the chunk budget is reached. The first entry always ships, so a
+  // single entry larger than the budget cannot stall the transfer.
+  const uint64_t budget = req->max_bytes > 0 ? req->max_bytes : 1;
+  BufferWriter block;
+  uint64_t shipped = 0;
+  auto emit = [&](const EntryView& e) {
+    if (shipped > 0 && block.size() + e.EncodedSize() > budget) return false;
+    e.Encode(&block);
+    ++shipped;
+    return true;
+  };
+  if (req->run_id == kMemtableRunId) {
+    store_.ScanMemtableFrom(req->start_entry, emit);
+  } else {
+    store_.ScanRunById(req->run_id, req->start_entry, emit);
+  }
+
+  reply.total_entries = total;
+  reply.done = req->start_entry + shipped >= total;
+  reply.block = block.Release();
+  reply.chunk_crc = Crc32c(reply.block);
+  rpc_.Reply(msg, MessageType::kRunFetchReply, reply.Encode());
 }
 
 void Peer::PullFromReplica(StatusCallback callback) {
@@ -678,25 +742,218 @@ void Peer::PullFromReplica(StatusCallback callback) {
     callback(Status::NotFound("peer ", id_, ": no replicas to pull from"));
     return;
   }
-  PeerId target = replicas[rng_.NextBounded(replicas.size())];
+  const uint64_t repair_id = next_repair_id_++;
+  RepairState state;
+  state.callback = std::move(callback);
+  state.candidates = replicas;
+  // One shuffle from this peer's own stream fixes the whole failover
+  // order up front: which donors get tried, and in which sequence, is a
+  // deterministic function of (seed, peer, call count) — never of which
+  // RPCs happen to time out first.
+  rng_.Shuffle(&state.candidates);
+  repairs_.emplace(repair_id, std::move(state));
+  RepairTryNextCandidate(repair_id);
+}
+
+void Peer::RepairTryNextCandidate(uint64_t repair_id) {
+  auto it = repairs_.find(repair_id);
+  if (it == repairs_.end()) return;
+  RepairState& st = it->second;
+  if (st.donor != net::kNoPeer) ++repair_failovers_;
+  if (st.next_candidate >= st.candidates.size()) {
+    FinishRepair(repair_id,
+                 Status::Unavailable("peer ", id_, ": replica repair failed "
+                                     "against all ", st.candidates.size(),
+                                     " replicas"));
+    return;
+  }
+  st.donor = st.candidates[st.next_candidate++];
+  st.missing.clear();
+  st.memtable_pending = false;
+  st.pending.clear();
+  st.manifest_restarts_left = 1;
+  RepairPullManifest(repair_id);
+}
+
+void Peer::RepairPullManifest(uint64_t repair_id) {
+  RepairState& st = repairs_.find(repair_id)->second;
   rpc_.SendRequest(
-      target, MessageType::kAntiEntropy, "", options_.request_timeout,
-      [this, callback](const Status& status, const Message& msg) {
+      st.donor, MessageType::kManifestPull, "", options_.request_timeout,
+      [this, repair_id](const Status& status, const Message& msg) {
+        auto it = repairs_.find(repair_id);
+        if (it == repairs_.end()) return;
         if (!status.ok()) {
-          callback(status);
+          RepairTryNextCandidate(repair_id);
           return;
         }
-        auto reply = AntiEntropyReply::Decode(msg.payload);
-        if (!reply.ok()) {
-          callback(reply.status());
+        auto manifest = ManifestPullReply::Decode(msg.payload);
+        if (!manifest.ok()) {
+          RepairTryNextCandidate(repair_id);
           return;
         }
-        // Anti-entropy merges arrive as one sorted batch: slots this
-        // replica has never seen become a run directly (no per-entry
-        // memtable churn); known slots keep exact upsert semantics.
-        store_.BulkLoad(std::move(reply->entries));
-        callback(Status::OK());
+        RepairOnManifest(repair_id, *manifest);
       });
+}
+
+void Peer::RepairOnManifest(uint64_t repair_id,
+                            const ManifestPullReply& manifest) {
+  auto it = repairs_.find(repair_id);
+  if (it == repairs_.end()) return;
+  RepairState& st = it->second;
+  // The delta: donor runs with no local run of identical content. Ids are
+  // per-peer, so content — (entry count, checksum) — is the match key; a
+  // multiset because duplicated batches legitimately produce equal runs.
+  std::multiset<std::pair<uint64_t, uint32_t>> local;
+  for (const RunSummary& run : store_.RunSummaries()) {
+    local.insert({run.entry_count, run.checksum});
+  }
+  st.missing.clear();
+  for (const RunSummary& run : manifest.runs) {
+    auto match = local.find({run.entry_count, run.checksum});
+    if (match != local.end()) {
+      local.erase(match);
+      ++repair_runs_matched_;
+    } else {
+      st.missing.push_back(run);
+    }
+  }
+  st.memtable_pending = manifest.memtable_entries > 0;
+  RepairFetchNext(repair_id);
+}
+
+void Peer::RepairFetchNext(uint64_t repair_id) {
+  auto it = repairs_.find(repair_id);
+  if (it == repairs_.end()) return;
+  RepairState& st = it->second;
+  if (!st.missing.empty()) {
+    st.current = st.missing.front();
+    st.missing.pop_front();
+  } else if (st.memtable_pending) {
+    // Fallback entry stream: the donor's memtable-resident slots have no
+    // run file, so they ship as a chunked pseudo run (still bounded,
+    // still resumable; no whole-run checksum — the memtable is mutable).
+    st.memtable_pending = false;
+    st.current = RunSummary{kMemtableRunId, 0, 0};
+  } else {
+    FinishRepair(repair_id, Status::OK());
+    return;
+  }
+  st.next_entry = 0;
+  st.crc = RunChecksum{};
+  st.pending.clear();
+  st.chunk_retries_left = options_.repair_chunk_retries;
+  RepairRequestChunk(repair_id);
+}
+
+void Peer::RepairRequestChunk(uint64_t repair_id) {
+  RepairState& st = repairs_.find(repair_id)->second;
+  RunFetchRequest req;
+  req.run_id = st.current.run_id;
+  req.expected_checksum =
+      st.current.run_id == kMemtableRunId ? 0 : st.current.checksum;
+  req.start_entry = st.next_entry;
+  req.max_bytes = options_.repair_chunk_bytes;
+  rpc_.SendRequest(
+      st.donor, MessageType::kRunFetch, req.Encode(),
+      options_.request_timeout,
+      [this, repair_id](const Status& status, const Message& msg) {
+        auto it = repairs_.find(repair_id);
+        if (it == repairs_.end()) return;
+        if (!status.ok()) {
+          // Resume, not restart: the retry re-requests the same offset,
+          // so everything received before the loss stays received.
+          if (it->second.chunk_retries_left-- > 0) {
+            RepairRequestChunk(repair_id);
+          } else {
+            RepairTryNextCandidate(repair_id);
+          }
+          return;
+        }
+        auto chunk = RunFetchReply::Decode(msg.payload);
+        if (!chunk.ok()) {
+          RepairTryNextCandidate(repair_id);
+          return;
+        }
+        RepairOnChunk(repair_id, *chunk);
+      });
+}
+
+void Peer::RepairOnChunk(uint64_t repair_id, const RunFetchReply& chunk) {
+  auto it = repairs_.find(repair_id);
+  if (it == repairs_.end()) return;
+  RepairState& st = it->second;
+
+  if (chunk.code == RunFetchReply::kGone) {
+    // The donor compacted/reset this run away mid-repair. Its manifest is
+    // stale, not its data: restart from a fresh manifest once before
+    // giving up on the donor.
+    if (st.manifest_restarts_left-- > 0) {
+      st.missing.clear();
+      st.memtable_pending = false;
+      st.pending.clear();
+      RepairPullManifest(repair_id);
+    } else {
+      RepairTryNextCandidate(repair_id);
+    }
+    return;
+  }
+
+  const bool frame_ok = chunk.run_id == st.current.run_id &&
+                        chunk.start_entry == st.next_entry &&
+                        Crc32c(chunk.block) == chunk.chunk_crc;
+  uint64_t added = 0;
+  if (frame_ok) {
+    BufferReader r(chunk.block);
+    while (r.remaining() > 0) {
+      auto entry = Entry::Decode(&r);
+      if (!entry.ok()) break;
+      st.crc.Add(EntryView(*entry));
+      st.pending.push_back(std::move(*entry));
+      ++added;
+    }
+  }
+  // An empty non-final chunk would re-request the same offset forever;
+  // treat it like corruption.
+  if (!frame_ok || (added == 0 && !chunk.done)) {
+    if (st.chunk_retries_left-- > 0) {
+      RepairRequestChunk(repair_id);
+    } else {
+      RepairTryNextCandidate(repair_id);
+    }
+    return;
+  }
+
+  ++repair_chunks_received_;
+  st.next_entry += added;
+  st.chunk_retries_left = options_.repair_chunk_retries;
+  if (!chunk.done) {
+    RepairRequestChunk(repair_id);
+    return;
+  }
+
+  // Whole run received. Re-verify the run-level checksum before splicing
+  // (per-chunk CRCs guard the frames; this guards against a donor whose
+  // manifest lied or whose stream truncated). The memtable pseudo run is
+  // mutable and carries no manifest checksum to verify against.
+  if (st.current.run_id != kMemtableRunId) {
+    if (st.pending.size() != st.current.entry_count ||
+        st.crc.crc != st.current.checksum) {
+      RepairTryNextCandidate(repair_id);
+      return;
+    }
+    ++repair_runs_fetched_;
+  }
+  store_.SpliceRun(std::move(st.pending));
+  st.pending.clear();
+  RepairFetchNext(repair_id);
+}
+
+void Peer::FinishRepair(uint64_t repair_id, Status status) {
+  auto it = repairs_.find(repair_id);
+  if (it == repairs_.end()) return;
+  StatusCallback callback = std::move(it->second.callback);
+  repairs_.erase(it);
+  callback(std::move(status));
 }
 
 // ---------------------------------------------------------------------------

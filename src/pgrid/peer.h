@@ -51,6 +51,18 @@ struct PeerOptions {
   /// Recursive meetings an exchange may trigger (construction gossip).
   uint32_t exchange_ttl = 2;
 
+  // --- Replica repair: anti-entropy snapshot shipping (DESIGN.md §9) ----
+
+  /// Payload budget of one kRunFetchReply chunk during replica repair.
+  /// Bounds every repair message on the wire; a chunk always carries at
+  /// least one entry, so an oversized entry still makes progress.
+  size_t repair_chunk_bytes = 64 * 1024;
+
+  /// Times one lost/corrupt chunk is re-requested at the same offset
+  /// (transfer resume) before the repairer fails over to the next
+  /// replica candidate.
+  int repair_chunk_retries = 2;
+
   // --- Hot-key replica fan-out (DESIGN.md §8) ----------------------------
 
   /// Served-lookup rate (requests/second over `hot_key_window`) at which
@@ -181,7 +193,16 @@ class Peer {
   /// balancing). Joining the network is an exchange from an empty path.
   void InitiateExchange(PeerId other, StatusCallback callback);
 
-  /// Anti-entropy: pulls the full state of a random replica and merges.
+  /// \brief Anti-entropy: repairs this replica against its replica group
+  /// via manifest-delta snapshot shipping (DESIGN.md §9).
+  ///
+  /// Pulls a donor's run manifest, fetches only the runs this peer is
+  /// missing (matched by entry count + content checksum) as bounded,
+  /// CRC-verified chunks — plus the donor's memtable as a chunked
+  /// fallback entry stream — and splices them in. Donors are tried in a
+  /// deterministic shuffled order from this peer's RNG stream: a dead or
+  /// corrupt donor fails over to the next replica before the callback
+  /// surfaces failure.
   void PullFromReplica(StatusCallback callback);
 
   // --- Extension hook (query layer, statistics gossip) -------------------
@@ -205,6 +226,22 @@ class Peer {
   /// Lookups this peer, as initiator, sent straight to a round-robin
   /// replica instead of routing to the owner.
   uint64_t fanout_redirects() const { return fanout_redirects_; }
+
+  // --- Replica repair observability (DESIGN.md §9) -----------------------
+
+  /// Donors abandoned mid-repair (dead, corrupt, or vanished runs) before
+  /// the repairer moved on to the next replica candidate.
+  uint64_t repair_failovers() const { return repair_failovers_; }
+
+  /// Donor runs skipped because a local run already held identical
+  /// content (the manifest-delta savings).
+  uint64_t repair_runs_matched() const { return repair_runs_matched_; }
+
+  /// Donor runs fully fetched, verified, and spliced in.
+  uint64_t repair_runs_fetched() const { return repair_runs_fetched_; }
+
+  /// Checksum-valid repair chunks received (runs + memtable stream).
+  uint64_t repair_chunks_received() const { return repair_chunks_received_; }
 
  private:
   // Message pump.
@@ -233,7 +270,11 @@ class Peer {
   void HandleRangeShower(const net::Message& msg);
   void HandleExchange(const net::Message& msg);
   void HandleEntryBatch(const net::Message& msg);
-  void HandleAntiEntropy(const net::Message& msg);
+
+  // Replica repair, donor side (stateless): the manifest summary and one
+  // bounded chunk of a run's (or the memtable's) entry stream.
+  void HandleManifestPull(const net::Message& msg);
+  void HandleRunFetch(const net::Message& msg);
 
   // Hot-key fan-out (DESIGN.md §8).
   // Owner side: notes one served lookup in the sliding window and prunes
@@ -341,6 +382,38 @@ class Peer {
     uint32_t dead_ends = 0;
   };
   std::map<uint64_t, BulkState> bulk_inserts_;
+
+  // Repairer-side state of one in-flight PullFromReplica (DESIGN.md §9).
+  struct RepairState {
+    StatusCallback callback;
+    std::vector<PeerId> candidates;  ///< Shuffled once; failover order.
+    size_t next_candidate = 0;
+    PeerId donor = net::kNoPeer;
+    std::deque<RunSummary> missing;  ///< Donor runs still to fetch.
+    bool memtable_pending = false;   ///< Fallback entry stream still due.
+    RunSummary current;              ///< Run being fetched right now.
+    uint64_t next_entry = 0;         ///< Resume offset of the next chunk.
+    RunChecksum crc;                 ///< Accumulated over fetched entries.
+    std::vector<Entry> pending;      ///< Fetched entries of `current`.
+    int chunk_retries_left = 0;
+    int manifest_restarts_left = 1;  ///< Donor compacted mid-repair.
+  };
+  uint64_t next_repair_id_ = 1;
+  std::map<uint64_t, RepairState> repairs_;
+  uint64_t repair_failovers_ = 0;
+  uint64_t repair_runs_matched_ = 0;
+  uint64_t repair_runs_fetched_ = 0;
+  uint64_t repair_chunks_received_ = 0;
+
+  // Repairer-side steps; each either advances the state machine or fails
+  // over (RepairTryNextCandidate) — FinishRepair fires the callback.
+  void RepairTryNextCandidate(uint64_t repair_id);
+  void RepairPullManifest(uint64_t repair_id);
+  void RepairOnManifest(uint64_t repair_id, const ManifestPullReply& manifest);
+  void RepairFetchNext(uint64_t repair_id);
+  void RepairRequestChunk(uint64_t repair_id);
+  void RepairOnChunk(uint64_t repair_id, const RunFetchReply& chunk);
+  void FinishRepair(uint64_t repair_id, Status status);
 
   void FinishSeqScan(uint64_t request_id, bool complete);
   void FinishShowerScan(uint64_t request_id, bool complete);

@@ -49,6 +49,7 @@ Status MemoryBackend::AppendRun(std::vector<Entry> entries,
   if (entries.empty()) return Status::OK();
   runs_.push_back(
       SortedRun::Build(std::move(entries), compress_runs_, restart_interval_));
+  meta_.push_back(RunMeta{next_run_id_++, false, 0});
   return Status::OK();
 }
 
@@ -85,14 +86,21 @@ Status MemoryBackend::MergeRuns(size_t first, size_t n, MergeStats* stats) {
   runs_.erase(runs_.begin() + static_cast<ptrdiff_t>(first + 1),
               runs_.begin() + static_cast<ptrdiff_t>(first + n));
   runs_[first] = std::move(merged);
+  // The merged run is new content: give it a fresh id and drop the stale
+  // cached checksum.
+  meta_.erase(meta_.begin() + static_cast<ptrdiff_t>(first + 1),
+              meta_.begin() + static_cast<ptrdiff_t>(first + n));
+  meta_[first] = RunMeta{next_run_id_++, false, 0};
   return Status::OK();
 }
 
 Status MemoryBackend::ResetTo(std::vector<Entry> entries) {
   runs_.clear();
+  meta_.clear();
   if (!entries.empty()) {
     runs_.push_back(SortedRun::Build(std::move(entries), compress_runs_,
                                      restart_interval_));
+    meta_.push_back(RunMeta{next_run_id_++, false, 0});
   }
   return Status::OK();
 }
@@ -113,6 +121,30 @@ void MemoryBackend::SeekCursor(size_t newest_first_index,
 
 std::unique_ptr<SlotProber> MemoryBackend::NewProber() const {
   return std::make_unique<MemorySlotProber>(runs_);
+}
+
+RunSummary MemoryBackend::RunSummaryAt(size_t index) const {
+  const RunMeta& meta = meta_[index];
+  if (!meta.has_crc) {
+    RunChecksum sum;
+    SortedRun::Cursor cursor;
+    for (cursor.Seek(&runs_[index], ""); cursor.valid(); cursor.Advance()) {
+      sum.Add(cursor.view());
+    }
+    meta.crc = sum.crc;
+    meta.has_crc = true;
+  }
+  return RunSummary{meta.id, runs_[index].size(), meta.crc};
+}
+
+bool MemoryBackend::FindRunIndexById(uint64_t run_id, size_t* index) const {
+  for (size_t i = 0; i < meta_.size(); ++i) {
+    if (meta_[i].id == run_id) {
+      *index = i;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace pgrid

@@ -26,12 +26,14 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "pgrid/backend_disk.h"
 #include "pgrid/entry.h"
+#include "pgrid/run_summary.h"
 #include "pgrid/sorted_run.h"
 
 namespace unistore {
@@ -142,6 +144,16 @@ class StorageBackend {
                           RunCursor* cursor) const = 0;
 
   virtual std::unique_ptr<SlotProber> NewProber() const = 0;
+
+  /// Summary (id, entry count, content checksum) of the run at oldest-first
+  /// `index` — the unit of the anti-entropy manifest exchange. Checksums
+  /// are computed lazily on first request and cached; run ids are stable
+  /// for the lifetime of the run (disk runs reuse their file number).
+  virtual RunSummary RunSummaryAt(size_t index) const = 0;
+
+  /// Resolves a run id back to its current oldest-first index; returns
+  /// false if the run no longer exists (compacted or reset away).
+  virtual bool FindRunIndexById(uint64_t run_id, size_t* index) const = 0;
 };
 
 /// The original in-process engine: a vector of SortedRuns.
@@ -163,14 +175,27 @@ class MemoryBackend : public StorageBackend {
   void SeekCursor(size_t newest_first_index, std::string_view lo_bits,
                   RunCursor* cursor) const override;
   std::unique_ptr<SlotProber> NewProber() const override;
+  RunSummary RunSummaryAt(size_t index) const override;
+  bool FindRunIndexById(uint64_t run_id, size_t* index) const override;
 
   /// Test hook: the run at oldest-first `index`.
   const SortedRun& run(size_t index) const { return runs_[index]; }
 
  private:
+  /// Repair identity riding alongside runs_[i]: a monotonically assigned
+  /// id plus a lazily computed content CRC (caching keeps summary calls
+  /// off the write path's critical cost).
+  struct RunMeta {
+    uint64_t id = 0;
+    mutable bool has_crc = false;
+    mutable uint32_t crc = 0;
+  };
+
   bool compress_runs_;
   size_t restart_interval_;
   std::vector<SortedRun> runs_;  // runs_[0] oldest … back() newest.
+  std::vector<RunMeta> meta_;    // Parallel to runs_.
+  uint64_t next_run_id_ = 1;
 };
 
 /// Configuration of a DiskBackend (derived from LocalStoreOptions).
@@ -208,6 +233,8 @@ class DiskBackend : public StorageBackend {
   void SeekCursor(size_t newest_first_index, std::string_view lo_bits,
                   RunCursor* cursor) const override;
   std::unique_ptr<SlotProber> NewProber() const override;
+  RunSummary RunSummaryAt(size_t index) const override;
+  bool FindRunIndexById(uint64_t run_id, size_t* index) const override;
 
   const storage::BlockCache& block_cache() const { return cache_; }
   uint64_t next_file_number() const { return next_file_number_; }
@@ -235,6 +262,10 @@ class DiskBackend : public StorageBackend {
   uint64_t next_file_number_ = 1;
   std::unique_ptr<storage::WritableFile> manifest_;
   Status io_status_;  // First write-path error (wedges the backend).
+  /// Lazily computed content CRCs keyed by file number; entries are
+  /// dropped when the run file is deleted (runs are immutable, so a
+  /// cached CRC can never go stale while the run exists).
+  mutable std::unordered_map<uint64_t, uint32_t> run_crc_;
 };
 
 }  // namespace pgrid

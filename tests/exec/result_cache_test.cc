@@ -290,6 +290,37 @@ TEST_F(ResultCachePropertyTest, MidWalkWritesDoNotPoisonLaterServes) {
       << "mid-walk write invisible after completion";
 }
 
+TEST_F(ResultCachePropertyTest, SpliceRunInvalidatesCoveringEntries) {
+  Build();
+  auto first = MigrateVia(0);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(CacheStats().misses, 1u);
+  const uint64_t invalidations_before = CacheStats().invalidations;
+
+  // Replica repair splices entries straight into the backend run set,
+  // bypassing the memtable write path (LocalStore::SpliceRun). A new
+  // person's age triple arrives at every responsible peer that way; the
+  // cached result must re-probe, notice the version bump, and recompute.
+  const int i = next_oid_++;
+  Triple t("p" + std::to_string(i), "age", Value::String(SpreadValue(i)));
+  for (auto& entry : triple::EntriesForTriple(t, 1)) {
+    for (net::PeerId id : overlay_->ResponsiblePeers(entry.key)) {
+      overlay_->peer(id)->store().SpliceRun({entry});
+    }
+  }
+
+  auto cached = MigrateVia(0);
+  auto oracle = MigrateVia(1);
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(RowsToString(cached->rows), RowsToString(oracle->rows));
+  const std::string oid = "p" + std::to_string(i);
+  EXPECT_NE(RowsToString(cached->rows).find(oid), std::string::npos)
+      << "spliced entry invisible to the cached query path";
+  EXPECT_GT(CacheStats().invalidations, invalidations_before)
+      << "splice must invalidate the cached range, not refresh-by-luck";
+}
+
 TEST_F(ResultCachePropertyTest, AccumulateModeBypassesTheCache) {
   Build();
   // Accumulate-mode terminals name only the final peer, so the

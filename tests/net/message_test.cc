@@ -28,8 +28,9 @@ TEST(MessageTest, TypeNamesAreUniqueAndNonEmpty) {
       MessageType::kRangeSeq,      MessageType::kRangeSeqReply,
       MessageType::kRangeShower,   MessageType::kRangeShowerReply,
       MessageType::kExchange,      MessageType::kExchangeReply,
-      MessageType::kReplicaPush,   MessageType::kAntiEntropy,
-      MessageType::kAntiEntropyReply, MessageType::kPlanExec,
+      MessageType::kReplicaPush,   MessageType::kManifestPull,
+      MessageType::kManifestPullReply, MessageType::kRunFetch,
+      MessageType::kRunFetchReply, MessageType::kPlanExec,
       MessageType::kPlanExecReply, MessageType::kStatsGossip,
   };
   std::set<std::string> names;
