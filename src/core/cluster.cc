@@ -25,6 +25,7 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   overlay_options.peer = options_.peer;
   overlay_options.seed = options_.seed;
   overlay_options.loss_probability = options_.loss_probability;
+  overlay_options.fault_schedule = options_.fault_schedule;
   std::unique_ptr<sim::LatencyModel> latency = MakeLatency(options_);
   if (options_.engine == ClusterOptions::Engine::kSharded) {
     sim::ShardedScheduler::Options sharded;

@@ -44,6 +44,9 @@ struct ClusterOptions {
   std::vector<std::string> custom_paths;
   uint64_t seed = 42;
   double loss_probability = 0;
+  /// Scripted link faults (partitions, jitter, duplication, corruption);
+  /// empty = fault-free (net/fault_plane.h).
+  net::FaultSchedule fault_schedule;
   /// Latency model: constant LAN-ish delay or PlanetLab-like WAN.
   enum class Latency { kLan, kWan } latency = Latency::kLan;
   sim::SimTime lan_delay_us = 1000;

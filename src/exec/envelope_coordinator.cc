@@ -108,6 +108,28 @@ std::vector<PlanEnvelope> EnvelopeCoordinator::Launch() {
   return out;
 }
 
+void EnvelopeCoordinator::AbandonWalk(Walk* w) {
+  // Freeze the walk where it stands: the frontier no longer moves (the
+  // `complete` guard drops late coverage), so [frontier, range.hi] is
+  // exactly the uncovered interval TakeResult will report as a gap.
+  w->complete = true;
+  w->abandoned = true;
+  ++w->generation;
+  ++walks_done_;
+  ++walks_abandoned_;
+}
+
+size_t EnvelopeCoordinator::AbandonIncomplete() {
+  if (!options_.partial_results) return 0;
+  size_t abandoned = 0;
+  for (Walk& w : walks_) {
+    if (w.complete) continue;
+    AbandonWalk(&w);
+    ++abandoned;
+  }
+  return abandoned;
+}
+
 void EnvelopeCoordinator::AdvanceFrontier(Walk* w) {
   while (!w->complete) {
     if (w->frontier.empty()) {  // Incremented past the all-ones key.
@@ -187,9 +209,13 @@ EnvelopeCoordinator::ReplyOutcome EnvelopeCoordinator::OnReply(
       out.relaunch_after_us =
           std::max<sim::SimTime>(1, reply.retry_after_us);
     } else if (w.retries_left == 0) {
-      failure_ = Status(static_cast<StatusCode>(reply.status_code),
-                        reply.error.empty() ? "envelope walk failed"
-                                            : reply.error);
+      if (options_.partial_results) {
+        AbandonWalk(&w);
+      } else {
+        failure_ = Status(static_cast<StatusCode>(reply.status_code),
+                          reply.error.empty() ? "envelope walk failed"
+                                              : reply.error);
+      }
     } else {
       --w.retries_left;
       ++retries_;
@@ -216,6 +242,13 @@ EnvelopeCoordinator::TimerOutcome EnvelopeCoordinator::OnTimer(
     return out;
   }
   if (w.retries_left == 0) {
+    if (options_.partial_results) {
+      // Give this walk up instead of hanging the join out to its overall
+      // deadline: the join finishes now with an explicit coverage gap.
+      AbandonWalk(&w);
+      out.action = TimerOutcome::Action::kAbandon;
+      return out;
+    }
     out.action = TimerOutcome::Action::kFail;
     out.failure = Status::Timeout("envelope walk (branch ", branch,
                                   ", chunk ", chunk,
@@ -245,6 +278,15 @@ MigrateResult EnvelopeCoordinator::TakeResult() {
   result.retries = retries_;
   result.deferrals = deferrals_;
   result.max_walk_hops = max_walk_hops_;
+  result.complete = walks_abandoned_ == 0;
+  for (const Walk& w : walks_) {
+    if (!w.abandoned) continue;
+    result.coverage_gaps.emplace_back(w.frontier.bits(), w.range.hi.bits());
+  }
+  std::sort(result.coverage_gaps.begin(), result.coverage_gaps.end());
+  result.coverage_gaps.erase(std::unique(result.coverage_gaps.begin(),
+                                         result.coverage_gaps.end()),
+                             result.coverage_gaps.end());
 
   // Contributor tags, deduplicated to one entry per (peer, slice) keeping
   // the lowest version: chunks of one branch revisit the same peers, and

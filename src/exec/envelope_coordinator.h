@@ -20,6 +20,8 @@
 
 #include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "exec/envelope.h"
@@ -69,7 +71,19 @@ struct EnvelopeOptions {
   /// a kOverloaded reply carrying a retry-after hint instead of queueing.
   /// 0 disables admission control (unbounded queue, the default).
   uint32_t admission_queue_depth = 0;
+
+  // --- Graceful degradation (DESIGN.md §10) ------------------------------
+
+  /// When a walk exhausts its retry budget, abandon just that walk and
+  /// return the rows gathered so far with an explicit coverage gap
+  /// (MigrateResult::coverage_gaps) instead of failing the whole join.
+  /// Off by default: a retry-exhausted walk fails the join (v0 behaviour).
+  bool partial_results = false;
 };
+
+/// TrafficStats retry-counter keys of the exec layer (common/retry_policy.h).
+inline constexpr std::string_view kWalkRetryPolicy = "envelope-walk";
+inline constexpr std::string_view kDeferRetryPolicy = "envelope-defer";
 
 /// One serving peer behind a completed walk: the key slice it covered and
 /// its store-range version sampled when its local join ran. The result
@@ -105,6 +119,12 @@ struct MigrateResult {
   /// invalidates). Complete only in stream-partials mode — accumulate-mode
   /// terminals name just the last peer, so the cache skips those runs.
   std::vector<CacheContributor> contributors;
+  /// False when any walk was abandoned (partial_results mode): `rows` is
+  /// a partial answer and `coverage_gaps` names exactly what is missing.
+  /// Incomplete results must never enter the result cache.
+  bool complete = true;
+  /// Uncovered key intervals [lo_bits, hi_bits] of abandoned walks.
+  std::vector<std::pair<std::string, std::string>> coverage_gaps;
 };
 
 /// \brief Splits `range` into up to `max_parts` sub-ranges with roughly
@@ -148,7 +168,9 @@ class EnvelopeCoordinator {
   ReplyOutcome OnReply(EnvelopeReply reply, uint32_t msg_hops);
 
   struct TimerOutcome {
-    enum class Action { kIgnore, kRearm, kRelaunch, kFail };
+    /// kAbandon: partial_results mode gave the walk up — its gap is
+    /// recorded and done() may now be true; nothing to send or re-arm.
+    enum class Action { kIgnore, kRearm, kRelaunch, kFail, kAbandon };
     Action action = Action::kIgnore;
     uint64_t generation = 0;  ///< For kRearm / kRelaunch re-arming.
     PlanEnvelope envelope;    ///< For kRelaunch.
@@ -156,6 +178,12 @@ class EnvelopeCoordinator {
   };
   /// A walk timer for (branch, chunk) armed at `generation` fired.
   TimerOutcome OnTimer(uint32_t branch, uint32_t chunk, uint64_t generation);
+
+  /// Abandons every still-incomplete walk (partial_results mode only —
+  /// a no-op otherwise). The overall-deadline path uses this to turn a
+  /// timeout into a partial result with explicit gaps. Returns the number
+  /// of walks abandoned; afterwards done() is true when any were.
+  size_t AbandonIncomplete();
 
   /// True when every walk's branch range is fully covered.
   bool done() const { return walks_done_ == walks_.size(); }
@@ -173,6 +201,7 @@ class EnvelopeCoordinator {
     pgrid::KeyRange range;     ///< The branch sub-range (shared by chunks).
     pgrid::Key frontier;       ///< First uncovered key; empty = overflow.
     bool complete = false;
+    bool abandoned = false;    ///< Gave up with a recorded coverage gap.
     uint32_t retries_left = 0;
     uint64_t generation = 0;   ///< Bumped on progress and relaunch.
     uint64_t latest_walk_id = 0;  ///< Current instance; stale errors ignored.
@@ -191,6 +220,10 @@ class EnvelopeCoordinator {
   }
   PlanEnvelope MakeEnvelope(uint32_t branch, uint32_t chunk);
   void AdvanceFrontier(Walk* w);
+  /// Marks a retry-exhausted walk done-with-gap (partial_results mode):
+  /// records [frontier, range.hi] as a coverage gap and counts the walk
+  /// as finished so the join can complete around it.
+  void AbandonWalk(Walk* w);
 
   net::PeerId initiator_;
   vql::TriplePattern pattern_;
@@ -200,6 +233,7 @@ class EnvelopeCoordinator {
   std::vector<std::vector<Binding>> chunks_;
   std::vector<Walk> walks_;
   size_t walks_done_ = 0;
+  size_t walks_abandoned_ = 0;
   Status failure_;
   uint64_t next_walk_id_;
   uint32_t envelopes_launched_ = 0;

@@ -100,10 +100,18 @@ void QueryService::StartMigrateJoin(const vql::TriplePattern& pattern,
   (void)inserted;
 
   // Overall deadline: whatever the per-walk retries do, a Migrate join
-  // cannot outlive the scan timeout.
+  // cannot outlive the scan timeout. In partial_results mode the deadline
+  // degrades instead of failing: still-uncovered walks are abandoned and
+  // the rows gathered so far come back with explicit coverage gaps.
   peer_->transport()->scheduler()->ScheduleAfter(
       peer_->options().scan_timeout, peer_->id(), peer_->id(),
       [this, id]() {
+        auto it = migrations_.find(id);
+        if (it == migrations_.end()) return;
+        if (it->second.coordinator.AbandonIncomplete() > 0) {
+          CheckMigrationDone(id);
+          return;
+        }
         FinishMigration(id, Status::Timeout("plan envelope timed out"));
       });
 
@@ -235,6 +243,7 @@ void QueryService::HandleEnvelopeReply(uint64_t request_id,
       // relaunch for its retry-after horizon instead of hammering it.
       for (PlanEnvelope& env : outcome.relaunch) {
         ++deferred_relaunches_;
+        peer_->transport()->CountRetry(kDeferRetryPolicy);
         peer_->transport()->scheduler()->ScheduleAfter(
             outcome.relaunch_after_us, peer_->id(), peer_->id(),
             [this, request_id, env = std::move(env)]() mutable {
@@ -249,6 +258,7 @@ void QueryService::HandleEnvelopeReply(uint64_t request_id,
     for (PlanEnvelope& env : outcome.relaunch) {
       // The walk's timer chain (armed at launch) stays alive via kRearm
       // on generation mismatch — no fresh chain per relaunch.
+      peer_->transport()->CountRetry(kWalkRetryPolicy);
       if (auto error = TrySendEnvelope(std::move(env), request_id)) {
         queue.push_back(std::move(*error));
       }
@@ -280,6 +290,7 @@ void QueryService::OnWalkTimer(uint64_t request_id, uint32_t branch,
       return;
     case Action::kRelaunch: {
       ArmWalkTimer(request_id, branch, chunk, outcome.generation);
+      peer_->transport()->CountRetry(kWalkRetryPolicy);
       if (auto error =
               TrySendEnvelope(std::move(outcome.envelope), request_id)) {
         HandleEnvelopeReply(request_id, std::move(*error), 0);
@@ -288,6 +299,10 @@ void QueryService::OnWalkTimer(uint64_t request_id, uint32_t branch,
     }
     case Action::kFail:
       FinishMigration(request_id, outcome.failure);
+      return;
+    case Action::kAbandon:
+      // The walk was given up with a recorded gap; the join may be done.
+      CheckMigrationDone(request_id);
       return;
   }
 }
@@ -300,7 +315,9 @@ void QueryService::CheckMigrationDone(uint64_t request_id) {
     FinishMigration(request_id, coordinator.failure());
   } else if (coordinator.done()) {
     MigrateResult result = coordinator.TakeResult();
-    if (!it->second.cache_key.empty()) {
+    // Incomplete results never enter the cache: their rows are a lower
+    // bound, not the answer this fingerprint stands for.
+    if (!it->second.cache_key.empty() && result.complete) {
       cache_.Insert(it->second.cache_key, result);
     }
     FinishMigration(request_id, std::move(result));

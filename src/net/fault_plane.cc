@@ -1,0 +1,130 @@
+#include "net/fault_plane.h"
+
+#include <utility>
+
+namespace unistore {
+namespace net {
+namespace {
+
+FaultRule MakeRule(FaultRule::Kind kind, sim::SimTime from, sim::SimTime until,
+                   PeerId src, PeerId dst) {
+  FaultRule r;
+  r.kind = kind;
+  r.from = from;
+  r.until = until;
+  r.src = src;
+  r.dst = dst;
+  return r;
+}
+
+}  // namespace
+
+FaultSchedule& FaultSchedule::Partition(sim::SimTime from, sim::SimTime until,
+                                        PeerId src, PeerId dst) {
+  rules.push_back(MakeRule(FaultRule::Kind::kPartition, from, until, src, dst));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::PartitionPair(sim::SimTime from,
+                                            sim::SimTime until, PeerId a,
+                                            PeerId b) {
+  Partition(from, until, a, b);
+  Partition(from, until, b, a);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Delay(sim::SimTime from, sim::SimTime until,
+                                    PeerId src, PeerId dst,
+                                    sim::SimTime delay_us,
+                                    sim::SimTime jitter_us) {
+  FaultRule r = MakeRule(FaultRule::Kind::kDelay, from, until, src, dst);
+  r.delay_us = delay_us;
+  r.jitter_us = jitter_us;
+  rules.push_back(r);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Reorder(sim::SimTime from, sim::SimTime until,
+                                      PeerId src, PeerId dst,
+                                      sim::SimTime window_us,
+                                      double probability) {
+  FaultRule r = MakeRule(FaultRule::Kind::kReorder, from, until, src, dst);
+  r.window_us = window_us;
+  r.probability = probability;
+  rules.push_back(r);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Duplicate(sim::SimTime from, sim::SimTime until,
+                                        PeerId src, PeerId dst,
+                                        double probability) {
+  FaultRule r = MakeRule(FaultRule::Kind::kDuplicate, from, until, src, dst);
+  r.probability = probability;
+  rules.push_back(r);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Corrupt(sim::SimTime from, sim::SimTime until,
+                                      PeerId src, PeerId dst,
+                                      double probability) {
+  FaultRule r = MakeRule(FaultRule::Kind::kCorrupt, from, until, src, dst);
+  r.probability = probability;
+  rules.push_back(r);
+  return *this;
+}
+
+FaultPlane::LinkEffects FaultPlane::Apply(sim::SimTime now, PeerId src,
+                                          PeerId dst, Rng* rng) const {
+  LinkEffects fx;
+  // Partition check first: a dropped message spends no stochastic draws,
+  // keeping the src stream a function of the messages that actually cross
+  // the (possibly faulty) link.
+  if (Partitioned(now, src, dst)) {
+    fx.partitioned = true;
+    return fx;
+  }
+  for (const FaultRule& r : schedule_.rules) {
+    if (!r.Matches(now, src, dst)) continue;
+    switch (r.kind) {
+      case FaultRule::Kind::kPartition:
+        break;  // Handled above.
+      case FaultRule::Kind::kDelay:
+        fx.extra_delay += r.delay_us;
+        if (r.jitter_us > 0) {
+          fx.extra_delay += static_cast<sim::SimTime>(
+              rng->NextBounded(static_cast<uint64_t>(r.jitter_us) + 1));
+        }
+        break;
+      case FaultRule::Kind::kReorder:
+        if (r.probability > 0 && rng->NextBernoulli(r.probability) &&
+            r.window_us > 0) {
+          fx.extra_delay += static_cast<sim::SimTime>(
+              rng->NextBounded(static_cast<uint64_t>(r.window_us) + 1));
+        }
+        break;
+      case FaultRule::Kind::kDuplicate:
+        if (r.probability > 0 && rng->NextBernoulli(r.probability)) {
+          fx.duplicate = true;
+        }
+        break;
+      case FaultRule::Kind::kCorrupt:
+        if (r.probability > 0 && rng->NextBernoulli(r.probability)) {
+          fx.corrupt = true;
+        }
+        break;
+    }
+  }
+  return fx;
+}
+
+bool FaultPlane::Partitioned(sim::SimTime now, PeerId src, PeerId dst) const {
+  for (const FaultRule& r : schedule_.rules) {
+    if (r.kind == FaultRule::Kind::kPartition && r.Matches(now, src, dst)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace net
+}  // namespace unistore

@@ -17,6 +17,7 @@ uint64_t RpcManager::SendRequest(PeerId dst, MessageType type,
                                  std::string payload, sim::SimTime timeout,
                                  ReplyCallback callback) {
   uint64_t id = RegisterPending(timeout, std::move(callback));
+  NoteDestination(id, dst);
   Message msg;
   msg.type = type;
   msg.src = self_;
@@ -35,13 +36,20 @@ uint64_t RpcManager::RegisterPending(sim::SimTime timeout,
   return id;
 }
 
+void RpcManager::NoteDestination(uint64_t request_id, PeerId dst) {
+  auto it = pending_.find(request_id);
+  if (it != pending_.end()) it->second.dst = dst;
+}
+
 void RpcManager::ArmTimeout(uint64_t request_id, sim::SimTime timeout) {
   transport_->scheduler()->ScheduleAfter(
       timeout, self_, self_, [this, request_id, timeout]() {
     auto it = pending_.find(request_id);
     if (it == pending_.end()) return;  // Already answered.
     ReplyCallback cb = std::move(it->second.callback);
+    const PeerId dst = it->second.dst;
     pending_.erase(it);
+    if (observer_ && dst != kNoPeer) observer_(dst, /*ok=*/false);
     Message dummy;
     cb(Status::Timeout("request ", request_id, " timed out after ", timeout,
                        "us"),
@@ -77,6 +85,7 @@ bool RpcManager::HandleReply(const Message& msg) {
   }
   ReplyCallback cb = std::move(it->second.callback);
   pending_.erase(it);
+  if (observer_) observer_(msg.src, /*ok=*/true);
   cb(Status::OK(), msg);
   return true;
 }

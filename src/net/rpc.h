@@ -32,6 +32,11 @@ class RpcManager {
   /// failure the message reference is a dummy and must be ignored.
   using ReplyCallback = std::function<void(const Status&, const Message&)>;
 
+  /// Health observer: fired with (peer, false) when a request toward a
+  /// known destination times out, and (peer, true) when any reply arrives
+  /// from `peer`. Feeds the owner's suspicion tracker (DESIGN.md §10).
+  using PeerObserver = std::function<void(PeerId peer, bool ok)>;
+
   RpcManager(PeerId self, Transport* transport);
 
   /// Sends a request and registers `callback`. `timeout` <= 0 disables the
@@ -58,6 +63,16 @@ class RpcManager {
   /// false if no pending request matches (late reply after timeout).
   bool HandleReply(const Message& msg);
 
+  /// Records the peer a pending request was sent to, so its timeout can be
+  /// attributed (suspicion). SendRequest does this itself; callers of
+  /// RegisterPending that pick the destination afterwards use this.
+  void NoteDestination(uint64_t request_id, PeerId dst);
+
+  /// Installs the health observer (may be empty to disable).
+  void set_peer_observer(PeerObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   /// Cancels one pending request without firing its callback.
   void Cancel(uint64_t request_id);
 
@@ -72,6 +87,7 @@ class RpcManager {
  private:
   struct Pending {
     ReplyCallback callback;
+    PeerId dst = kNoPeer;  ///< Known destination, for timeout attribution.
   };
 
   void ArmTimeout(uint64_t request_id, sim::SimTime timeout);
@@ -80,6 +96,7 @@ class RpcManager {
   Transport* transport_;
   uint64_t next_request_id_ = 1;
   std::unordered_map<uint64_t, Pending> pending_;
+  PeerObserver observer_;
 };
 
 }  // namespace net

@@ -27,10 +27,19 @@ TrafficStats TrafficStats::Since(const TrafficStats& other) const {
   TrafficStats d;
   d.messages_sent = messages_sent - other.messages_sent;
   d.messages_delivered = messages_delivered - other.messages_delivered;
-  d.messages_lost = messages_lost - other.messages_lost;
+  d.messages_lost_random = messages_lost_random - other.messages_lost_random;
+  d.messages_lost_partition =
+      messages_lost_partition - other.messages_lost_partition;
   d.messages_to_dead = messages_to_dead - other.messages_to_dead;
   d.messages_invalid = messages_invalid - other.messages_invalid;
+  d.messages_duplicated = messages_duplicated - other.messages_duplicated;
+  d.messages_corrupted = messages_corrupted - other.messages_corrupted;
   d.bytes_sent = bytes_sent - other.bytes_sent;
+  for (const auto& [policy, count] : retries_by_policy) {
+    auto it = other.retries_by_policy.find(policy);
+    uint64_t base = (it == other.retries_by_policy.end()) ? 0 : it->second;
+    if (count > base) d.retries_by_policy[policy] = count - base;
+  }
   for (const auto& [type, count] : per_type) {
     auto it = other.per_type.find(type);
     uint64_t base = (it == other.per_type.end()) ? 0 : it->second;
@@ -49,10 +58,16 @@ TrafficStats TrafficStats::Since(const TrafficStats& other) const {
 void TrafficStats::Merge(const TrafficStats& other) {
   messages_sent += other.messages_sent;
   messages_delivered += other.messages_delivered;
-  messages_lost += other.messages_lost;
+  messages_lost_random += other.messages_lost_random;
+  messages_lost_partition += other.messages_lost_partition;
   messages_to_dead += other.messages_to_dead;
   messages_invalid += other.messages_invalid;
+  messages_duplicated += other.messages_duplicated;
+  messages_corrupted += other.messages_corrupted;
   bytes_sent += other.bytes_sent;
+  for (const auto& [policy, count] : other.retries_by_policy) {
+    retries_by_policy[policy] += count;
+  }
   for (const auto& [type, count] : other.per_type) {
     per_type[type] += count;
   }
@@ -68,8 +83,14 @@ void TrafficStats::Merge(const TrafficStats& other) {
 std::string TrafficStats::ToString() const {
   std::ostringstream os;
   os << "messages=" << messages_sent << " delivered=" << messages_delivered
-     << " lost=" << messages_lost << " to_dead=" << messages_to_dead
-     << " invalid=" << messages_invalid << " bytes=" << bytes_sent;
+     << " lost=" << messages_lost_random
+     << " part_drop=" << messages_lost_partition
+     << " to_dead=" << messages_to_dead << " invalid=" << messages_invalid
+     << " dup=" << messages_duplicated << " corrupt=" << messages_corrupted
+     << " bytes=" << bytes_sent;
+  for (const auto& [policy, count] : retries_by_policy) {
+    os << " retry[" << policy << "]=" << count;
+  }
   for (const auto& [type, count] : per_type) {
     os << " " << MessageTypeName(type) << "=" << count;
   }
@@ -127,16 +148,50 @@ void TransportBase::Send(Message msg) {
   // never on how sends of different peers interleave.
   Rng& rng = peer_rng_[msg.src];
   if (loss_probability_ > 0 && rng.NextBernoulli(loss_probability_)) {
-    stats.messages_lost++;
+    stats.messages_lost_random++;
     return;
   }
 
+  // Scripted link faults: activity is a pure function of (Now, src, dst)
+  // and all draws come from the src stream, so the fault plane preserves
+  // the determinism contract (DESIGN.md §10).
+  FaultPlane::LinkEffects fx;
+  if (fault_plane_ != nullptr) {
+    fx = fault_plane_->Apply(scheduler_->Now(), msg.src, msg.dst, &rng);
+  }
+  if (fx.partitioned) {
+    stats.messages_lost_partition++;
+    return;
+  }
+  if (fx.corrupt && !msg.payload.empty()) {
+    // Garble the frame head: length prefixes, version sentinels and status
+    // tags live in the first bytes of every codec, so decoders reject the
+    // message and protocols fall back to their timeout/retry paths.
+    stats.messages_corrupted++;
+    const size_t n = std::min<size_t>(4, msg.payload.size());
+    for (size_t i = 0; i < n; ++i) {
+      msg.payload[i] = static_cast<char>(msg.payload[i] ^ 0xFF);
+    }
+  }
+
   // Clamp to the model's floor: the sharded engine's lookahead equals
-  // MinLatency(), so no delivery may undercut it.
+  // MinLatency(), so no delivery may undercut it. Fault-plane delay is
+  // strictly additive above the clamp, keeping the lookahead bound intact.
   sim::SimTime delay = std::max(latency_->Sample(msg.src, msg.dst, &rng),
-                                latency_->MinLatency());
+                                latency_->MinLatency()) +
+                       fx.extra_delay;
   const uint32_t src = msg.src;
   const uint32_t dst = msg.dst;
+  if (fx.duplicate) {
+    stats.messages_duplicated++;
+    sim::SimTime dup_delay = std::max(latency_->Sample(msg.src, msg.dst, &rng),
+                                      latency_->MinLatency()) +
+                             fx.extra_delay;
+    Message copy = msg;
+    scheduler_->ScheduleEvent(scheduler_->Now() + dup_delay, /*domain=*/src,
+                              /*owner=*/dst,
+                              [this, m = std::move(copy)]() { Deliver(m); });
+  }
   scheduler_->ScheduleEvent(scheduler_->Now() + delay, /*domain=*/src,
                             /*owner=*/dst,
                             [this, m = std::move(msg)]() { Deliver(m); });
@@ -167,6 +222,20 @@ void TransportBase::SetAlive(PeerId peer, bool alive) {
   UNISTORE_CHECK(!scheduler_->InShardContext())
       << "SetAlive from inside a shard window";
   alive_[peer] = alive;
+}
+
+void TransportBase::SetFaultSchedule(FaultSchedule schedule) {
+  // The plane is read by every shard at send time; swapping it from inside
+  // a window would race — fail fast, like SetAlive/SetHandler.
+  UNISTORE_CHECK(!scheduler_->InShardContext())
+      << "SetFaultSchedule from inside a shard window";
+  fault_plane_ = schedule.empty()
+                     ? nullptr
+                     : std::make_unique<FaultPlane>(std::move(schedule));
+}
+
+void TransportBase::CountRetry(std::string_view policy) {
+  StatsSlot().retries_by_policy[std::string(policy)]++;
 }
 
 bool TransportBase::IsAlive(PeerId peer) const {

@@ -18,9 +18,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
+#include "net/fault_plane.h"
 #include "net/message.h"
 #include "sim/latency.h"
 #include "sim/scheduler.h"
@@ -28,14 +30,23 @@
 namespace unistore {
 namespace net {
 
-/// Counters describing the traffic that crossed the transport.
+/// Counters describing the traffic that crossed the transport. Drops are
+/// split by cause — random loss (the loss model), scripted partition drops
+/// (the fault plane), and dead-peer drops — so chaos runs can attribute
+/// every vanished message.
 struct TrafficStats {
   uint64_t messages_sent = 0;
   uint64_t messages_delivered = 0;
-  uint64_t messages_lost = 0;       ///< Random loss (loss model).
+  uint64_t messages_lost_random = 0;     ///< Random loss (loss model).
+  uint64_t messages_lost_partition = 0;  ///< Fault-plane partition drop.
   uint64_t messages_to_dead = 0;    ///< Destination was down at delivery.
   uint64_t messages_invalid = 0;    ///< Dropped: src/dst not registered.
+  uint64_t messages_duplicated = 0; ///< Extra copies the fault plane injected.
+  uint64_t messages_corrupted = 0;  ///< Payloads the fault plane flipped.
   uint64_t bytes_sent = 0;
+  /// RetryPolicy spends, keyed by policy name (common/retry_policy.h);
+  /// counted by protocol code through Transport::CountRetry.
+  std::map<std::string, uint64_t> retries_by_policy;
   std::map<MessageType, uint64_t> per_type;
   std::map<MessageType, uint64_t> per_type_bytes;  ///< Wire bytes per type.
   /// Largest single message (wire bytes) seen per type over the whole
@@ -43,6 +54,11 @@ struct TrafficStats {
   /// a maximum cannot be attributed to an interval. Used to assert chunk
   /// budgets (no repair reply may exceed the configured chunk size).
   std::map<MessageType, uint64_t> per_type_max_bytes;
+
+  /// All drops regardless of cause (convenience for loss-rate assertions).
+  uint64_t total_dropped() const {
+    return messages_lost_random + messages_lost_partition + messages_to_dead;
+  }
 
   /// Difference `*this - other` (for measuring a single operation).
   TrafficStats Since(const TrafficStats& other) const;
@@ -88,6 +104,18 @@ class Transport {
   virtual void set_loss_probability(double p) = 0;
   virtual double loss_probability() const = 0;
 
+  /// Installs the scripted fault plane (net/fault_plane.h). The schedule
+  /// is immutable once installed and read by every shard at send time —
+  /// harness-time only. Replaces any previous schedule.
+  virtual void SetFaultSchedule(FaultSchedule schedule) = 0;
+
+  /// The installed fault plane, or nullptr when none is scripted.
+  virtual const FaultPlane* fault_plane() const = 0;
+
+  /// Bumps the per-policy retry counter (TrafficStats.retries_by_policy).
+  /// `policy` must be a stable name (common/retry_policy.h policies).
+  virtual void CountRetry(std::string_view policy) = 0;
+
   virtual size_t peer_count() const = 0;
 
   /// Traffic counters; merged across shard slots on read.
@@ -116,6 +144,11 @@ class TransportBase : public Transport {
   bool IsAlive(PeerId peer) const override;
   void set_loss_probability(double p) override { loss_probability_ = p; }
   double loss_probability() const override { return loss_probability_; }
+  void SetFaultSchedule(FaultSchedule schedule) override;
+  const FaultPlane* fault_plane() const override {
+    return fault_plane_.get();
+  }
+  void CountRetry(std::string_view policy) override;
   size_t peer_count() const override { return handlers_.size(); }
   sim::Scheduler* scheduler() override { return scheduler_; }
   void EnableDeliveryTrace() override;
@@ -144,6 +177,7 @@ class TransportBase : public Transport {
   std::unique_ptr<sim::LatencyModel> latency_;
   uint64_t seed_;
   double loss_probability_ = 0.0;
+  std::unique_ptr<FaultPlane> fault_plane_;  ///< Null when no faults scripted.
 
   std::vector<Handler> handlers_;
   std::vector<bool> alive_;

@@ -48,6 +48,9 @@ Overlay::Overlay(OverlayOptions options,
   transport_ = net::MakeTransport(scheduler_, std::move(latency),
                                   rng_.Next());
   transport_->set_loss_probability(options_.loss_probability);
+  if (!options_.fault_schedule.empty()) {
+    transport_->SetFaultSchedule(options_.fault_schedule);
+  }
 }
 
 Overlay::Overlay(OverlayOptions options)

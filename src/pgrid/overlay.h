@@ -28,6 +28,9 @@ struct OverlayOptions {
   uint64_t seed = 1234;
   /// Uniform message loss probability.
   double loss_probability = 0.0;
+  /// Scripted link faults (partitions, jitter, duplication, corruption)
+  /// applied by the transport; empty = fault-free (net/fault_plane.h).
+  net::FaultSchedule fault_schedule;
 };
 
 /// \brief Owns a Transport + N peers on top of a Scheduler, and provides

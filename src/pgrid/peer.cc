@@ -50,6 +50,8 @@ Peer::Peer(net::Transport* transport, uint64_t rng_seed, PeerOptions options)
   id_ = transport_->AddPeer([this](const Message& msg) { OnMessage(msg); });
   // RpcManager was built before the id existed; rebuild in place.
   rpc_ = net::RpcManager(id_, transport_);
+  rpc_.set_peer_observer(
+      [this](PeerId peer, bool ok) { ObservePeer(peer, ok); });
   if (options_.storage.backend == LocalStoreOptions::Backend::kDisk) {
     LocalStoreOptions storage = options_.storage;
     if (!storage.data_dir.empty()) {
@@ -140,18 +142,72 @@ PeerId Peer::NextHop(const Key& key) {
   if (IsResponsible(key)) return id_;
   size_t level = path_.CommonPrefixLength(key);
   UNISTORE_CHECK(level < path_.size());
+  if (options_.suspicion_ttl > 0) {
+    // Prefer references not under suspicion; the plain draw below remains
+    // the fallback so stale suspicion never creates a routing dead end.
+    const std::vector<PeerId>& refs = routing_.RefsAt(level);
+    std::vector<PeerId> healthy;
+    healthy.reserve(refs.size());
+    for (PeerId ref : refs) {
+      if (!Suspected(ref)) healthy.push_back(ref);
+    }
+    if (!healthy.empty() && healthy.size() < refs.size()) {
+      ++suspicion_skips_;
+    }
+    if (!healthy.empty()) {
+      return healthy[rng_.NextBounded(healthy.size())];
+    }
+  }
   return routing_.RandomRefAt(level, &rng_);
 }
 
-bool Peer::Forward(const Message& msg, const Key& key) {
+PeerId Peer::Forward(const Message& msg, const Key& key) {
   PeerId next = NextHop(key);
-  if (next == net::kNoPeer || next == id_) return false;
+  if (next == net::kNoPeer || next == id_) return net::kNoPeer;
   Message copy = msg;
   copy.src = id_;
   copy.dst = next;
   copy.hops = msg.hops + 1;
   transport_->Send(std::move(copy));
-  return true;
+  return next;
+}
+
+// ---------------------------------------------------------------------------
+// Retry & suspicion plumbing (common/retry_policy.h, DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+RetryPolicy Peer::RequestPolicy(std::string_view name) const {
+  RetryPolicy p;
+  p.name = name;
+  p.max_retries = options_.request_retries;
+  p.backoff_base_us = options_.retry_backoff_base_us;
+  p.backoff_cap_us = options_.retry_backoff_cap_us;
+  p.jitter_us = options_.retry_jitter_us;
+  return p;
+}
+
+sim::SimTime Peer::NowUs() const { return transport_->scheduler()->Now(); }
+
+void Peer::RetryAfter(sim::SimTime delay_us, std::function<void()> fn) {
+  if (delay_us <= 0) {
+    fn();
+    return;
+  }
+  transport_->scheduler()->ScheduleAfter(delay_us, id_, id_, std::move(fn));
+}
+
+void Peer::ObservePeer(PeerId peer, bool ok) {
+  if (options_.suspicion_ttl <= 0 || peer == id_) return;
+  if (ok) {
+    suspects_.erase(peer);
+    return;
+  }
+  suspects_[peer] = NowUs() + options_.suspicion_ttl;
+}
+
+bool Peer::Suspected(PeerId peer) const {
+  auto it = suspects_.find(peer);
+  return it != suspects_.end() && it->second > NowUs();
 }
 
 // ---------------------------------------------------------------------------
@@ -159,10 +215,11 @@ bool Peer::Forward(const Message& msg, const Key& key) {
 // ---------------------------------------------------------------------------
 
 void Peer::Lookup(const Key& key, LookupMode mode, LookupCallback callback) {
-  DoLookup(key, mode, options_.request_retries, std::move(callback));
+  DoLookup(key, mode, RetryBudget(RequestPolicy(kLookupRetryPolicy), NowUs()),
+           std::move(callback));
 }
 
-void Peer::DoLookup(const Key& key, LookupMode mode, int retries_left,
+void Peer::DoLookup(const Key& key, LookupMode mode, RetryBudget budget,
                     LookupCallback callback) {
   if (IsResponsible(key)) {
     RecordLookupServe();
@@ -190,11 +247,15 @@ void Peer::DoLookup(const Key& key, LookupMode mode, int retries_left,
 
   uint64_t rid = rpc_.RegisterPending(
       options_.request_timeout,
-      [this, key, mode, retries_left, callback](const Status& status,
-                                                const Message& msg) {
+      [this, key, mode, budget, callback](const Status& status,
+                                          const Message& msg) mutable {
         if (!status.ok()) {
-          if (retries_left > 0) {
-            DoLookup(key, mode, retries_left - 1, callback);
+          if (budget.Spend(NowUs())) {
+            transport_->CountRetry(kLookupRetryPolicy);
+            RetryAfter(budget.NextDelayUs(&rng_),
+                       [this, key, mode, budget, callback]() {
+                         DoLookup(key, mode, budget, callback);
+                       });
           } else {
             callback(status);
           }
@@ -208,8 +269,12 @@ void Peer::DoLookup(const Key& key, LookupMode mode, int retries_left,
         if (reply->status_code != 0) {
           Status err(static_cast<StatusCode>(reply->status_code),
                      reply->error);
-          if (retries_left > 0) {
-            DoLookup(key, mode, retries_left - 1, callback);
+          if (budget.Spend(NowUs())) {
+            transport_->CountRetry(kLookupRetryPolicy);
+            RetryAfter(budget.NextDelayUs(&rng_),
+                       [this, key, mode, budget, callback]() {
+                         DoLookup(key, mode, budget, callback);
+                       });
           } else {
             callback(err);
           }
@@ -241,14 +306,18 @@ void Peer::DoLookup(const Key& key, LookupMode mode, int retries_left,
     ++fanout_redirects_;
     msg.dst = replica;
     msg.hops = 1;
+    rpc_.NoteDestination(rid, replica);
     transport_->Send(std::move(msg));
     return;
   }
-  if (!Forward(msg, key)) {
+  PeerId hop = Forward(msg, key);
+  if (hop == net::kNoPeer) {
     rpc_.Cancel(rid);
     callback(Status::Unavailable("peer ", id_, ": no route toward key ",
                                  key.ToString()));
+    return;
   }
+  rpc_.NoteDestination(rid, hop);
 }
 
 void Peer::RecordLookupServe() {
@@ -297,7 +366,15 @@ PeerId Peer::PickHotReplica(const Key& key) {
     for (size_t i = 0; i < hot.replicas.size(); ++i) {
       PeerId candidate = hot.replicas[hot.next];
       hot.next = (hot.next + 1) % hot.replicas.size();
-      if (candidate != id_ && candidate != net::kNoPeer) return candidate;
+      if (candidate == id_ || candidate == net::kNoPeer) continue;
+      // Suspected replicas (behind an unhealed partition) are skipped so
+      // the fan-out doesn't burn a timeout per redirect; if every replica
+      // is suspect the caller falls back to normal routing.
+      if (Suspected(candidate)) {
+        ++suspicion_skips_;
+        continue;
+      }
+      return candidate;
     }
   }
   return net::kNoPeer;
@@ -347,7 +424,7 @@ void Peer::HandleLookup(const Message& msg) {
     ServeLookup(*req, msg.request_id, msg.hops);
     return;
   }
-  if (!Forward(msg, req->key)) {
+  if (Forward(msg, req->key) == net::kNoPeer) {
     LookupReply reply;
     reply.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
     reply.error = "routing dead end at peer " + std::to_string(id_);
@@ -361,7 +438,9 @@ void Peer::HandleLookup(const Message& msg) {
 // ---------------------------------------------------------------------------
 
 void Peer::Insert(Entry entry, StatusCallback callback) {
-  DoInsert(std::move(entry), options_.request_retries, std::move(callback));
+  DoInsert(std::move(entry),
+           RetryBudget(RequestPolicy(kInsertRetryPolicy), NowUs()),
+           std::move(callback));
 }
 
 void Peer::Remove(const Key& key, const std::string& entry_id,
@@ -374,7 +453,7 @@ void Peer::Remove(const Key& key, const std::string& entry_id,
   Insert(std::move(tombstone), std::move(callback));
 }
 
-void Peer::DoInsert(Entry entry, int retries_left, StatusCallback callback) {
+void Peer::DoInsert(Entry entry, RetryBudget budget, StatusCallback callback) {
   if (IsResponsible(entry.key)) {
     store_.Apply(entry);
     PushToReplicas(entry);
@@ -388,11 +467,15 @@ void Peer::DoInsert(Entry entry, int retries_left, StatusCallback callback) {
 
   uint64_t rid = rpc_.RegisterPending(
       options_.request_timeout,
-      [this, entry, retries_left, callback](const Status& status,
-                                            const Message& msg) {
+      [this, entry, budget, callback](const Status& status,
+                                      const Message& msg) mutable {
         if (!status.ok()) {
-          if (retries_left > 0) {
-            DoInsert(entry, retries_left - 1, callback);
+          if (budget.Spend(NowUs())) {
+            transport_->CountRetry(kInsertRetryPolicy);
+            RetryAfter(budget.NextDelayUs(&rng_),
+                       [this, entry, budget, callback]() {
+                         DoInsert(entry, budget, callback);
+                       });
           } else {
             callback(status);
           }
@@ -406,8 +489,12 @@ void Peer::DoInsert(Entry entry, int retries_left, StatusCallback callback) {
         if (reply->status_code != 0) {
           Status err(static_cast<StatusCode>(reply->status_code),
                      reply->error);
-          if (retries_left > 0) {
-            DoInsert(entry, retries_left - 1, callback);
+          if (budget.Spend(NowUs())) {
+            transport_->CountRetry(kInsertRetryPolicy);
+            RetryAfter(budget.NextDelayUs(&rng_),
+                       [this, entry, budget, callback]() {
+                         DoInsert(entry, budget, callback);
+                       });
           } else {
             callback(err);
           }
@@ -423,11 +510,14 @@ void Peer::DoInsert(Entry entry, int retries_left, StatusCallback callback) {
   msg.request_id = rid;
   msg.hops = 0;
   msg.payload = req.Encode();
-  if (!Forward(msg, entry.key)) {
+  PeerId hop = Forward(msg, entry.key);
+  if (hop == net::kNoPeer) {
     rpc_.Cancel(rid);
     callback(Status::Unavailable("peer ", id_, ": no route toward key ",
                                  entry.key.ToString()));
+    return;
   }
+  rpc_.NoteDestination(rid, hop);
 }
 
 void Peer::ServeInsert(const InsertRequest& req, uint64_t request_id,
@@ -447,7 +537,7 @@ void Peer::HandleInsert(const Message& msg) {
     ServeInsert(*req, msg.request_id, msg.hops);
     return;
   }
-  if (!Forward(msg, req->entry.key)) {
+  if (Forward(msg, req->entry.key) == net::kNoPeer) {
     InsertReply reply;
     reply.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
     reply.error = "routing dead end at peer " + std::to_string(id_);
@@ -461,11 +551,12 @@ void Peer::HandleInsert(const Message& msg) {
 // ---------------------------------------------------------------------------
 
 void Peer::InsertBatch(std::vector<Entry> entries, StatusCallback callback) {
-  DoInsertBatch(std::move(entries), options_.request_retries,
+  DoInsertBatch(std::move(entries),
+                RetryBudget(RequestPolicy(kBulkRetryPolicy), NowUs()),
                 std::move(callback));
 }
 
-void Peer::DoInsertBatch(std::vector<Entry> entries, int retries_left,
+void Peer::DoInsertBatch(std::vector<Entry> entries, RetryBudget budget,
                          StatusCallback callback) {
   if (entries.empty()) {
     callback(Status::OK());
@@ -475,7 +566,7 @@ void Peer::DoInsertBatch(std::vector<Entry> entries, int retries_left,
   BulkState state;
   state.callback = std::move(callback);
   state.entries = entries;  // Copy retained for idempotent retries.
-  state.retries_left = retries_left;
+  state.budget = budget;
   bulk_inserts_.emplace(id, std::move(state));
 
   transport_->scheduler()->ScheduleAfter(
@@ -573,11 +664,17 @@ void Peer::FinishBulkInsert(uint64_t request_id, bool complete) {
     state.callback(Status::OK());
     return;
   }
-  if (state.retries_left > 0) {
+  if (state.budget.Spend(NowUs())) {
     // Versioned upserts make re-delivery idempotent, so the whole batch
     // retries (stragglers of the first walk are absorbed as no-ops).
-    DoInsertBatch(std::move(state.entries), state.retries_left - 1,
-                  std::move(state.callback));
+    transport_->CountRetry(kBulkRetryPolicy);
+    RetryAfter(state.budget.NextDelayUs(&rng_),
+               [this, entries = std::move(state.entries),
+                budget = state.budget,
+                callback = std::move(state.callback)]() mutable {
+                 DoInsertBatch(std::move(entries), budget,
+                               std::move(callback));
+               });
     return;
   }
   state.callback(Status::Unavailable(
@@ -634,7 +731,8 @@ void Peer::ApplyOrReroute(const std::vector<Entry>& entries) {
       store_.Apply(e);
     } else {
       ++rerouted_entries_;
-      DoInsert(e, options_.request_retries, NoopStatus);
+      DoInsert(e, RetryBudget(RequestPolicy(kInsertRetryPolicy), NowUs()),
+               NoopStatus);
     }
   }
 }
@@ -647,7 +745,8 @@ void Peer::HandleEntryBatch(const Message& msg) {
   for (Entry& e : batch->entries) {
     if (batch->reroute_if_foreign && !IsResponsible(e.key)) {
       ++rerouted_entries_;
-      DoInsert(e, options_.request_retries, NoopStatus);
+      DoInsert(e, RetryBudget(RequestPolicy(kInsertRetryPolicy), NowUs()),
+               NoopStatus);
       continue;
     }
     if (batch->gossip) {
@@ -745,6 +844,16 @@ void Peer::PullFromReplica(StatusCallback callback) {
   const uint64_t repair_id = next_repair_id_++;
   RepairState state;
   state.callback = std::move(callback);
+  // The chunk budget folds both bounds of the repair into one RetryPolicy:
+  // attempts reset per received chunk (transfer resume), while the
+  // deadline is anchored here and survives donor failovers — the bound a
+  // flapping replica set cannot escape.
+  RetryPolicy policy = RequestPolicy(kRepairRetryPolicy);
+  policy.max_retries = options_.repair_chunk_retries;
+  policy.deadline_us = options_.repair_deadline > 0
+                           ? static_cast<uint64_t>(options_.repair_deadline)
+                           : 0;
+  state.chunk_budget = RetryBudget(policy, NowUs());
   state.candidates = replicas;
   // One shuffle from this peer's own stream fixes the whole failover
   // order up front: which donors get tried, and in which sequence, is a
@@ -759,6 +868,13 @@ void Peer::RepairTryNextCandidate(uint64_t repair_id) {
   auto it = repairs_.find(repair_id);
   if (it == repairs_.end()) return;
   RepairState& st = it->second;
+  if (st.chunk_budget.DeadlinePassed(NowUs())) {
+    FinishRepair(repair_id,
+                 Status::Timeout("peer ", id_, ": replica repair exceeded ",
+                                 options_.repair_deadline,
+                                 "us total deadline"));
+    return;
+  }
   if (st.donor != net::kNoPeer) ++repair_failovers_;
   if (st.next_candidate >= st.candidates.size()) {
     FinishRepair(repair_id,
@@ -841,7 +957,7 @@ void Peer::RepairFetchNext(uint64_t repair_id) {
   st.next_entry = 0;
   st.crc = RunChecksum{};
   st.pending.clear();
-  st.chunk_retries_left = options_.repair_chunk_retries;
+  st.chunk_budget.ResetAttempts();
   RepairRequestChunk(repair_id);
 }
 
@@ -862,11 +978,7 @@ void Peer::RepairRequestChunk(uint64_t repair_id) {
         if (!status.ok()) {
           // Resume, not restart: the retry re-requests the same offset,
           // so everything received before the loss stays received.
-          if (it->second.chunk_retries_left-- > 0) {
-            RepairRequestChunk(repair_id);
-          } else {
-            RepairTryNextCandidate(repair_id);
-          }
+          RepairChunkRetry(repair_id);
           return;
         }
         auto chunk = RunFetchReply::Decode(msg.payload);
@@ -876,6 +988,27 @@ void Peer::RepairRequestChunk(uint64_t repair_id) {
         }
         RepairOnChunk(repair_id, *chunk);
       });
+}
+
+void Peer::RepairChunkRetry(uint64_t repair_id) {
+  auto it = repairs_.find(repair_id);
+  if (it == repairs_.end()) return;
+  RepairState& st = it->second;
+  if (st.chunk_budget.Spend(NowUs())) {
+    transport_->CountRetry(kRepairRetryPolicy);
+    RetryAfter(st.chunk_budget.NextDelayUs(&rng_),
+               [this, repair_id]() { RepairRequestChunk(repair_id); });
+  } else if (st.chunk_budget.DeadlinePassed(NowUs())) {
+    // Past the total deadline a fresh donor would not help — surface the
+    // timeout instead of failing over (RepairTryNextCandidate would catch
+    // it too; this just skips the pointless failover accounting).
+    FinishRepair(repair_id,
+                 Status::Timeout("peer ", id_, ": replica repair exceeded ",
+                                 options_.repair_deadline,
+                                 "us total deadline"));
+  } else {
+    RepairTryNextCandidate(repair_id);
+  }
 }
 
 void Peer::RepairOnChunk(uint64_t repair_id, const RunFetchReply& chunk) {
@@ -915,17 +1048,13 @@ void Peer::RepairOnChunk(uint64_t repair_id, const RunFetchReply& chunk) {
   // An empty non-final chunk would re-request the same offset forever;
   // treat it like corruption.
   if (!frame_ok || (added == 0 && !chunk.done)) {
-    if (st.chunk_retries_left-- > 0) {
-      RepairRequestChunk(repair_id);
-    } else {
-      RepairTryNextCandidate(repair_id);
-    }
+    RepairChunkRetry(repair_id);
     return;
   }
 
   ++repair_chunks_received_;
   st.next_entry += added;
-  st.chunk_retries_left = options_.repair_chunk_retries;
+  st.chunk_budget.ResetAttempts();
   if (!chunk.done) {
     RepairRequestChunk(repair_id);
     return;
@@ -988,7 +1117,7 @@ void Peer::RangeScanSeq(const KeyRange& range, RangeCallback callback,
   msg.dst = id_;
   msg.request_id = id;
   msg.payload = req.Encode();
-  if (!Forward(msg, range.lo)) {
+  if (Forward(msg, range.lo) == net::kNoPeer) {
     FinishSeqScan(id, /*complete=*/false);
   }
 }
@@ -1038,7 +1167,7 @@ void Peer::ProcessRangeSeq(const RangeSeqRequest& req, uint64_t request_id,
       msg.request_id = request_id;
       msg.hops = hops;
       msg.payload = next.Encode();
-      if (Forward(msg, next_lo)) {
+      if (Forward(msg, next_lo) != net::kNoPeer) {
         reply.will_forward = true;
       } else {
         reply.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
@@ -1082,7 +1211,7 @@ void Peer::HandleRangeSeq(const Message& msg) {
     ProcessRangeSeq(*req, msg.request_id, msg.hops);
     return;
   }
-  if (!Forward(msg, req->range.lo)) {
+  if (Forward(msg, req->range.lo) == net::kNoPeer) {
     RangeSeqReply reply;
     reply.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
     reply.error = "routing dead end at peer " + std::to_string(id_);

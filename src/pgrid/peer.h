@@ -7,9 +7,11 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry_policy.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "net/message.h"
@@ -23,6 +25,12 @@
 
 namespace unistore {
 namespace pgrid {
+
+// Retry-policy counter keys (TrafficStats.retries_by_policy).
+inline constexpr std::string_view kLookupRetryPolicy = "lookup";
+inline constexpr std::string_view kInsertRetryPolicy = "insert";
+inline constexpr std::string_view kBulkRetryPolicy = "bulk-insert";
+inline constexpr std::string_view kRepairRetryPolicy = "repair";
 
 /// Tunables of one peer's protocol behaviour.
 struct PeerOptions {
@@ -43,6 +51,28 @@ struct PeerOptions {
 
   /// Retries of a failed lookup/insert at the initiator.
   int request_retries = 2;
+
+  // --- Unified retry discipline (common/retry_policy.h) ------------------
+
+  /// Backoff of the routed-request retry policies (lookup, insert, bulk
+  /// insert, repair chunks): capped exponential from `base` with uniform
+  /// jitter drawn from this peer's own RNG stream. base == 0 keeps the
+  /// legacy immediate-retry behaviour (the default).
+  uint64_t retry_backoff_base_us = 0;
+  uint64_t retry_backoff_cap_us = 0;
+  uint64_t retry_jitter_us = 0;
+
+  /// Total deadline of one PullFromReplica, measured from the call and
+  /// honoured across donor failovers: per-chunk retry budgets reset on
+  /// progress, this deadline never does, so a flapping replica set cannot
+  /// retry unboundedly. 0 disables.
+  sim::SimTime repair_deadline = 60 * sim::kMicrosPerSecond;
+
+  /// How long a peer that failed a request stays suspected. While
+  /// suspected, greedy routing and hot-replica fan-out prefer healthy
+  /// alternatives (and fall back to the plain draw when none exists, so
+  /// stale suspicion never turns into a dead end). 0 disables (default).
+  sim::SimTime suspicion_ttl = 0;
 
   /// Replicas contacted directly on an update (rumor-spreading push,
   /// [Datta ICDCS'03]); receivers forward new rumors to the same fanout.
@@ -243,23 +273,44 @@ class Peer {
   /// Checksum-valid repair chunks received (runs + memtable stream).
   uint64_t repair_chunks_received() const { return repair_chunks_received_; }
 
+  // --- Suspicion observability (DESIGN.md §10) ---------------------------
+
+  /// Routing decisions that avoided a suspected peer in favour of a
+  /// healthy alternative.
+  uint64_t suspicion_skips() const { return suspicion_skips_; }
+
+  /// True while `peer` is under active suspicion (tests).
+  bool IsSuspected(PeerId peer) const { return Suspected(peer); }
+
  private:
   // Message pump.
   void OnMessage(const net::Message& msg);
 
-  // Client ops with retry budget.
-  void DoLookup(const Key& key, LookupMode mode, int retries_left,
+  // Client ops with retry budget (common/retry_policy.h).
+  void DoLookup(const Key& key, LookupMode mode, RetryBudget budget,
                 LookupCallback callback);
-  void DoInsert(Entry entry, int retries_left, StatusCallback callback);
-  void DoInsertBatch(std::vector<Entry> entries, int retries_left,
+  void DoInsert(Entry entry, RetryBudget budget, StatusCallback callback);
+  void DoInsertBatch(std::vector<Entry> entries, RetryBudget budget,
                      StatusCallback callback);
   void DoInitiateExchange(PeerId other, uint32_t ttl, StatusCallback callback);
 
+  // Retry plumbing: the per-protocol policy built from the options, the
+  // virtual clock, and deferred re-execution honouring a backoff delay.
+  RetryPolicy RequestPolicy(std::string_view name) const;
+  sim::SimTime NowUs() const;
+  void RetryAfter(sim::SimTime delay_us, std::function<void()> fn);
+
+  // Peer suspicion (graceful degradation): failed requests mark the target
+  // suspected for suspicion_ttl; successes clear it. Routing prefers
+  // unsuspected candidates while a healthy one exists.
+  void ObservePeer(PeerId peer, bool ok);
+  bool Suspected(PeerId peer) const;
+
   // Routing.
   PeerId NextHop(const Key& key);
-  // Forwards a routed request one hop toward `key`. Returns false if no
-  // reference is available (routing dead end).
-  bool Forward(const net::Message& msg, const Key& key);
+  // Forwards a routed request one hop toward `key`. Returns the chosen
+  // next hop, or kNoPeer if no reference is available (routing dead end).
+  PeerId Forward(const net::Message& msg, const Key& key);
 
   // Request handlers (invoked for messages, and locally by client ops when
   // this peer is already responsible).
@@ -362,6 +413,12 @@ class Peer {
   };
   std::map<std::string, HotOwner> hot_owners_;
 
+  // Peer suspicion state: peer -> suspicion expiry (absolute virtual
+  // time). Driven purely by this peer's own observed request outcomes, so
+  // it stays deterministic under sharding.
+  std::map<PeerId, sim::SimTime> suspects_;
+  uint64_t suspicion_skips_ = 0;
+
   // Initiator-side state of in-flight range scans, keyed by request id.
   struct ScanState {
     RangeCallback callback;
@@ -377,7 +434,7 @@ class Peer {
   struct BulkState {
     StatusCallback callback;
     std::vector<Entry> entries;  ///< Retained for idempotent retries.
-    int retries_left = 0;
+    RetryBudget budget;
     uint32_t outstanding = 0;
     uint32_t dead_ends = 0;
   };
@@ -395,7 +452,10 @@ class Peer {
     uint64_t next_entry = 0;         ///< Resume offset of the next chunk.
     RunChecksum crc;                 ///< Accumulated over fetched entries.
     std::vector<Entry> pending;      ///< Fetched entries of `current`.
-    int chunk_retries_left = 0;
+    /// Chunk-level retry budget: attempts reset on every received chunk
+    /// (transfer resume), but the embedded deadline is anchored at the
+    /// PullFromReplica call and survives donor failovers.
+    RetryBudget chunk_budget;
     int manifest_restarts_left = 1;  ///< Donor compacted mid-repair.
   };
   uint64_t next_repair_id_ = 1;
@@ -412,6 +472,9 @@ class Peer {
   void RepairOnManifest(uint64_t repair_id, const ManifestPullReply& manifest);
   void RepairFetchNext(uint64_t repair_id);
   void RepairRequestChunk(uint64_t repair_id);
+  // One lost/corrupt chunk: spend a retry (same offset, resume), surface a
+  // deadline timeout, or fail over to the next candidate.
+  void RepairChunkRetry(uint64_t repair_id);
   void RepairOnChunk(uint64_t repair_id, const RunFetchReply& chunk);
   void FinishRepair(uint64_t repair_id, Status status);
 

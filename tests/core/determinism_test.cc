@@ -196,7 +196,8 @@ TEST(DeterminismTest, DiskBackendMatchesMemoryAcrossEngines) {
 // must stay byte-identical across engines.
 Capture RunMigrateScenario(ClusterOptions::Engine engine, size_t shards,
                            size_t threads, bool cache_on = false,
-                           double loss_probability = 0.005) {
+                           double loss_probability = 0.005,
+                           bool faulted = false) {
   ClusterOptions options;
   options.custom_paths = pgrid::PartitionCoverPaths(
       triple::AttrPrefixRange("age", ""), /*inside_leaves=*/16);
@@ -204,6 +205,27 @@ Capture RunMigrateScenario(ClusterOptions::Engine engine, size_t shards,
   options.seed = 20260728;
   options.loss_probability = loss_probability;
   if (cache_on) options.node.envelope.cache_bytes = 1 << 20;
+  if (faulted) {
+    // Scripted fault plane (net/fault_plane.h): a permanently cut leaf,
+    // one slow jittery sender, plus wildcard corruption and duplication.
+    // Partial-results mode turns unreachable coverage into explicit gaps,
+    // and the backoff knobs route every retry through RetryPolicy — all
+    // of it must replay byte-identically on every engine.
+    const auto cut = static_cast<net::PeerId>(options.peers - 1);
+    options.fault_schedule.PartitionPair(0, net::kFaultForever, cut,
+                                         net::kAnyPeer);
+    options.fault_schedule.Delay(0, net::kFaultForever, 3, net::kAnyPeer,
+                                 /*delay_us=*/700, /*jitter_us=*/400);
+    options.fault_schedule.Corrupt(0, net::kFaultForever, net::kAnyPeer,
+                                   net::kAnyPeer, 0.01);
+    options.fault_schedule.Duplicate(0, net::kFaultForever, net::kAnyPeer,
+                                     net::kAnyPeer, 0.02);
+    options.node.envelope.partial_results = true;
+    options.peer.retry_backoff_base_us = 10 * sim::kMicrosPerMilli;
+    options.peer.retry_backoff_cap_us = 100 * sim::kMicrosPerMilli;
+    options.peer.retry_jitter_us = 2 * sim::kMicrosPerMilli;
+    options.peer.suspicion_ttl = 2 * sim::kMicrosPerSecond;
+  }
   options.engine = engine;
   options.shards = shards;
   options.threads = threads;
@@ -291,6 +313,41 @@ TEST(DeterminismTest, EnvelopeHeavyWorkloadMatchesAcrossEngines) {
   auto threaded =
       RunMigrateScenario(ClusterOptions::Engine::kSharded, 4, /*threads=*/4);
   ExpectIdentical(reference, threaded, "migrate K=4 threaded");
+}
+
+// The fault-plane determinism contract (DESIGN.md §10): the same
+// FaultSchedule — permanent partition, asymmetric jitter, corruption,
+// duplication — replays byte-identically across engines and shard
+// counts. Every fault draw comes from the sender's own RNG stream and
+// partition checks are pure functions of (now, src, dst), so delivery
+// traces, retry counters, and the partial results the degraded walks
+// return are part of the compared stream.
+TEST(DeterminismTest, FaultScheduleByteIdenticalAcrossEngines) {
+  auto reference =
+      RunMigrateScenario(ClusterOptions::Engine::kSingleThread, 1, 1,
+                         /*cache_on=*/false, /*loss_probability=*/0,
+                         /*faulted=*/true);
+  // The scripted faults left a footprint: corruption, duplication and
+  // partition drops all engaged (their counters are non-zero).
+  EXPECT_EQ(reference.stats.find(" part_drop=0 "), std::string::npos);
+  EXPECT_EQ(reference.stats.find(" dup=0 "), std::string::npos);
+  EXPECT_EQ(reference.stats.find(" corrupt=0 "), std::string::npos);
+  EXPECT_NE(reference.stats.find(" retry["), std::string::npos)
+      << "no retry policy fired under faults";
+  for (size_t shards : {1u, 2u, 4u}) {
+    auto sharded = RunMigrateScenario(ClusterOptions::Engine::kSharded,
+                                      shards, /*threads=*/1,
+                                      /*cache_on=*/false,
+                                      /*loss_probability=*/0,
+                                      /*faulted=*/true);
+    ExpectIdentical(reference, sharded,
+                    ("faulted sharded K=" + std::to_string(shards)).c_str());
+  }
+  auto threaded =
+      RunMigrateScenario(ClusterOptions::Engine::kSharded, 4, /*threads=*/4,
+                         /*cache_on=*/false, /*loss_probability=*/0,
+                         /*faulted=*/true);
+  ExpectIdentical(reference, threaded, "faulted K=4 threaded");
 }
 
 // The hot-path serving contract (DESIGN.md §8): turning the result cache

@@ -94,7 +94,34 @@ TEST(TransportTest, LossDropsApproximatelyAtRate) {
   f.sim.RunUntilIdle();
   double delivered = static_cast<double>(f.inboxes[1].size());
   EXPECT_NEAR(delivered / 2000.0, 0.6, 0.05);
-  EXPECT_EQ(f.transport->stats().messages_lost + f.inboxes[1].size(), 2000u);
+  EXPECT_EQ(f.transport->stats().messages_lost_random + f.inboxes[1].size(),
+            2000u);
+}
+
+// The drop counters are distinct: random loss, scripted partition drops
+// and dead-peer drops each land in their own counter, and total_dropped()
+// is their sum.
+TEST(TransportTest, DropCountersAreSplitByCause) {
+  Fixture f(3);
+  // Peer 0 -> 1 is partitioned for the whole run; peer 2 is dead.
+  FaultSchedule faults;
+  faults.Partition(0, kFaultForever, 0, 1);
+  f.transport->SetFaultSchedule(faults);
+  f.transport->SetAlive(2, false);
+  f.transport->set_loss_probability(1.0);   // Every non-partitioned send.
+  f.transport->Send(f.Make(1, 0));          // Random loss.
+  f.transport->set_loss_probability(0.0);
+  f.transport->Send(f.Make(0, 1));          // Partition drop.
+  f.transport->Send(f.Make(1, 2));          // Dead peer: dropped at delivery.
+  f.sim.RunUntilIdle();
+  const auto& stats = f.transport->stats();
+  EXPECT_EQ(stats.messages_lost_random, 1u);
+  EXPECT_EQ(stats.messages_lost_partition, 1u);
+  EXPECT_EQ(stats.messages_to_dead, 1u);
+  EXPECT_EQ(stats.total_dropped(), 3u);
+  EXPECT_TRUE(f.inboxes[0].empty());
+  EXPECT_TRUE(f.inboxes[1].empty());
+  EXPECT_TRUE(f.inboxes[2].empty());
 }
 
 TEST(TransportTest, StatsCountBytesAndTypes) {
