@@ -51,6 +51,25 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
     nodes_.push_back(std::make_unique<UniStore>(
         overlay_->peer(static_cast<net::PeerId>(i)), options_.node));
   }
+  if (!options_.churn_schedule.empty()) {
+    InstallChurn(options_.churn_schedule);
+  }
+}
+
+std::vector<net::PeerId> Cluster::InstallChurn(net::ChurnSchedule schedule) {
+  std::vector<net::PeerId> joiners = overlay_->InstallChurn(std::move(schedule));
+  // A joiner is a full node: the query layer attaches before its join
+  // event fires, so it serves queries the moment it adopts a path.
+  for (net::PeerId id : joiners) {
+    if (id >= nodes_.size()) {
+      nodes_.resize(id + 1);
+    }
+    if (nodes_[id] == nullptr) {
+      nodes_[id] = std::make_unique<UniStore>(overlay_->peer(id),
+                                              options_.node);
+    }
+  }
+  return joiners;
 }
 
 double Cluster::ExpectedHopLatencyUs() const {

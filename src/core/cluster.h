@@ -47,6 +47,12 @@ struct ClusterOptions {
   /// Scripted link faults (partitions, jitter, duplication, corruption);
   /// empty = fault-free (net/fault_plane.h).
   net::FaultSchedule fault_schedule;
+  /// Scripted peer lifecycle (crashes, restarts, leaves, joins); empty =
+  /// churn-free (net/churn_plane.h). Installed after construction: joiner
+  /// peers are registered with full UniStore nodes attached, and the
+  /// lifecycle events replay byte-identically across engines and shard
+  /// counts. Schedules can also be installed later via InstallChurn().
+  net::ChurnSchedule churn_schedule;
   /// Latency model: constant LAN-ish delay or PlanetLab-like WAN.
   enum class Latency { kLan, kWan } latency = Latency::kLan;
   sim::SimTime lan_delay_us = 1000;
@@ -130,6 +136,19 @@ class Cluster {
     uint64_t fanout_redirects = 0;
   };
   HotPathStats AggregateHotPathStats();
+
+  // --- Peer lifecycle (DESIGN.md §11) -------------------------------------
+
+  /// Installs a churn schedule (see ClusterOptions::churn_schedule):
+  /// registers joiners through the overlay and attaches a UniStore node
+  /// to each, so a joined peer serves queries like any other. Returns the
+  /// joiners' ids. Harness-time only.
+  std::vector<net::PeerId> InstallChurn(net::ChurnSchedule schedule);
+
+  /// Aggregated lifecycle counters across all peers.
+  pgrid::Overlay::LifecycleStats AggregateLifecycleStats() const {
+    return overlay_->AggregateLifecycleStats();
+  }
 
   /// The expected one-way hop latency of the configured model (feeds the
   /// cost model).

@@ -29,6 +29,10 @@ UniStore::UniStore(pgrid::Peer* peer, NodeOptions options)
       service_(peer, options_.envelope),
       oid_generator_("oid-" + std::to_string(peer->id()) + "-") {
   SetPlannerOptions(options_.planner);
+  // Crash-restart invalidation (DESIGN.md §11): the query layer's
+  // volatile state (result cache, open migrations, gossip contributions)
+  // must not survive the process.
+  peer_->set_restart_hook([this]() { service_.OnPeerRestart(); });
 }
 
 void UniStore::SetPlannerOptions(plan::PlannerOptions options) {

@@ -37,6 +37,23 @@ QueryService::QueryService(pgrid::Peer* peer, EnvelopeOptions options)
       [this](const Message& msg) { peer_->rpc().HandleReply(msg); });
 }
 
+void QueryService::OnPeerRestart() {
+  // The coordinator state of every in-flight join died with the process.
+  // Move the map out first: a callback may start a fresh join.
+  auto runs = std::move(migrations_);
+  migrations_.clear();
+  const Status down =
+      Status::Unavailable("peer ", peer_->id(), ": restarted mid-join");
+  for (auto& [id, run] : runs) {
+    if (run.callback) run.callback(down);
+  }
+  cache_.Clear();
+  contributions_.clear();
+  merged_dirty_ = true;
+  busy_until_ = 0;
+  serving_queue_depth_ = 0;
+}
+
 // ---------------------------------------------------------------------------
 // Initiator side: coordinator-driven batched walks
 // ---------------------------------------------------------------------------

@@ -85,6 +85,16 @@ class QueryService {
   /// Local joins currently queued behind busy_until_.
   uint32_t serving_queue_depth() const { return serving_queue_depth_; }
 
+  /// \brief Crash-restart invalidation (DESIGN.md §11): drops every bit
+  /// of volatile query state the process would lose.
+  ///
+  /// In-flight Migrate joins fail with Unavailable (their coordinator
+  /// state died with the process), the versioned result cache empties (a
+  /// restarted peer must never serve pre-crash bytes), gossip-received
+  /// statistics contributions reset, and the admission-control clock
+  /// clears. Registered as the peer's restart hook by core::UniStore.
+  void OnPeerRestart();
+
  private:
   struct MigrateRun {
     EnvelopeCoordinator coordinator;

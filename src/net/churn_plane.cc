@@ -1,0 +1,57 @@
+#include "net/churn_plane.h"
+
+#include "common/logging.h"
+
+namespace unistore {
+namespace net {
+
+size_t ChurnSchedule::EventCount() const {
+  size_t n = leaves.size() + joins.size();
+  for (const CrashSpec& c : crashes) {
+    n += (c.restart_at == kNeverRestarts) ? 1 : 2;
+  }
+  return n;
+}
+
+ChurnSchedule& ChurnSchedule::Crash(PeerId peer, sim::SimTime at,
+                                    sim::SimTime restart_at) {
+  crashes.push_back(CrashSpec{peer, at, restart_at});
+  return *this;
+}
+
+ChurnSchedule& ChurnSchedule::Leave(PeerId peer, sim::SimTime at,
+                                    sim::SimTime drain_us) {
+  leaves.push_back(LeaveSpec{peer, at, drain_us});
+  return *this;
+}
+
+ChurnSchedule& ChurnSchedule::Join(sim::SimTime at, PeerId sponsor) {
+  joins.push_back(JoinSpec{kNoPeer, at, sponsor});
+  return *this;
+}
+
+ChurnPlane::ChurnPlane(const ChurnSchedule& schedule) : schedule_(schedule) {
+  auto window_slot = [this](PeerId peer) -> std::vector<Window>& {
+    UNISTORE_CHECK(peer != kNoPeer) << "churn spec with unresolved peer";
+    if (peer >= windows_.size()) windows_.resize(peer + 1);
+    return windows_[peer];
+  };
+  for (const ChurnSchedule::CrashSpec& c : schedule_.crashes) {
+    UNISTORE_CHECK(c.restart_at > c.at) << "crash restarts before it happens";
+    window_slot(c.peer).push_back(Window{c.at, c.restart_at});
+  }
+  for (const ChurnSchedule::LeaveSpec& l : schedule_.leaves) {
+    UNISTORE_CHECK(l.drain_us >= 0);
+    window_slot(l.peer).push_back(
+        Window{l.at + l.drain_us, std::numeric_limits<sim::SimTime>::max()});
+  }
+  for (const ChurnSchedule::JoinSpec& j : schedule_.joins) {
+    // The joiner is registered (id assigned, refs may point at it later)
+    // but down from the dawn of time until its join event fires.
+    window_slot(j.peer).push_back(
+        Window{std::numeric_limits<sim::SimTime>::min(), j.at});
+  }
+}
+
+}  // namespace net
+}  // namespace unistore

@@ -26,6 +26,13 @@ std::string_view MessageTypeName(MessageType type) {
     case MessageType::kManifestPullReply: return "ManifestPullReply";
     case MessageType::kRunFetch: return "RunFetch";
     case MessageType::kRunFetchReply: return "RunFetchReply";
+    case MessageType::kReplicaProbe: return "ReplicaProbe";
+    case MessageType::kReplicaProbeReply: return "ReplicaProbeReply";
+    case MessageType::kJoin: return "Join";
+    case MessageType::kJoinReply: return "JoinReply";
+    case MessageType::kRecruit: return "Recruit";
+    case MessageType::kRecruitReply: return "RecruitReply";
+    case MessageType::kRefUpdate: return "RefUpdate";
     case MessageType::kPlanExec: return "PlanExec";
     case MessageType::kPlanExecReply: return "PlanExecReply";
     case MessageType::kPlanExecPartial: return "PlanExecPartial";

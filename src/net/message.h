@@ -40,6 +40,14 @@ enum class MessageType : uint16_t {
   kManifestPullReply = 42,  ///< Run summaries (id, entry count, checksum).
   kRunFetch = 43,        ///< Fetch one chunk of a missing run's entries.
   kRunFetchReply = 44,   ///< Checksummed chunk of run (or memtable) entries.
+  // -- Peer lifecycle & replica re-protection (DESIGN.md §11) ---------------
+  kReplicaProbe = 45,    ///< Failure detector: confirm a replica is up.
+  kReplicaProbeReply = 46,  ///< Carries the responder's current path.
+  kJoin = 47,            ///< Fresh peer asks a sponsor for a place in the trie.
+  kJoinReply = 48,       ///< Split half (path + entries) or replica adoption.
+  kRecruit = 49,         ///< Under-protected group recruits a new replica.
+  kRecruitReply = 70,    ///< Accept (candidate adopted the path) or decline.
+  kRefUpdate = 71,       ///< Membership gossip: "peer P now serves path π".
   // -- Query processing layer ----------------------------------------------
   kPlanExec = 50,        ///< Mutant query plan envelope.
   kPlanExecReply = 51,   ///< Terminal (walk-ended) envelope reply.

@@ -30,6 +30,7 @@ TrafficStats TrafficStats::Since(const TrafficStats& other) const {
   d.messages_lost_random = messages_lost_random - other.messages_lost_random;
   d.messages_lost_partition =
       messages_lost_partition - other.messages_lost_partition;
+  d.messages_lost_churn = messages_lost_churn - other.messages_lost_churn;
   d.messages_to_dead = messages_to_dead - other.messages_to_dead;
   d.messages_invalid = messages_invalid - other.messages_invalid;
   d.messages_duplicated = messages_duplicated - other.messages_duplicated;
@@ -60,6 +61,7 @@ void TrafficStats::Merge(const TrafficStats& other) {
   messages_delivered += other.messages_delivered;
   messages_lost_random += other.messages_lost_random;
   messages_lost_partition += other.messages_lost_partition;
+  messages_lost_churn += other.messages_lost_churn;
   messages_to_dead += other.messages_to_dead;
   messages_invalid += other.messages_invalid;
   messages_duplicated += other.messages_duplicated;
@@ -85,6 +87,7 @@ std::string TrafficStats::ToString() const {
   os << "messages=" << messages_sent << " delivered=" << messages_delivered
      << " lost=" << messages_lost_random
      << " part_drop=" << messages_lost_partition
+     << " churn_drop=" << messages_lost_churn
      << " to_dead=" << messages_to_dead << " invalid=" << messages_invalid
      << " dup=" << messages_duplicated << " corrupt=" << messages_corrupted
      << " bytes=" << bytes_sent;
@@ -142,6 +145,17 @@ void TransportBase::Send(Message msg) {
   stats.per_type_bytes[msg.type] += wire;
   uint64_t& max_slot = stats.per_type_max_bytes[msg.type];
   if (wire > max_slot) max_slot = wire;
+
+  // A down sender transmits nothing: a crashed process may still hold
+  // armed timers whose handlers fire during its down window, but the
+  // resulting sends die here. The window check is a pure function of
+  // (Now, src), and it short-circuits before any RNG draw, so the src
+  // stream advances identically across engines.
+  if (churn_plane_ != nullptr &&
+      churn_plane_->Down(scheduler_->Now(), msg.src)) {
+    stats.messages_lost_churn++;
+    return;
+  }
 
   // All stochastic draws of this message come from the *source* peer's
   // stream: the draw sequence depends only on the src's own send history,
@@ -203,6 +217,11 @@ void TransportBase::Deliver(const Message& m) {
     stats.messages_to_dead++;
     return;
   }
+  if (churn_plane_ != nullptr &&
+      churn_plane_->Down(scheduler_->Now(), m.dst)) {
+    stats.messages_lost_churn++;
+    return;
+  }
   stats.messages_delivered++;
   if (trace_enabled_) {
     trace_[m.dst].push_back(DeliveryRecord{scheduler_->Now(), m.src, m.type,
@@ -238,9 +257,21 @@ void TransportBase::CountRetry(std::string_view policy) {
   StatsSlot().retries_by_policy[std::string(policy)]++;
 }
 
+void TransportBase::SetChurnSchedule(ChurnSchedule schedule) {
+  // Like the fault plane: read by every shard, swapped only from harness
+  // context.
+  UNISTORE_CHECK(!scheduler_->InShardContext())
+      << "SetChurnSchedule from inside a shard window";
+  churn_plane_ = schedule.empty()
+                     ? nullptr
+                     : std::make_unique<ChurnPlane>(std::move(schedule));
+}
+
 bool TransportBase::IsAlive(PeerId peer) const {
   UNISTORE_CHECK(peer < alive_.size());
-  return alive_[peer];
+  if (!alive_[peer]) return false;
+  return churn_plane_ == nullptr ||
+         !churn_plane_->Down(scheduler_->Now(), peer);
 }
 
 void TransportBase::EnableDeliveryTrace() { trace_enabled_ = true; }

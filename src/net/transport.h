@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "net/churn_plane.h"
 #include "net/fault_plane.h"
 #include "net/message.h"
 #include "sim/latency.h"
@@ -39,6 +40,7 @@ struct TrafficStats {
   uint64_t messages_delivered = 0;
   uint64_t messages_lost_random = 0;     ///< Random loss (loss model).
   uint64_t messages_lost_partition = 0;  ///< Fault-plane partition drop.
+  uint64_t messages_lost_churn = 0;  ///< Churn plane: src or dst was down.
   uint64_t messages_to_dead = 0;    ///< Destination was down at delivery.
   uint64_t messages_invalid = 0;    ///< Dropped: src/dst not registered.
   uint64_t messages_duplicated = 0; ///< Extra copies the fault plane injected.
@@ -57,7 +59,8 @@ struct TrafficStats {
 
   /// All drops regardless of cause (convenience for loss-rate assertions).
   uint64_t total_dropped() const {
-    return messages_lost_random + messages_lost_partition + messages_to_dead;
+    return messages_lost_random + messages_lost_partition +
+           messages_lost_churn + messages_to_dead;
   }
 
   /// Difference `*this - other` (for measuring a single operation).
@@ -96,8 +99,13 @@ class Transport {
   virtual void Send(Message msg) = 0;
 
   /// Marks a peer up/down. Messages in flight toward a peer that is down
-  /// at delivery time are dropped. Harness-time only under sharding.
+  /// at delivery time are dropped. Harness-time only under sharding; for
+  /// liveness transitions inside a run use a ChurnSchedule, whose windows
+  /// are evaluated as a pure function of virtual time.
   virtual void SetAlive(PeerId peer, bool alive) = 0;
+
+  /// True iff the peer is up right now: its SetAlive bit is set and no
+  /// churn-plane window covers Now(). Pure read — safe from any context.
   virtual bool IsAlive(PeerId peer) const = 0;
 
   /// Fraction of messages dropped uniformly at random, in [0, 1).
@@ -111,6 +119,15 @@ class Transport {
 
   /// The installed fault plane, or nullptr when none is scripted.
   virtual const FaultPlane* fault_plane() const = 0;
+
+  /// Installs the scripted churn plane (net/churn_plane.h) with every
+  /// join spec's peer id already resolved (Overlay::InstallChurn does
+  /// this). Immutable once installed and read by every shard at send and
+  /// delivery time — harness-time only. Replaces any previous schedule.
+  virtual void SetChurnSchedule(ChurnSchedule schedule) = 0;
+
+  /// The installed churn plane, or nullptr when none is scripted.
+  virtual const ChurnPlane* churn_plane() const = 0;
 
   /// Bumps the per-policy retry counter (TrafficStats.retries_by_policy).
   /// `policy` must be a stable name (common/retry_policy.h policies).
@@ -148,6 +165,10 @@ class TransportBase : public Transport {
   const FaultPlane* fault_plane() const override {
     return fault_plane_.get();
   }
+  void SetChurnSchedule(ChurnSchedule schedule) override;
+  const ChurnPlane* churn_plane() const override {
+    return churn_plane_.get();
+  }
   void CountRetry(std::string_view policy) override;
   size_t peer_count() const override { return handlers_.size(); }
   sim::Scheduler* scheduler() override { return scheduler_; }
@@ -178,6 +199,7 @@ class TransportBase : public Transport {
   uint64_t seed_;
   double loss_probability_ = 0.0;
   std::unique_ptr<FaultPlane> fault_plane_;  ///< Null when no faults scripted.
+  std::unique_ptr<ChurnPlane> churn_plane_;  ///< Null when no churn scripted.
 
   std::vector<Handler> handlers_;
   std::vector<bool> alive_;

@@ -408,5 +408,125 @@ Result<RunFetchReply> RunFetchReply::Decode(std::string_view bytes) {
   return reply;
 }
 
+std::string ReplicaProbeRequest::Encode() const {
+  BufferWriter w;
+  w.PutU32(initiator);
+  w.PutString(path);
+  return w.Release();
+}
+
+Result<ReplicaProbeRequest> ReplicaProbeRequest::Decode(
+    std::string_view bytes) {
+  BufferReader r(bytes);
+  ReplicaProbeRequest req;
+  UNISTORE_ASSIGN_OR_RETURN(req.initiator, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(req.path, r.GetString());
+  return req;
+}
+
+std::string ReplicaProbeReply::Encode() const {
+  BufferWriter w;
+  w.PutString(path);
+  w.PutVarint(live_size);
+  return w.Release();
+}
+
+Result<ReplicaProbeReply> ReplicaProbeReply::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  ReplicaProbeReply reply;
+  UNISTORE_ASSIGN_OR_RETURN(reply.path, r.GetString());
+  UNISTORE_ASSIGN_OR_RETURN(reply.live_size, r.GetVarint());
+  return reply;
+}
+
+std::string JoinRequest::Encode() const {
+  BufferWriter w;
+  w.PutU32(initiator);
+  return w.Release();
+}
+
+Result<JoinRequest> JoinRequest::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  JoinRequest req;
+  UNISTORE_ASSIGN_OR_RETURN(req.initiator, r.GetU32());
+  return req;
+}
+
+std::string JoinReply::Encode() const {
+  BufferWriter w;
+  w.PutBool(accepted);
+  w.PutBool(split);
+  w.PutString(new_path);
+  w.PutString(sponsor_path);
+  w.PutU32(static_cast<uint32_t>(replicas.size()));
+  for (PeerId p : replicas) w.PutU32(p);
+  refs.Encode(&w);
+  EncodeEntries(entries, &w);
+  return w.Release();
+}
+
+Result<JoinReply> JoinReply::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  JoinReply reply;
+  UNISTORE_ASSIGN_OR_RETURN(reply.accepted, r.GetBool());
+  UNISTORE_ASSIGN_OR_RETURN(reply.split, r.GetBool());
+  UNISTORE_ASSIGN_OR_RETURN(reply.new_path, r.GetString());
+  UNISTORE_ASSIGN_OR_RETURN(reply.sponsor_path, r.GetString());
+  UNISTORE_ASSIGN_OR_RETURN(uint32_t replica_count, r.GetU32());
+  reply.replicas.reserve(replica_count);
+  for (uint32_t i = 0; i < replica_count; ++i) {
+    UNISTORE_ASSIGN_OR_RETURN(PeerId p, r.GetU32());
+    reply.replicas.push_back(p);
+  }
+  UNISTORE_ASSIGN_OR_RETURN(reply.refs, RefsBlock::Decode(&r));
+  UNISTORE_ASSIGN_OR_RETURN(reply.entries, DecodeEntries(&r));
+  return reply;
+}
+
+std::string RecruitRequest::Encode() const {
+  BufferWriter w;
+  w.PutU32(initiator);
+  w.PutString(path);
+  refs.Encode(&w);
+  return w.Release();
+}
+
+Result<RecruitRequest> RecruitRequest::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  RecruitRequest req;
+  UNISTORE_ASSIGN_OR_RETURN(req.initiator, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(req.path, r.GetString());
+  UNISTORE_ASSIGN_OR_RETURN(req.refs, RefsBlock::Decode(&r));
+  return req;
+}
+
+std::string RecruitReply::Encode() const {
+  BufferWriter w;
+  w.PutBool(accepted);
+  return w.Release();
+}
+
+Result<RecruitReply> RecruitReply::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  RecruitReply reply;
+  UNISTORE_ASSIGN_OR_RETURN(reply.accepted, r.GetBool());
+  return reply;
+}
+
+std::string RefUpdate::Encode() const {
+  BufferWriter w;
+  w.PutU32(peer);
+  w.PutString(path);
+  return w.Release();
+}
+
+Result<RefUpdate> RefUpdate::Decode(std::string_view bytes) {
+  BufferReader r(bytes);
+  RefUpdate update;
+  UNISTORE_ASSIGN_OR_RETURN(update.peer, r.GetU32());
+  UNISTORE_ASSIGN_OR_RETURN(update.path, r.GetString());
+  return update;
+}
+
 }  // namespace pgrid
 }  // namespace unistore

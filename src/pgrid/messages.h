@@ -284,6 +284,89 @@ struct RunFetchReply {
   static Result<RunFetchReply> Decode(std::string_view bytes);
 };
 
+// -- Peer lifecycle & replica re-protection (DESIGN.md §11) -----------------
+
+/// Failure-detector probe: "are you still my replica for `path`?" Sent
+/// periodically by the re-protection guard to every linked replica, and
+/// once by a restarted peer to re-announce itself to its old group.
+struct ReplicaProbeRequest {
+  PeerId initiator = net::kNoPeer;
+  std::string path;  ///< The prober's current trie path.
+
+  std::string Encode() const;
+  static Result<ReplicaProbeRequest> Decode(std::string_view bytes);
+};
+
+struct ReplicaProbeReply {
+  std::string path;        ///< Responder's current trie path.
+  uint64_t live_size = 0;  ///< Responder's live entry count (diagnostics).
+
+  std::string Encode() const;
+  static Result<ReplicaProbeReply> Decode(std::string_view bytes);
+};
+
+/// A fresh peer (empty path, empty store) asks a sponsor for a place in
+/// the trie. The sponsor either splits its own region (joiner takes one
+/// half) or adopts the joiner into its replica group.
+struct JoinRequest {
+  PeerId initiator = net::kNoPeer;
+
+  std::string Encode() const;
+  static Result<JoinRequest> Decode(std::string_view bytes);
+};
+
+struct JoinReply {
+  /// False: sponsor was busy or itself pathless; the joiner retries
+  /// against another sponsor later.
+  bool accepted = false;
+  /// True: the sponsor split its region. `new_path` is the joiner's half
+  /// and `entries` holds the live entries of that half. False: replica
+  /// adoption — the joiner copies `sponsor_path` and links `replicas`.
+  bool split = false;
+  std::string new_path;      ///< Joiner's path (split mode).
+  std::string sponsor_path;  ///< Sponsor's (possibly new) path.
+  /// Adoption mode: the group the joiner links (sponsor included).
+  std::vector<PeerId> replicas;
+  RefsBlock refs;  ///< Sponsor's routing snapshot (both modes).
+  /// Split mode: live entries of the joiner's half, shipped inline.
+  std::vector<Entry> entries;
+
+  std::string Encode() const;
+  static Result<JoinReply> Decode(std::string_view bytes);
+};
+
+/// An under-protected replica group asks `dst` to become a replica of
+/// `path`. Sent by the re-protection guard to ref candidates.
+struct RecruitRequest {
+  PeerId initiator = net::kNoPeer;
+  std::string path;
+  // The recruiter's routing snapshot: the recruit resets its table when
+  // it adopts the region and would otherwise be a routing dead end for
+  // every foreign key until the next exchange.
+  RefsBlock refs;
+
+  std::string Encode() const;
+  static Result<RecruitRequest> Decode(std::string_view bytes);
+};
+
+struct RecruitReply {
+  bool accepted = false;
+
+  std::string Encode() const;
+  static Result<RecruitReply> Decode(std::string_view bytes);
+};
+
+/// Membership gossip: "peer `peer` now serves trie path `path`" — sent
+/// fire-and-forget after a recruit or adoption so neighbours regain a
+/// route into the re-protected region.
+struct RefUpdate {
+  PeerId peer = net::kNoPeer;
+  std::string path;
+
+  std::string Encode() const;
+  static Result<RefUpdate> Decode(std::string_view bytes);
+};
+
 }  // namespace pgrid
 }  // namespace unistore
 

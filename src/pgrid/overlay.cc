@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <sstream>
 
 #include "common/logging.h"
 
@@ -207,6 +208,119 @@ std::vector<net::PeerId> Overlay::AlivePeers() const {
     if (transport_->IsAlive(p->id())) out.push_back(p->id());
   }
   return out;
+}
+
+std::vector<net::PeerId> Overlay::InstallChurn(net::ChurnSchedule schedule) {
+  const size_t existing = peers_.size();
+  const sim::SimTime now = scheduler_->Now();
+
+  // Step 1: register one fresh (pathless, empty) peer per unresolved join
+  // spec. Ids are assigned in spec order, so the result is deterministic.
+  std::vector<net::PeerId> joiners;
+  joiners.reserve(schedule.joins.size());
+  for (net::ChurnSchedule::JoinSpec& join : schedule.joins) {
+    UNISTORE_CHECK(join.at >= now) << "join scheduled in the past";
+    if (join.peer == net::kNoPeer) join.peer = AddPeers(1);
+    joiners.push_back(join.peer);
+  }
+
+  // Whether a pre-existing peer is down at `when` under this schedule
+  // (sponsor candidates must be up when the join fires).
+  auto down_at = [&schedule](net::PeerId peer, sim::SimTime when) {
+    for (const auto& c : schedule.crashes) {
+      if (c.peer == peer && when >= c.at && when < c.restart_at) return true;
+    }
+    for (const auto& l : schedule.leaves) {
+      if (l.peer == peer && when >= l.at + l.drain_us) return true;
+    }
+    return false;
+  };
+
+  // Resolve kAnyPeer sponsors: deepest path, then most loaded, then
+  // lowest id — "split the longest-loaded path". Only peers that existed
+  // before this install qualify (joiners are pathless and possibly still
+  // down when another join fires).
+  for (net::ChurnSchedule::JoinSpec& join : schedule.joins) {
+    if (join.sponsor != net::kAnyPeer) continue;
+    net::PeerId best = net::kNoPeer;
+    for (size_t i = 0; i < existing; ++i) {
+      const Peer& p = *peers_[i];
+      if (down_at(p.id(), join.at) || !transport_->IsAlive(p.id())) continue;
+      if (best == net::kNoPeer) {
+        best = p.id();
+        continue;
+      }
+      const Peer& b = *peers_[best];
+      if (p.path().size() != b.path().size()) {
+        if (p.path().size() > b.path().size()) best = p.id();
+      } else if (p.store().live_size() > b.store().live_size()) {
+        best = p.id();
+      }
+    }
+    UNISTORE_CHECK(best != net::kNoPeer) << "no sponsor available for join";
+    join.sponsor = best;
+  }
+
+  for (const auto& c : schedule.crashes) {
+    UNISTORE_CHECK(c.peer < peers_.size());
+    UNISTORE_CHECK(c.at >= now) << "crash scheduled in the past";
+  }
+  for (const auto& l : schedule.leaves) {
+    UNISTORE_CHECK(l.peer < peers_.size());
+    UNISTORE_CHECK(l.at >= now) << "leave scheduled in the past";
+  }
+
+  // Step 3: compile protocol actions into events of the affected peer's
+  // own domain before the schedule moves to the transport. Each action
+  // touches only that peer's state, so the sharded engine runs it on the
+  // peer's shard like any protocol timer.
+  for (const auto& c : schedule.crashes) {
+    if (c.restart_at == net::kNeverRestarts) continue;
+    const net::PeerId peer = c.peer;
+    scheduler_->ScheduleEvent(c.restart_at, peer, peer,
+                              [this, peer]() { peers_[peer]->Restart(); });
+  }
+  for (const auto& l : schedule.leaves) {
+    const net::PeerId peer = l.peer;
+    scheduler_->ScheduleEvent(l.at, peer, peer,
+                              [this, peer]() { peers_[peer]->GracefulLeave(); });
+  }
+  for (const auto& join : schedule.joins) {
+    const net::PeerId peer = join.peer;
+    const net::PeerId sponsor = join.sponsor;
+    scheduler_->ScheduleEvent(join.at, peer, peer, [this, peer, sponsor]() {
+      peers_[peer]->JoinVia(sponsor, [](Status) {});
+    });
+  }
+
+  // Step 2 last: the transport asserts every spec is resolved.
+  transport_->SetChurnSchedule(std::move(schedule));
+  return joiners;
+}
+
+std::string Overlay::LifecycleStats::ToString() const {
+  std::ostringstream os;
+  os << "restarts=" << restarts << " joins=" << joins_completed
+     << " leaves=" << leaves_completed << " handoff=" << handoff_entries
+     << " recruits=" << recruits_completed
+     << " confirmed_dead=" << replicas_confirmed_dead
+     << " max_catchup_us=" << max_restart_catchup_us;
+  return os.str();
+}
+
+Overlay::LifecycleStats Overlay::AggregateLifecycleStats() const {
+  LifecycleStats stats;
+  for (const auto& p : peers_) {
+    stats.restarts += p->restarts();
+    stats.joins_completed += p->joins_completed();
+    stats.leaves_completed += p->leaves_completed();
+    stats.handoff_entries += p->handoff_entries();
+    stats.recruits_completed += p->recruits_completed();
+    stats.replicas_confirmed_dead += p->replicas_confirmed_dead();
+    stats.max_restart_catchup_us =
+        std::max(stats.max_restart_catchup_us, p->last_restart_catchup_us());
+  }
+  return stats;
 }
 
 Result<LookupResult> Overlay::LookupSync(net::PeerId from, const Key& key,

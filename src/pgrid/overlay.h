@@ -124,6 +124,40 @@ class Overlay {
   bool IsAlive(net::PeerId id) const { return transport_->IsAlive(id); }
   std::vector<net::PeerId> AlivePeers() const;
 
+  /// \brief Installs a declarative churn schedule (net/churn_plane.h) and
+  /// compiles it into lifecycle events. Returns the ids of the freshly
+  /// registered joiners, in spec order.
+  ///
+  /// Three harness-time steps, after which the run needs no further
+  /// harness help: (1) one fresh peer is registered per join spec whose
+  /// `peer` is unresolved, and `kAnyPeer` sponsors resolve to the
+  /// deepest-path, most-loaded existing peer that the schedule keeps up
+  /// at join time; (2) the resolved schedule goes to the transport, whose
+  /// churn plane evaluates liveness windows as a pure function of virtual
+  /// time; (3) protocol actions — Restart at a crash's restart edge,
+  /// GracefulLeave at a leave's announce time, JoinVia at a join time —
+  /// are scheduled as events of the affected peer's own domain, so the
+  /// whole lifecycle replays byte-identically across engines and shard
+  /// counts. Call after construction, before the workload; every
+  /// scheduled time must be >= Now().
+  std::vector<net::PeerId> InstallChurn(net::ChurnSchedule schedule);
+
+  /// Aggregated lifecycle counters across all peers (DESIGN.md §11).
+  /// Harness-time only: reads per-peer state.
+  struct LifecycleStats {
+    uint64_t restarts = 0;
+    uint64_t joins_completed = 0;
+    uint64_t leaves_completed = 0;
+    uint64_t handoff_entries = 0;
+    uint64_t recruits_completed = 0;
+    uint64_t replicas_confirmed_dead = 0;
+    /// Slowest post-restart catch-up pull (virtual us) over all peers.
+    sim::SimTime max_restart_catchup_us = 0;
+
+    std::string ToString() const;
+  };
+  LifecycleStats AggregateLifecycleStats() const;
+
  private:
   OverlayOptions options_;
   std::unique_ptr<sim::Simulation> owned_scheduler_;  ///< Default engine.

@@ -18,6 +18,16 @@ namespace {
 
 void NoopStatus(Status) {}
 
+// Wire-derived path strings must be validated before Key::FromBits (which
+// CHECK-fails on non-bit characters): the fault plane may corrupt
+// payloads, and a corrupt path must drop the message, not the process.
+bool ValidBits(std::string_view bits) {
+  for (char c : bits) {
+    if (c != '0' && c != '1') return false;
+  }
+  return true;
+}
+
 // Entries a scan visits. Streamed reply encoders need the varint count
 // before the entry bytes, so serving scans twice: this counting pass is
 // merge-advance only (none of the encode work), which keeps it much
@@ -53,12 +63,20 @@ Peer::Peer(net::Transport* transport, uint64_t rng_seed, PeerOptions options)
   rpc_.set_peer_observer(
       [this](PeerId peer, bool ok) { ObservePeer(peer, ok); });
   if (options_.storage.backend == LocalStoreOptions::Backend::kDisk) {
-    LocalStoreOptions storage = options_.storage;
-    if (!storage.data_dir.empty()) {
-      storage.data_dir += "/peer-" + std::to_string(id_);
-    }
-    store_ = LocalStore(storage);
+    store_ = LocalStore(ResolvedStorage());
   }
+  if (options_.reprotect_period > 0 && options_.reprotect_until > 0) {
+    ScheduleGuard();
+  }
+}
+
+LocalStoreOptions Peer::ResolvedStorage() const {
+  LocalStoreOptions storage = options_.storage;
+  if (storage.backend == LocalStoreOptions::Backend::kDisk &&
+      !storage.data_dir.empty()) {
+    storage.data_dir += "/peer-" + std::to_string(id_);
+  }
+  return storage;
 }
 
 void Peer::SetPath(const Key& path) {
@@ -109,6 +127,18 @@ void Peer::OnMessage(const Message& msg) {
     case MessageType::kRunFetch:
       HandleRunFetch(msg);
       return;
+    case MessageType::kReplicaProbe:
+      HandleReplicaProbe(msg);
+      return;
+    case MessageType::kJoin:
+      HandleJoin(msg);
+      return;
+    case MessageType::kRecruit:
+      HandleRecruit(msg);
+      return;
+    case MessageType::kRefUpdate:
+      HandleRefUpdate(msg);
+      return;
     case MessageType::kRangeSeqReply: {
       auto reply = RangeSeqReply::Decode(msg.payload);
       if (reply.ok()) OnSeqPartial(msg.request_id, msg.hops, *reply);
@@ -124,6 +154,9 @@ void Peer::OnMessage(const Message& msg) {
     case MessageType::kExchangeReply:
     case MessageType::kManifestPullReply:
     case MessageType::kRunFetchReply:
+    case MessageType::kReplicaProbeReply:
+    case MessageType::kJoinReply:
+    case MessageType::kRecruitReply:
       rpc_.HandleReply(msg);
       return;
     default: {
@@ -162,6 +195,13 @@ PeerId Peer::NextHop(const Key& key) {
 }
 
 PeerId Peer::Forward(const Message& msg, const Key& key) {
+  // Greedy routing resolves at least one key bit per hop, so in a
+  // consistent trie a route never needs more than kKeyBits hops. While
+  // peers are mid-exchange (or mid-churn) their views can disagree and
+  // form transient cycles; without this cap a request wanders the cycle
+  // forever. Dropping past the cap turns the loop into a dead end the
+  // initiator's bounded retry handles.
+  if (msg.hops >= 2 * kKeyBits) return net::kNoPeer;
   PeerId next = NextHop(key);
   if (next == net::kNoPeer || next == id_) return net::kNoPeer;
   Message copy = msg;
@@ -419,7 +459,7 @@ void Peer::ServeLookup(const LookupRequest& req, uint64_t request_id,
 
 void Peer::HandleLookup(const Message& msg) {
   auto req = LookupRequest::Decode(msg.payload);
-  if (!req.ok()) return;
+  if (!req.ok() || !KnownPeer(req->initiator)) return;
   if (IsResponsible(req->key)) {
     ServeLookup(*req, msg.request_id, msg.hops);
     return;
@@ -455,8 +495,8 @@ void Peer::Remove(const Key& key, const std::string& entry_id,
 
 void Peer::DoInsert(Entry entry, RetryBudget budget, StatusCallback callback) {
   if (IsResponsible(entry.key)) {
-    store_.Apply(entry);
-    PushToReplicas(entry);
+    // Same damping as ServeInsert: only effective mutations replicate.
+    if (store_.Apply(entry)) PushToReplicas(entry);
     callback(Status::OK());
     return;
   }
@@ -522,8 +562,11 @@ void Peer::DoInsert(Entry entry, RetryBudget budget, StatusCallback callback) {
 
 void Peer::ServeInsert(const InsertRequest& req, uint64_t request_id,
                        uint32_t hops) {
-  store_.Apply(req.entry);
-  PushToReplicas(req.entry);
+  // Replicate only effective mutations: a stale replica reroutes gossip
+  // back here as a routed insert, and re-pushing an entry we already
+  // hold would hand it straight back to that replica — an undamped
+  // rumor cycle. Damping at the sink ends it in one hop.
+  if (store_.Apply(req.entry)) PushToReplicas(req.entry);
   InsertReply reply;
   reply.owner = id_;
   rpc_.ReplyTo(req.initiator, request_id, hops, MessageType::kInsertReply,
@@ -532,7 +575,7 @@ void Peer::ServeInsert(const InsertRequest& req, uint64_t request_id,
 
 void Peer::HandleInsert(const Message& msg) {
   auto req = InsertRequest::Decode(msg.payload);
-  if (!req.ok()) return;
+  if (!req.ok() || !KnownPeer(req->initiator)) return;
   if (IsResponsible(req->entry.key)) {
     ServeInsert(*req, msg.request_id, msg.hops);
     return;
@@ -629,7 +672,7 @@ Peer::BulkDispatch Peer::DispatchBulk(std::vector<Entry> entries,
 
 void Peer::HandleBulkInsert(const Message& msg) {
   auto req = BulkInsertRequest::Decode(msg.payload);
-  if (!req.ok()) return;
+  if (!req.ok() || !KnownPeer(req->initiator)) return;
   const BulkDispatch d =
       DispatchBulk(std::move(req->entries), req->initiator, msg.request_id,
                    msg.hops);
@@ -743,10 +786,22 @@ void Peer::HandleEntryBatch(const Message& msg) {
   std::vector<Entry> mine;
   std::vector<Entry> fresh;
   for (Entry& e : batch->entries) {
-    if (batch->reroute_if_foreign && !IsResponsible(e.key)) {
+    // Gossip is addressed by a replica list that may be stale across
+    // churn: a member that moved to another region (recruit adoption,
+    // exchange migration) must route the rumor onward to the real owner,
+    // never absorb foreign data into its new region.
+    if ((batch->reroute_if_foreign || batch->gossip) &&
+        !IsResponsible(e.key)) {
       ++rerouted_entries_;
+      // If the reroute dies (routing can dead-end while the trie is
+      // mid-exchange), hold the entry here rather than lose it: a
+      // misplaced copy is repairable by the next exchange migration,
+      // a dropped acked write is not.
+      Entry held = e;
       DoInsert(e, RetryBudget(RequestPolicy(kInsertRetryPolicy), NowUs()),
-               NoopStatus);
+               [this, held](const Status& status) {
+                 if (!status.ok()) store_.Apply(held);
+               });
       continue;
     }
     if (batch->gossip) {
@@ -904,6 +959,16 @@ void Peer::RepairPullManifest(uint64_t repair_id) {
         }
         auto manifest = ManifestPullReply::Decode(msg.payload);
         if (!manifest.ok()) {
+          RepairTryNextCandidate(repair_id);
+          return;
+        }
+        // A donor answering from a foreign region departed the group
+        // after we snapshotted our candidate list (recruit, split,
+        // migrate): absorbing its runs would graft another region's data
+        // into this store. Unlink it and fail over.
+        if (!ValidBits(manifest->donor_path) ||
+            Key::FromBits(manifest->donor_path) != path_) {
+          routing_.RemoveReplica(it->second.donor);
           RepairTryNextCandidate(repair_id);
           return;
         }
@@ -1206,7 +1271,7 @@ void Peer::ProcessRangeSeq(const RangeSeqRequest& req, uint64_t request_id,
 
 void Peer::HandleRangeSeq(const Message& msg) {
   auto req = RangeSeqRequest::Decode(msg.payload);
-  if (!req.ok()) return;
+  if (!req.ok() || !KnownPeer(req->initiator)) return;
   if (IsResponsible(req->range.lo)) {
     ProcessRangeSeq(*req, msg.request_id, msg.hops);
     return;
@@ -1345,7 +1410,7 @@ void Peer::ProcessRangeShower(const RangeShowerRequest& req,
 
 void Peer::HandleRangeShower(const Message& msg) {
   auto req = RangeShowerRequest::Decode(msg.payload);
-  if (!req.ok()) return;
+  if (!req.ok() || !KnownPeer(req->initiator)) return;
   ProcessRangeShower(*req, msg.request_id, msg.hops);
 }
 
@@ -1389,6 +1454,14 @@ RefsBlock Peer::SnapshotRefs() const {
   return block;
 }
 
+bool Peer::KnownPeer(PeerId peer) const {
+  // Corrupted payloads can decode into garbage peer ids; anything outside
+  // the transport registry must never enter routing state (it would evict
+  // a live reference, be probed forever, and never answer).
+  return peer != net::kNoPeer &&
+         static_cast<size_t>(peer) < transport_->peer_count();
+}
+
 void Peer::MergeRefs(const RefsBlock& refs, const Key& sender_path,
                      PeerId sender) {
   (void)sender;
@@ -1399,7 +1472,7 @@ void Peer::MergeRefs(const RefsBlock& refs, const Key& sender_path,
     if (l >= path_.size() || l >= sender_path.size()) break;
     if (path_.CommonPrefixLength(sender_path) <= l) break;
     for (PeerId p : refs.refs[l]) {
-      if (p != id_) routing_.AddRef(l, p, &rng_);
+      if (p != id_ && KnownPeer(p)) routing_.AddRef(l, p, &rng_);
     }
   }
 }
@@ -1484,7 +1557,7 @@ void Peer::DoInitiateExchange(PeerId other, uint32_t ttl,
 
 void Peer::HandleExchange(const Message& msg) {
   auto req = ExchangeRequest::Decode(msg.payload);
-  if (!req.ok()) return;
+  if (!req.ok() || !KnownPeer(req->initiator)) return;
   for (char c : req->path) {
     if (c != '0' && c != '1') return;  // Corrupt path; drop.
   }
@@ -1630,6 +1703,384 @@ void Peer::ApplyExchangeReply(const ExchangeReply& reply, PeerId responder) {
   MergeRefs(reply.refs, responder_path, responder);
   AddPeerByPath(responder, responder_path);
   ApplyOrReroute(reply.entries);
+}
+
+// ---------------------------------------------------------------------------
+// Peer lifecycle & replica re-protection (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+//
+// All lifecycle protocol work runs as events of this peer's own domain and
+// touches only peer-local state, so it composes with sharded execution the
+// same way every other protocol does. Liveness itself (who is down when)
+// lives in the churn plane, a pure function of virtual time evaluated by
+// the transport; the code here only reacts to its edges.
+
+void Peer::FailInFlight(const Status& status) {
+  // Move the maps out first: the callbacks may start fresh operations
+  // (retries) that re-insert, and those must survive.
+  auto seq = std::move(seq_scans_);
+  seq_scans_.clear();
+  for (auto& [id, st] : seq) {
+    if (!st.finished && st.callback) st.callback(status);
+  }
+  auto shower = std::move(shower_scans_);
+  shower_scans_.clear();
+  for (auto& [id, st] : shower) {
+    if (!st.finished && st.callback) st.callback(status);
+  }
+  auto bulk = std::move(bulk_inserts_);
+  bulk_inserts_.clear();
+  for (auto& [id, st] : bulk) {
+    if (st.callback) st.callback(status);
+  }
+  auto repairs = std::move(repairs_);
+  repairs_.clear();
+  for (auto& [id, st] : repairs) {
+    if (st.callback) st.callback(status);
+  }
+}
+
+void Peer::Restart(StatusCallback on_catchup) {
+  ++restarts_;
+  const sim::SimTime started = NowUs();
+  if (restart_hook_) restart_hook_();
+
+  // The process lost its volatile state: every in-flight initiator-side
+  // operation dies. Operation maps drain before the RPC table so that a
+  // pending RPC's error callback finds no stale per-op state to resume.
+  const Status down = Status::Unavailable("peer ", id_, ": restarted");
+  FailInFlight(down);
+  rpc_.FailAll(down);
+  hot_owners_.clear();
+  recent_serves_.clear();
+  suspects_.clear();
+  probe_failures_.clear();
+  exchange_busy_ = false;
+  recruit_inflight_ = false;
+
+  // Rebuild the store from the resolved backend: a disk peer re-opens its
+  // per-peer data_dir and replays the flush manifest (crash recovery,
+  // DESIGN.md §6); a memory peer comes back empty. Identity — id, path,
+  // routing table — survives the crash: the peer re-registers as itself.
+  store_ = LocalStore(ResolvedStorage());
+
+  const std::vector<PeerId> replicas = routing_.replicas();
+  if (replicas.empty()) {
+    if (on_catchup) on_catchup(Status::OK());
+    return;
+  }
+  // Re-announce to the old replica group (a probe whose matching path
+  // makes each receiver re-link us) and catch up on everything written
+  // while we were down via manifest-delta repair.
+  for (PeerId r : replicas) SendProbe(r);
+  PullFromReplica(
+      [this, started, cb = std::move(on_catchup)](Status status) {
+        if (status.ok()) last_restart_catchup_us_ = NowUs() - started;
+        if (cb) cb(std::move(status));
+      });
+}
+
+void Peer::GracefulLeave() {
+  ++leaves_completed_;
+  const std::vector<PeerId>& replicas = routing_.replicas();
+  if (replicas.empty()) return;
+  std::vector<Entry> all = store_.GetAll();
+  if (all.empty()) return;
+  handoff_entries_ += all.size();
+  // Full-state handoff to every replica (gossip mode: receivers apply
+  // only what they do not already hold and damp the rumor) — covers the
+  // memtable delta a crash would have stranded until anti-entropy.
+  for (PeerId r : replicas) {
+    SendEntries(r, all, /*reroute_if_foreign=*/false, /*gossip=*/true);
+  }
+}
+
+void Peer::JoinVia(PeerId sponsor, StatusCallback callback) {
+  JoinRequest req;
+  req.initiator = id_;
+  rpc_.SendRequest(
+      sponsor, MessageType::kJoin, req.Encode(), options_.request_timeout,
+      [this, sponsor, callback](const Status& status, const Message& msg) {
+        if (!status.ok()) {
+          callback(status);
+          return;
+        }
+        auto reply = JoinReply::Decode(msg.payload);
+        if (!reply.ok()) {
+          callback(reply.status());
+          return;
+        }
+        if (!reply->accepted) {
+          callback(Status::Unavailable("peer ", id_, ": join sponsor ",
+                                       sponsor, " declined"));
+          return;
+        }
+        if (!ValidBits(reply->sponsor_path) || !ValidBits(reply->new_path)) {
+          callback(Status::Corruption("join reply with corrupt path"));
+          return;
+        }
+        const Key sponsor_path = Key::FromBits(reply->sponsor_path);
+        if (reply->split) {
+          // We take one half of the sponsor's old region; its live
+          // entries arrived inline, so no catch-up pull is needed.
+          // ResetForPath keeps the replica list — clear it explicitly: a
+          // region move invalidates the old group (stale members would
+          // poison repair donor selection and rumor pushes).
+          path_ = Key::FromBits(reply->new_path);
+          routing_.ResetForPath(path_.size());
+          routing_.ClearReplicas();
+          AddPeerByPath(sponsor, sponsor_path);
+          MergeRefs(reply->refs, sponsor_path, sponsor);
+          if (!reply->entries.empty()) {
+            store_.BulkLoad(std::move(reply->entries));
+          }
+          ++joins_completed_;
+          callback(Status::OK());
+          return;
+        }
+        // Adoption: copy the sponsor's path, link its group, then pull
+        // the region's data through manifest-delta repair. Any old group
+        // is invalid after the move (see the split branch).
+        path_ = sponsor_path;
+        routing_.ResetForPath(path_.size());
+        routing_.ClearReplicas();
+        for (PeerId p : reply->replicas) {
+          if (p != id_ && KnownPeer(p)) routing_.AddReplica(p);
+        }
+        MergeRefs(reply->refs, sponsor_path, sponsor);
+        PullFromReplica([this, callback](Status pull) {
+          if (pull.ok()) ++joins_completed_;
+          callback(std::move(pull));
+        });
+      });
+}
+
+void Peer::HandleJoin(const Message& msg) {
+  auto req = JoinRequest::Decode(msg.payload);
+  if (!req.ok() || !KnownPeer(req->initiator)) return;
+  JoinReply reply;
+  // A sponsor mid-exchange declines (its path may be about to move); the
+  // harness retries against another sponsor.
+  if (!exchange_busy_) {
+    if (store_.live_size() > options_.split_threshold &&
+        path_.size() < kKeyBits) {
+      // Split the region: the joiner takes the '0' half (entries inline),
+      // we keep the '1' half — the same move DecideExchange makes for two
+      // equal-path peers over threshold.
+      const size_t split_level = path_.size();
+      const Key joiner_path = path_.Child(false);
+      path_ = path_.Child(true);
+      routing_.ExtendTo(path_.size());
+      routing_.ClearReplicas();
+      routing_.AddRef(split_level, req->initiator, &rng_);
+      reply.accepted = true;
+      reply.split = true;
+      reply.new_path = joiner_path.bits();
+      reply.entries = store_.ExtractNotMatching(path_);
+    } else {
+      // Adopt as replica: the group (us included) goes in the reply, and
+      // existing members learn of the joiner through membership gossip.
+      routing_.AddReplica(req->initiator);
+      reply.accepted = true;
+      reply.split = false;
+      reply.replicas = routing_.replicas();
+      reply.replicas.push_back(id_);
+      AnnounceRef(req->initiator, path_);
+    }
+    reply.refs = SnapshotRefs();
+    reply.sponsor_path = path_.bits();
+  }
+  rpc_.Reply(msg, MessageType::kJoinReply, reply.Encode());
+}
+
+void Peer::ScheduleGuard() {
+  transport_->scheduler()->ScheduleAfter(options_.reprotect_period, id_, id_,
+                                         [this]() { GuardTick(); });
+}
+
+void Peer::GuardTick() {
+  if (NowUs() >= options_.reprotect_until) return;  // Horizon: stop.
+  ScheduleGuard();
+  // A down peer keeps its timer armed (rescheduling is peer-local) but
+  // runs no protocol: a crashed process must not probe, and its sends
+  // would be churn-dropped anyway. Pathless peers have nothing to guard.
+  if (!transport_->IsAlive(id_) || path_.size() == 0) return;
+  for (PeerId r : routing_.replicas()) SendProbe(r);
+  MaybeRecruit();
+}
+
+void Peer::SendProbe(PeerId replica) {
+  ReplicaProbeRequest req;
+  req.initiator = id_;
+  req.path = path_.bits();
+  rpc_.SendRequest(
+      replica, MessageType::kReplicaProbe, req.Encode(),
+      options_.request_timeout,
+      [this, replica](const Status& status, const Message& msg) {
+        if (!status.ok()) {
+          OnProbeFailure(replica);
+          return;
+        }
+        auto reply = ReplicaProbeReply::Decode(msg.payload);
+        if (!reply.ok() || !ValidBits(reply->path)) {
+          OnProbeFailure(replica);
+          return;
+        }
+        probe_failures_.erase(replica);
+        if (Key::FromBits(reply->path) != path_) {
+          // Not a crash but a departure: it answers from another region
+          // (join split, recruit, migrate). Unlink it from the group;
+          // its new position stays routable via refs.
+          routing_.RemoveReplica(replica);
+        }
+      });
+}
+
+void Peer::OnProbeFailure(PeerId replica) {
+  int& failures = probe_failures_[replica];
+  if (++failures < options_.failure_confirm_probes) return;
+  // Suspicion promoted to confirmed failure: drop the peer from the
+  // replica set and every routing level. If it was only partitioned it
+  // re-announces on its next probe of us and re-links.
+  probe_failures_.erase(replica);
+  ++replicas_confirmed_dead_;
+  routing_.RemoveEverywhere(replica);
+}
+
+void Peer::HandleReplicaProbe(const Message& msg) {
+  auto req = ReplicaProbeRequest::Decode(msg.payload);
+  if (!req.ok() || !ValidBits(req->path) || !KnownPeer(req->initiator)) return;
+  // A prober with our exact path is (or was) a group member — re-link it.
+  // This is how a restarted or formerly-confirmed-dead replica rejoins
+  // its group without any harness help.
+  if (Key::FromBits(req->path) == path_ && path_.size() > 0) {
+    routing_.AddReplica(req->initiator);
+    probe_failures_.erase(req->initiator);
+  }
+  ReplicaProbeReply reply;
+  reply.path = path_.bits();
+  reply.live_size = store_.live_size();
+  rpc_.Reply(msg, MessageType::kReplicaProbeReply, reply.Encode());
+}
+
+void Peer::MaybeRecruit() {
+  if (options_.replication_target == 0 || recruit_inflight_) return;
+  const std::vector<PeerId>& replicas = routing_.replicas();
+  if (replicas.size() + 1 >= options_.replication_target) return;
+
+  // Candidates: referenced peers outside the group and not suspected.
+  // One shuffle from this peer's own stream keeps the pick deterministic.
+  std::set<PeerId> skip(replicas.begin(), replicas.end());
+  skip.insert(id_);
+  std::vector<PeerId> candidates;
+  for (size_t l = 0; l < routing_.levels(); ++l) {
+    for (PeerId p : routing_.RefsAt(l)) {
+      if (skip.count(p) > 0 || Suspected(p)) continue;
+      skip.insert(p);
+      candidates.push_back(p);
+    }
+  }
+  if (candidates.empty()) return;
+  rng_.Shuffle(&candidates);
+  const PeerId candidate = candidates.front();
+
+  RecruitRequest req;
+  req.initiator = id_;
+  req.path = path_.bits();
+  req.refs = SnapshotRefs();
+  recruit_inflight_ = true;
+  rpc_.SendRequest(
+      candidate, MessageType::kRecruit, req.Encode(),
+      options_.request_timeout,
+      [this, candidate](const Status& status, const Message& msg) {
+        recruit_inflight_ = false;
+        if (!status.ok()) return;  // Next guard tick tries again.
+        auto reply = RecruitReply::Decode(msg.payload);
+        if (!reply.ok() || !reply->accepted) return;
+        routing_.AddReplica(candidate);
+        ++recruits_completed_;
+        // Restore routability into the re-protected region: replicas and
+        // referenced peers learn the candidate's new position.
+        AnnounceRef(candidate, path_);
+      });
+}
+
+void Peer::HandleRecruit(const Message& msg) {
+  auto req = RecruitRequest::Decode(msg.payload);
+  if (!req.ok() || !ValidBits(req->path) || !KnownPeer(req->initiator)) return;
+  const Key target = Key::FromBits(req->path);
+  RecruitReply reply;
+  if (target == path_ && path_.size() > 0) {
+    // Already serving the region (e.g. two members recruited each other
+    // after a split-brain repair): just re-link.
+    routing_.AddReplica(req->initiator);
+    reply.accepted = true;
+  } else if (!exchange_busy_ && target.size() > 0) {
+    const bool spare = path_.size() == 0 && store_.live_size() == 0;
+    const bool surplus =
+        options_.replication_target > 0 &&
+        routing_.replicas().size() + 1 > options_.replication_target;
+    if (spare || surplus) {
+      if (!spare) {
+        // Leave the old (over-protected) group: hand our copy to one old
+        // replica — they already hold the region, this covers only our
+        // memtable delta — and move.
+        std::vector<PeerId> old_replicas = routing_.replicas();
+        std::vector<Entry> old_entries = store_.GetAll();
+        store_.Clear();
+        if (!old_entries.empty() && !old_replicas.empty()) {
+          PeerId heir = old_replicas[rng_.NextBounded(old_replicas.size())];
+          SendEntries(heir, std::move(old_entries),
+                      /*reroute_if_foreign=*/false, /*gossip=*/true);
+        }
+      }
+      path_ = target;
+      routing_.ResetForPath(path_.size());
+      // The old group must not survive the move: stale members would be
+      // picked as repair donors and hand us the region we just left.
+      routing_.ClearReplicas();
+      routing_.AddReplica(req->initiator);
+      // Adopt the recruiter's routing snapshot: with a freshly reset
+      // table we would dead-end every foreign key routed through us.
+      MergeRefs(req->refs, target, req->initiator);
+      reply.accepted = true;
+      // Catch up on the adopted region via manifest-delta repair (the
+      // recruiter is our only replica so far, hence the donor).
+      PullFromReplica(NoopStatus);
+    }
+  }
+  rpc_.Reply(msg, MessageType::kRecruitReply, reply.Encode());
+}
+
+void Peer::AnnounceRef(PeerId peer, const Key& peer_path) {
+  RefUpdate update;
+  update.peer = peer;
+  update.path = peer_path.bits();
+  const std::string payload = update.Encode();
+  std::set<PeerId> targets;
+  for (PeerId r : routing_.replicas()) targets.insert(r);
+  for (size_t l = 0; l < routing_.levels(); ++l) {
+    for (PeerId p : routing_.RefsAt(l)) targets.insert(p);
+  }
+  targets.erase(id_);
+  targets.erase(peer);
+  for (PeerId dst : targets) {
+    Message msg;
+    msg.type = MessageType::kRefUpdate;
+    msg.src = id_;
+    msg.dst = dst;
+    msg.payload = payload;
+    transport_->Send(std::move(msg));
+  }
+}
+
+void Peer::HandleRefUpdate(const Message& msg) {
+  auto update = RefUpdate::Decode(msg.payload);
+  if (!update.ok() || update->peer == id_ || !ValidBits(update->path) ||
+      !KnownPeer(update->peer)) {
+    return;
+  }
+  AddPeerByPath(update->peer, Key::FromBits(update->path));
 }
 
 }  // namespace pgrid

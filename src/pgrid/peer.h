@@ -111,6 +111,29 @@ struct PeerOptions {
   /// Cap on the advertised replica group (serving peer included).
   size_t hot_key_max_replicas = 4;
 
+  // --- Peer lifecycle & replica re-protection (DESIGN.md §11) ------------
+
+  /// Copies each partition should keep (owner included). When > 0 the
+  /// re-protection guard recruits a new replica whenever confirmed
+  /// failures shrink the group below this target. 0 disables recruiting
+  /// (the guard still confirms failures when it runs).
+  size_t replication_target = 0;
+
+  /// Period of the re-protection guard: every tick probes the linked
+  /// replicas (failure detector) and recruits when under target.
+  /// 0 disables the guard entirely (the default).
+  sim::SimTime reprotect_period = 0;
+
+  /// Virtual-time horizon of the guard: the periodic tick stops
+  /// rescheduling at this time, so RunUntilIdle terminates. Must be set
+  /// (> 0) whenever reprotect_period is.
+  sim::SimTime reprotect_until = 0;
+
+  /// Consecutive failed probes that confirm a replica dead (suspicion
+  /// promoted to confirmed failure: the peer is removed from the replica
+  /// set and every routing level, and re-protection may recruit).
+  int failure_confirm_probes = 3;
+
   /// Local storage engine knobs (memtable flush threshold, run
   /// compaction fan-in, storage backend — DESIGN.md § Local storage
   /// engine). With Backend::kDisk the peer stores its runs under
@@ -240,6 +263,47 @@ class Peer {
   /// Registers a handler for a message type the overlay does not consume.
   void SetExtensionHandler(net::MessageType type, ExtensionHandler handler);
 
+  // --- Peer lifecycle (DESIGN.md §11) ------------------------------------
+
+  /// \brief Crash-restart recovery: the peer comes back under its old
+  /// identity (id, path, routing table) with its volatile state gone.
+  ///
+  /// Every in-flight initiator-side operation fails with Unavailable, the
+  /// RPC table drains, caches (hot-key adverts, suspicion, probe counts)
+  /// reset, and the store is rebuilt: a disk-backed peer re-opens its
+  /// data_dir and replays the flush manifest (crash recovery, DESIGN.md
+  /// §6), a memory-backed peer restarts empty. If the peer has linked
+  /// replicas it then re-announces itself (probe) and catches up via
+  /// manifest-delta repair; `on_catchup` fires when that pull settles
+  /// (immediately when there is nothing to pull from).
+  ///
+  /// Scheduled by Overlay::InstallChurn at the restart edge of a crash
+  /// window; runs as an event of this peer's own domain.
+  void Restart(StatusCallback on_catchup = {});
+
+  /// \brief Live join: asks `sponsor` for a place in the trie.
+  ///
+  /// The sponsor either splits its region — the joiner adopts one half
+  /// path and receives that half's live entries inline — or adopts the
+  /// joiner into its replica group, in which case the joiner copies the
+  /// sponsor's path, links the group, and catches up via manifest-delta
+  /// repair. A declined or lost request surfaces through `callback`; the
+  /// churn plane retries are the harness's business (InstallChurn picks
+  /// sponsors deterministically).
+  void JoinVia(PeerId sponsor, StatusCallback callback);
+
+  /// Graceful leave: hands every live entry to each linked replica before
+  /// the churn window takes this peer down. Departure itself is the churn
+  /// plane's job; this is only the data handoff.
+  void GracefulLeave();
+
+  /// Hook invoked at the top of Restart(), before any state is torn down.
+  /// The query layer registers its invalidation here (result cache, open
+  /// migrations) so a restart cannot serve pre-crash cached bytes.
+  void set_restart_hook(std::function<void()> hook) {
+    restart_hook_ = std::move(hook);
+  }
+
   /// Total tombstone+live entries rerouted because they did not match this
   /// peer's path after an exchange (observability for tests).
   uint64_t rerouted_entries() const { return rerouted_entries_; }
@@ -281,6 +345,33 @@ class Peer {
 
   /// True while `peer` is under active suspicion (tests).
   bool IsSuspected(PeerId peer) const { return Suspected(peer); }
+
+  // --- Lifecycle observability (DESIGN.md §11) ---------------------------
+
+  /// Times this peer went through Restart().
+  uint64_t restarts() const { return restarts_; }
+
+  /// Successful JoinVia completions (split or adoption).
+  uint64_t joins_completed() const { return joins_completed_; }
+
+  /// GracefulLeave calls (each hands the live set to the replica group).
+  uint64_t leaves_completed() const { return leaves_completed_; }
+
+  /// Live entries shipped to the replica group by graceful leaves.
+  uint64_t handoff_entries() const { return handoff_entries_; }
+
+  /// Replicas this peer recruited into its group (re-protection).
+  uint64_t recruits_completed() const { return recruits_completed_; }
+
+  /// Replicas the failure detector confirmed dead (consecutive probe
+  /// failures >= failure_confirm_probes) and removed everywhere.
+  uint64_t replicas_confirmed_dead() const { return replicas_confirmed_dead_; }
+
+  /// Virtual-time cost of the last post-restart catch-up pull (0 when no
+  /// restart completed a catch-up yet).
+  sim::SimTime last_restart_catchup_us() const {
+    return last_restart_catchup_us_;
+  }
 
  private:
   // Message pump.
@@ -327,6 +418,30 @@ class Peer {
   void HandleManifestPull(const net::Message& msg);
   void HandleRunFetch(const net::Message& msg);
 
+  // Peer lifecycle & replica re-protection (DESIGN.md §11).
+  // The storage options this peer actually opens its store with (disk
+  // backends get the per-peer data_dir suffix) — shared by the
+  // constructor and Restart so both open the same directory.
+  LocalStoreOptions ResolvedStorage() const;
+  // Fails every in-flight initiator-side operation (scans, bulk inserts,
+  // repairs) with `status`; their per-request state is dropped.
+  void FailInFlight(const Status& status);
+  // Periodic re-protection guard: probe linked replicas, confirm
+  // failures, recruit when the group is under target.
+  void ScheduleGuard();
+  void GuardTick();
+  void SendProbe(PeerId replica);
+  void OnProbeFailure(PeerId replica);
+  void MaybeRecruit();
+  // Fire-and-forget membership gossip: tells replicas and referenced
+  // peers that `peer` now serves `peer_path` (route restoration after a
+  // recruit or adoption).
+  void AnnounceRef(PeerId peer, const Key& peer_path);
+  void HandleReplicaProbe(const net::Message& msg);
+  void HandleJoin(const net::Message& msg);
+  void HandleRecruit(const net::Message& msg);
+  void HandleRefUpdate(const net::Message& msg);
+
   // Hot-key fan-out (DESIGN.md §8).
   // Owner side: notes one served lookup in the sliding window and prunes
   // stale timestamps.
@@ -360,6 +475,9 @@ class Peer {
   ExchangeReply DecideExchange(const ExchangeRequest& req);
   void ApplyExchangeReply(const ExchangeReply& reply, PeerId responder);
   RefsBlock SnapshotRefs() const;
+  /// True iff `peer` is a registered transport endpoint — the gate every
+  /// payload-derived peer id passes before entering routing state.
+  bool KnownPeer(PeerId peer) const;
   void MergeRefs(const RefsBlock& refs, const Key& sender_path,
                  PeerId sender);
   void AddPeerByPath(PeerId peer, const Key& peer_path);
@@ -418,6 +536,20 @@ class Peer {
   // it stays deterministic under sharding.
   std::map<PeerId, sim::SimTime> suspects_;
   uint64_t suspicion_skips_ = 0;
+
+  // Lifecycle state (DESIGN.md §11). probe_failures_ counts consecutive
+  // failed probes per replica; reaching failure_confirm_probes confirms
+  // the failure. All per-peer (shard-local), aggregated by the harness.
+  std::function<void()> restart_hook_;
+  std::map<PeerId, int> probe_failures_;
+  bool recruit_inflight_ = false;
+  uint64_t restarts_ = 0;
+  uint64_t joins_completed_ = 0;
+  uint64_t leaves_completed_ = 0;
+  uint64_t handoff_entries_ = 0;
+  uint64_t recruits_completed_ = 0;
+  uint64_t replicas_confirmed_dead_ = 0;
+  sim::SimTime last_restart_catchup_us_ = 0;
 
   // Initiator-side state of in-flight range scans, keyed by request id.
   struct ScanState {

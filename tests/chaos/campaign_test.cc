@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -21,7 +22,9 @@
 #include <vector>
 
 #include "exec/query_service.h"
+#include "net/churn_plane.h"
 #include "net/fault_plane.h"
+#include "pgrid/ophash.h"
 #include "pgrid/overlay.h"
 #include "pgrid/run_summary.h"
 #include "triple/index.h"
@@ -314,6 +317,210 @@ TEST(ChaosCampaignTest, InvariantsHoldUnderScriptedFaultMixture) {
     retries += count;
   }
   EXPECT_GT(retries, 0u) << "no retry policy ever fired under chaos";
+}
+
+// --- Churn + faults: the full lifecycle campaign (DESIGN.md §11) -------------
+//
+// Twenty scripted lifecycle events over 64 peers (16 regions x 4
+// replicas) — six crash-restart cycles, two permanent crashes
+// concentrated on one region, three graceful leaves, three live joins —
+// mixed with the PR-9 fault mixture (partition, latency jitter,
+// corruption, duplication) and a write stream threaded through the churn
+// window. End-state invariants:
+//
+//   1. No lost acknowledged writes, even with owners crashing,
+//      draining and joining mid-stream.
+//   2. Every region is back at the replication target with live members
+//      (the double-crash region re-protected through recruiting).
+//   3. Byte-identical convergence inside every region after the
+//      anti-entropy sweeps.
+//   4. Every restarted peer serves its pre-crash keys itself.
+TEST(ChaosCampaignTest, ChurnMixedWithFaultsEndsReprotected) {
+  constexpr size_t kRegions = 16;
+  std::vector<std::string> paths;
+  GenerateBalancedPaths(kRegions, "", &paths);
+  ASSERT_EQ(paths.size(), kRegions);
+
+  OverlayOptions options;
+  options.seed = 9091;
+  options.peer.request_timeout = 300 * kMs;
+  options.peer.request_retries = 5;
+  options.peer.retry_backoff_base_us = 20 * kMs;
+  options.peer.retry_backoff_cap_us = 200 * kMs;
+  options.peer.retry_jitter_us = 5 * kMs;
+  options.peer.suspicion_ttl = 1 * kS;
+  options.peer.replication_target = 3;
+  options.peer.reprotect_period = 500 * kMs;
+  options.peer.reprotect_until = 20 * kS;
+  // Three consecutive failed probes to confirm: long enough that the
+  // 800 ms partition below reads as a blip, short enough that the
+  // permanent crashes are confirmed and re-protected well inside the
+  // guard horizon.
+  options.peer.failure_confirm_probes = 3;
+
+  Overlay overlay(options);
+  overlay.AddPeers(4 * kRegions);  // Region g: {g, g+16, g+32, g+48}.
+  overlay.BuildWithPaths(paths);
+
+  // Baseline rows in every region — the "pre-crash keys" the restarted
+  // peers must keep serving.
+  std::vector<Entry> baseline;
+  for (int i = 0; i < 400; ++i) {
+    Entry e;
+    e.payload = std::string(1, static_cast<char>((i * 37) % 256));
+    e.payload += "camp-" + std::to_string(i);
+    e.key = OpHash(e.payload);
+    e.id = "id";
+    e.version = 1;
+    baseline.push_back(e);
+    overlay.InsertDirect(baseline.back());
+  }
+
+  // The lifecycle script: 6*2 + 2 + 3 + 3 = 20 events. Crash-restarts
+  // spread over six distinct regions; both permanent crashes hit region 7
+  // ({7,23,39,55} drops to two live members — under target, so the guard
+  // must recruit); the leavers come from three more regions (which land
+  // exactly at target, so their groups are never recruiting candidates).
+  const std::vector<net::PeerId> restarters = {1, 18, 35, 52, 5, 22};
+  net::ChurnSchedule churn;
+  churn.Crash(1, 1 * kS, /*restart_at=*/3 * kS)
+      .Crash(18, 1200 * kMs, /*restart_at=*/3200 * kMs)
+      .Crash(35, 1500 * kMs, /*restart_at=*/3500 * kMs)
+      .Crash(52, 1800 * kMs, /*restart_at=*/3800 * kMs)
+      .Crash(5, 2 * kS, /*restart_at=*/4 * kS)
+      .Crash(22, 2200 * kMs, /*restart_at=*/4200 * kMs)
+      .Crash(39, 2500 * kMs)  // Never restarts.
+      .Crash(55, 2800 * kMs)  // Never restarts.
+      .Leave(10, 1 * kS, /*drain_us=*/300 * kMs)
+      .Leave(27, 1300 * kMs, /*drain_us=*/300 * kMs)
+      .Leave(44, 1600 * kMs, /*drain_us=*/300 * kMs)
+      .Join(4500 * kMs)
+      .Join(5 * kS)
+      .Join(5500 * kMs);
+  ASSERT_EQ(churn.EventCount(), 20u);
+  const auto joiners = overlay.InstallChurn(churn);
+  ASSERT_EQ(joiners.size(), 3u);
+
+  // The PR-9 fault mixture on top: peer 33 shares a region with crashing
+  // peer 1 and is partitioned across the crash onset (fault + churn in
+  // one group); every link corrupts and duplicates until t = 4 s; peer
+  // 3's outbound links stay slow and jittery for the whole run.
+  net::FaultSchedule faults;
+  faults.PartitionPair(1 * kS, 1800 * kMs, 33, net::kAnyPeer);
+  faults.Delay(0, net::kFaultForever, 3, net::kAnyPeer,
+               /*delay_us=*/1500, /*jitter_us=*/800);
+  faults.Corrupt(0, 4 * kS, net::kAnyPeer, net::kAnyPeer, 0.02);
+  faults.Duplicate(0, 4 * kS, net::kAnyPeer, net::kAnyPeer, 0.05);
+  overlay.transport().SetFaultSchedule(faults);
+
+  auto& sim = overlay.simulation();
+
+  // Writes threaded through the churn window, from initiators that are
+  // never scripted down. Only OK callbacks count as acknowledged.
+  const std::vector<net::PeerId> initiators = {8, 9, 11, 13, 14, 15};
+  std::vector<Key> acked_keys;
+  for (int i = 0; i < 30; ++i) {
+    sim.ScheduleAt(500 * kMs + i * 200 * kMs, [&, i] {
+      Entry e;
+      e.payload = std::string(1, static_cast<char>((i * 53) % 256));
+      e.payload += "live-" + std::to_string(i);
+      e.key = OpHash(e.payload);
+      e.id = "id";
+      e.version = 1;
+      overlay.peer(initiators[i % initiators.size()])
+          ->Insert(e, [&acked_keys, e](Status status) {
+            if (status.ok()) acked_keys.push_back(e.key);
+          });
+    });
+  }
+
+  // Anti-entropy sweeps after the churn settles: every live member pulls,
+  // three rounds, so every region converges regardless of which member a
+  // chaotic write or a hand-off landed on.
+  auto alive_peers = [&] {
+    std::vector<net::PeerId> out;
+    for (net::PeerId p = 0; p < overlay.size(); ++p) {
+      if (overlay.IsAlive(p) && overlay.peer(p)->path().size() > 0) {
+        out.push_back(p);
+      }
+    }
+    return out;
+  };
+  for (sim::SimTime at : {8 * kS, 9 * kS, 10 * kS}) {
+    sim.ScheduleAt(at, [&, alive_peers] {
+      for (net::PeerId p : alive_peers()) {
+        overlay.peer(p)->PullFromReplica([](Status) {});
+      }
+    });
+  }
+
+  sim.RunUntilIdle();
+
+  // --- The lifecycle actually ran, and left its footprint. --------------
+  auto lifecycle = overlay.AggregateLifecycleStats();
+  EXPECT_EQ(lifecycle.restarts, restarters.size()) << lifecycle.ToString();
+  EXPECT_EQ(lifecycle.leaves_completed, 3u);
+  EXPECT_EQ(lifecycle.joins_completed, 3u);
+  EXPECT_GE(lifecycle.replicas_confirmed_dead, 2u)
+      << "the permanent crashes were never confirmed";
+  EXPECT_GE(lifecycle.recruits_completed, 1u)
+      << "the depleted region was never re-protected";
+  auto stats = overlay.transport().stats();
+  EXPECT_GT(stats.messages_lost_churn, 0u);
+  EXPECT_GT(stats.messages_lost_partition, 0u);
+  EXPECT_GT(stats.messages_corrupted, 0u);
+  EXPECT_GT(stats.messages_duplicated, 0u);
+
+  // --- Invariant 2: every region back at target, with live members. -----
+  std::map<std::string, std::vector<net::PeerId>> regions;
+  for (net::PeerId p : alive_peers()) {
+    regions[std::string(overlay.peer(p)->path().bits())].push_back(p);
+  }
+  EXPECT_EQ(regions.size(), kRegions)
+      << "a join split a region or a region lost every member";
+  for (const auto& [bits, members] : regions) {
+    EXPECT_GE(members.size(), options.peer.replication_target)
+        << "region " << bits << " is under-protected";
+  }
+
+  // --- Invariant 3: byte-identical convergence inside every region. -----
+  for (const auto& [bits, members] : regions) {
+    const uint32_t digest = StoreDigest(overlay.peer(members[0])->store());
+    for (size_t i = 1; i < members.size(); ++i) {
+      EXPECT_EQ(StoreDigest(overlay.peer(members[i])->store()), digest)
+          << "region " << bits << " member " << members[i]
+          << " diverged from member " << members[0];
+    }
+  }
+
+  // --- Invariant 1: no lost acknowledged writes. ------------------------
+  ASSERT_FALSE(acked_keys.empty())
+      << "churn was so severe nothing was ever acknowledged";
+  for (const auto& key : acked_keys) {
+    auto found = overlay.LookupSync(0, key);
+    ASSERT_TRUE(found.ok())
+        << "acked key unreadable after the campaign: "
+        << found.status().ToString();
+    EXPECT_FALSE(found->entries.empty()) << "acked write lost";
+  }
+
+  // --- Invariant 4: restarted peers serve their pre-crash keys. ---------
+  for (net::PeerId p : restarters) {
+    EXPECT_EQ(overlay.peer(p)->restarts(), 1u);
+    size_t served = 0;
+    for (const Entry& e : baseline) {
+      if (!overlay.peer(p)->path().IsPrefixOf(e.key)) continue;
+      auto found = overlay.LookupSync(p, e.key);
+      ASSERT_TRUE(found.ok()) << "restarted peer " << p
+                              << " cannot serve a pre-crash key: "
+                              << found.status().ToString();
+      EXPECT_FALSE(found->entries.empty())
+          << "restarted peer " << p << " lost a pre-crash key";
+      ++served;
+    }
+    EXPECT_GT(served, 0u) << "no baseline key fell in peer " << p
+                          << "'s region";
+  }
 }
 
 }  // namespace
